@@ -1,0 +1,72 @@
+// Ablation: shared-nothing worker scaling.
+//
+// Runs the PR-VS query with 1/2/4/8 simulated nodes, plus the raw
+// distributed kernels (shuffle + co-partitioned join) at increasing widths.
+// Not a paper figure — it validates that the MPP substrate behaves like a
+// shared-nothing engine (join work scales down per node, shuffle volume
+// appears as soon as width > 1).
+
+#include "bench_util.h"
+#include "mpp/parallel_ops.h"
+
+namespace dbspinner {
+namespace bench {
+namespace {
+
+void MppPrVs(benchmark::State& state) {
+  Database* db = GetDatabase(Dataset::kDblp);
+  db->options().optimizer = OptimizerOptions{};
+  db->options().num_workers = static_cast<int>(state.range(0));
+  db->options().mpp_min_rows_per_task = 1024;
+  RunQuery(state, db, workloads::PRVSQuery(10));
+  db->options().num_workers = 1;
+}
+BENCHMARK(MppPrVs)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->Iterations(2);
+
+void MppDistributedJoin(benchmark::State& state) {
+  size_t nodes = static_cast<size_t>(state.range(0));
+  graph::GraphSpec spec = SpecFor(Dataset::kDblp);
+  graph::EdgeList g = graph::Generate(spec);
+  TablePtr edges = graph::BuildEdgesTable(g);
+  TablePtr vs = graph::BuildVertexStatusTable(g.num_nodes, 0.8, 7);
+  ThreadPool pool(static_cast<int>(nodes));
+  auto de = DistributedTable::Distribute(*edges, {}, nodes);
+  auto dv = DistributedTable::Distribute(*vs, {}, nodes);
+  for (auto _ : state) {
+    int64_t moved = 0;
+    auto joined = DistributedHashJoin(de, /*left_key=*/1, dv, /*right_key=*/0,
+                                      &pool, &moved);
+    if (!joined.ok()) {
+      state.SkipWithError(joined.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(joined->TotalRows());
+    state.counters["rows_shuffled"] = static_cast<double>(moved);
+  }
+}
+BENCHMARK(MppDistributedJoin)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void MppShuffle(benchmark::State& state) {
+  size_t nodes = static_cast<size_t>(state.range(0));
+  graph::GraphSpec spec = SpecFor(Dataset::kDblp);
+  graph::EdgeList g = graph::Generate(spec);
+  TablePtr edges = graph::BuildEdgesTable(g);
+  ThreadPool pool(static_cast<int>(nodes));
+  auto dist = DistributedTable::Distribute(*edges, {}, nodes);
+  for (auto _ : state) {
+    int64_t moved = 0;
+    auto shuffled = Exchange::Shuffle(dist, {0}, &pool, &moved);
+    benchmark::DoNotOptimize(shuffled.TotalRows());
+    state.counters["rows_shuffled"] = static_cast<double>(moved);
+  }
+}
+BENCHMARK(MppShuffle)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace dbspinner
+
+BENCHMARK_MAIN();

@@ -1,0 +1,50 @@
+// Figure 10: pushing down predicates.
+//
+// FF runs 25 iterations; the main query samples with MOD(node, X) = 0
+// (selectivity 1/X). The baseline evaluates the whole CTE and filters at
+// the end: its runtime is flat in X. With pushdown, the predicate moves
+// into R0 (and below R0's aggregation, onto the edges scan), so every
+// iteration processes ~1/X of the data — more than an order of magnitude
+// faster at X = 100, exactly the shape of the paper's Fig 10.
+//
+// Series: X in {10, 25, 50, 100} x {baseline, pushdown} on the DBLP shape.
+
+#include "bench_util.h"
+
+namespace dbspinner {
+namespace bench {
+namespace {
+
+constexpr int kIterations = 25;
+
+void Fig10(benchmark::State& state, int64_t mod_x, bool pushdown_enabled) {
+  Database* db = GetDatabase(Dataset::kDblp);
+  db->options().optimizer = OptimizerOptions{};
+  db->options().optimizer.enable_cte_predicate_pushdown = pushdown_enabled;
+  RunQuery(state, db, workloads::FFQuery(kIterations, mod_x, 10));
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace dbspinner
+
+using dbspinner::bench::Fig10;
+
+BENCHMARK_CAPTURE(Fig10, x10_baseline, 10, false)
+    ->Unit(benchmark::kMillisecond)->Iterations(3);
+BENCHMARK_CAPTURE(Fig10, x10_pushdown, 10, true)
+    ->Unit(benchmark::kMillisecond)->Iterations(3);
+BENCHMARK_CAPTURE(Fig10, x25_baseline, 25, false)
+    ->Unit(benchmark::kMillisecond)->Iterations(3);
+BENCHMARK_CAPTURE(Fig10, x25_pushdown, 25, true)
+    ->Unit(benchmark::kMillisecond)->Iterations(3);
+BENCHMARK_CAPTURE(Fig10, x50_baseline, 50, false)
+    ->Unit(benchmark::kMillisecond)->Iterations(3);
+BENCHMARK_CAPTURE(Fig10, x50_pushdown, 50, true)
+    ->Unit(benchmark::kMillisecond)->Iterations(3);
+BENCHMARK_CAPTURE(Fig10, x100_baseline, 100, false)
+    ->Unit(benchmark::kMillisecond)->Iterations(3);
+BENCHMARK_CAPTURE(Fig10, x100_pushdown, 100, true)
+    ->Unit(benchmark::kMillisecond)->Iterations(3);
+
+BENCHMARK_MAIN();

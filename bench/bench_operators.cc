@@ -1,0 +1,99 @@
+// Micro-benchmarks of the core physical operators (filter, hash join, hash
+// aggregate, distinct, sort) — baseline numbers for interpreting the
+// figure-level benches.
+
+#include <benchmark/benchmark.h>
+
+#include "engine/database.h"
+#include "graph/generator.h"
+
+namespace dbspinner {
+namespace {
+
+Database* SetupDb(int64_t nodes, int64_t edges) {
+  static Database* db = [&] {
+    auto* d = new Database();
+    graph::GraphSpec spec;
+    spec.num_nodes = nodes;
+    spec.num_edges = edges;
+    spec.seed = 21;
+    graph::EdgeList g = graph::Generate(spec);
+    Status st = graph::LoadIntoDatabase(d, g, 0.8, 7);
+    if (!st.ok()) std::abort();
+    return d;
+  }();
+  return db;
+}
+
+void RunSql(benchmark::State& state, const char* sql) {
+  Database* db = SetupDb(20000, 100000);
+  for (auto _ : state) {
+    auto result = db->Query(sql);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(*result);
+  }
+}
+
+void BM_Scan(benchmark::State& state) {
+  RunSql(state, "SELECT * FROM edges");
+}
+BENCHMARK(BM_Scan)->Unit(benchmark::kMillisecond);
+
+void BM_Filter(benchmark::State& state) {
+  RunSql(state, "SELECT src FROM edges WHERE weight > 0.2 AND src % 3 = 0");
+}
+BENCHMARK(BM_Filter)->Unit(benchmark::kMillisecond);
+
+void BM_Project(benchmark::State& state) {
+  RunSql(state, "SELECT src * 2, weight * 0.85, src + dst FROM edges");
+}
+BENCHMARK(BM_Project)->Unit(benchmark::kMillisecond);
+
+void BM_HashJoin(benchmark::State& state) {
+  RunSql(state,
+         "SELECT COUNT(*) FROM edges e JOIN vertexstatus v "
+         "ON e.dst = v.node");
+}
+BENCHMARK(BM_HashJoin)->Unit(benchmark::kMillisecond);
+
+void BM_LeftJoin(benchmark::State& state) {
+  RunSql(state,
+         "SELECT COUNT(*) FROM vertexstatus v LEFT JOIN edges e "
+         "ON v.node = e.dst");
+}
+BENCHMARK(BM_LeftJoin)->Unit(benchmark::kMillisecond);
+
+void BM_HashAggregate(benchmark::State& state) {
+  RunSql(state, "SELECT src, COUNT(*), SUM(weight) FROM edges GROUP BY src");
+}
+BENCHMARK(BM_HashAggregate)->Unit(benchmark::kMillisecond);
+
+void BM_Distinct(benchmark::State& state) {
+  RunSql(state, "SELECT DISTINCT dst FROM edges");
+}
+BENCHMARK(BM_Distinct)->Unit(benchmark::kMillisecond);
+
+void BM_UnionDistinct(benchmark::State& state) {
+  RunSql(state, "SELECT src FROM edges UNION SELECT dst FROM edges");
+}
+BENCHMARK(BM_UnionDistinct)->Unit(benchmark::kMillisecond);
+
+void BM_Sort(benchmark::State& state) {
+  RunSql(state, "SELECT src, weight FROM edges ORDER BY weight DESC, src");
+}
+BENCHMARK(BM_Sort)->Unit(benchmark::kMillisecond);
+
+void BM_TriangleJoin(benchmark::State& state) {
+  RunSql(state,
+         "SELECT COUNT(*) FROM edges e1 JOIN edges e2 ON e1.dst = e2.src "
+         "WHERE e1.src != e2.dst");
+}
+BENCHMARK(BM_TriangleJoin)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dbspinner
+
+BENCHMARK_MAIN();

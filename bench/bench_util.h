@@ -1,0 +1,81 @@
+// Shared setup for the figure-reproduction benchmarks.
+//
+// Datasets are synthetic stand-ins for the paper's SNAP graphs (see
+// DESIGN.md): DBLP-shaped and Pokec-shaped preferential-attachment graphs,
+// scaled down so a full bench run finishes in minutes on a laptop. Set
+// DBSPINNER_BENCH_SCALE to change the downscale divisor multiplier
+// (1 = default sizes, 0.5 = twice as large, 4 = four times smaller).
+
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "engine/database.h"
+#include "engine/workloads.h"
+#include "graph/generator.h"
+
+namespace dbspinner {
+namespace bench {
+
+enum class Dataset { kDblp, kPokec };
+
+inline const char* DatasetName(Dataset d) {
+  return d == Dataset::kDblp ? "dblp" : "pokec";
+}
+
+inline double ScaleFactor() {
+  const char* env = std::getenv("DBSPINNER_BENCH_SCALE");
+  if (env == nullptr) return 1.0;
+  double v = std::atof(env);
+  return v > 0 ? v : 1.0;
+}
+
+inline graph::GraphSpec SpecFor(Dataset d) {
+  // Default divisors keep the DBLP:Pokec node/edge proportions while making
+  // 25-iteration runs tractable for an operator-at-a-time engine.
+  double f = ScaleFactor();
+  if (d == Dataset::kDblp) {
+    return graph::DblpShaped(static_cast<int64_t>(64 * f));
+  }
+  return graph::PokecShaped(static_cast<int64_t>(768 * f));
+}
+
+/// Lazily built, process-cached database per dataset (read-only workloads
+/// share it; options are set per run).
+inline Database* GetDatabase(Dataset d) {
+  static std::map<Dataset, std::unique_ptr<Database>> cache;
+  auto it = cache.find(d);
+  if (it == cache.end()) {
+    auto db = std::make_unique<Database>();
+    graph::EdgeList g = graph::Generate(SpecFor(d));
+    Status st = graph::LoadIntoDatabase(db.get(), g, /*available_fraction=*/
+                                        0.8, /*status_seed=*/7);
+    if (!st.ok()) {
+      fprintf(stderr, "bench setup failed: %s\n", st.ToString().c_str());
+      std::abort();
+    }
+    it = cache.emplace(d, std::move(db)).first;
+  }
+  return it->second.get();
+}
+
+/// Runs one query per benchmark iteration, aborting on error.
+inline void RunQuery(benchmark::State& state, Database* db,
+                     const std::string& sql) {
+  for (auto _ : state) {
+    Result<QueryResult> result = db->Execute(sql);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(result->table);
+  }
+}
+
+}  // namespace bench
+}  // namespace dbspinner

@@ -1,0 +1,128 @@
+// Interactive SQL shell.
+//
+//   $ ./build/examples/sql_shell                 # read from stdin
+//   $ ./build/examples/sql_shell script.sql      # run a file
+//
+// Statements end with ';'. Meta-commands: \q quit, \timing toggle per-
+// statement timing, \stats toggle executor statistics, \tables list tables,
+// \demo load a small demo graph (tables `edges` and `vertexstatus`).
+
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/string_util.h"
+#include "engine/database.h"
+#include "graph/generator.h"
+
+using namespace dbspinner;
+
+namespace {
+
+void RunStatement(Database* db, const std::string& sql, bool timing,
+                  bool stats) {
+  auto begin = std::chrono::steady_clock::now();
+  Result<QueryResult> result = db->Execute(sql);
+  auto end = std::chrono::steady_clock::now();
+  if (!result.ok()) {
+    std::cout << result.status().ToString() << "\n";
+    return;
+  }
+  if (!result->explain.empty()) {
+    std::cout << result->explain;
+  } else if (result->table->num_columns() > 0) {
+    std::cout << result->table->ToString(200);
+    std::cout << "(" << result->table->num_rows() << " rows)\n";
+  } else if (result->rows_affected > 0) {
+    std::cout << "OK, " << result->rows_affected << " rows affected\n";
+  } else {
+    std::cout << "OK\n";
+  }
+  if (stats) std::cout << result->stats.ToString() << "\n";
+  if (timing) {
+    double ms =
+        std::chrono::duration<double, std::milli>(end - begin).count();
+    std::cout << "Time: " << ms << " ms\n";
+  }
+}
+
+void LoadDemo(Database* db) {
+  graph::GraphSpec spec;
+  spec.num_nodes = 1000;
+  spec.num_edges = 5000;
+  spec.seed = 11;
+  graph::EdgeList g = graph::Generate(spec);
+  Status st = graph::LoadIntoDatabase(db, g, 0.8, 5);
+  if (!st.ok()) {
+    std::cout << st.ToString() << "\n";
+    return;
+  }
+  std::cout << "Loaded demo graph: tables edges(" << g.num_edges()
+            << " rows) and vertexstatus(" << g.num_nodes << " rows)\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Database db;
+  bool timing = false;
+  bool stats = false;
+
+  std::istream* in = &std::cin;
+  std::ifstream file;
+  bool interactive = true;
+  if (argc > 1) {
+    file.open(argv[1]);
+    if (!file) {
+      std::cerr << "cannot open " << argv[1] << "\n";
+      return 1;
+    }
+    in = &file;
+    interactive = false;
+  }
+
+  if (interactive) {
+    std::cout << "dbspinner shell — iterative CTEs in SQL. \\q to quit, "
+                 "\\demo for sample data.\n";
+  }
+
+  std::string buffer;
+  std::string line;
+  while (true) {
+    if (interactive) std::cout << (buffer.empty() ? "dbsp> " : "  ... ");
+    if (!std::getline(*in, line)) break;
+    std::string trimmed = Trim(line);
+    if (buffer.empty() && !trimmed.empty() && trimmed[0] == '\\') {
+      if (trimmed == "\\q" || trimmed == "\\quit") break;
+      if (trimmed == "\\timing") {
+        timing = !timing;
+        std::cout << "timing " << (timing ? "on" : "off") << "\n";
+      } else if (trimmed == "\\stats") {
+        stats = !stats;
+        std::cout << "stats " << (stats ? "on" : "off") << "\n";
+      } else if (trimmed == "\\tables") {
+        for (const auto& name : db.catalog().TableNames()) {
+          std::cout << name << "\n";
+        }
+      } else if (trimmed == "\\demo") {
+        LoadDemo(&db);
+      } else {
+        std::cout << "unknown command: " << trimmed << "\n";
+      }
+      continue;
+    }
+    buffer += line + "\n";
+    // Execute once the buffer holds a ';'-terminated statement.
+    std::string t = Trim(buffer);
+    if (!t.empty() && t.back() == ';') {
+      RunStatement(&db, t, timing, stats);
+      buffer.clear();
+    }
+  }
+  // Run any trailing statement without ';' (file mode convenience).
+  std::string t = Trim(buffer);
+  if (!t.empty()) RunStatement(&db, t, timing, stats);
+  return 0;
+}

@@ -1,0 +1,139 @@
+// Status / Result<T> error model.
+//
+// dbspinner does not throw exceptions on query-processing paths. Every
+// fallible operation returns a Status (or Result<T> when it also produces a
+// value), following the RocksDB/Arrow convention.
+
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace dbspinner {
+
+/// Broad classification of a failure. Codes are stable and used by tests.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< Caller passed something malformed.
+  kParseError,        ///< SQL text failed to lex/parse.
+  kBindError,         ///< Name resolution / semantic analysis failed.
+  kPlanError,         ///< Planner or rewriter could not produce a plan.
+  kExecutionError,    ///< Runtime failure while executing a plan.
+  kNotFound,          ///< Catalog object does not exist.
+  kAlreadyExists,     ///< Catalog object already exists.
+  kTypeError,         ///< Value/type mismatch.
+  kNotImplemented,    ///< Recognized but unsupported construct.
+  kInternal,          ///< Invariant violation: a bug in dbspinner.
+};
+
+/// Human-readable name of a StatusCode ("ParseError", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// An Ok-or-error outcome with a message. Cheap to move; Ok carries no
+/// allocation.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status BindError(std::string msg) {
+    return Status(StatusCode::kBindError, std::move(msg));
+  }
+  static Status PlanError(std::string msg) {
+    return Status(StatusCode::kPlanError, std::move(msg));
+  }
+  static Status ExecutionError(std::string msg) {
+    return Status(StatusCode::kExecutionError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "Ok" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-Status. `ok()` implies the value is present.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}  // NOLINT
+  Result(Status status) : status_(std::move(status)) {                 // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status w/o value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+// Propagate-on-error helpers (statement-expression free, portable).
+#define DBSP_RETURN_NOT_OK(expr)              \
+  do {                                        \
+    ::dbspinner::Status _st = (expr);         \
+    if (!_st.ok()) return _st;                \
+  } while (0)
+
+// Assigns the value of a Result<T> expression to `lhs` or returns its Status.
+// `lhs` must be a declaration or assignable lvalue; uses a unique temp name.
+#define DBSP_CONCAT_IMPL(a, b) a##b
+#define DBSP_CONCAT(a, b) DBSP_CONCAT_IMPL(a, b)
+#define DBSP_ASSIGN_OR_RETURN(lhs, expr)                     \
+  auto DBSP_CONCAT(_res_, __LINE__) = (expr);                \
+  if (!DBSP_CONCAT(_res_, __LINE__).ok())                    \
+    return DBSP_CONCAT(_res_, __LINE__).status();            \
+  lhs = std::move(DBSP_CONCAT(_res_, __LINE__)).value();
+
+}  // namespace dbspinner

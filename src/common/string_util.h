@@ -1,0 +1,37 @@
+// Small string helpers shared across the codebase.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dbspinner {
+
+/// ASCII upper-case copy.
+std::string ToUpper(const std::string& s);
+
+/// ASCII lower-case copy. SQL identifiers are normalized to lower case.
+std::string ToLower(const std::string& s);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(const std::string& a, const std::string& b);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, const std::string& sep);
+
+/// Splits on a single-character delimiter; keeps empty fields.
+std::vector<std::string> Split(const std::string& s, char delim);
+
+/// Strips leading/trailing ASCII whitespace.
+std::string Trim(const std::string& s);
+
+/// printf-style formatting into a std::string.
+std::string StringPrintf(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Formats a double the way our SQL layer prints it (shortest round-trip-ish,
+/// trailing zeros trimmed, always with a decimal point or exponent).
+std::string FormatDouble(double d);
+
+}  // namespace dbspinner

@@ -1,0 +1,158 @@
+#include "common/value.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <functional>
+
+#include "common/string_util.h"
+
+namespace dbspinner {
+
+Result<Value> Value::CastTo(TypeId target) const {
+  if (is_null_) return Value::Null(target);
+  if (type_ == target) return *this;
+  switch (target) {
+    case TypeId::kInt64:
+      switch (type_) {
+        case TypeId::kDouble:
+          return Value::Int64(static_cast<int64_t>(std::llround(double_)));
+        case TypeId::kBool:
+          return Value::Int64(int_);
+        case TypeId::kString: {
+          errno = 0;
+          char* end = nullptr;
+          long long v = std::strtoll(string_.c_str(), &end, 10);
+          if (end == string_.c_str() || *end != '\0' || errno == ERANGE) {
+            return Status::TypeError("cannot cast '" + string_ + "' to BIGINT");
+          }
+          return Value::Int64(v);
+        }
+        default:
+          break;
+      }
+      break;
+    case TypeId::kDouble:
+      switch (type_) {
+        case TypeId::kInt64:
+          return Value::Double(static_cast<double>(int_));
+        case TypeId::kBool:
+          return Value::Double(static_cast<double>(int_));
+        case TypeId::kString: {
+          errno = 0;
+          char* end = nullptr;
+          double v = std::strtod(string_.c_str(), &end);
+          if (end == string_.c_str() || *end != '\0' || errno == ERANGE) {
+            return Status::TypeError("cannot cast '" + string_ + "' to DOUBLE");
+          }
+          return Value::Double(v);
+        }
+        default:
+          break;
+      }
+      break;
+    case TypeId::kString:
+      return Value::String(ToString());
+    case TypeId::kBool:
+      switch (type_) {
+        case TypeId::kInt64:
+          return Value::Bool(int_ != 0);
+        case TypeId::kDouble:
+          return Value::Bool(double_ != 0);
+        case TypeId::kString:
+          if (EqualsIgnoreCase(string_, "true")) return Value::Bool(true);
+          if (EqualsIgnoreCase(string_, "false")) return Value::Bool(false);
+          return Status::TypeError("cannot cast '" + string_ + "' to BOOLEAN");
+        default:
+          break;
+      }
+      break;
+    case TypeId::kNull:
+      break;
+  }
+  return Status::TypeError(std::string("unsupported cast from ") +
+                           TypeName(type_) + " to " + TypeName(target));
+}
+
+bool Value::Equals(const Value& other) const {
+  if (is_null_ || other.is_null_) return is_null_ && other.is_null_;
+  if (IsNumeric(type_) && IsNumeric(other.type_)) {
+    if (type_ == TypeId::kInt64 && other.type_ == TypeId::kInt64) {
+      return int_ == other.int_;
+    }
+    return AsDouble() == other.AsDouble();
+  }
+  if (type_ != other.type_) return false;
+  switch (type_) {
+    case TypeId::kBool:
+      return int_ == other.int_;
+    case TypeId::kString:
+      return string_ == other.string_;
+    default:
+      return false;
+  }
+}
+
+int Value::Compare(const Value& other) const {
+  // NULLs sort first.
+  if (is_null_ && other.is_null_) return 0;
+  if (is_null_) return -1;
+  if (other.is_null_) return 1;
+  if (IsNumeric(type_) && IsNumeric(other.type_)) {
+    if (type_ == TypeId::kInt64 && other.type_ == TypeId::kInt64) {
+      return int_ < other.int_ ? -1 : (int_ > other.int_ ? 1 : 0);
+    }
+    double a = AsDouble();
+    double b = other.AsDouble();
+    return a < b ? -1 : (a > b ? 1 : 0);
+  }
+  if (type_ == TypeId::kString && other.type_ == TypeId::kString) {
+    int c = string_.compare(other.string_);
+    return c < 0 ? -1 : (c > 0 ? 1 : 0);
+  }
+  if (type_ == TypeId::kBool && other.type_ == TypeId::kBool) {
+    return int_ < other.int_ ? -1 : (int_ > other.int_ ? 1 : 0);
+  }
+  // Heterogeneous non-numeric: order by type id for determinism.
+  return static_cast<int>(type_) < static_cast<int>(other.type_) ? -1 : 1;
+}
+
+size_t Value::Hash() const {
+  if (is_null_) return 0x9e3779b97f4a7c15ULL;
+  switch (type_) {
+    case TypeId::kBool:
+      return std::hash<int64_t>()(int_ + 2);
+    case TypeId::kInt64: {
+      // Hash ints via their double image when integral-valued so that
+      // 1 and 1.0 collide (Equals treats them as equal).
+      double d = static_cast<double>(int_);
+      if (static_cast<int64_t>(d) == int_) return std::hash<double>()(d);
+      return std::hash<int64_t>()(int_);
+    }
+    case TypeId::kDouble:
+      return std::hash<double>()(double_);
+    case TypeId::kString:
+      return std::hash<std::string>()(string_);
+    case TypeId::kNull:
+      break;
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  if (is_null_) return "NULL";
+  switch (type_) {
+    case TypeId::kBool:
+      return int_ ? "true" : "false";
+    case TypeId::kInt64:
+      return std::to_string(int_);
+    case TypeId::kDouble:
+      return FormatDouble(double_);
+    case TypeId::kString:
+      return string_;
+    case TypeId::kNull:
+      break;
+  }
+  return "NULL";
+}
+
+}  // namespace dbspinner

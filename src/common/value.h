@@ -1,0 +1,102 @@
+// Value: a single dynamically-typed SQL scalar (with NULL).
+//
+// Row-level glue type used by the expression evaluator and in tests. Bulk data
+// lives in typed ColumnVectors (storage/column_vector.h); Value is the
+// boundary representation.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace dbspinner {
+
+/// A nullable scalar of one of the supported TypeIds.
+class Value {
+ public:
+  /// NULL of unknown type.
+  Value() : type_(TypeId::kNull), is_null_(true) {}
+
+  static Value Null(TypeId type = TypeId::kNull) {
+    Value v;
+    v.type_ = type;
+    v.is_null_ = true;
+    return v;
+  }
+  static Value Bool(bool b) {
+    Value v;
+    v.type_ = TypeId::kBool;
+    v.is_null_ = false;
+    v.int_ = b ? 1 : 0;
+    return v;
+  }
+  static Value Int64(int64_t i) {
+    Value v;
+    v.type_ = TypeId::kInt64;
+    v.is_null_ = false;
+    v.int_ = i;
+    return v;
+  }
+  static Value Double(double d) {
+    Value v;
+    v.type_ = TypeId::kDouble;
+    v.is_null_ = false;
+    v.double_ = d;
+    return v;
+  }
+  static Value String(std::string s) {
+    Value v;
+    v.type_ = TypeId::kString;
+    v.is_null_ = false;
+    v.string_ = std::move(s);
+    return v;
+  }
+
+  TypeId type() const { return type_; }
+  bool is_null() const { return is_null_; }
+
+  bool bool_value() const { return int_ != 0; }
+  int64_t int64_value() const { return int_; }
+  double double_value() const { return double_; }
+  const std::string& string_value() const { return string_; }
+
+  /// Numeric accessor with implicit INT64->DOUBLE widening.
+  /// Precondition: !is_null() and IsNumeric(type()) (or BOOL).
+  double AsDouble() const {
+    if (type_ == TypeId::kDouble) return double_;
+    return static_cast<double>(int_);
+  }
+  /// Integer accessor; truncates doubles toward zero.
+  int64_t AsInt64() const {
+    if (type_ == TypeId::kDouble) return static_cast<int64_t>(double_);
+    return int_;
+  }
+
+  /// Explicit cast (CAST(x AS t)). NULL casts to NULL of the target type.
+  Result<Value> CastTo(TypeId target) const;
+
+  /// SQL equality (NULL-unaware; caller handles NULL three-valued logic).
+  /// Numerics compare cross-type (1 == 1.0).
+  bool Equals(const Value& other) const;
+
+  /// Total ordering for ORDER BY / joins; NULLs sort first. Returns <0,0,>0.
+  int Compare(const Value& other) const;
+
+  /// Hash compatible with Equals (1 and 1.0 hash identically).
+  size_t Hash() const;
+
+  /// Display form ("NULL", "42", "3.14", "abc", "true").
+  std::string ToString() const;
+
+ private:
+  TypeId type_;
+  bool is_null_;
+  int64_t int_ = 0;
+  double double_ = 0;
+  std::string string_;
+};
+
+}  // namespace dbspinner

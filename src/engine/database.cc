@@ -1,0 +1,536 @@
+#include "engine/database.h"
+
+#include "binder/binder.h"
+#include "exec/physical_planner.h"
+#include "exec/program_executor.h"
+#include "optimizer/cost_model.h"
+#include "optimizer/optimizer.h"
+#include "parser/parser.h"
+#include "plan/plan_printer.h"
+#include "rewrite/iterative_rewrite.h"
+#include "storage/csv.h"
+
+namespace dbspinner {
+
+ThreadPool* Database::GetPool() {
+  if (options_.num_workers <= 1) return nullptr;
+  if (!pool_ || pool_width_ != options_.num_workers) {
+    pool_ = std::make_unique<ThreadPool>(options_.num_workers);
+    pool_width_ = options_.num_workers;
+  }
+  return pool_.get();
+}
+
+ExecContext Database::MakeContext(ResultRegistry* registry) {
+  ExecContext ctx;
+  ctx.catalog = &catalog_;
+  ctx.registry = registry;
+  ctx.options = &options_;
+  ctx.pool = GetPool();
+  return ctx;
+}
+
+Result<QueryResult> Database::Execute(const std::string& sql) {
+  DBSP_ASSIGN_OR_RETURN(StatementPtr stmt, ParseStatement(sql));
+  return ExecuteStatement(*stmt);
+}
+
+Result<QueryResult> Database::ExecuteScript(const std::string& sql) {
+  DBSP_ASSIGN_OR_RETURN(std::vector<StatementPtr> stmts, ParseScript(sql));
+  if (stmts.empty()) {
+    return Status::InvalidArgument("empty script");
+  }
+  QueryResult last;
+  for (const auto& stmt : stmts) {
+    DBSP_ASSIGN_OR_RETURN(last, ExecuteStatement(*stmt));
+  }
+  return last;
+}
+
+Result<TablePtr> Database::Query(const std::string& sql) {
+  DBSP_ASSIGN_OR_RETURN(QueryResult result, Execute(sql));
+  return result.table;
+}
+
+Status Database::RegisterTable(const std::string& name, TablePtr table,
+                               std::optional<size_t> primary_key_col) {
+  return catalog_.CreateTable(name, std::move(table), primary_key_col);
+}
+
+Result<Program> Database::Plan(const std::string& sql) {
+  DBSP_ASSIGN_OR_RETURN(StatementPtr stmt, ParseStatement(sql));
+  const Statement* target = stmt.get();
+  if (target->kind == StatementKind::kExplain) {
+    target = target->explained.get();
+  }
+  if (target->kind != StatementKind::kSelect) {
+    return Status::InvalidArgument("Plan() supports SELECT statements only");
+  }
+  ProgramBuilder builder(&catalog_, options_.optimizer);
+  DBSP_ASSIGN_OR_RETURN(Program program, builder.BuildSelect(*target));
+  Optimizer optimizer(options_.optimizer, &catalog_);
+  DBSP_RETURN_NOT_OK(optimizer.OptimizeProgram(&program));
+  return program;
+}
+
+Result<QueryResult> Database::ExecuteStatement(const Statement& stmt) {
+  switch (stmt.kind) {
+    case StatementKind::kSelect:
+      return ExecuteSelect(stmt);
+    case StatementKind::kExplain:
+      return ExecuteExplain(stmt);
+    case StatementKind::kCreateTable:
+      return ExecuteCreateTable(stmt);
+    case StatementKind::kInsert:
+      return ExecuteInsert(stmt);
+    case StatementKind::kUpdate:
+      return ExecuteUpdate(stmt);
+    case StatementKind::kDelete:
+      return ExecuteDelete(stmt);
+    case StatementKind::kDropTable:
+      return ExecuteDrop(stmt);
+    case StatementKind::kBegin:
+    case StatementKind::kCommit:
+    case StatementKind::kRollback:
+      return ExecuteTransactionControl(stmt);
+    case StatementKind::kCopy:
+      return ExecuteCopy(stmt);
+  }
+  return Status::Internal("unhandled statement kind");
+}
+
+Result<QueryResult> Database::ExecuteCopy(const Statement& stmt) {
+  DBSP_ASSIGN_OR_RETURN(CatalogEntry * entry, catalog_.Get(stmt.table_name));
+  QueryResult result;
+  result.table = Table::Make(Schema());
+  if (stmt.copy_to) {
+    DBSP_RETURN_NOT_OK(
+        WriteCsv(*entry->table, stmt.copy_path, stmt.copy_delimiter));
+    result.rows_affected = static_cast<int64_t>(entry->table->num_rows());
+    return result;
+  }
+  DBSP_ASSIGN_OR_RETURN(
+      TablePtr imported,
+      ReadCsv(entry->table->schema(), stmt.copy_path, stmt.copy_delimiter));
+  // Append to a COW clone, like INSERT.
+  TablePtr updated = entry->table->Clone();
+  updated->AppendAll(*imported);
+  DBSP_RETURN_NOT_OK(catalog_.ReplaceContents(stmt.table_name, updated));
+  result.rows_affected = static_cast<int64_t>(imported->num_rows());
+  return result;
+}
+
+Result<QueryResult> Database::ExecuteTransactionControl(const Statement& stmt) {
+  QueryResult result;
+  result.table = Table::Make(Schema());
+  switch (stmt.kind) {
+    case StatementKind::kBegin:
+      if (tx_snapshot_.has_value()) {
+        return Status::InvalidArgument("a transaction is already in progress");
+      }
+      tx_snapshot_ = catalog_.Snapshot();
+      return result;
+    case StatementKind::kCommit:
+      if (!tx_snapshot_.has_value()) {
+        return Status::InvalidArgument("no transaction in progress");
+      }
+      tx_snapshot_.reset();
+      return result;
+    case StatementKind::kRollback:
+      if (!tx_snapshot_.has_value()) {
+        return Status::InvalidArgument("no transaction in progress");
+      }
+      catalog_.Restore(std::move(*tx_snapshot_));
+      tx_snapshot_.reset();
+      return result;
+    default:
+      return Status::Internal("not a transaction-control statement");
+  }
+}
+
+Result<QueryResult> Database::RunProgramToResult(Program program) {
+  DBSP_RETURN_NOT_OK(PlanProgram(&program));
+  ResultRegistry registry;
+  ExecContext ctx = MakeContext(&registry);
+  DBSP_ASSIGN_OR_RETURN(TablePtr table, RunProgram(program, &ctx));
+  QueryResult result;
+  result.table = std::move(table);
+  result.stats = ctx.stats;
+  return result;
+}
+
+Result<QueryResult> Database::ExecuteSelect(const Statement& stmt) {
+  ProgramBuilder builder(&catalog_, options_.optimizer);
+  DBSP_ASSIGN_OR_RETURN(Program program, builder.BuildSelect(stmt));
+  Optimizer optimizer(options_.optimizer, &catalog_);
+  DBSP_RETURN_NOT_OK(optimizer.OptimizeProgram(&program));
+  return RunProgramToResult(std::move(program));
+}
+
+Result<QueryResult> Database::ExecuteExplain(const Statement& stmt) {
+  const Statement& inner = *stmt.explained;
+  if (inner.kind != StatementKind::kSelect) {
+    return Status::NotImplemented("EXPLAIN supports SELECT statements only");
+  }
+  ProgramBuilder builder(&catalog_, options_.optimizer);
+  DBSP_ASSIGN_OR_RETURN(Program program, builder.BuildSelect(inner));
+  Optimizer optimizer(options_.optimizer, &catalog_);
+  DBSP_RETURN_NOT_OK(optimizer.OptimizeProgram(&program));
+  QueryResult result;
+  if (stmt.explain_analyze) {
+    // EXPLAIN ANALYZE: actually run the program with per-step profiling
+    // and annotate each step with executions / time / rows.
+    DBSP_RETURN_NOT_OK(PlanProgram(&program));
+    ResultRegistry registry;
+    ExecContext ctx = MakeContext(&registry);
+    ctx.profiling = true;
+    DBSP_ASSIGN_OR_RETURN(TablePtr ignored, RunProgram(program, &ctx));
+    (void)ignored;
+    result.explain =
+        ExplainProgramWithProfile(program, ctx.profile, /*verbose=*/false);
+    result.stats = ctx.stats;
+  } else {
+    result.explain = ExplainProgram(program, /*verbose=*/true);
+  }
+  if (stmt.explain_cost) {
+    CostModel model(&catalog_);
+    result.explain += "\n" + model.ExplainCost(program);
+  }
+  // EXPLAIN also returns its text as a one-column table for convenience.
+  Schema schema;
+  schema.AddColumn("plan", TypeId::kString);
+  result.table = Table::Make(schema);
+  result.table->AppendRow({Value::String(result.explain)});
+  return result;
+}
+
+Result<QueryResult> Database::ExecuteCreateTable(const Statement& stmt) {
+  if (stmt.if_not_exists && catalog_.Exists(stmt.table_name)) {
+    return QueryResult{};
+  }
+  if (stmt.ctas_query) {
+    // CREATE TABLE ... AS SELECT: the query's result seeds the table.
+    ProgramBuilder builder(&catalog_, options_.optimizer);
+    DBSP_ASSIGN_OR_RETURN(Program program,
+                          builder.BuildQuery(stmt.ctes, *stmt.ctas_query));
+    Optimizer optimizer(options_.optimizer, &catalog_);
+    DBSP_RETURN_NOT_OK(optimizer.OptimizeProgram(&program));
+    DBSP_ASSIGN_OR_RETURN(QueryResult rows,
+                          RunProgramToResult(std::move(program)));
+    DBSP_RETURN_NOT_OK(
+        catalog_.CreateTable(stmt.table_name, rows.table->Clone()));
+    QueryResult result;
+    result.table = Table::Make(Schema());
+    result.rows_affected = static_cast<int64_t>(rows.table->num_rows());
+    result.stats = rows.stats;
+    return result;
+  }
+  Schema schema;
+  std::optional<size_t> pk;
+  for (size_t i = 0; i < stmt.columns.size(); ++i) {
+    schema.AddColumn(stmt.columns[i].name, stmt.columns[i].type);
+    if (stmt.columns[i].primary_key) {
+      if (pk.has_value()) {
+        return Status::InvalidArgument(
+            "multiple PRIMARY KEY columns are not supported");
+      }
+      pk = i;
+    }
+  }
+  DBSP_RETURN_NOT_OK(
+      catalog_.CreateTable(stmt.table_name, Table::Make(schema), pk));
+  QueryResult result;
+  result.table = Table::Make(Schema());
+  return result;
+}
+
+Result<QueryResult> Database::ExecuteInsert(const Statement& stmt) {
+  DBSP_ASSIGN_OR_RETURN(CatalogEntry * entry, catalog_.Get(stmt.table_name));
+  const Schema& schema = entry->table->schema();
+
+  // Map target columns: explicit list or all columns positionally.
+  std::vector<size_t> targets;
+  if (stmt.insert_columns.empty()) {
+    for (size_t i = 0; i < schema.num_columns(); ++i) targets.push_back(i);
+  } else {
+    for (const auto& name : stmt.insert_columns) {
+      auto idx = schema.FindColumn(name);
+      if (!idx.has_value()) {
+        return Status::BindError("column '" + name +
+                                 "' does not exist in table '" +
+                                 stmt.table_name + "'");
+      }
+      targets.push_back(*idx);
+    }
+  }
+
+  // Copy-on-write so previously returned results that alias this table's
+  // storage stay stable.
+  TablePtr updated = entry->table->Clone();
+  int64_t inserted = 0;
+
+  if (!stmt.insert_values.empty()) {
+    Binder binder(&catalog_);
+    Binder::BindContext empty_ctx;
+    static const TablePtr kOneRow = [] {
+      auto t = Table::Make(Schema());
+      return t;
+    }();
+    for (const auto& value_row : stmt.insert_values) {
+      if (value_row.size() != targets.size()) {
+        return Status::BindError("INSERT row has " +
+                                 std::to_string(value_row.size()) +
+                                 " values, expected " +
+                                 std::to_string(targets.size()));
+      }
+      std::vector<Value> row(schema.num_columns(), Value::Null());
+      for (size_t i = 0; i < value_row.size(); ++i) {
+        DBSP_ASSIGN_OR_RETURN(BoundExprPtr bound,
+                              binder.BindScalarExpr(*value_row[i], empty_ctx));
+        DBSP_ASSIGN_OR_RETURN(Value v, EvaluateExpr(*bound, *kOneRow, 0));
+        DBSP_ASSIGN_OR_RETURN(row[targets[i]],
+                              v.CastTo(schema.column(targets[i]).type));
+      }
+      updated->AppendRow(row);
+      ++inserted;
+    }
+  } else if (stmt.insert_query) {
+    ProgramBuilder builder(&catalog_, options_.optimizer);
+    DBSP_ASSIGN_OR_RETURN(Program program,
+                          builder.BuildQuery(stmt.ctes, *stmt.insert_query));
+    Optimizer optimizer(options_.optimizer, &catalog_);
+    DBSP_RETURN_NOT_OK(optimizer.OptimizeProgram(&program));
+    DBSP_ASSIGN_OR_RETURN(QueryResult rows, RunProgramToResult(std::move(program)));
+    if (rows.table->num_columns() != targets.size()) {
+      return Status::BindError(
+          "INSERT source returns " +
+          std::to_string(rows.table->num_columns()) + " columns, expected " +
+          std::to_string(targets.size()));
+    }
+    for (size_t r = 0; r < rows.table->num_rows(); ++r) {
+      std::vector<Value> row(schema.num_columns(), Value::Null());
+      for (size_t i = 0; i < targets.size(); ++i) {
+        DBSP_ASSIGN_OR_RETURN(
+            row[targets[i]],
+            rows.table->GetValue(r, i).CastTo(
+                schema.column(targets[i]).type));
+      }
+      updated->AppendRow(row);
+      ++inserted;
+    }
+  }
+
+  DBSP_RETURN_NOT_OK(catalog_.ReplaceContents(stmt.table_name, updated));
+  QueryResult result;
+  result.table = Table::Make(Schema());
+  result.rows_affected = inserted;
+  return result;
+}
+
+Result<QueryResult> Database::ExecuteUpdate(const Statement& stmt) {
+  DBSP_ASSIGN_OR_RETURN(CatalogEntry * entry, catalog_.Get(stmt.table_name));
+  TablePtr target = entry->table;
+  const Schema& schema = target->schema();
+  size_t ncols = schema.num_columns();
+
+  Binder binder(&catalog_);
+
+  // Resolve SET target columns.
+  std::vector<size_t> set_cols;
+  for (const auto& [name, expr] : stmt.set_clauses) {
+    auto idx = schema.FindColumn(name);
+    if (!idx.has_value()) {
+      return Status::BindError("column '" + name +
+                               "' does not exist in table '" +
+                               stmt.table_name + "'");
+    }
+    set_cols.push_back(*idx);
+    (void)expr;
+  }
+
+  if (!stmt.update_from) {
+    // Simple UPDATE: evaluate WHERE and SET over the table itself.
+    Binder::BindContext ctx;
+    ctx.schema = schema;
+    ctx.entries = {Binder::ScopeEntry{"", stmt.table_name, 0, ncols}};
+    BoundExprPtr where;
+    if (stmt.where) {
+      DBSP_ASSIGN_OR_RETURN(where, binder.BindScalarExpr(*stmt.where, ctx));
+    }
+    std::vector<BoundExprPtr> set_exprs;
+    for (const auto& [name, expr] : stmt.set_clauses) {
+      DBSP_ASSIGN_OR_RETURN(BoundExprPtr bound,
+                            binder.BindScalarExpr(*expr, ctx));
+      set_exprs.push_back(std::move(bound));
+    }
+    auto updated = Table::Make(schema);
+    updated->Reserve(target->num_rows());
+    int64_t affected = 0;
+    for (size_t r = 0; r < target->num_rows(); ++r) {
+      bool hit = true;
+      if (where) {
+        DBSP_ASSIGN_OR_RETURN(Value v, EvaluateExpr(*where, *target, r));
+        hit = !v.is_null() && v.bool_value();
+      }
+      if (!hit) {
+        updated->AppendRowFrom(*target, r);
+        continue;
+      }
+      std::vector<Value> row = target->GetRow(r);
+      for (size_t i = 0; i < set_cols.size(); ++i) {
+        DBSP_ASSIGN_OR_RETURN(Value v, EvaluateExpr(*set_exprs[i], *target, r));
+        DBSP_ASSIGN_OR_RETURN(row[set_cols[i]],
+                              v.CastTo(schema.column(set_cols[i]).type));
+      }
+      updated->AppendRow(row);
+      ++affected;
+    }
+    DBSP_RETURN_NOT_OK(catalog_.ReplaceContents(stmt.table_name, updated));
+    QueryResult result;
+    result.table = Table::Make(Schema());
+    result.rows_affected = affected;
+    return result;
+  }
+
+  // UPDATE ... FROM: join the target (extended with a row id) against the
+  // FROM relation on the WHERE condition, then apply SET per matched row.
+  Schema ext_schema = schema;
+  ext_schema.AddColumn("__rowid", TypeId::kInt64);
+  std::vector<ColumnVectorPtr> ext_cols;
+  for (size_t c = 0; c < ncols; ++c) ext_cols.push_back(target->column_ptr(c));
+  auto rowid = std::make_shared<ColumnVector>(TypeId::kInt64);
+  rowid->Reserve(target->num_rows());
+  for (size_t r = 0; r < target->num_rows(); ++r) {
+    rowid->AppendInt64(static_cast<int64_t>(r));
+  }
+  ext_cols.push_back(rowid);
+  TablePtr ext = Table::FromColumns(ext_schema, std::move(ext_cols));
+
+  Binder::BindContext from_ctx;
+  DBSP_ASSIGN_OR_RETURN(LogicalOpPtr from_plan,
+                        binder.BindTableRef(*stmt.update_from, &from_ctx));
+
+  // Combined context: target columns first (scoped by table name), then the
+  // FROM scopes shifted past the row id column.
+  Binder::BindContext ctx;
+  ctx.schema = ext_schema;
+  for (const auto& col : from_ctx.schema.columns()) {
+    ctx.schema.AddColumn(col.name, col.type);
+  }
+  ctx.entries = {Binder::ScopeEntry{"", stmt.table_name, 0, ncols}};
+  for (Binder::ScopeEntry e : from_ctx.entries) {
+    e.start += ext_schema.num_columns();
+    ctx.entries.push_back(e);
+  }
+
+  auto join = std::make_unique<LogicalOp>();
+  join->kind = LogicalOpKind::kJoin;
+  join->join_type = JoinType::kInner;
+  join->output_schema = ctx.schema;
+  join->children.push_back(
+      MakeScan(ScanSource::kResult, "__update_target", ext_schema));
+  join->children.push_back(std::move(from_plan));
+  LogicalOpPtr plan = std::move(join);
+  if (stmt.where) {
+    DBSP_ASSIGN_OR_RETURN(BoundExprPtr where,
+                          binder.BindScalarExpr(*stmt.where, ctx));
+    plan = MakeFilter(std::move(where), std::move(plan));
+  }
+  std::vector<BoundExprPtr> set_exprs;
+  for (const auto& [name, expr] : stmt.set_clauses) {
+    DBSP_ASSIGN_OR_RETURN(BoundExprPtr bound,
+                          binder.BindScalarExpr(*expr, ctx));
+    set_exprs.push_back(std::move(bound));
+  }
+
+  Optimizer optimizer(options_.optimizer, &catalog_);
+  DBSP_RETURN_NOT_OK(optimizer.OptimizePlan(&plan));
+  DBSP_ASSIGN_OR_RETURN(PhysicalOpPtr physical, CreatePhysicalPlan(*plan));
+
+  ResultRegistry registry;
+  registry.Put("__update_target", ext);
+  ExecContext exec_ctx = MakeContext(&registry);
+  DBSP_ASSIGN_OR_RETURN(TablePtr joined, physical->Execute(exec_ctx));
+
+  // Apply the first match per row id.
+  size_t rowid_col = ncols;  // __rowid ordinal in the joined output
+  std::vector<int64_t> match_of(target->num_rows(), -1);
+  for (size_t r = 0; r < joined->num_rows(); ++r) {
+    int64_t id = joined->GetValue(r, rowid_col).int64_value();
+    if (match_of[static_cast<size_t>(id)] < 0) {
+      match_of[static_cast<size_t>(id)] = static_cast<int64_t>(r);
+    }
+  }
+  auto updated = Table::Make(schema);
+  updated->Reserve(target->num_rows());
+  int64_t affected = 0;
+  for (size_t r = 0; r < target->num_rows(); ++r) {
+    int64_t m = match_of[r];
+    if (m < 0) {
+      updated->AppendRowFrom(*target, r);
+      continue;
+    }
+    std::vector<Value> row = target->GetRow(r);
+    for (size_t i = 0; i < set_cols.size(); ++i) {
+      DBSP_ASSIGN_OR_RETURN(
+          Value v, EvaluateExpr(*set_exprs[i], *joined,
+                                static_cast<size_t>(m)));
+      DBSP_ASSIGN_OR_RETURN(row[set_cols[i]],
+                            v.CastTo(schema.column(set_cols[i]).type));
+    }
+    updated->AppendRow(row);
+    ++affected;
+  }
+  DBSP_RETURN_NOT_OK(catalog_.ReplaceContents(stmt.table_name, updated));
+  QueryResult result;
+  result.table = Table::Make(Schema());
+  result.rows_affected = affected;
+  result.stats = exec_ctx.stats;
+  return result;
+}
+
+Result<QueryResult> Database::ExecuteDelete(const Statement& stmt) {
+  DBSP_ASSIGN_OR_RETURN(CatalogEntry * entry, catalog_.Get(stmt.table_name));
+  TablePtr target = entry->table;
+  const Schema& schema = target->schema();
+
+  BoundExprPtr where;
+  if (stmt.where) {
+    Binder binder(&catalog_);
+    Binder::BindContext ctx;
+    ctx.schema = schema;
+    ctx.entries = {
+        Binder::ScopeEntry{"", stmt.table_name, 0, schema.num_columns()}};
+    DBSP_ASSIGN_OR_RETURN(where, binder.BindScalarExpr(*stmt.where, ctx));
+  }
+
+  std::vector<uint32_t> keep;
+  int64_t deleted = 0;
+  for (size_t r = 0; r < target->num_rows(); ++r) {
+    bool hit = true;
+    if (where) {
+      DBSP_ASSIGN_OR_RETURN(Value v, EvaluateExpr(*where, *target, r));
+      hit = !v.is_null() && v.bool_value();
+    }
+    if (hit) {
+      ++deleted;
+    } else {
+      keep.push_back(static_cast<uint32_t>(r));
+    }
+  }
+  DBSP_RETURN_NOT_OK(
+      catalog_.ReplaceContents(stmt.table_name, target->Gather(keep)));
+  QueryResult result;
+  result.table = Table::Make(Schema());
+  result.rows_affected = deleted;
+  return result;
+}
+
+Result<QueryResult> Database::ExecuteDrop(const Statement& stmt) {
+  DBSP_RETURN_NOT_OK(catalog_.DropTable(stmt.table_name, stmt.if_exists));
+  QueryResult result;
+  result.table = Table::Make(Schema());
+  return result;
+}
+
+}  // namespace dbspinner

@@ -1,0 +1,95 @@
+// Database: the public facade of dbspinner.
+//
+//   Database db;
+//   db.Execute("CREATE TABLE edges (src BIGINT, dst BIGINT, weight DOUBLE)");
+//   db.Execute("INSERT INTO edges VALUES (1, 2, 0.5), (2, 1, 1.0)");
+//   auto result = db.Execute(
+//       "WITH ITERATIVE pr (node, rank, delta) AS (... ITERATE ... UNTIL 10 "
+//       "ITERATIONS) SELECT * FROM pr");
+//   std::cout << result->table->ToString();
+
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "engine/options.h"
+#include "exec/physical_plan.h"
+#include "mpp/thread_pool.h"
+#include "parser/ast.h"
+#include "plan/program.h"
+#include "storage/catalog.h"
+
+namespace dbspinner {
+
+/// Outcome of one statement.
+struct QueryResult {
+  TablePtr table;             ///< SELECT output; empty 0-col table otherwise
+  int64_t rows_affected = 0;  ///< DML row count
+  ExecStats stats;            ///< execution counters
+  std::string explain;        ///< EXPLAIN text (empty otherwise)
+};
+
+/// An in-memory analytical SQL database with iterative CTE support.
+/// Thread-compatible: callers serialize access.
+class Database {
+ public:
+  Database() = default;
+  explicit Database(EngineOptions options) : options_(std::move(options)) {}
+
+  EngineOptions& options() { return options_; }
+  const EngineOptions& options() const { return options_; }
+  Catalog& catalog() { return catalog_; }
+
+  /// Parses and executes a single SQL statement.
+  Result<QueryResult> Execute(const std::string& sql);
+
+  /// Executes a ';'-separated script; returns the last statement's result.
+  Result<QueryResult> ExecuteScript(const std::string& sql);
+
+  /// Convenience: Execute and return just the table.
+  Result<TablePtr> Query(const std::string& sql);
+
+  /// Registers an externally built table (bulk loading path used by the
+  /// graph generators and benchmarks).
+  Status RegisterTable(const std::string& name, TablePtr table,
+                       std::optional<size_t> primary_key_col = std::nullopt);
+
+  /// Builds and optimizes the Program for a SELECT statement without
+  /// executing it (used by EXPLAIN, tests, and plan inspection).
+  Result<Program> Plan(const std::string& sql);
+
+  /// True while a BEGIN'd transaction is open.
+  bool InTransaction() const { return tx_snapshot_.has_value(); }
+
+ private:
+  Result<QueryResult> ExecuteStatement(const Statement& stmt);
+  Result<QueryResult> ExecuteSelect(const Statement& stmt);
+  Result<QueryResult> ExecuteExplain(const Statement& stmt);
+  Result<QueryResult> ExecuteCreateTable(const Statement& stmt);
+  Result<QueryResult> ExecuteInsert(const Statement& stmt);
+  Result<QueryResult> ExecuteUpdate(const Statement& stmt);
+  Result<QueryResult> ExecuteDelete(const Statement& stmt);
+  Result<QueryResult> ExecuteDrop(const Statement& stmt);
+
+  /// Runs a bound-and-optimized program and returns its final table.
+  Result<QueryResult> RunProgramToResult(Program program);
+
+  ThreadPool* GetPool();
+  ExecContext MakeContext(ResultRegistry* registry);
+
+  Result<QueryResult> ExecuteTransactionControl(const Statement& stmt);
+  Result<QueryResult> ExecuteCopy(const Statement& stmt);
+
+  Catalog catalog_;
+  EngineOptions options_;
+  std::unique_ptr<ThreadPool> pool_;
+  int pool_width_ = 0;
+
+  /// Catalog snapshot taken at BEGIN; restored on ROLLBACK. Copy-on-write
+  /// DML makes the snapshot a cheap shallow map copy (see Catalog).
+  std::optional<std::unordered_map<std::string, CatalogEntry>> tx_snapshot_;
+};
+
+}  // namespace dbspinner

@@ -1,0 +1,19 @@
+#include "engine/options.h"
+
+#include "common/string_util.h"
+
+namespace dbspinner {
+
+std::string EngineOptions::ToString() const {
+  return StringPrintf(
+      "EngineOptions{workers=%d, fold=%d, join_simplify=%d, pushdown=%d, "
+      "cte_pushdown=%d, common_result=%d, rename=%d}",
+      num_workers, optimizer.enable_constant_folding ? 1 : 0,
+      optimizer.enable_join_simplification ? 1 : 0,
+      optimizer.enable_predicate_pushdown ? 1 : 0,
+      optimizer.enable_cte_predicate_pushdown ? 1 : 0,
+      optimizer.enable_common_result ? 1 : 0,
+      optimizer.enable_rename_optimization ? 1 : 0);
+}
+
+}  // namespace dbspinner

@@ -1,0 +1,56 @@
+// Engine and optimizer configuration.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dbspinner {
+
+/// Toggles for the rule-based rewrites. Each corresponds to a paper
+/// optimization (§V, §VII) and can be disabled to reproduce the baselines.
+struct OptimizerOptions {
+  /// Fold constant subexpressions.
+  bool enable_constant_folding = true;
+
+  /// Convert LEFT joins to INNER when a null-rejecting predicate above
+  /// filters the right side (enables common-result extraction on the -VS
+  /// queries).
+  bool enable_join_simplification = true;
+
+  /// Classic within-block predicate pushdown (below projects, into join
+  /// sides, through unions).
+  bool enable_predicate_pushdown = true;
+
+  /// Cross-block pushdown from Qf into the non-iterative part R0 of an
+  /// iterative CTE, when legal (§V-B, Fig 10).
+  bool enable_cte_predicate_pushdown = true;
+
+  /// Hoist loop-invariant join subtrees out of Ri and materialize them once
+  /// before the loop (§V-A, Fig 9).
+  bool enable_common_result = true;
+
+  /// Use the O(1) `rename` step when Ri replaces the whole dataset; when
+  /// disabled, fall back to the copy-back-with-update-identification
+  /// baseline (§VII-B, Fig 8).
+  bool enable_rename_optimization = true;
+};
+
+/// Top-level engine options.
+struct EngineOptions {
+  OptimizerOptions optimizer;
+
+  /// Simulated shared-nothing width: number of worker "nodes" used by
+  /// partitioned joins/aggregations/filters. 1 = serial.
+  int num_workers = 1;
+
+  /// Safety guard: a loop exceeding this many iterations fails the query.
+  int64_t max_iterations_guard = 1000000;
+
+  /// Inputs smaller than this bypass parallel execution.
+  size_t mpp_min_rows_per_task = 8192;
+
+  std::string ToString() const;
+};
+
+}  // namespace dbspinner

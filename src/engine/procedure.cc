@@ -1,0 +1,67 @@
+#include "engine/procedure.h"
+
+namespace dbspinner {
+
+Procedure& Procedure::Add(std::string sql) {
+  Op op;
+  op.kind = Op::Kind::kSql;
+  op.sql = std::move(sql);
+  Current()->push_back(std::move(op));
+  return *this;
+}
+
+Procedure& Procedure::BeginLoop(int64_t times) {
+  Op op;
+  op.kind = Op::Kind::kLoop;
+  op.times = times;
+  Current()->push_back(std::move(op));
+  stack_.push_back(&Current()->back().body);
+  return *this;
+}
+
+Procedure& Procedure::EndLoop() {
+  if (stack_.empty()) {
+    invalid_ = true;
+    return *this;
+  }
+  stack_.pop_back();
+  return *this;
+}
+
+Result<QueryResult> Procedure::RunOps(Database* db,
+                                      const std::vector<Op>& ops,
+                                      QueryResult last) {
+  for (const Op& op : ops) {
+    if (op.kind == Op::Kind::kSql) {
+      DBSP_ASSIGN_OR_RETURN(last, db->Execute(op.sql));
+    } else {
+      for (int64_t i = 0; i < op.times; ++i) {
+        DBSP_ASSIGN_OR_RETURN(last, RunOps(db, op.body, std::move(last)));
+      }
+    }
+  }
+  return last;
+}
+
+Result<QueryResult> Procedure::Run(Database* db) const {
+  if (invalid_ || !stack_.empty()) {
+    return Status::InvalidArgument("unbalanced BeginLoop/EndLoop");
+  }
+  return RunOps(db, ops_, QueryResult{});
+}
+
+int64_t Procedure::CountOps(const std::vector<Op>& ops) {
+  int64_t total = 0;
+  for (const Op& op : ops) {
+    if (op.kind == Op::Kind::kSql) {
+      ++total;
+    } else {
+      total += op.times * CountOps(op.body);
+    }
+  }
+  return total;
+}
+
+int64_t Procedure::TotalStatements() const { return CountOps(ops_); }
+
+}  // namespace dbspinner

@@ -1,0 +1,60 @@
+// Stored-procedure runner: the paper's comparison baseline (§VII-E, Fig 11).
+//
+// A Procedure is a list of SQL statements with loop control, executed
+// statement-at-a-time: every statement goes through the full
+// parse -> bind -> optimize -> plan -> execute path in isolation, touching
+// real temp tables with DDL/DML — exactly the per-statement overhead the
+// paper attributes to procedural solutions (no cross-statement optimization,
+// no rename, no common-result reuse, repeated planning).
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/database.h"
+
+namespace dbspinner {
+
+/// A procedural script: statements and counted loops (nesting allowed).
+class Procedure {
+ public:
+  /// Appends one SQL statement at the current nesting level.
+  Procedure& Add(std::string sql);
+
+  /// Opens a loop executed `times` times. Must be closed with EndLoop().
+  Procedure& BeginLoop(int64_t times);
+  Procedure& EndLoop();
+
+  /// Runs the procedure against `db`. Returns the result of the last
+  /// executed statement. Fails if loops are unbalanced.
+  Result<QueryResult> Run(Database* db) const;
+
+  /// Total statements that would execute (loops expanded).
+  int64_t TotalStatements() const;
+
+ private:
+  struct Op {
+    enum class Kind { kSql, kLoop };
+    Kind kind;
+    std::string sql;
+    int64_t times = 0;
+    std::vector<Op> body;
+  };
+
+  static Result<QueryResult> RunOps(Database* db,
+                                    const std::vector<Op>& ops,
+                                    QueryResult last);
+  static int64_t CountOps(const std::vector<Op>& ops);
+
+  std::vector<Op> ops_;
+  std::vector<std::vector<Op>*> stack_;  ///< open loop bodies
+  bool invalid_ = false;
+
+  std::vector<Op>* Current() {
+    return stack_.empty() ? &ops_ : stack_.back();
+  }
+};
+
+}  // namespace dbspinner

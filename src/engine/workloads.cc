@@ -1,0 +1,309 @@
+#include "engine/workloads.h"
+
+#include "common/string_util.h"
+
+namespace dbspinner {
+namespace workloads {
+
+namespace {
+
+// Shared fragments keep the -VS variants literally "the same query plus the
+// vertexstatus join", as the paper describes.
+
+const char kPRNonIterative[] =
+    "  SELECT src, 0, 0.15\n"
+    "  FROM (SELECT src FROM edges\n"
+    "        UNION SELECT dst FROM edges)\n";
+
+std::string PRIterative(bool with_vs) {
+  std::string sql =
+      "  SELECT pagerank.node,\n"
+      "         pagerank.rank + pagerank.delta,\n"
+      "         0.85 * SUM(incomingrank.delta * incomingedges.weight)\n"
+      "  FROM pagerank\n"
+      "    LEFT JOIN edges AS incomingedges\n"
+      "      ON pagerank.node = incomingedges.dst\n";
+  if (with_vs) {
+    // Placed before the self join so the loop-invariant edges-vertexstatus
+    // pair is adjacent, mirroring the paper's Fig 5 plan shape.
+    sql +=
+        "    JOIN vertexstatus AS avail_pr\n"
+        "      ON avail_pr.node = incomingedges.dst\n";
+  }
+  sql +=
+      "    LEFT JOIN pagerank AS incomingrank\n"
+      "      ON incomingrank.node = incomingedges.src\n";
+  if (with_vs) {
+    sql += "  WHERE avail_pr.status != 0\n";
+  }
+  sql +=
+      "  GROUP BY pagerank.node,\n"
+      "           pagerank.rank + pagerank.delta\n";
+  return sql;
+}
+
+std::string SSSPNonIterative(int64_t source) {
+  return StringPrintf(
+      "  SELECT src, 9999999, CASE WHEN src = %lld\n"
+      "         THEN 0 ELSE 9999999 END\n"
+      "  FROM (SELECT src FROM edges\n"
+      "        UNION SELECT dst FROM edges)\n",
+      static_cast<long long>(source));
+}
+
+std::string SSSPIterative(bool with_vs) {
+  std::string sql =
+      "  SELECT sssp.node,\n"
+      "         LEAST(sssp.distance, sssp.delta),\n"
+      "         COALESCE(MIN(incomingdistance.delta\n"
+      "                      + incomingedges.weight), 9999999)\n"
+      "  FROM sssp\n"
+      "    LEFT JOIN edges AS incomingedges\n"
+      "      ON sssp.node = incomingedges.dst\n";
+  if (with_vs) {
+    sql +=
+        "    JOIN vertexstatus AS avail\n"
+        "      ON avail.node = incomingedges.dst\n";
+  }
+  sql +=
+      "    LEFT JOIN sssp AS incomingdistance\n"
+      "      ON incomingdistance.node = incomingedges.src\n"
+      "  WHERE incomingdistance.delta != 9999999\n";
+  if (with_vs) {
+    sql += "    AND avail.status != 0\n";
+  }
+  sql +=
+      "  GROUP BY sssp.node,\n"
+      "           LEAST(sssp.distance, sssp.delta)\n";
+  return sql;
+}
+
+std::string PRQueryImpl(int iterations, bool with_vs) {
+  return StringPrintf(
+      "WITH ITERATIVE pagerank (node, rank, delta)\n"
+      "AS (\n%s"
+      "ITERATE\n%s"
+      "UNTIL %d ITERATIONS )\n"
+      "SELECT node, rank FROM pagerank",
+      kPRNonIterative, PRIterative(with_vs).c_str(), iterations);
+}
+
+std::string SSSPQueryImpl(int iterations, int64_t source, int64_t target,
+                          bool with_vs) {
+  return StringPrintf(
+      "WITH ITERATIVE sssp (node, distance, delta)\n"
+      "AS (\n%s"
+      "ITERATE\n%s"
+      "UNTIL %d ITERATIONS )\n"
+      "SELECT distance FROM sssp WHERE node = %lld",
+      SSSPNonIterative(source).c_str(), SSSPIterative(with_vs).c_str(),
+      iterations, static_cast<long long>(target));
+}
+
+const char kFFNonIterative[] =
+    "  SELECT src AS node, COUNT(dst) AS friends,\n"
+    "         CEILING(COUNT(dst)\n"
+    "                 * (1.0 - (src % 10) / 100.0)) AS friendsprev\n"
+    "  FROM edges GROUP BY src\n";
+
+const char kFFIterative[] =
+    "  SELECT node AS node,\n"
+    "         ROUND(CAST((friends / friendsprev)\n"
+    "                    * friends AS NUMERIC), 5) AS friends,\n"
+    "         friends AS friendsprev\n"
+    "  FROM forecast\n";
+
+}  // namespace
+
+std::string PRQuery(int iterations) {
+  return PRQueryImpl(iterations, /*with_vs=*/false);
+}
+
+std::string PRVSQuery(int iterations) {
+  return PRQueryImpl(iterations, /*with_vs=*/true);
+}
+
+std::string SSSPQuery(int iterations, int64_t source_node,
+                      int64_t target_node) {
+  return SSSPQueryImpl(iterations, source_node, target_node,
+                       /*with_vs=*/false);
+}
+
+std::string SSSPVSQuery(int iterations, int64_t source_node,
+                        int64_t target_node) {
+  return SSSPQueryImpl(iterations, source_node, target_node, /*with_vs=*/true);
+}
+
+std::string FFQuery(int iterations, int64_t mod_x, int limit) {
+  return StringPrintf(
+      "WITH ITERATIVE forecast (node, friends, friendsprev)\n"
+      "AS (\n%s"
+      "ITERATE\n%s"
+      "UNTIL %d ITERATIONS )\n"
+      "SELECT node, friends\n"
+      "FROM forecast WHERE MOD(node, %lld) = 0\n"
+      "ORDER BY friends DESC LIMIT %d",
+      kFFNonIterative, kFFIterative, iterations,
+      static_cast<long long>(mod_x), limit);
+}
+
+std::string FFDeltaQuery(int64_t delta_bound, int64_t mod_x) {
+  return StringPrintf(
+      "WITH ITERATIVE forecast (node, friends, friendsprev)\n"
+      "AS (\n%s"
+      "ITERATE\n%s"
+      "UNTIL DELTA < %lld )\n"
+      "SELECT node, friends\n"
+      "FROM forecast WHERE MOD(node, %lld) = 0\n"
+      "ORDER BY friends DESC LIMIT 10",
+      kFFNonIterative, kFFIterative, static_cast<long long>(delta_bound),
+      static_cast<long long>(mod_x));
+}
+
+std::string SSSPDataConditionQuery(int64_t source_node, int64_t target_node) {
+  // Data condition: stop as soon as the target's distance becomes finite
+  // (the target must be reachable from the source, else the loop would spin
+  // until the engine's iteration guard trips).
+  return StringPrintf(
+      "WITH ITERATIVE sssp (node, distance, delta)\n"
+      "AS (\n%s"
+      "ITERATE\n%s"
+      "UNTIL ANY(node = %lld AND distance < 9999999) )\n"
+      "SELECT distance FROM sssp WHERE node = %lld",
+      SSSPNonIterative(source_node).c_str(),
+      SSSPIterative(/*with_vs=*/false).c_str(),
+      static_cast<long long>(target_node),
+      static_cast<long long>(target_node));
+}
+
+// ---------------------------------------------------------------------------
+// Stored-procedure baselines. Each iteration runs DELETE + INSERT + UPDATE
+// statements against real temp tables, planned in isolation (Fig 1 style).
+// ---------------------------------------------------------------------------
+
+Procedure PRVSProcedure(int iterations) {
+  Procedure p;
+  p.Add("DROP TABLE IF EXISTS pr_main")
+      .Add("DROP TABLE IF EXISTS pr_work")
+      .Add("CREATE TABLE pr_main (node BIGINT, rank DOUBLE, delta DOUBLE)")
+      .Add("CREATE TABLE pr_work (node BIGINT, rank DOUBLE, delta DOUBLE)")
+      .Add(
+          "INSERT INTO pr_main\n"
+          "  SELECT src, 0, 0.15\n"
+          "  FROM (SELECT src FROM edges UNION SELECT dst FROM edges)")
+      .BeginLoop(iterations)
+      .Add("DELETE FROM pr_work")
+      .Add(
+          "INSERT INTO pr_work\n"
+          "  SELECT pr_main.node,\n"
+          "         pr_main.rank + pr_main.delta,\n"
+          "         0.85 * SUM(incomingrank.delta * incomingedges.weight)\n"
+          "  FROM pr_main\n"
+          "    LEFT JOIN edges AS incomingedges\n"
+          "      ON pr_main.node = incomingedges.dst\n"
+          "    JOIN vertexstatus AS avail_pr\n"
+          "      ON avail_pr.node = incomingedges.dst\n"
+          "    LEFT JOIN pr_main AS incomingrank\n"
+          "      ON incomingrank.node = incomingedges.src\n"
+          "  WHERE avail_pr.status != 0\n"
+          "  GROUP BY pr_main.node, pr_main.rank + pr_main.delta")
+      .Add(
+          "UPDATE pr_main\n"
+          "  SET rank = pr_work.rank, delta = pr_work.delta\n"
+          "  FROM pr_work\n"
+          "  WHERE pr_main.node = pr_work.node")
+      .EndLoop()
+      .Add("SELECT node, rank FROM pr_main")
+      .Add("DROP TABLE pr_work")
+      .Add("DROP TABLE pr_main");
+  return p;
+}
+
+Procedure SSSPVSProcedure(int iterations, int64_t source_node,
+                          int64_t target_node) {
+  Procedure p;
+  p.Add("DROP TABLE IF EXISTS sssp_main")
+      .Add("DROP TABLE IF EXISTS sssp_work")
+      .Add(
+          "CREATE TABLE sssp_main (node BIGINT, distance DOUBLE, "
+          "delta DOUBLE)")
+      .Add(
+          "CREATE TABLE sssp_work (node BIGINT, distance DOUBLE, "
+          "delta DOUBLE)")
+      .Add(StringPrintf(
+          "INSERT INTO sssp_main\n"
+          "  SELECT src, 9999999, CASE WHEN src = %lld THEN 0\n"
+          "         ELSE 9999999 END\n"
+          "  FROM (SELECT src FROM edges UNION SELECT dst FROM edges)",
+          static_cast<long long>(source_node)))
+      .BeginLoop(iterations)
+      .Add("DELETE FROM sssp_work")
+      .Add(
+          "INSERT INTO sssp_work\n"
+          "  SELECT sssp_main.node,\n"
+          "         LEAST(sssp_main.distance, sssp_main.delta),\n"
+          "         COALESCE(MIN(incomingdistance.delta\n"
+          "                      + incomingedges.weight), 9999999)\n"
+          "  FROM sssp_main\n"
+          "    LEFT JOIN edges AS incomingedges\n"
+          "      ON sssp_main.node = incomingedges.dst\n"
+          "    JOIN vertexstatus AS avail\n"
+          "      ON avail.node = incomingedges.dst\n"
+          "    LEFT JOIN sssp_main AS incomingdistance\n"
+          "      ON incomingdistance.node = incomingedges.src\n"
+          "  WHERE incomingdistance.delta != 9999999\n"
+          "    AND avail.status != 0\n"
+          "  GROUP BY sssp_main.node,\n"
+          "           LEAST(sssp_main.distance, sssp_main.delta)")
+      .Add(
+          "UPDATE sssp_main\n"
+          "  SET distance = sssp_work.distance, delta = sssp_work.delta\n"
+          "  FROM sssp_work\n"
+          "  WHERE sssp_main.node = sssp_work.node")
+      .EndLoop()
+      .Add(StringPrintf("SELECT distance FROM sssp_main WHERE node = %lld",
+                        static_cast<long long>(target_node)))
+      .Add("DROP TABLE sssp_work")
+      .Add("DROP TABLE sssp_main");
+  return p;
+}
+
+Procedure FFProcedure(int iterations, int64_t mod_x) {
+  Procedure p;
+  p.Add("DROP TABLE IF EXISTS ff_main")
+      .Add("DROP TABLE IF EXISTS ff_work")
+      .Add(
+          "CREATE TABLE ff_main (node BIGINT, friends DOUBLE, "
+          "friendsprev DOUBLE)")
+      .Add(
+          "CREATE TABLE ff_work (node BIGINT, friends DOUBLE, "
+          "friendsprev DOUBLE)")
+      .Add(
+          "INSERT INTO ff_main\n"
+          "  SELECT src AS node, COUNT(dst) AS friends,\n"
+          "         CEILING(COUNT(dst) * (1.0 - (src % 10) / 100.0))\n"
+          "  FROM edges GROUP BY src")
+      .BeginLoop(iterations)
+      .Add("DELETE FROM ff_work")
+      .Add(
+          "INSERT INTO ff_work\n"
+          "  SELECT node,\n"
+          "         ROUND(CAST((friends / friendsprev) * friends\n"
+          "                    AS NUMERIC), 5),\n"
+          "         friends\n"
+          "  FROM ff_main")
+      .Add("DELETE FROM ff_main")
+      .Add("INSERT INTO ff_main SELECT node, friends, friendsprev "
+           "FROM ff_work")
+      .EndLoop()
+      .Add(StringPrintf(
+          "SELECT node, friends FROM ff_main WHERE MOD(node, %lld) = 0\n"
+          "ORDER BY friends DESC LIMIT 10",
+          static_cast<long long>(mod_x)))
+      .Add("DROP TABLE ff_work")
+      .Add("DROP TABLE ff_main");
+  return p;
+}
+
+}  // namespace workloads
+}  // namespace dbspinner

@@ -1,0 +1,64 @@
+// The paper's evaluation queries (§VII), adapted to dbspinner's dialect, and
+// their stored-procedure equivalents used as the Fig 11 baseline.
+//
+// All queries expect:
+//   edges(src BIGINT, dst BIGINT, weight DOUBLE)
+//   vertexstatus(node BIGINT, status BIGINT)     (for the -VS variants)
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "engine/procedure.h"
+
+namespace dbspinner {
+namespace workloads {
+
+/// PageRank (paper Fig 2): full-dataset update per iteration; no WHERE in
+/// Ri, so the rename optimization applies.
+std::string PRQuery(int iterations);
+
+/// PR-VS (§V-A): PR restricted to available nodes via a join with
+/// vertexstatus; the loop-invariant edges-vertexstatus join is the
+/// common-result target.
+std::string PRVSQuery(int iterations);
+
+/// Single-source shortest path (paper Fig 7). Ri has a WHERE clause, so
+/// updates merge by key.
+std::string SSSPQuery(int iterations, int64_t source_node,
+                      int64_t target_node);
+
+/// SSSP restricted to available nodes (the Fig 9/11 variant).
+std::string SSSPVSQuery(int iterations, int64_t source_node,
+                        int64_t target_node);
+
+/// Forecast-of-friends (paper Fig 6): cheap Ri (no joins/aggregates);
+/// Qf samples with MOD(node, mod_x) = 0, the Fig 10 pushdown target.
+std::string FFQuery(int iterations, int64_t mod_x, int limit = 10);
+
+/// FF with a Delta termination condition instead of a fixed count
+/// (exercises the third Tc type; converges when fewer than `delta_bound`
+/// rows change between iterations).
+std::string FFDeltaQuery(int64_t delta_bound, int64_t mod_x);
+
+/// SSSP with an UNTIL ALL(...) data condition: stop when every reachable
+/// node's distance has settled (delta = distance).
+std::string SSSPDataConditionQuery(int64_t source_node, int64_t target_node);
+
+// --- stored-procedure baselines (Fig 11 / Fig 1 style) ----------------------
+
+/// PR-VS as a multi-statement procedure: temp tables + DELETE/INSERT/UPDATE
+/// per iteration, one statement at a time.
+Procedure PRVSProcedure(int iterations);
+
+/// SSSP-VS as a procedure.
+Procedure SSSPVSProcedure(int iterations, int64_t source_node,
+                          int64_t target_node);
+
+/// FF as a procedure (mod_x applied only in the final SELECT — procedures
+/// cannot push predicates across statements).
+Procedure FFProcedure(int iterations, int64_t mod_x);
+
+}  // namespace workloads
+}  // namespace dbspinner

@@ -1,0 +1,41 @@
+#include "exec/physical_plan.h"
+#include "mpp/partition.h"
+
+namespace dbspinner {
+
+Result<TablePtr> PhysicalFilter::Execute(ExecContext& ctx) const {
+  DBSP_ASSIGN_OR_RETURN(TablePtr input, children_[0]->Execute(ctx));
+  size_t n = input->num_rows();
+
+  if (ctx.UseParallel(n)) {
+    // Range-split across simulated nodes; each evaluates its slice.
+    size_t parts = ctx.NumPartitions();
+    size_t chunk = (n + parts - 1) / parts;
+    std::vector<std::vector<uint32_t>> sels(parts);
+    Status st = ctx.pool->ParallelForStatus(parts, [&](size_t p) -> Status {
+      size_t begin = p * chunk;
+      size_t end = std::min(n, begin + chunk);
+      for (size_t i = begin; i < end; ++i) {
+        DBSP_ASSIGN_OR_RETURN(Value v, EvaluateExpr(*predicate_, *input, i));
+        if (!v.is_null() && v.bool_value()) {
+          sels[p].push_back(static_cast<uint32_t>(i));
+        }
+      }
+      return Status::OK();
+    });
+    DBSP_RETURN_NOT_OK(st);
+    std::vector<uint32_t> sel;
+    for (const auto& s : sels) sel.insert(sel.end(), s.begin(), s.end());
+    TablePtr out = input->Gather(sel);
+    ctx.stats.rows_materialized += static_cast<int64_t>(out->num_rows());
+    return out;
+  }
+
+  DBSP_ASSIGN_OR_RETURN(std::vector<uint32_t> sel,
+                        EvaluatePredicate(*predicate_, *input));
+  TablePtr out = input->Gather(sel);
+  ctx.stats.rows_materialized += static_cast<int64_t>(out->num_rows());
+  return out;
+}
+
+}  // namespace dbspinner

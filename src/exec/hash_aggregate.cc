@@ -1,0 +1,192 @@
+#include <unordered_map>
+
+#include "exec/physical_plan.h"
+#include "mpp/partition.h"
+
+namespace dbspinner {
+
+Result<TablePtr> PhysicalHashAggregate::AggregatePartition(
+    const Table& input) const {
+  size_t n = input.num_rows();
+  size_t ng = group_exprs_.size();
+  size_t na = aggregates_.size();
+
+  // Evaluate group-key and aggregate-argument expressions as columns.
+  std::vector<ColumnVectorPtr> key_cols;
+  key_cols.reserve(ng);
+  for (const auto& g : group_exprs_) {
+    DBSP_ASSIGN_OR_RETURN(ColumnVectorPtr col, EvaluateExprBatch(*g, input));
+    key_cols.push_back(std::move(col));
+  }
+  std::vector<ColumnVectorPtr> arg_cols(na);
+  for (size_t a = 0; a < na; ++a) {
+    if (aggregates_[a].arg) {
+      DBSP_ASSIGN_OR_RETURN(arg_cols[a],
+                            EvaluateExprBatch(*aggregates_[a].arg, input));
+    }
+  }
+
+  auto hash_key = [&](size_t row) {
+    size_t h = 0x9e3779b97f4a7c15ULL;
+    for (const auto& col : key_cols) {
+      size_t hc = col->HashAt(row);
+      h ^= hc + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    }
+    return h;
+  };
+  auto keys_equal = [&](size_t a, size_t b) {
+    for (const auto& col : key_cols) {
+      if (!col->EqualsAt(a, *col, b)) return false;
+    }
+    return true;
+  };
+
+  struct Group {
+    uint32_t first_row;
+    std::vector<AggState> states;
+    std::vector<DistinctFilter> distincts;
+  };
+  std::vector<Group> groups;
+  std::unordered_multimap<size_t, uint32_t> index;  // hash -> group ordinal
+  index.reserve(n);
+
+  auto make_group = [&](size_t row) {
+    Group g;
+    g.first_row = static_cast<uint32_t>(row);
+    g.states.reserve(na);
+    for (const auto& spec : aggregates_) {
+      g.states.emplace_back(spec.kind);
+      (void)spec;
+    }
+    g.distincts.resize(na);
+    return g;
+  };
+
+  if (ng == 0) {
+    // Global aggregation: exactly one output row, even for empty input.
+    Group g = make_group(0);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t a = 0; a < na; ++a) {
+        Value v = aggregates_[a].arg ? arg_cols[a]->GetValue(i) : Value();
+        if (aggregates_[a].distinct && !v.is_null() &&
+            !g.distincts[a].Insert(v)) {
+          continue;
+        }
+        g.states[a].Update(v);
+      }
+    }
+    auto out = Table::Make(output_schema_);
+    std::vector<Value> row;
+    for (size_t a = 0; a < na; ++a) {
+      row.push_back(g.states[a].Finalize(aggregates_[a].result_type));
+    }
+    out->AppendRow(row);
+    return out;
+  }
+
+  for (size_t i = 0; i < n; ++i) {
+    size_t h = hash_key(i);
+    uint32_t gid = 0xffffffffu;
+    auto range = index.equal_range(h);
+    for (auto it = range.first; it != range.second; ++it) {
+      if (keys_equal(i, groups[it->second].first_row)) {
+        gid = it->second;
+        break;
+      }
+    }
+    if (gid == 0xffffffffu) {
+      gid = static_cast<uint32_t>(groups.size());
+      groups.push_back(make_group(i));
+      index.emplace(h, gid);
+    }
+    Group& g = groups[gid];
+    for (size_t a = 0; a < na; ++a) {
+      Value v = aggregates_[a].arg ? arg_cols[a]->GetValue(i) : Value();
+      if (aggregates_[a].distinct && !v.is_null() &&
+          !g.distincts[a].Insert(v)) {
+        continue;
+      }
+      g.states[a].Update(v);
+    }
+  }
+
+  // Assemble output: group key columns (first-occurrence values) then
+  // finalized aggregates.
+  std::vector<uint32_t> first_rows;
+  first_rows.reserve(groups.size());
+  for (const auto& g : groups) first_rows.push_back(g.first_row);
+
+  std::vector<ColumnVectorPtr> out_cols;
+  out_cols.reserve(ng + na);
+  for (size_t k = 0; k < ng; ++k) {
+    ColumnVectorPtr col = key_cols[k]->Gather(first_rows);
+    if (col->type() != output_schema_.column(k).type) {
+      auto cast = std::make_shared<ColumnVector>(output_schema_.column(k).type);
+      cast->AppendAll(*col);
+      col = std::move(cast);
+    }
+    out_cols.push_back(std::move(col));
+  }
+  for (size_t a = 0; a < na; ++a) {
+    auto col =
+        std::make_shared<ColumnVector>(output_schema_.column(ng + a).type);
+    col->Reserve(groups.size());
+    for (const auto& g : groups) {
+      col->Append(g.states[a].Finalize(aggregates_[a].result_type));
+    }
+    out_cols.push_back(std::move(col));
+  }
+  return Table::FromColumns(output_schema_, std::move(out_cols));
+}
+
+Result<TablePtr> PhysicalHashAggregate::Execute(ExecContext& ctx) const {
+  DBSP_ASSIGN_OR_RETURN(TablePtr input, children_[0]->Execute(ctx));
+
+  if (!group_exprs_.empty() && ctx.UseParallel(input->num_rows())) {
+    // Shuffle on the group key so each simulated node owns whole groups,
+    // then aggregate partitions independently (shared-nothing two-phase).
+    size_t parts = ctx.NumPartitions();
+    // Materialize key columns for partitioning.
+    std::vector<ColumnVectorPtr> key_cols;
+    for (const auto& g : group_exprs_) {
+      DBSP_ASSIGN_OR_RETURN(ColumnVectorPtr col,
+                            EvaluateExprBatch(*g, *input));
+      key_cols.push_back(std::move(col));
+    }
+    // Extend the input with key columns so HashPartition can address them.
+    Schema ext_schema = input->schema();
+    std::vector<ColumnVectorPtr> ext_cols;
+    for (size_t c = 0; c < input->num_columns(); ++c) {
+      ext_cols.push_back(input->column_ptr(c));
+    }
+    std::vector<size_t> key_idx;
+    for (size_t k = 0; k < key_cols.size(); ++k) {
+      ext_schema.AddColumn("__key" + std::to_string(k), key_cols[k]->type());
+      key_idx.push_back(input->num_columns() + k);
+      ext_cols.push_back(key_cols[k]);
+    }
+    TablePtr ext = Table::FromColumns(ext_schema, std::move(ext_cols));
+    std::vector<TablePtr> parts_tables = HashPartition(*ext, key_idx, parts);
+    ctx.stats.rows_shuffled += static_cast<int64_t>(input->num_rows());
+
+    std::vector<TablePtr> results(parts_tables.size());
+    Status st = ctx.pool->ParallelForStatus(
+        parts_tables.size(), [&](size_t p) -> Status {
+          // Drop the helper key columns: expressions reference original
+          // ordinals, which are unchanged.
+          DBSP_ASSIGN_OR_RETURN(results[p],
+                                AggregatePartition(*parts_tables[p]));
+          return Status::OK();
+        });
+    DBSP_RETURN_NOT_OK(st);
+    TablePtr out = Gather(results);
+    ctx.stats.rows_materialized += static_cast<int64_t>(out->num_rows());
+    return out;
+  }
+
+  DBSP_ASSIGN_OR_RETURN(TablePtr out, AggregatePartition(*input));
+  ctx.stats.rows_materialized += static_cast<int64_t>(out->num_rows());
+  return out;
+}
+
+}  // namespace dbspinner

@@ -1,0 +1,223 @@
+#include <unordered_map>
+
+#include "exec/physical_plan.h"
+#include "mpp/partition.h"
+
+namespace dbspinner {
+
+namespace {
+
+constexpr uint32_t kNoMatch = 0xffffffffu;
+
+// Appends the combined [left ++ right] columns for the given row pairs.
+// A right index of kNoMatch emits NULLs (left-outer padding).
+TablePtr BuildJoinOutput(const Schema& schema, const Table& left,
+                         const Table& right,
+                         const std::vector<uint32_t>& lrows,
+                         const std::vector<uint32_t>& rrows) {
+  size_t ln = left.num_columns();
+  std::vector<ColumnVectorPtr> cols;
+  cols.reserve(schema.num_columns());
+  for (size_t c = 0; c < ln; ++c) {
+    cols.push_back(left.column(c).Gather(lrows));
+  }
+  for (size_t c = 0; c < right.num_columns(); ++c) {
+    auto col = std::make_shared<ColumnVector>(schema.column(ln + c).type);
+    col->Reserve(rrows.size());
+    const ColumnVector& src = right.column(c);
+    for (uint32_t r : rrows) {
+      if (r == kNoMatch) {
+        col->AppendNull();
+      } else {
+        col->AppendFrom(src, r);
+      }
+    }
+    cols.push_back(std::move(col));
+  }
+  return Table::FromColumns(schema, std::move(cols));
+}
+
+bool RowHasNullKey(const Table& t, const std::vector<size_t>& keys,
+                   size_t row) {
+  for (size_t k : keys) {
+    if (t.column(k).IsNull(row)) return true;
+  }
+  return false;
+}
+
+bool KeysEqual(const Table& l, const std::vector<size_t>& lkeys, size_t lrow,
+               const Table& r, const std::vector<size_t>& rkeys, size_t rrow) {
+  for (size_t i = 0; i < lkeys.size(); ++i) {
+    if (!l.column(lkeys[i]).EqualsAt(lrow, r.column(rkeys[i]), rrow)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string PhysicalHashJoin::Describe() const {
+  std::string out = type_ == JoinType::kLeft ? "LEFT keys:" : "INNER keys:";
+  for (size_t i = 0; i < left_keys_.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(left_keys_[i]) + "=" + std::to_string(right_keys_[i]);
+  }
+  if (residual_) out += " residual:" + residual_->ToString();
+  return out;
+}
+
+Result<TablePtr> PhysicalHashJoin::JoinPartition(ExecContext& ctx,
+                                                 const Table& left,
+                                                 const Table& right) const {
+  (void)ctx;
+  // Build: hash the right side.
+  std::unordered_multimap<size_t, uint32_t> build;
+  build.reserve(right.num_rows());
+  for (size_t i = 0; i < right.num_rows(); ++i) {
+    if (RowHasNullKey(right, right_keys_, i)) continue;
+    build.emplace(HashRowKeys(right, right_keys_, i),
+                  static_cast<uint32_t>(i));
+  }
+
+  // Probe: collect candidate pairs.
+  std::vector<uint32_t> lrows, rrows;
+  lrows.reserve(left.num_rows());
+  rrows.reserve(left.num_rows());
+  for (size_t i = 0; i < left.num_rows(); ++i) {
+    if (!RowHasNullKey(left, left_keys_, i)) {
+      size_t h = HashRowKeys(left, left_keys_, i);
+      auto range = build.equal_range(h);
+      for (auto it = range.first; it != range.second; ++it) {
+        if (KeysEqual(left, left_keys_, i, right, right_keys_, it->second)) {
+          lrows.push_back(static_cast<uint32_t>(i));
+          rrows.push_back(it->second);
+        }
+      }
+    }
+  }
+
+  TablePtr candidates = BuildJoinOutput(output_schema_, left, right, lrows,
+                                        rrows);
+
+  // Residual predicate filters candidate pairs.
+  std::vector<uint8_t> keep(lrows.size(), 1);
+  if (residual_) {
+    DBSP_ASSIGN_OR_RETURN(std::vector<uint32_t> sel,
+                          EvaluatePredicate(*residual_, *candidates));
+    std::fill(keep.begin(), keep.end(), 0);
+    for (uint32_t s : sel) keep[s] = 1;
+  }
+
+  if (type_ == JoinType::kInner) {
+    std::vector<uint32_t> sel;
+    sel.reserve(lrows.size());
+    for (size_t i = 0; i < keep.size(); ++i) {
+      if (keep[i]) sel.push_back(static_cast<uint32_t>(i));
+    }
+    if (sel.size() == keep.size()) return candidates;
+    return candidates->Gather(sel);
+  }
+
+  // LEFT OUTER: surviving candidates + NULL-padded unmatched left rows.
+  std::vector<uint8_t> matched(left.num_rows(), 0);
+  std::vector<uint32_t> sel;
+  sel.reserve(lrows.size());
+  for (size_t i = 0; i < keep.size(); ++i) {
+    if (keep[i]) {
+      matched[lrows[i]] = 1;
+      sel.push_back(static_cast<uint32_t>(i));
+    }
+  }
+  TablePtr matched_out = candidates->Gather(sel);
+  std::vector<uint32_t> unmatched_l;
+  for (size_t i = 0; i < left.num_rows(); ++i) {
+    if (!matched[i]) unmatched_l.push_back(static_cast<uint32_t>(i));
+  }
+  if (unmatched_l.empty()) return matched_out;
+  std::vector<uint32_t> unmatched_r(unmatched_l.size(), kNoMatch);
+  TablePtr padded =
+      BuildJoinOutput(output_schema_, left, right, unmatched_l, unmatched_r);
+  matched_out->AppendAll(*padded);
+  return matched_out;
+}
+
+Result<TablePtr> PhysicalHashJoin::Execute(ExecContext& ctx) const {
+  DBSP_ASSIGN_OR_RETURN(TablePtr left, children_[0]->Execute(ctx));
+  DBSP_ASSIGN_OR_RETURN(TablePtr right, children_[1]->Execute(ctx));
+
+  if (ctx.UseParallel(left->num_rows() + right->num_rows())) {
+    // Shared-nothing simulation: shuffle both inputs on the join key so
+    // co-partitioned pairs meet on the same simulated node.
+    size_t parts = ctx.NumPartitions();
+    std::vector<TablePtr> lparts = HashPartition(*left, left_keys_, parts);
+    std::vector<TablePtr> rparts = HashPartition(*right, right_keys_, parts);
+    ctx.stats.rows_shuffled +=
+        static_cast<int64_t>(left->num_rows() + right->num_rows());
+    std::vector<TablePtr> results(parts);
+    Status st = ctx.pool->ParallelForStatus(parts, [&](size_t p) -> Status {
+      DBSP_ASSIGN_OR_RETURN(results[p],
+                            JoinPartition(ctx, *lparts[p], *rparts[p]));
+      return Status::OK();
+    });
+    DBSP_RETURN_NOT_OK(st);
+    TablePtr out = Gather(results);
+    ctx.stats.rows_materialized += static_cast<int64_t>(out->num_rows());
+    return out;
+  }
+
+  DBSP_ASSIGN_OR_RETURN(TablePtr out, JoinPartition(ctx, *left, *right));
+  ctx.stats.rows_materialized += static_cast<int64_t>(out->num_rows());
+  return out;
+}
+
+Result<TablePtr> PhysicalNestedLoopJoin::Execute(ExecContext& ctx) const {
+  DBSP_ASSIGN_OR_RETURN(TablePtr left, children_[0]->Execute(ctx));
+  DBSP_ASSIGN_OR_RETURN(TablePtr right, children_[1]->Execute(ctx));
+
+  size_t ln = left->num_columns();
+  auto out = Table::Make(output_schema_);
+  std::vector<uint8_t> matched(left->num_rows(), 0);
+  std::vector<Value> row;
+
+  for (size_t i = 0; i < left->num_rows(); ++i) {
+    for (size_t j = 0; j < right->num_rows(); ++j) {
+      row.clear();
+      row.reserve(output_schema_.num_columns());
+      for (size_t c = 0; c < ln; ++c) row.push_back(left->GetValue(i, c));
+      for (size_t c = 0; c < right->num_columns(); ++c) {
+        row.push_back(right->GetValue(j, c));
+      }
+      bool pass = true;
+      if (condition_) {
+        // Evaluate the condition over a single-row scratch table.
+        auto scratch = Table::Make(output_schema_);
+        scratch->AppendRow(row);
+        Result<Value> v = EvaluateExpr(*condition_, *scratch, 0);
+        if (!v.ok()) return v.status();
+        pass = !v->is_null() && v->bool_value();
+      }
+      if (pass) {
+        out->AppendRow(row);
+        matched[i] = 1;
+      }
+    }
+  }
+
+  if (type_ == JoinType::kLeft) {
+    for (size_t i = 0; i < left->num_rows(); ++i) {
+      if (matched[i]) continue;
+      std::vector<Value> row;
+      row.reserve(output_schema_.num_columns());
+      for (size_t c = 0; c < ln; ++c) row.push_back(left->GetValue(i, c));
+      for (size_t c = ln; c < output_schema_.num_columns(); ++c) {
+        row.push_back(Value::Null(output_schema_.column(c).type));
+      }
+      out->AppendRow(row);
+    }
+  }
+  ctx.stats.rows_materialized += static_cast<int64_t>(out->num_rows());
+  return out;
+}
+
+}  // namespace dbspinner

@@ -1,0 +1,110 @@
+#include "exec/merge_update.h"
+
+#include <unordered_map>
+
+namespace dbspinner {
+
+namespace {
+
+// Builds a key -> row index map over `t.column(key_col)`; returns false on a
+// duplicate key (first duplicate row reported via *dup_row).
+bool BuildKeyIndex(const Table& t, size_t key_col,
+                   std::unordered_multimap<size_t, uint32_t>* index,
+                   size_t* dup_row) {
+  const ColumnVector& keys = t.column(key_col);
+  index->reserve(t.num_rows());
+  for (size_t i = 0; i < t.num_rows(); ++i) {
+    size_t h = keys.HashAt(i);
+    auto range = index->equal_range(h);
+    for (auto it = range.first; it != range.second; ++it) {
+      if (keys.EqualsAt(i, keys, it->second)) {
+        *dup_row = i;
+        return false;
+      }
+    }
+    index->emplace(h, static_cast<uint32_t>(i));
+  }
+  return true;
+}
+
+bool RowsEqual(const Table& a, size_t ar, const Table& b, size_t br) {
+  for (size_t c = 0; c < a.num_columns(); ++c) {
+    if (!a.column(c).EqualsAt(ar, b.column(c), br)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<MergeResult> MergeUpdateTables(const Table& cte, const Table& working,
+                                      size_t key_col) {
+  std::unordered_multimap<size_t, uint32_t> index;
+  size_t dup_row = 0;
+  if (!BuildKeyIndex(working, key_col, &index, &dup_row)) {
+    return Status::ExecutionError(
+        "iterative CTE produced duplicate updates for key " +
+        working.GetValue(dup_row, key_col).ToString() +
+        "; resolve duplicates in the iterative part (e.g. with GROUP BY)");
+  }
+
+  MergeResult result;
+  auto merged = Table::Make(cte.schema());
+  merged->Reserve(cte.num_rows());
+  const ColumnVector& cte_keys = cte.column(key_col);
+  const ColumnVector& working_keys = working.column(key_col);
+
+  for (size_t i = 0; i < cte.num_rows(); ++i) {
+    size_t h = cte_keys.HashAt(i);
+    uint32_t match = 0xffffffffu;
+    auto range = index.equal_range(h);
+    for (auto it = range.first; it != range.second; ++it) {
+      if (cte_keys.EqualsAt(i, working_keys, it->second)) {
+        match = it->second;
+        break;
+      }
+    }
+    if (match == 0xffffffffu) {
+      merged->AppendRowFrom(cte, i);
+    } else {
+      if (!RowsEqual(cte, i, working, match)) ++result.updated_rows;
+      merged->AppendRowFrom(working, match);
+    }
+  }
+  result.merged = std::move(merged);
+  return result;
+}
+
+int64_t CountChangedRows(const Table& prev, const Table& current,
+                         size_t key_col) {
+  std::unordered_multimap<size_t, uint32_t> index;
+  const ColumnVector& prev_keys = prev.column(key_col);
+  index.reserve(prev.num_rows());
+  for (size_t i = 0; i < prev.num_rows(); ++i) {
+    index.emplace(prev_keys.HashAt(i), static_cast<uint32_t>(i));
+  }
+  const ColumnVector& cur_keys = current.column(key_col);
+  int64_t changed = 0;
+  size_t matched = 0;
+  for (size_t i = 0; i < current.num_rows(); ++i) {
+    size_t h = cur_keys.HashAt(i);
+    uint32_t match = 0xffffffffu;
+    auto range = index.equal_range(h);
+    for (auto it = range.first; it != range.second; ++it) {
+      if (cur_keys.EqualsAt(i, prev_keys, it->second)) {
+        match = it->second;
+        break;
+      }
+    }
+    if (match == 0xffffffffu) {
+      ++changed;  // new key
+    } else {
+      ++matched;
+      if (!RowsEqual(prev, match, current, i)) ++changed;
+    }
+  }
+  // Keys that disappeared.
+  changed += static_cast<int64_t>(prev.num_rows() - matched);
+  return changed;
+}
+
+}  // namespace dbspinner

@@ -1,0 +1,288 @@
+// Physical operators and the execution context.
+//
+// The executor is operator-at-a-time: each operator fully materializes its
+// output table. This matches the paper's setting (MPPDB materializes CTE,
+// working, and common-result tables) and makes the costs the optimizations
+// remove — copies, recomputed joins, unfiltered scans — directly measurable.
+
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/options.h"
+#include "expr/aggregate_functions.h"
+#include "expr/expr.h"
+#include "mpp/thread_pool.h"
+#include "parser/ast.h"
+#include "storage/catalog.h"
+#include "storage/result_registry.h"
+#include "storage/table.h"
+
+namespace dbspinner {
+
+/// Counters accumulated during one statement's execution.
+struct ExecStats {
+  int64_t steps_executed = 0;
+  int64_t loop_iterations = 0;
+  int64_t rows_materialized = 0;
+  int64_t rows_shuffled = 0;   ///< rows moved through Exchange (MPP)
+  int64_t renames = 0;
+  int64_t merge_updates = 0;   ///< updated rows identified by MergeUpdate
+
+  std::string ToString() const;
+};
+
+/// Per-step runtime profile collected when ExecContext::profiling is on
+/// (EXPLAIN ANALYZE). Keyed by step id; loop-body steps accumulate across
+/// iterations.
+struct StepProfile {
+  int64_t executions = 0;
+  double total_ms = 0;
+  int64_t last_rows = -1;  ///< rows produced by the last execution (-1: n/a)
+};
+
+/// Per-loop runtime state (the paper's loop-operator bookkeeping).
+struct LoopState {
+  int64_t iteration = 0;
+  int64_t last_update_count = 0;
+  int64_t cumulative_updates = 0;
+  TablePtr previous;  ///< previous CTE version for Delta conditions
+};
+
+/// Everything an executing plan needs. One per statement execution.
+struct ExecContext {
+  Catalog* catalog = nullptr;
+  ResultRegistry* registry = nullptr;
+  const EngineOptions* options = nullptr;
+  ThreadPool* pool = nullptr;  ///< null => serial
+
+  ExecStats stats;
+  std::map<int, LoopState> loops;
+
+  /// EXPLAIN ANALYZE instrumentation.
+  bool profiling = false;
+  std::map<int, StepProfile> profile;  ///< step id -> accumulated profile
+
+  /// True if `rows` is large enough (and workers available) for the
+  /// partitioned/parallel operator paths.
+  bool UseParallel(size_t rows) const {
+    return pool != nullptr && options != nullptr && options->num_workers > 1 &&
+           rows >= options->mpp_min_rows_per_task;
+  }
+  size_t NumPartitions() const {
+    return options == nullptr ? 1 : static_cast<size_t>(options->num_workers);
+  }
+};
+
+class PhysicalOp;
+using PhysicalOpPtr = std::unique_ptr<PhysicalOp>;
+
+/// Base physical operator. Execute() is const and reusable: all mutable
+/// state lives in ExecContext, so loop bodies re-execute the same operator
+/// tree each iteration.
+class PhysicalOp {
+ public:
+  explicit PhysicalOp(Schema schema) : output_schema_(std::move(schema)) {}
+  virtual ~PhysicalOp() = default;
+
+  virtual Result<TablePtr> Execute(ExecContext& ctx) const = 0;
+  virtual const char* Name() const = 0;
+  /// Extra per-operator detail for EXPLAIN.
+  virtual std::string Describe() const { return ""; }
+
+  const Schema& output_schema() const { return output_schema_; }
+  const std::vector<PhysicalOpPtr>& children() const { return children_; }
+  void AddChild(PhysicalOpPtr child) { children_.push_back(std::move(child)); }
+
+  std::string ToString(int indent = 0) const;
+
+ protected:
+  Schema output_schema_;
+  std::vector<PhysicalOpPtr> children_;
+};
+
+// --- concrete operators -----------------------------------------------------
+
+/// Reads a base table or a named intermediate result (zero-copy).
+class PhysicalScan final : public PhysicalOp {
+ public:
+  PhysicalScan(Schema schema, bool from_catalog, std::string name)
+      : PhysicalOp(std::move(schema)),
+        from_catalog_(from_catalog),
+        name_(std::move(name)) {}
+  Result<TablePtr> Execute(ExecContext& ctx) const override;
+  const char* Name() const override { return "Scan"; }
+  std::string Describe() const override {
+    return (from_catalog_ ? "table:" : "result:") + name_;
+  }
+  const std::string& scan_name() const { return name_; }
+
+ private:
+  bool from_catalog_;
+  std::string name_;
+};
+
+/// Emits constant rows.
+class PhysicalValues final : public PhysicalOp {
+ public:
+  PhysicalValues(Schema schema, std::vector<std::vector<Value>> rows)
+      : PhysicalOp(std::move(schema)), rows_(std::move(rows)) {}
+  Result<TablePtr> Execute(ExecContext& ctx) const override;
+  const char* Name() const override { return "Values"; }
+
+ private:
+  std::vector<std::vector<Value>> rows_;
+};
+
+/// Row filter (WHERE / HAVING / residual predicates).
+class PhysicalFilter final : public PhysicalOp {
+ public:
+  PhysicalFilter(Schema schema, BoundExprPtr predicate)
+      : PhysicalOp(std::move(schema)), predicate_(std::move(predicate)) {}
+  Result<TablePtr> Execute(ExecContext& ctx) const override;
+  const char* Name() const override { return "Filter"; }
+  std::string Describe() const override { return predicate_->ToString(); }
+
+ private:
+  BoundExprPtr predicate_;
+};
+
+/// Expression projection.
+class PhysicalProject final : public PhysicalOp {
+ public:
+  PhysicalProject(Schema schema, std::vector<BoundExprPtr> exprs)
+      : PhysicalOp(std::move(schema)), exprs_(std::move(exprs)) {}
+  Result<TablePtr> Execute(ExecContext& ctx) const override;
+  const char* Name() const override { return "Project"; }
+
+ private:
+  std::vector<BoundExprPtr> exprs_;
+};
+
+/// Hash join on extracted equi-key pairs with an optional residual
+/// predicate over the combined row. Supports INNER and LEFT OUTER.
+/// Parallel mode hash-partitions both inputs (the MPP shuffle) and joins
+/// partitions independently.
+class PhysicalHashJoin final : public PhysicalOp {
+ public:
+  PhysicalHashJoin(Schema schema, JoinType type, std::vector<size_t> left_keys,
+                   std::vector<size_t> right_keys, BoundExprPtr residual)
+      : PhysicalOp(std::move(schema)),
+        type_(type),
+        left_keys_(std::move(left_keys)),
+        right_keys_(std::move(right_keys)),
+        residual_(std::move(residual)) {}
+  Result<TablePtr> Execute(ExecContext& ctx) const override;
+  const char* Name() const override { return "HashJoin"; }
+  std::string Describe() const override;
+
+ private:
+  Result<TablePtr> JoinPartition(ExecContext& ctx, const Table& left,
+                                 const Table& right) const;
+
+  JoinType type_;
+  std::vector<size_t> left_keys_;
+  std::vector<size_t> right_keys_;
+  BoundExprPtr residual_;  ///< over [left ++ right]; may be null
+};
+
+/// Fallback join for non-equi or missing conditions (cross join).
+class PhysicalNestedLoopJoin final : public PhysicalOp {
+ public:
+  PhysicalNestedLoopJoin(Schema schema, JoinType type, BoundExprPtr condition)
+      : PhysicalOp(std::move(schema)),
+        type_(type),
+        condition_(std::move(condition)) {}
+  Result<TablePtr> Execute(ExecContext& ctx) const override;
+  const char* Name() const override { return "NestedLoopJoin"; }
+
+ private:
+  JoinType type_;
+  BoundExprPtr condition_;  ///< may be null (cross join)
+};
+
+/// Hash aggregation. Parallel mode hash-partitions the input on the group
+/// key (shuffle) and aggregates partitions independently.
+class PhysicalHashAggregate final : public PhysicalOp {
+ public:
+  PhysicalHashAggregate(Schema schema, std::vector<BoundExprPtr> group_exprs,
+                        std::vector<AggregateSpec> aggregates)
+      : PhysicalOp(std::move(schema)),
+        group_exprs_(std::move(group_exprs)),
+        aggregates_(std::move(aggregates)) {}
+  Result<TablePtr> Execute(ExecContext& ctx) const override;
+  const char* Name() const override { return "HashAggregate"; }
+
+ private:
+  Result<TablePtr> AggregatePartition(const Table& input) const;
+
+  std::vector<BoundExprPtr> group_exprs_;
+  std::vector<AggregateSpec> aggregates_;
+};
+
+/// Bag union of all children.
+class PhysicalUnionAll final : public PhysicalOp {
+ public:
+  explicit PhysicalUnionAll(Schema schema) : PhysicalOp(std::move(schema)) {}
+  Result<TablePtr> Execute(ExecContext& ctx) const override;
+  const char* Name() const override { return "UnionAll"; }
+};
+
+/// Removes duplicate rows (keeps first occurrence).
+class PhysicalDistinct final : public PhysicalOp {
+ public:
+  explicit PhysicalDistinct(Schema schema) : PhysicalOp(std::move(schema)) {}
+  Result<TablePtr> Execute(ExecContext& ctx) const override;
+  const char* Name() const override { return "Distinct"; }
+};
+
+/// EXCEPT / INTERSECT with SQL set (distinct) semantics: hashes the right
+/// child and emits distinct left rows absent from (kExcept) or present in
+/// (kIntersect) it.
+class PhysicalSetDifference final : public PhysicalOp {
+ public:
+  PhysicalSetDifference(Schema schema, bool intersect)
+      : PhysicalOp(std::move(schema)), intersect_(intersect) {}
+  Result<TablePtr> Execute(ExecContext& ctx) const override;
+  const char* Name() const override {
+    return intersect_ ? "Intersect" : "Except";
+  }
+
+ private:
+  bool intersect_;
+};
+
+/// ORDER BY. Stable sort; NULLs first.
+class PhysicalSort final : public PhysicalOp {
+ public:
+  struct Key {
+    BoundExprPtr expr;
+    bool descending;
+  };
+  PhysicalSort(Schema schema, std::vector<Key> keys)
+      : PhysicalOp(std::move(schema)), keys_(std::move(keys)) {}
+  Result<TablePtr> Execute(ExecContext& ctx) const override;
+  const char* Name() const override { return "Sort"; }
+
+ private:
+  std::vector<Key> keys_;
+};
+
+/// LIMIT n [OFFSET m]. limit < 0 means unlimited (offset only).
+class PhysicalLimit final : public PhysicalOp {
+ public:
+  PhysicalLimit(Schema schema, int64_t limit, int64_t offset = 0)
+      : PhysicalOp(std::move(schema)), limit_(limit), offset_(offset) {}
+  Result<TablePtr> Execute(ExecContext& ctx) const override;
+  const char* Name() const override { return "Limit"; }
+
+ private:
+  int64_t limit_;
+  int64_t offset_;
+};
+
+}  // namespace dbspinner

@@ -1,0 +1,220 @@
+#include "exec/program_executor.h"
+
+#include <chrono>
+#include <unordered_map>
+
+#include "exec/merge_update.h"
+#include "mpp/partition.h"
+
+namespace dbspinner {
+
+namespace {
+
+// Decides whether the loop should run another iteration, updating state.
+Result<bool> EvaluateContinue(const LoopSpec& spec, LoopState* state,
+                              ExecContext* ctx) {
+  switch (spec.kind) {
+    case LoopSpec::Kind::kIterations:
+      return state->iteration < spec.n;
+    case LoopSpec::Kind::kUpdates:
+      state->cumulative_updates += state->last_update_count;
+      return state->cumulative_updates < spec.n;
+    case LoopSpec::Kind::kAny:
+    case LoopSpec::Kind::kAll: {
+      DBSP_ASSIGN_OR_RETURN(TablePtr cte, ctx->registry->Get(spec.cte_name));
+      int64_t satisfied = 0;
+      for (size_t i = 0; i < cte->num_rows(); ++i) {
+        DBSP_ASSIGN_OR_RETURN(Value v, EvaluateExpr(*spec.expr, *cte, i));
+        if (!v.is_null() && v.bool_value()) ++satisfied;
+      }
+      if (spec.kind == LoopSpec::Kind::kAny) {
+        return satisfied == 0;  // continue until at least one row satisfies
+      }
+      return satisfied < static_cast<int64_t>(cte->num_rows());
+    }
+    case LoopSpec::Kind::kDeltaLess: {
+      DBSP_ASSIGN_OR_RETURN(TablePtr cte, ctx->registry->Get(spec.cte_name));
+      int64_t changed = 0;
+      if (state->previous) {
+        changed = CountChangedRows(*state->previous, *cte, spec.key_col);
+      } else {
+        changed = static_cast<int64_t>(cte->num_rows());
+      }
+      state->previous = cte;
+      return changed >= spec.n;
+    }
+    case LoopSpec::Kind::kWhileResultNonEmpty: {
+      DBSP_ASSIGN_OR_RETURN(TablePtr watched,
+                            ctx->registry->Get(spec.watch_name));
+      return watched->num_rows() > 0;
+    }
+  }
+  return Status::Internal("unhandled loop condition");
+}
+
+}  // namespace
+
+Result<TablePtr> RunProgram(const Program& program, ExecContext* ctx) {
+  TablePtr final_result;
+  size_t pc = 0;
+  while (pc < program.steps.size()) {
+    const Step& step = program.steps[pc];
+    ++ctx->stats.steps_executed;
+    std::chrono::steady_clock::time_point step_begin;
+    if (ctx->profiling) step_begin = std::chrono::steady_clock::now();
+    int64_t profile_rows = -1;
+    auto record_profile = [&]() {
+      if (!ctx->profiling) return;
+      StepProfile& p = ctx->profile[step.id];
+      ++p.executions;
+      p.total_ms += std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - step_begin)
+                        .count();
+      p.last_rows = profile_rows;
+    };
+    switch (step.kind) {
+      case Step::Kind::kMaterialize: {
+        DBSP_ASSIGN_OR_RETURN(TablePtr table, step.physical->Execute(*ctx));
+        profile_rows = static_cast<int64_t>(table->num_rows());
+        ctx->registry->Put(step.target, table);
+        break;
+      }
+      case Step::Kind::kRename: {
+        // O(1): the paper's rename operator (§VI-A). The working table's
+        // row count is recorded as this iteration's update count (a full
+        // replacement updates every row).
+        DBSP_ASSIGN_OR_RETURN(TablePtr moved,
+                              ctx->registry->Get(step.source));
+        DBSP_RETURN_NOT_OK(ctx->registry->Rename(step.source, step.target));
+        ++ctx->stats.renames;
+        if (step.loop_id != 0) {
+          ctx->loops[step.loop_id].last_update_count =
+              static_cast<int64_t>(moved->num_rows());
+        }
+        break;
+      }
+      case Step::Kind::kMergeUpdate: {
+        DBSP_ASSIGN_OR_RETURN(TablePtr cte, ctx->registry->Get(step.target));
+        DBSP_ASSIGN_OR_RETURN(TablePtr working,
+                              ctx->registry->Get(step.source));
+        DBSP_ASSIGN_OR_RETURN(MergeResult merged,
+                              MergeUpdateTables(*cte, *working, step.key_col));
+        profile_rows = static_cast<int64_t>(merged.merged->num_rows());
+        ctx->registry->Put(step.target, merged.merged);
+        ctx->registry->Remove(step.source);
+        ctx->stats.merge_updates += merged.updated_rows;
+        ctx->stats.rows_materialized +=
+            static_cast<int64_t>(merged.merged->num_rows());
+        if (step.loop_id != 0) {
+          ctx->loops[step.loop_id].last_update_count = merged.updated_rows;
+        }
+        break;
+      }
+      case Step::Kind::kAppendResult: {
+        DBSP_ASSIGN_OR_RETURN(TablePtr target, ctx->registry->Get(step.target));
+        DBSP_ASSIGN_OR_RETURN(TablePtr source, ctx->registry->Get(step.source));
+        target->AppendAll(*source);
+        break;
+      }
+      case Step::Kind::kDedupeResult: {
+        // Removes rows of `target` that already appear in `source` (and
+        // internal duplicates within `target`).
+        DBSP_ASSIGN_OR_RETURN(TablePtr target, ctx->registry->Get(step.target));
+        DBSP_ASSIGN_OR_RETURN(TablePtr source, ctx->registry->Get(step.source));
+        std::vector<size_t> all_cols;
+        for (size_t c = 0; c < target->num_columns(); ++c) {
+          all_cols.push_back(c);
+        }
+        auto row_in = [&](const Table& hay, const Table& needle,
+                          size_t needle_row,
+                          const std::unordered_multimap<size_t, uint32_t>& idx,
+                          size_t h) {
+          auto range = idx.equal_range(h);
+          for (auto it = range.first; it != range.second; ++it) {
+            bool eq = true;
+            for (size_t c = 0; c < needle.num_columns(); ++c) {
+              if (!needle.column(c).EqualsAt(needle_row, hay.column(c),
+                                             it->second)) {
+                eq = false;
+                break;
+              }
+            }
+            if (eq) return true;
+          }
+          return false;
+        };
+        std::unordered_multimap<size_t, uint32_t> source_idx;
+        source_idx.reserve(source->num_rows());
+        for (size_t i = 0; i < source->num_rows(); ++i) {
+          source_idx.emplace(HashRowKeys(*source, all_cols, i),
+                             static_cast<uint32_t>(i));
+        }
+        std::unordered_multimap<size_t, uint32_t> kept_idx;
+        std::vector<uint32_t> sel;
+        for (size_t i = 0; i < target->num_rows(); ++i) {
+          size_t h = HashRowKeys(*target, all_cols, i);
+          if (row_in(*source, *target, i, source_idx, h)) continue;
+          if (row_in(*target, *target, i, kept_idx, h)) continue;
+          kept_idx.emplace(h, static_cast<uint32_t>(i));
+          sel.push_back(static_cast<uint32_t>(i));
+        }
+        ctx->registry->Put(step.target, target->Gather(sel));
+        break;
+      }
+      case Step::Kind::kCopyResult: {
+        DBSP_ASSIGN_OR_RETURN(TablePtr source, ctx->registry->Get(step.source));
+        ctx->registry->Put(step.target, source->Clone());
+        ctx->stats.rows_materialized +=
+            static_cast<int64_t>(source->num_rows());
+        break;
+      }
+      case Step::Kind::kRemoveResult:
+        ctx->registry->Remove(step.target);
+        break;
+      case Step::Kind::kInitLoop: {
+        LoopState& state = ctx->loops[step.loop_id];
+        state = LoopState{};
+        if (step.loop.kind == LoopSpec::Kind::kDeltaLess) {
+          // Snapshot the post-R0 version for the first diff.
+          DBSP_ASSIGN_OR_RETURN(state.previous,
+                                ctx->registry->Get(step.loop.cte_name));
+        }
+        break;
+      }
+      case Step::Kind::kLoopCheck: {
+        LoopState& state = ctx->loops[step.loop_id];
+        ++state.iteration;
+        ++ctx->stats.loop_iterations;
+        if (ctx->options != nullptr &&
+            state.iteration > ctx->options->max_iterations_guard) {
+          return Status::ExecutionError(
+              "loop exceeded max_iterations_guard (" +
+              std::to_string(ctx->options->max_iterations_guard) + ")");
+        }
+        DBSP_ASSIGN_OR_RETURN(bool cont,
+                              EvaluateContinue(step.loop, &state, ctx));
+        if (cont) {
+          int target = program.FindStep(step.jump_to_id);
+          if (target < 0) {
+            return Status::Internal("loop jump target not found");
+          }
+          record_profile();
+          pc = static_cast<size_t>(target);
+          continue;
+        }
+        break;
+      }
+      case Step::Kind::kFinal: {
+        DBSP_ASSIGN_OR_RETURN(final_result, step.physical->Execute(*ctx));
+        profile_rows = static_cast<int64_t>(final_result->num_rows());
+        break;
+      }
+    }
+    record_profile();
+    ++pc;
+  }
+  if (!final_result) final_result = Table::Make(Schema());
+  return final_result;
+}
+
+}  // namespace dbspinner

@@ -1,0 +1,17 @@
+// Program executor: interprets the step list produced by the functional
+// rewrite, including the loop operator's conditional jumps.
+
+#pragma once
+
+#include "common/status.h"
+#include "exec/physical_plan.h"
+#include "plan/program.h"
+
+namespace dbspinner {
+
+/// Runs a planned Program (PlanProgram must have been called). Returns the
+/// output of the kFinal step, or an empty 0-column table if the program has
+/// none (DDL-ish programs).
+Result<TablePtr> RunProgram(const Program& program, ExecContext* ctx);
+
+}  // namespace dbspinner

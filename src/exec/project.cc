@@ -1,0 +1,54 @@
+#include "exec/physical_plan.h"
+#include "mpp/partition.h"
+
+namespace dbspinner {
+
+namespace {
+
+// Evaluates all projection expressions over `input` and assembles the output
+// table, coercing columns into the declared output types.
+Result<TablePtr> ProjectTable(const std::vector<BoundExprPtr>& exprs,
+                              const Schema& output_schema,
+                              const Table& input) {
+  std::vector<ColumnVectorPtr> cols;
+  cols.reserve(exprs.size());
+  for (size_t c = 0; c < exprs.size(); ++c) {
+    DBSP_ASSIGN_OR_RETURN(ColumnVectorPtr col,
+                          EvaluateExprBatch(*exprs[c], input));
+    if (col->type() != output_schema.column(c).type) {
+      auto cast = std::make_shared<ColumnVector>(output_schema.column(c).type);
+      cast->AppendAll(*col);
+      col = std::move(cast);
+    }
+    cols.push_back(std::move(col));
+  }
+  return Table::FromColumns(output_schema, std::move(cols));
+}
+
+}  // namespace
+
+Result<TablePtr> PhysicalProject::Execute(ExecContext& ctx) const {
+  DBSP_ASSIGN_OR_RETURN(TablePtr input, children_[0]->Execute(ctx));
+  size_t n = input->num_rows();
+
+  TablePtr out;
+  if (ctx.UseParallel(n)) {
+    std::vector<TablePtr> slices = RangePartition(*input, ctx.NumPartitions());
+    std::vector<TablePtr> results(slices.size());
+    Status st =
+        ctx.pool->ParallelForStatus(slices.size(), [&](size_t p) -> Status {
+          DBSP_ASSIGN_OR_RETURN(results[p],
+                                ProjectTable(exprs_, output_schema_,
+                                             *slices[p]));
+          return Status::OK();
+        });
+    DBSP_RETURN_NOT_OK(st);
+    out = Gather(results);
+  } else {
+    DBSP_ASSIGN_OR_RETURN(out, ProjectTable(exprs_, output_schema_, *input));
+  }
+  ctx.stats.rows_materialized += static_cast<int64_t>(out->num_rows());
+  return out;
+}
+
+}  // namespace dbspinner

@@ -1,0 +1,7 @@
+// Intentionally small: scans are zero-copy reads of already-materialized
+// tables (see PhysicalScan::Execute in physical_plan.cc). This file exists
+// to host scan-related helpers if the storage layer grows paged scans.
+
+#include "exec/physical_plan.h"
+
+namespace dbspinner {}  // namespace dbspinner

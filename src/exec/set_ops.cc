@@ -1,0 +1,148 @@
+// UnionAll and Distinct.
+
+#include <unordered_map>
+
+#include "exec/physical_plan.h"
+#include "mpp/partition.h"
+
+namespace dbspinner {
+
+Result<TablePtr> PhysicalUnionAll::Execute(ExecContext& ctx) const {
+  auto out = Table::Make(output_schema_);
+  for (const auto& child : children_) {
+    DBSP_ASSIGN_OR_RETURN(TablePtr t, child->Execute(ctx));
+    out->AppendAll(*t);
+  }
+  ctx.stats.rows_materialized += static_cast<int64_t>(out->num_rows());
+  return out;
+}
+
+namespace {
+
+// Keeps the first occurrence of each distinct row of `input`.
+TablePtr DedupeTable(const Table& input) {
+  size_t n = input.num_rows();
+  std::vector<size_t> all_cols;
+  for (size_t c = 0; c < input.num_columns(); ++c) all_cols.push_back(c);
+
+  std::unordered_multimap<size_t, uint32_t> seen;
+  seen.reserve(n);
+  std::vector<uint32_t> sel;
+  for (size_t i = 0; i < n; ++i) {
+    size_t h = HashRowKeys(input, all_cols, i);
+    bool dup = false;
+    auto range = seen.equal_range(h);
+    for (auto it = range.first; it != range.second; ++it) {
+      bool equal = true;
+      for (size_t c = 0; c < input.num_columns(); ++c) {
+        if (!input.column(c).EqualsAt(i, input.column(c), it->second)) {
+          equal = false;
+          break;
+        }
+      }
+      if (equal) {
+        dup = true;
+        break;
+      }
+    }
+    if (!dup) {
+      seen.emplace(h, static_cast<uint32_t>(i));
+      sel.push_back(static_cast<uint32_t>(i));
+    }
+  }
+  if (sel.size() == n) {
+    // Nothing removed; avoid the copy.
+    return nullptr;
+  }
+  return input.Gather(sel);
+}
+
+}  // namespace
+
+Result<TablePtr> PhysicalSetDifference::Execute(ExecContext& ctx) const {
+  DBSP_ASSIGN_OR_RETURN(TablePtr left, children_[0]->Execute(ctx));
+  DBSP_ASSIGN_OR_RETURN(TablePtr right, children_[1]->Execute(ctx));
+
+  std::vector<size_t> all_cols;
+  for (size_t c = 0; c < left->num_columns(); ++c) all_cols.push_back(c);
+
+  // Hash the right side's full rows.
+  std::unordered_multimap<size_t, uint32_t> right_index;
+  right_index.reserve(right->num_rows());
+  for (size_t i = 0; i < right->num_rows(); ++i) {
+    right_index.emplace(HashRowKeys(*right, all_cols, i),
+                        static_cast<uint32_t>(i));
+  }
+  auto in_right = [&](size_t row, size_t h) {
+    auto range = right_index.equal_range(h);
+    for (auto it = range.first; it != range.second; ++it) {
+      bool equal = true;
+      for (size_t c = 0; c < left->num_columns(); ++c) {
+        if (!left->column(c).EqualsAt(row, right->column(c), it->second)) {
+          equal = false;
+          break;
+        }
+      }
+      if (equal) return true;
+    }
+    return false;
+  };
+
+  // Emit distinct left rows that pass the membership test.
+  std::unordered_multimap<size_t, uint32_t> seen;
+  std::vector<uint32_t> sel;
+  for (size_t i = 0; i < left->num_rows(); ++i) {
+    size_t h = HashRowKeys(*left, all_cols, i);
+    if (in_right(i, h) != intersect_) continue;
+    bool dup = false;
+    auto range = seen.equal_range(h);
+    for (auto it = range.first; it != range.second; ++it) {
+      bool equal = true;
+      for (size_t c = 0; c < left->num_columns(); ++c) {
+        if (!left->column(c).EqualsAt(i, left->column(c), it->second)) {
+          equal = false;
+          break;
+        }
+      }
+      if (equal) {
+        dup = true;
+        break;
+      }
+    }
+    if (!dup) {
+      seen.emplace(h, static_cast<uint32_t>(i));
+      sel.push_back(static_cast<uint32_t>(i));
+    }
+  }
+  TablePtr out = left->Gather(sel);
+  ctx.stats.rows_materialized += static_cast<int64_t>(out->num_rows());
+  return out;
+}
+
+Result<TablePtr> PhysicalDistinct::Execute(ExecContext& ctx) const {
+  DBSP_ASSIGN_OR_RETURN(TablePtr input, children_[0]->Execute(ctx));
+
+  if (ctx.UseParallel(input->num_rows())) {
+    // Shuffle on all columns: duplicates land on the same simulated node.
+    std::vector<size_t> all_cols;
+    for (size_t c = 0; c < input->num_columns(); ++c) all_cols.push_back(c);
+    size_t parts = ctx.NumPartitions();
+    std::vector<TablePtr> partitions = HashPartition(*input, all_cols, parts);
+    ctx.stats.rows_shuffled += static_cast<int64_t>(input->num_rows());
+    std::vector<TablePtr> results(partitions.size());
+    ctx.pool->ParallelFor(partitions.size(), [&](size_t p) {
+      TablePtr deduped = DedupeTable(*partitions[p]);
+      results[p] = deduped ? deduped : partitions[p];
+    });
+    TablePtr out = Gather(results);
+    ctx.stats.rows_materialized += static_cast<int64_t>(out->num_rows());
+    return out;
+  }
+
+  TablePtr deduped = DedupeTable(*input);
+  TablePtr out = deduped ? deduped : input;
+  ctx.stats.rows_materialized += static_cast<int64_t>(out->num_rows());
+  return out;
+}
+
+}  // namespace dbspinner

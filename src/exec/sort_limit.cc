@@ -1,0 +1,48 @@
+#include <algorithm>
+
+#include "exec/physical_plan.h"
+
+namespace dbspinner {
+
+Result<TablePtr> PhysicalSort::Execute(ExecContext& ctx) const {
+  DBSP_ASSIGN_OR_RETURN(TablePtr input, children_[0]->Execute(ctx));
+  size_t n = input->num_rows();
+
+  // Evaluate key expressions once, then argsort.
+  std::vector<ColumnVectorPtr> key_cols;
+  key_cols.reserve(keys_.size());
+  for (const auto& k : keys_) {
+    DBSP_ASSIGN_OR_RETURN(ColumnVectorPtr col,
+                          EvaluateExprBatch(*k.expr, *input));
+    key_cols.push_back(std::move(col));
+  }
+
+  std::vector<uint32_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = static_cast<uint32_t>(i);
+  std::stable_sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    for (size_t k = 0; k < keys_.size(); ++k) {
+      int cmp = key_cols[k]->GetValue(a).Compare(key_cols[k]->GetValue(b));
+      if (cmp != 0) return keys_[k].descending ? cmp > 0 : cmp < 0;
+    }
+    return false;
+  });
+  TablePtr out = input->Gather(order);
+  ctx.stats.rows_materialized += static_cast<int64_t>(out->num_rows());
+  return out;
+}
+
+Result<TablePtr> PhysicalLimit::Execute(ExecContext& ctx) const {
+  DBSP_ASSIGN_OR_RETURN(TablePtr input, children_[0]->Execute(ctx));
+  int64_t n = static_cast<int64_t>(input->num_rows());
+  int64_t begin = std::min(offset_, n);
+  int64_t end = limit_ < 0 ? n : std::min(n, begin + limit_);
+  if (begin == 0 && end == n) return input;
+  std::vector<uint32_t> sel;
+  sel.reserve(static_cast<size_t>(end - begin));
+  for (int64_t i = begin; i < end; ++i) {
+    sel.push_back(static_cast<uint32_t>(i));
+  }
+  return input->Gather(sel);
+}
+
+}  // namespace dbspinner

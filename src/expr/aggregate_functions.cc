@@ -1,0 +1,158 @@
+#include "expr/aggregate_functions.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+#include "expr/expr.h"
+
+namespace dbspinner {
+
+const char* AggKindName(AggKind k) {
+  switch (k) {
+    case AggKind::kCountStar:
+      return "count(*)";
+    case AggKind::kCount:
+      return "count";
+    case AggKind::kSum:
+      return "sum";
+    case AggKind::kMin:
+      return "min";
+    case AggKind::kMax:
+      return "max";
+    case AggKind::kAvg:
+      return "avg";
+    case AggKind::kStdDev:
+      return "stddev";
+    case AggKind::kVariance:
+      return "variance";
+  }
+  return "?";
+}
+
+Result<AggKind> ResolveAggKind(const std::string& name, bool is_star) {
+  std::string n = ToLower(name);
+  if (n == "count") return is_star ? AggKind::kCountStar : AggKind::kCount;
+  if (is_star) {
+    return Status::BindError("'*' is only valid as an argument of COUNT");
+  }
+  if (n == "sum") return AggKind::kSum;
+  if (n == "min") return AggKind::kMin;
+  if (n == "max") return AggKind::kMax;
+  if (n == "avg") return AggKind::kAvg;
+  if (n == "stddev" || n == "stddev_samp") return AggKind::kStdDev;
+  if (n == "variance" || n == "var_samp") return AggKind::kVariance;
+  return Status::BindError("unknown aggregate function: " + name);
+}
+
+Result<TypeId> AggResultType(AggKind kind, TypeId input) {
+  switch (kind) {
+    case AggKind::kCountStar:
+    case AggKind::kCount:
+      return TypeId::kInt64;
+    case AggKind::kSum:
+      if (!IsNumeric(input)) {
+        return Status::TypeError("SUM expects a numeric argument");
+      }
+      return input == TypeId::kDouble ? TypeId::kDouble : TypeId::kInt64;
+    case AggKind::kAvg:
+    case AggKind::kStdDev:
+    case AggKind::kVariance:
+      if (!IsNumeric(input)) {
+        return Status::TypeError(std::string(AggKindName(kind)) +
+                                 " expects a numeric argument");
+      }
+      return TypeId::kDouble;
+    case AggKind::kMin:
+    case AggKind::kMax:
+      return input;
+  }
+  return Status::Internal("unhandled aggregate kind");
+}
+
+AggregateSpec AggregateSpec::Clone() const {
+  AggregateSpec s;
+  s.kind = kind;
+  s.distinct = distinct;
+  if (arg) s.arg = arg->Clone();
+  s.result_type = result_type;
+  s.display_name = display_name;
+  return s;
+}
+
+void AggState::Update(const Value& v) {
+  switch (kind_) {
+    case AggKind::kCountStar:
+      ++count_;
+      return;
+    case AggKind::kCount:
+      if (!v.is_null()) ++count_;
+      return;
+    case AggKind::kSum:
+    case AggKind::kAvg:
+    case AggKind::kStdDev:
+    case AggKind::kVariance:
+      if (v.is_null()) return;
+      has_value_ = true;
+      ++count_;
+      if (v.type() == TypeId::kInt64) {
+        isum_ += v.int64_value();
+        sum_ += static_cast<double>(v.int64_value());
+      } else {
+        all_int_ = false;
+        sum_ += v.AsDouble();
+      }
+      sum_squares_ += v.AsDouble() * v.AsDouble();
+      return;
+    case AggKind::kMin:
+    case AggKind::kMax:
+      if (v.is_null()) return;
+      if (!has_value_) {
+        extreme_ = v;
+        has_value_ = true;
+        return;
+      }
+      if (kind_ == AggKind::kMin ? v.Compare(extreme_) < 0
+                                 : v.Compare(extreme_) > 0) {
+        extreme_ = v;
+      }
+      return;
+  }
+}
+
+Value AggState::Finalize(TypeId result_type) const {
+  switch (kind_) {
+    case AggKind::kCountStar:
+    case AggKind::kCount:
+      return Value::Int64(count_);
+    case AggKind::kSum:
+      if (!has_value_) return Value::Null(result_type);
+      if (result_type == TypeId::kInt64 && all_int_) {
+        return Value::Int64(isum_);
+      }
+      return Value::Double(sum_);
+    case AggKind::kAvg:
+      if (!has_value_) return Value::Null(TypeId::kDouble);
+      return Value::Double(sum_ / static_cast<double>(count_));
+    case AggKind::kStdDev:
+    case AggKind::kVariance: {
+      // Sample statistics (n - 1); NULL for fewer than two inputs.
+      if (count_ < 2) return Value::Null(TypeId::kDouble);
+      double n = static_cast<double>(count_);
+      double variance =
+          std::max(0.0, (sum_squares_ - sum_ * sum_ / n) / (n - 1));
+      return Value::Double(kind_ == AggKind::kVariance
+                               ? variance
+                               : std::sqrt(variance));
+    }
+    case AggKind::kMin:
+    case AggKind::kMax:
+      if (!has_value_) return Value::Null(result_type);
+      return extreme_;
+  }
+  return Value::Null();
+}
+
+bool DistinctFilter::Insert(const Value& v) { return seen_.insert(v).second; }
+
+}  // namespace dbspinner

@@ -1,0 +1,89 @@
+// Aggregate functions and the AggregateSpec carried by LogicalAggregate.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+
+namespace dbspinner {
+
+struct BoundExpr;
+using BoundExprPtr = std::unique_ptr<BoundExpr>;
+
+enum class AggKind {
+  kCountStar,
+  kCount,
+  kSum,
+  kMin,
+  kMax,
+  kAvg,
+  kStdDev,    ///< sample standard deviation (n - 1 denominator)
+  kVariance,  ///< sample variance
+};
+
+const char* AggKindName(AggKind k);
+
+/// Resolves an aggregate function name + input type to a kind and result
+/// type. `is_star` marks COUNT(*).
+Result<AggKind> ResolveAggKind(const std::string& name, bool is_star);
+Result<TypeId> AggResultType(AggKind kind, TypeId input);
+
+/// One aggregate computed by a LogicalAggregate: kind, optional DISTINCT,
+/// and the argument expression bound over the aggregate's input.
+struct AggregateSpec {
+  AggKind kind = AggKind::kCountStar;
+  bool distinct = false;
+  BoundExprPtr arg;  ///< null for COUNT(*)
+  TypeId result_type = TypeId::kInt64;
+  std::string display_name;
+
+  AggregateSpec Clone() const;
+};
+
+/// Running state of one aggregate within one group.
+class AggState {
+ public:
+  explicit AggState(AggKind kind) : kind_(kind) {}
+
+  /// Folds one input value (already NULL-filtered for kCountStar).
+  void Update(const Value& v);
+
+  /// Produces the aggregate result. SUM/MIN/MAX/AVG of zero non-NULL inputs
+  /// is NULL; COUNT is 0.
+  Value Finalize(TypeId result_type) const;
+
+ private:
+  AggKind kind_;
+  int64_t count_ = 0;
+  double sum_ = 0;
+  double sum_squares_ = 0;  ///< STDDEV/VARIANCE
+  int64_t isum_ = 0;
+  bool all_int_ = true;
+  bool has_value_ = false;
+  Value extreme_;  ///< MIN/MAX running value
+};
+
+/// Tracks DISTINCT inputs of one group (for COUNT/SUM/AVG DISTINCT).
+class DistinctFilter {
+ public:
+  /// Returns true the first time a value is seen.
+  bool Insert(const Value& v);
+
+ private:
+  struct ValueHash {
+    size_t operator()(const Value& v) const { return v.Hash(); }
+  };
+  struct ValueEq {
+    bool operator()(const Value& a, const Value& b) const {
+      return a.Equals(b);
+    }
+  };
+  std::unordered_set<Value, ValueHash, ValueEq> seen_;
+};
+
+}  // namespace dbspinner

@@ -1,0 +1,706 @@
+#include "expr/expr.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "expr/scalar_functions.h"
+
+namespace dbspinner {
+
+BoundExprPtr MakeBoundConstant(Value v) {
+  auto e = std::make_unique<BoundExpr>();
+  e->kind = BoundExprKind::kConstant;
+  e->type = v.type();
+  e->constant = std::move(v);
+  return e;
+}
+
+BoundExprPtr MakeBoundColumnRef(size_t index, TypeId type, std::string name) {
+  auto e = std::make_unique<BoundExpr>();
+  e->kind = BoundExprKind::kColumnRef;
+  e->type = type;
+  e->column_index = index;
+  e->column_name = std::move(name);
+  return e;
+}
+
+BoundExprPtr MakeBoundBinary(BinaryOp op, BoundExprPtr l, BoundExprPtr r,
+                             TypeId type) {
+  auto e = std::make_unique<BoundExpr>();
+  e->kind = BoundExprKind::kBinaryOp;
+  e->binary_op = op;
+  e->type = type;
+  e->children.push_back(std::move(l));
+  e->children.push_back(std::move(r));
+  return e;
+}
+
+BoundExprPtr BoundExpr::Clone() const {
+  auto e = std::make_unique<BoundExpr>();
+  e->kind = kind;
+  e->type = type;
+  e->constant = constant;
+  e->column_index = column_index;
+  e->column_name = column_name;
+  e->binary_op = binary_op;
+  e->unary_op = unary_op;
+  e->function = function;
+  e->function_name = function_name;
+  e->cast_type = cast_type;
+  e->negated = negated;
+  e->case_has_else = case_has_else;
+  e->children.reserve(children.size());
+  for (const auto& c : children) e->children.push_back(c->Clone());
+  return e;
+}
+
+std::string BoundExpr::ToString() const {
+  switch (kind) {
+    case BoundExprKind::kConstant:
+      return constant.type() == TypeId::kString
+                 ? "'" + constant.ToString() + "'"
+                 : constant.ToString();
+    case BoundExprKind::kColumnRef:
+      return (column_name.empty() ? "col" : column_name) + "#" +
+             std::to_string(column_index);
+    case BoundExprKind::kBinaryOp:
+      return "(" + children[0]->ToString() + " " + BinaryOpName(binary_op) +
+             " " + children[1]->ToString() + ")";
+    case BoundExprKind::kUnaryOp:
+      return std::string(unary_op == UnaryOp::kNeg ? "-" : "NOT ") +
+             children[0]->ToString();
+    case BoundExprKind::kFunctionCall: {
+      std::string out = function_name + "(";
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += children[i]->ToString();
+      }
+      return out + ")";
+    }
+    case BoundExprKind::kCase: {
+      std::string out = "CASE";
+      size_t pairs = children.size() / 2;
+      for (size_t i = 0; i < pairs; ++i) {
+        out += " WHEN " + children[2 * i]->ToString() + " THEN " +
+               children[2 * i + 1]->ToString();
+      }
+      if (case_has_else) out += " ELSE " + children.back()->ToString();
+      return out + " END";
+    }
+    case BoundExprKind::kCast:
+      return "CAST(" + children[0]->ToString() + " AS " +
+             TypeName(cast_type) + ")";
+    case BoundExprKind::kIsNull:
+      return children[0]->ToString() + (negated ? " IS NOT NULL" : " IS NULL");
+    case BoundExprKind::kIn: {
+      std::string out = children[0]->ToString();
+      out += negated ? " NOT IN (" : " IN (";
+      for (size_t i = 1; i < children.size(); ++i) {
+        if (i > 1) out += ", ";
+        out += children[i]->ToString();
+      }
+      return out + ")";
+    }
+    case BoundExprKind::kBetween:
+      return children[0]->ToString() + " BETWEEN " + children[1]->ToString() +
+             " AND " + children[2]->ToString();
+    case BoundExprKind::kLike:
+      return children[0]->ToString() + (negated ? " NOT LIKE " : " LIKE ") +
+             children[1]->ToString();
+  }
+  return "?";
+}
+
+bool BoundExpr::HasColumnRef() const {
+  if (kind == BoundExprKind::kColumnRef) return true;
+  for (const auto& c : children) {
+    if (c->HasColumnRef()) return true;
+  }
+  return false;
+}
+
+void BoundExpr::CollectColumnRefs(std::vector<size_t>* out) const {
+  if (kind == BoundExprKind::kColumnRef) out->push_back(column_index);
+  for (const auto& c : children) c->CollectColumnRefs(out);
+}
+
+bool BoundExpr::RefsWithin(size_t lo, size_t hi) const {
+  if (kind == BoundExprKind::kColumnRef) {
+    return column_index >= lo && column_index < hi;
+  }
+  for (const auto& c : children) {
+    if (!c->RefsWithin(lo, hi)) return false;
+  }
+  return true;
+}
+
+void BoundExpr::RemapColumns(const std::vector<size_t>& mapping) {
+  if (kind == BoundExprKind::kColumnRef) {
+    column_index = mapping[column_index];
+  }
+  for (auto& c : children) c->RemapColumns(mapping);
+}
+
+void BoundExpr::ShiftColumns(int64_t delta) {
+  if (kind == BoundExprKind::kColumnRef) {
+    column_index = static_cast<size_t>(
+        static_cast<int64_t>(column_index) + delta);
+  }
+  for (auto& c : children) c->ShiftColumns(delta);
+}
+
+namespace {
+
+Result<Value> EvalBinary(const BoundExpr& e, const Value& l, const Value& r) {
+  BinaryOp op = e.binary_op;
+  // Three-valued logic for AND/OR.
+  if (op == BinaryOp::kAnd) {
+    if (!l.is_null() && !l.bool_value()) return Value::Bool(false);
+    if (!r.is_null() && !r.bool_value()) return Value::Bool(false);
+    if (l.is_null() || r.is_null()) return Value::Null(TypeId::kBool);
+    return Value::Bool(true);
+  }
+  if (op == BinaryOp::kOr) {
+    if (!l.is_null() && l.bool_value()) return Value::Bool(true);
+    if (!r.is_null() && r.bool_value()) return Value::Bool(true);
+    if (l.is_null() || r.is_null()) return Value::Null(TypeId::kBool);
+    return Value::Bool(false);
+  }
+  if (l.is_null() || r.is_null()) return Value::Null(e.type);
+  switch (op) {
+    case BinaryOp::kAdd:
+    case BinaryOp::kSub:
+    case BinaryOp::kMul: {
+      if (l.type() == TypeId::kInt64 && r.type() == TypeId::kInt64) {
+        int64_t a = l.int64_value();
+        int64_t b = r.int64_value();
+        switch (op) {
+          case BinaryOp::kAdd:
+            return Value::Int64(a + b);
+          case BinaryOp::kSub:
+            return Value::Int64(a - b);
+          default:
+            return Value::Int64(a * b);
+        }
+      }
+      double a = l.AsDouble();
+      double b = r.AsDouble();
+      switch (op) {
+        case BinaryOp::kAdd:
+          return Value::Double(a + b);
+        case BinaryOp::kSub:
+          return Value::Double(a - b);
+        default:
+          return Value::Double(a * b);
+      }
+    }
+    case BinaryOp::kDiv:
+      if (l.type() == TypeId::kInt64 && r.type() == TypeId::kInt64) {
+        if (r.int64_value() == 0) {
+          return Status::ExecutionError("division by zero");
+        }
+        return Value::Int64(l.int64_value() / r.int64_value());
+      }
+      if (r.AsDouble() == 0) {
+        return Status::ExecutionError("division by zero");
+      }
+      return Value::Double(l.AsDouble() / r.AsDouble());
+    case BinaryOp::kMod:
+      if (l.type() == TypeId::kInt64 && r.type() == TypeId::kInt64) {
+        if (r.int64_value() == 0) {
+          return Status::ExecutionError("modulo by zero");
+        }
+        return Value::Int64(l.int64_value() % r.int64_value());
+      }
+      if (r.AsDouble() == 0) {
+        return Status::ExecutionError("modulo by zero");
+      }
+      return Value::Double(std::fmod(l.AsDouble(), r.AsDouble()));
+    case BinaryOp::kEq:
+      return Value::Bool(l.Equals(r));
+    case BinaryOp::kNe:
+      return Value::Bool(!l.Equals(r));
+    case BinaryOp::kLt:
+      return Value::Bool(l.Compare(r) < 0);
+    case BinaryOp::kLe:
+      return Value::Bool(l.Compare(r) <= 0);
+    case BinaryOp::kGt:
+      return Value::Bool(l.Compare(r) > 0);
+    case BinaryOp::kGe:
+      return Value::Bool(l.Compare(r) >= 0);
+    case BinaryOp::kConcat:
+      return Value::String(l.ToString() + r.ToString());
+    case BinaryOp::kAnd:
+    case BinaryOp::kOr:
+      break;
+  }
+  return Status::Internal("unhandled binary operator");
+}
+
+// SQL LIKE with % (any run) and _ (any one char); backtracking on %.
+bool LikeMatch(const std::string& s, const std::string& p) {
+  size_t si = 0, pi = 0;
+  size_t star_p = std::string::npos, star_s = 0;
+  while (si < s.size()) {
+    if (pi < p.size() && (p[pi] == '_' || p[pi] == s[si])) {
+      ++si;
+      ++pi;
+    } else if (pi < p.size() && p[pi] == '%') {
+      star_p = pi++;
+      star_s = si;
+    } else if (star_p != std::string::npos) {
+      pi = star_p + 1;
+      si = ++star_s;
+    } else {
+      return false;
+    }
+  }
+  while (pi < p.size() && p[pi] == '%') ++pi;
+  return pi == p.size();
+}
+
+}  // namespace
+
+Result<Value> EvaluateExpr(const BoundExpr& expr, const Table& input,
+                           size_t row) {
+  switch (expr.kind) {
+    case BoundExprKind::kConstant:
+      return expr.constant;
+    case BoundExprKind::kColumnRef:
+      return input.column(expr.column_index).GetValue(row);
+    case BoundExprKind::kBinaryOp: {
+      // Short-circuit AND/OR where a definite answer exists.
+      if (expr.binary_op == BinaryOp::kAnd || expr.binary_op == BinaryOp::kOr) {
+        DBSP_ASSIGN_OR_RETURN(Value l,
+                              EvaluateExpr(*expr.children[0], input, row));
+        if (expr.binary_op == BinaryOp::kAnd && !l.is_null() &&
+            !l.bool_value()) {
+          return Value::Bool(false);
+        }
+        if (expr.binary_op == BinaryOp::kOr && !l.is_null() && l.bool_value()) {
+          return Value::Bool(true);
+        }
+        DBSP_ASSIGN_OR_RETURN(Value r,
+                              EvaluateExpr(*expr.children[1], input, row));
+        return EvalBinary(expr, l, r);
+      }
+      DBSP_ASSIGN_OR_RETURN(Value l,
+                            EvaluateExpr(*expr.children[0], input, row));
+      DBSP_ASSIGN_OR_RETURN(Value r,
+                            EvaluateExpr(*expr.children[1], input, row));
+      return EvalBinary(expr, l, r);
+    }
+    case BoundExprKind::kUnaryOp: {
+      DBSP_ASSIGN_OR_RETURN(Value v,
+                            EvaluateExpr(*expr.children[0], input, row));
+      if (v.is_null()) return Value::Null(expr.type);
+      if (expr.unary_op == UnaryOp::kNeg) {
+        if (v.type() == TypeId::kInt64) return Value::Int64(-v.int64_value());
+        return Value::Double(-v.AsDouble());
+      }
+      return Value::Bool(!v.bool_value());
+    }
+    case BoundExprKind::kFunctionCall: {
+      std::vector<Value> args;
+      args.reserve(expr.children.size());
+      for (const auto& c : expr.children) {
+        DBSP_ASSIGN_OR_RETURN(Value v, EvaluateExpr(*c, input, row));
+        args.push_back(std::move(v));
+      }
+      return expr.function->eval(args);
+    }
+    case BoundExprKind::kCase: {
+      size_t pairs = expr.children.size() / 2;
+      for (size_t i = 0; i < pairs; ++i) {
+        DBSP_ASSIGN_OR_RETURN(Value cond,
+                              EvaluateExpr(*expr.children[2 * i], input, row));
+        if (!cond.is_null() && cond.bool_value()) {
+          DBSP_ASSIGN_OR_RETURN(
+              Value v, EvaluateExpr(*expr.children[2 * i + 1], input, row));
+          return v.CastTo(expr.type);
+        }
+      }
+      if (expr.case_has_else) {
+        DBSP_ASSIGN_OR_RETURN(Value v,
+                              EvaluateExpr(*expr.children.back(), input, row));
+        return v.CastTo(expr.type);
+      }
+      return Value::Null(expr.type);
+    }
+    case BoundExprKind::kCast: {
+      DBSP_ASSIGN_OR_RETURN(Value v,
+                            EvaluateExpr(*expr.children[0], input, row));
+      return v.CastTo(expr.cast_type);
+    }
+    case BoundExprKind::kIsNull: {
+      DBSP_ASSIGN_OR_RETURN(Value v,
+                            EvaluateExpr(*expr.children[0], input, row));
+      return Value::Bool(expr.negated ? !v.is_null() : v.is_null());
+    }
+    case BoundExprKind::kIn: {
+      DBSP_ASSIGN_OR_RETURN(Value v,
+                            EvaluateExpr(*expr.children[0], input, row));
+      if (v.is_null()) return Value::Null(TypeId::kBool);
+      bool any_null = false;
+      for (size_t i = 1; i < expr.children.size(); ++i) {
+        DBSP_ASSIGN_OR_RETURN(Value item,
+                              EvaluateExpr(*expr.children[i], input, row));
+        if (item.is_null()) {
+          any_null = true;
+          continue;
+        }
+        if (v.Equals(item)) return Value::Bool(!expr.negated);
+      }
+      if (any_null) return Value::Null(TypeId::kBool);
+      return Value::Bool(expr.negated);
+    }
+    case BoundExprKind::kBetween: {
+      DBSP_ASSIGN_OR_RETURN(Value v,
+                            EvaluateExpr(*expr.children[0], input, row));
+      DBSP_ASSIGN_OR_RETURN(Value lo,
+                            EvaluateExpr(*expr.children[1], input, row));
+      DBSP_ASSIGN_OR_RETURN(Value hi,
+                            EvaluateExpr(*expr.children[2], input, row));
+      if (v.is_null() || lo.is_null() || hi.is_null()) {
+        return Value::Null(TypeId::kBool);
+      }
+      return Value::Bool(v.Compare(lo) >= 0 && v.Compare(hi) <= 0);
+    }
+    case BoundExprKind::kLike: {
+      DBSP_ASSIGN_OR_RETURN(Value v,
+                            EvaluateExpr(*expr.children[0], input, row));
+      DBSP_ASSIGN_OR_RETURN(Value p,
+                            EvaluateExpr(*expr.children[1], input, row));
+      if (v.is_null() || p.is_null()) return Value::Null(TypeId::kBool);
+      bool match = LikeMatch(v.ToString(), p.ToString());
+      return Value::Bool(expr.negated ? !match : match);
+    }
+  }
+  return Status::Internal("unhandled expression kind");
+}
+
+namespace {
+
+// Vectorized binary kernels: when both operands are numeric column
+// references or constants, evaluate the whole column with monomorphic loops
+// instead of per-row Value boxing. Returns nullptr when no kernel applies
+// (the caller falls back to the row-wise path).
+//
+// Division and modulo stay on the slow path to preserve their per-row
+// error semantics.
+class NumericOperand {
+ public:
+  // Returns false if the expression is not a usable numeric operand.
+  bool Init(const BoundExpr& e, const Table& input) {
+    if (e.kind == BoundExprKind::kColumnRef) {
+      col_ = &input.column(e.column_index);
+      if (col_->type() != TypeId::kInt64 && col_->type() != TypeId::kDouble) {
+        return false;
+      }
+      is_int_ = col_->type() == TypeId::kInt64;
+      return true;
+    }
+    if (e.kind == BoundExprKind::kConstant) {
+      if (e.constant.is_null()) {
+        const_null_ = true;
+        return true;
+      }
+      if (!IsNumeric(e.constant.type())) return false;
+      is_int_ = e.constant.type() == TypeId::kInt64;
+      const_int_ = e.constant.AsInt64();
+      const_double_ = e.constant.AsDouble();
+      is_const_ = true;
+      return true;
+    }
+    return false;
+  }
+
+  bool is_column() const { return col_ != nullptr; }
+  bool is_const_null() const { return const_null_; }
+  bool is_int() const { return is_int_; }
+  bool IsNullAt(size_t i) const {
+    return col_ != nullptr ? col_->IsNull(i) : const_null_;
+  }
+  int64_t IntAt(size_t i) const {
+    return col_ != nullptr ? col_->Int64At(i) : const_int_;
+  }
+  double DoubleAt(size_t i) const {
+    return col_ != nullptr ? col_->NumericAt(i) : const_double_;
+  }
+
+ private:
+  const ColumnVector* col_ = nullptr;
+  bool is_const_ = false;
+  bool const_null_ = false;
+  bool is_int_ = true;
+  int64_t const_int_ = 0;
+  double const_double_ = 0;
+};
+
+ColumnVectorPtr TryVectorizedBinary(const BoundExpr& expr,
+                                    const Table& input) {
+  if (expr.kind != BoundExprKind::kBinaryOp) return nullptr;
+  BinaryOp op = expr.binary_op;
+  bool is_arith = op == BinaryOp::kAdd || op == BinaryOp::kSub ||
+                  op == BinaryOp::kMul;
+  bool is_cmp = op == BinaryOp::kEq || op == BinaryOp::kNe ||
+                op == BinaryOp::kLt || op == BinaryOp::kLe ||
+                op == BinaryOp::kGt || op == BinaryOp::kGe;
+  if (!is_arith && !is_cmp) return nullptr;
+
+  NumericOperand l, r;
+  if (!l.Init(*expr.children[0], input) || !r.Init(*expr.children[1], input)) {
+    return nullptr;
+  }
+  size_t n = input.num_rows();
+
+  if (l.is_const_null() || r.is_const_null()) {
+    auto out = std::make_shared<ColumnVector>(expr.type);
+    out->Reserve(n);
+    for (size_t i = 0; i < n; ++i) out->AppendNull();
+    return out;
+  }
+
+  bool both_int = l.is_int() && r.is_int();
+  auto out = std::make_shared<ColumnVector>(expr.type);
+  out->Reserve(n);
+
+  if (is_arith && both_int && expr.type == TypeId::kInt64) {
+    for (size_t i = 0; i < n; ++i) {
+      if (l.IsNullAt(i) || r.IsNullAt(i)) {
+        out->AppendNull();
+        continue;
+      }
+      int64_t a = l.IntAt(i);
+      int64_t b = r.IntAt(i);
+      out->AppendInt64(op == BinaryOp::kAdd   ? a + b
+                       : op == BinaryOp::kSub ? a - b
+                                              : a * b);
+    }
+    return out;
+  }
+  if (is_arith && expr.type == TypeId::kDouble) {
+    for (size_t i = 0; i < n; ++i) {
+      if (l.IsNullAt(i) || r.IsNullAt(i)) {
+        out->AppendNull();
+        continue;
+      }
+      double a = l.DoubleAt(i);
+      double b = r.DoubleAt(i);
+      out->AppendDouble(op == BinaryOp::kAdd   ? a + b
+                        : op == BinaryOp::kSub ? a - b
+                                               : a * b);
+    }
+    return out;
+  }
+  if (is_cmp) {
+    for (size_t i = 0; i < n; ++i) {
+      if (l.IsNullAt(i) || r.IsNullAt(i)) {
+        out->AppendNull();
+        continue;
+      }
+      bool res;
+      if (both_int) {
+        int64_t a = l.IntAt(i);
+        int64_t b = r.IntAt(i);
+        switch (op) {
+          case BinaryOp::kEq: res = a == b; break;
+          case BinaryOp::kNe: res = a != b; break;
+          case BinaryOp::kLt: res = a < b; break;
+          case BinaryOp::kLe: res = a <= b; break;
+          case BinaryOp::kGt: res = a > b; break;
+          default: res = a >= b; break;
+        }
+      } else {
+        double a = l.DoubleAt(i);
+        double b = r.DoubleAt(i);
+        switch (op) {
+          case BinaryOp::kEq: res = a == b; break;
+          case BinaryOp::kNe: res = a != b; break;
+          case BinaryOp::kLt: res = a < b; break;
+          case BinaryOp::kLe: res = a <= b; break;
+          case BinaryOp::kGt: res = a > b; break;
+          default: res = a >= b; break;
+        }
+      }
+      out->AppendBool(res);
+    }
+    return out;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+Result<ColumnVectorPtr> EvaluateExprBatch(const BoundExpr& expr,
+                                          const Table& input) {
+  size_t n = input.num_rows();
+  // Fast path: plain column reference of the same type (zero copy).
+  if (expr.kind == BoundExprKind::kColumnRef &&
+      input.column(expr.column_index).type() == expr.type) {
+    return input.column_ptr(expr.column_index);
+  }
+  // Fast path: monomorphic numeric kernels.
+  if (ColumnVectorPtr vectorized = TryVectorizedBinary(expr, input)) {
+    return vectorized;
+  }
+  auto out = std::make_shared<ColumnVector>(expr.type);
+  out->Reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    DBSP_ASSIGN_OR_RETURN(Value v, EvaluateExpr(expr, input, i));
+    out->Append(v);
+  }
+  return out;
+}
+
+Result<std::vector<uint32_t>> EvaluatePredicate(const BoundExpr& expr,
+                                                const Table& input) {
+  std::vector<uint32_t> sel;
+  size_t n = input.num_rows();
+  // Vectorized comparison predicates skip per-row Value boxing entirely.
+  if (ColumnVectorPtr mask = TryVectorizedBinary(expr, input)) {
+    for (size_t i = 0; i < n; ++i) {
+      if (!mask->IsNull(i) && mask->BoolAt(i)) {
+        sel.push_back(static_cast<uint32_t>(i));
+      }
+    }
+    return sel;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    DBSP_ASSIGN_OR_RETURN(Value v, EvaluateExpr(expr, input, i));
+    if (!v.is_null() && v.bool_value()) sel.push_back(static_cast<uint32_t>(i));
+  }
+  return sel;
+}
+
+bool BoundExprEquals(const BoundExpr& a, const BoundExpr& b) {
+  if (a.kind != b.kind || a.type != b.type) return false;
+  if (a.children.size() != b.children.size()) return false;
+  switch (a.kind) {
+    case BoundExprKind::kConstant:
+      if (!(a.constant.is_null() && b.constant.is_null()) &&
+          !a.constant.Equals(b.constant)) {
+        return false;
+      }
+      break;
+    case BoundExprKind::kColumnRef:
+      if (a.column_index != b.column_index) return false;
+      break;
+    case BoundExprKind::kBinaryOp:
+      if (a.binary_op != b.binary_op) return false;
+      break;
+    case BoundExprKind::kUnaryOp:
+      if (a.unary_op != b.unary_op) return false;
+      break;
+    case BoundExprKind::kFunctionCall:
+      if (a.function_name != b.function_name) return false;
+      break;
+    case BoundExprKind::kCast:
+      if (a.cast_type != b.cast_type) return false;
+      break;
+    case BoundExprKind::kIsNull:
+    case BoundExprKind::kIn:
+    case BoundExprKind::kLike:
+      if (a.negated != b.negated) return false;
+      break;
+    case BoundExprKind::kCase:
+      if (a.case_has_else != b.case_has_else) return false;
+      break;
+    case BoundExprKind::kBetween:
+      break;
+  }
+  for (size_t i = 0; i < a.children.size(); ++i) {
+    if (!BoundExprEquals(*a.children[i], *b.children[i])) return false;
+  }
+  return true;
+}
+
+namespace {
+
+// Collects the strict column set: columns where a NULL input forces the
+// expression to NULL.
+void StrictColumns(const BoundExpr& e, std::vector<size_t>* out) {
+  switch (e.kind) {
+    case BoundExprKind::kColumnRef:
+      out->push_back(e.column_index);
+      return;
+    case BoundExprKind::kConstant:
+      return;
+    case BoundExprKind::kBinaryOp:
+      switch (e.binary_op) {
+        case BinaryOp::kAnd: {
+          // A NULL that nulls either side makes AND at-most-NULL (not TRUE):
+          // union is valid for null-rejection purposes.
+          StrictColumns(*e.children[0], out);
+          StrictColumns(*e.children[1], out);
+          return;
+        }
+        case BinaryOp::kOr: {
+          std::vector<size_t> l, r;
+          StrictColumns(*e.children[0], &l);
+          StrictColumns(*e.children[1], &r);
+          std::sort(l.begin(), l.end());
+          std::sort(r.begin(), r.end());
+          std::vector<size_t> both;
+          std::set_intersection(l.begin(), l.end(), r.begin(), r.end(),
+                                std::back_inserter(both));
+          out->insert(out->end(), both.begin(), both.end());
+          return;
+        }
+        default:
+          // Arithmetic and comparisons are strict in both operands.
+          StrictColumns(*e.children[0], out);
+          StrictColumns(*e.children[1], out);
+          return;
+      }
+    case BoundExprKind::kUnaryOp:
+      StrictColumns(*e.children[0], out);
+      return;
+    case BoundExprKind::kCast:
+      StrictColumns(*e.children[0], out);
+      return;
+    case BoundExprKind::kBetween:
+    case BoundExprKind::kLike:
+      for (const auto& c : e.children) StrictColumns(*c, out);
+      return;
+    case BoundExprKind::kFunctionCall:
+    case BoundExprKind::kCase:
+    case BoundExprKind::kIsNull:
+    case BoundExprKind::kIn:
+      // COALESCE/CASE/IS NULL and general functions may map NULL to non-NULL:
+      // conservatively contribute nothing.
+      return;
+  }
+}
+
+}  // namespace
+
+std::vector<size_t> NullRejectedColumns(const BoundExpr& expr) {
+  std::vector<size_t> out;
+  StrictColumns(expr, &out);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+void SplitConjuncts(const BoundExpr& expr, std::vector<BoundExprPtr>* out) {
+  if (expr.kind == BoundExprKind::kBinaryOp &&
+      expr.binary_op == BinaryOp::kAnd) {
+    SplitConjuncts(*expr.children[0], out);
+    SplitConjuncts(*expr.children[1], out);
+    return;
+  }
+  out->push_back(expr.Clone());
+}
+
+BoundExprPtr CombineConjuncts(std::vector<BoundExprPtr> conjuncts) {
+  if (conjuncts.empty()) return MakeBoundConstant(Value::Bool(true));
+  BoundExprPtr out = std::move(conjuncts[0]);
+  for (size_t i = 1; i < conjuncts.size(); ++i) {
+    out = MakeBoundBinary(BinaryOp::kAnd, std::move(out),
+                          std::move(conjuncts[i]), TypeId::kBool);
+  }
+  return out;
+}
+
+}  // namespace dbspinner

@@ -1,0 +1,32 @@
+// Scalar (row-wise) function registry.
+
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+
+namespace dbspinner {
+
+/// One scalar SQL function. `infer` validates argument types and produces the
+/// result type; `eval` computes one invocation.
+struct ScalarFunction {
+  std::string name;
+  std::function<Result<TypeId>(const std::vector<TypeId>&)> infer;
+  std::function<Result<Value>(const std::vector<Value>&)> eval;
+};
+
+/// Looks up a scalar function by lower-case name; nullptr if unknown.
+///
+/// Registered functions: least, greatest, coalesce, nullif, abs, ceiling,
+/// ceil, floor, round, mod, power, pow, sqrt, exp, ln, log, sign, length,
+/// upper, lower, substr, concat.
+const ScalarFunction* GetScalarFunction(const std::string& name);
+
+/// True if `name` names an aggregate function (count/sum/min/max/avg).
+bool IsAggregateFunctionName(const std::string& name);
+
+}  // namespace dbspinner

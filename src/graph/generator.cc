@@ -1,0 +1,199 @@
+#include "graph/generator.h"
+
+#include <random>
+#include <unordered_map>
+
+namespace dbspinner {
+namespace graph {
+
+GraphSpec DblpShaped(int64_t scale, uint64_t seed) {
+  GraphSpec spec;
+  spec.kind = GraphKind::kPreferentialAttachment;
+  spec.num_nodes = std::max<int64_t>(4, 317080 / scale);
+  spec.num_edges = std::max<int64_t>(8, 1049866 / scale);
+  spec.seed = seed;
+  return spec;
+}
+
+GraphSpec PokecShaped(int64_t scale, uint64_t seed) {
+  GraphSpec spec;
+  spec.kind = GraphKind::kPreferentialAttachment;
+  spec.num_nodes = std::max<int64_t>(4, 1632803 / scale);
+  spec.num_edges = std::max<int64_t>(8, 30622564 / scale);
+  spec.seed = seed;
+  return spec;
+}
+
+namespace {
+
+void FinalizeWeights(EdgeList* g) {
+  std::unordered_map<int64_t, int64_t> outdeg;
+  outdeg.reserve(static_cast<size_t>(g->num_nodes));
+  for (int64_t s : g->src) ++outdeg[s];
+  g->weight.resize(g->src.size());
+  for (size_t i = 0; i < g->src.size(); ++i) {
+    g->weight[i] = 1.0 / static_cast<double>(outdeg[g->src[i]]);
+  }
+}
+
+EdgeList GeneratePreferential(const GraphSpec& spec) {
+  EdgeList g;
+  g.num_nodes = spec.num_nodes;
+  std::mt19937_64 rng(spec.seed);
+  int64_t n = spec.num_nodes;
+  int64_t m = spec.num_edges;
+  g.src.reserve(static_cast<size_t>(m));
+  g.dst.reserve(static_cast<size_t>(m));
+
+  // Endpoint pool: sampling uniformly from it is degree-proportional.
+  std::vector<int64_t> pool;
+  pool.reserve(static_cast<size_t>(2 * m));
+  // Seed ring among the first few nodes so the pool is never empty.
+  int64_t seed_nodes = std::min<int64_t>(n, 3);
+  for (int64_t i = 1; i <= seed_nodes; ++i) {
+    int64_t j = i % seed_nodes + 1;
+    if (i == j) continue;
+    g.src.push_back(i);
+    g.dst.push_back(j);
+    pool.push_back(i);
+    pool.push_back(j);
+  }
+  // Each new node sends ~m/n edges to degree-biased targets.
+  int64_t per_node = std::max<int64_t>(1, m / std::max<int64_t>(1, n));
+  for (int64_t v = seed_nodes + 1; v <= n; ++v) {
+    for (int64_t k = 0;
+         k < per_node && static_cast<int64_t>(g.src.size()) < m; ++k) {
+      int64_t target =
+          pool[std::uniform_int_distribution<size_t>(0, pool.size() - 1)(rng)];
+      if (target == v) target = (v % n) + 1 == v ? 1 : (v % n) + 1;
+      g.src.push_back(v);
+      g.dst.push_back(target);
+      pool.push_back(v);
+      pool.push_back(target);
+    }
+  }
+  // Top up to the exact edge count with degree-biased random pairs.
+  std::uniform_int_distribution<int64_t> uniform_node(1, n);
+  while (static_cast<int64_t>(g.src.size()) < m) {
+    int64_t s = uniform_node(rng);
+    int64_t d =
+        pool[std::uniform_int_distribution<size_t>(0, pool.size() - 1)(rng)];
+    if (s == d) continue;
+    g.src.push_back(s);
+    g.dst.push_back(d);
+    pool.push_back(s);
+    pool.push_back(d);
+  }
+  FinalizeWeights(&g);
+  return g;
+}
+
+EdgeList GenerateUniform(const GraphSpec& spec) {
+  EdgeList g;
+  g.num_nodes = spec.num_nodes;
+  std::mt19937_64 rng(spec.seed);
+  std::uniform_int_distribution<int64_t> uniform_node(1, spec.num_nodes);
+  g.src.reserve(static_cast<size_t>(spec.num_edges));
+  g.dst.reserve(static_cast<size_t>(spec.num_edges));
+  while (static_cast<int64_t>(g.src.size()) < spec.num_edges) {
+    int64_t s = uniform_node(rng);
+    int64_t d = uniform_node(rng);
+    if (s == d) continue;
+    g.src.push_back(s);
+    g.dst.push_back(d);
+  }
+  FinalizeWeights(&g);
+  return g;
+}
+
+EdgeList GenerateGrid(const GraphSpec& spec) {
+  // side x side grid; edges right and down. num_edges is ignored (the grid
+  // shape determines it); num_nodes is rounded down to a square.
+  EdgeList g;
+  int64_t side = 1;
+  while ((side + 1) * (side + 1) <= spec.num_nodes) ++side;
+  g.num_nodes = side * side;
+  auto id = [side](int64_t r, int64_t c) { return r * side + c + 1; };
+  for (int64_t r = 0; r < side; ++r) {
+    for (int64_t c = 0; c < side; ++c) {
+      if (c + 1 < side) {
+        g.src.push_back(id(r, c));
+        g.dst.push_back(id(r, c + 1));
+      }
+      if (r + 1 < side) {
+        g.src.push_back(id(r, c));
+        g.dst.push_back(id(r + 1, c));
+      }
+    }
+  }
+  FinalizeWeights(&g);
+  return g;
+}
+
+}  // namespace
+
+EdgeList Generate(const GraphSpec& spec) {
+  switch (spec.kind) {
+    case GraphKind::kPreferentialAttachment:
+      return GeneratePreferential(spec);
+    case GraphKind::kUniform:
+      return GenerateUniform(spec);
+    case GraphKind::kGrid:
+      return GenerateGrid(spec);
+  }
+  return EdgeList{};
+}
+
+TablePtr BuildEdgesTable(const EdgeList& graph) {
+  Schema schema;
+  schema.AddColumn("src", TypeId::kInt64);
+  schema.AddColumn("dst", TypeId::kInt64);
+  schema.AddColumn("weight", TypeId::kDouble);
+  auto src = std::make_shared<ColumnVector>(TypeId::kInt64);
+  auto dst = std::make_shared<ColumnVector>(TypeId::kInt64);
+  auto weight = std::make_shared<ColumnVector>(TypeId::kDouble);
+  size_t n = graph.num_edges();
+  src->Reserve(n);
+  dst->Reserve(n);
+  weight->Reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    src->AppendInt64(graph.src[i]);
+    dst->AppendInt64(graph.dst[i]);
+    weight->AppendDouble(graph.weight[i]);
+  }
+  return Table::FromColumns(schema, {src, dst, weight});
+}
+
+TablePtr BuildVertexStatusTable(int64_t num_nodes, double available_fraction,
+                                uint64_t seed) {
+  Schema schema;
+  schema.AddColumn("node", TypeId::kInt64);
+  schema.AddColumn("status", TypeId::kInt64);
+  auto node = std::make_shared<ColumnVector>(TypeId::kInt64);
+  auto status = std::make_shared<ColumnVector>(TypeId::kInt64);
+  node->Reserve(static_cast<size_t>(num_nodes));
+  status->Reserve(static_cast<size_t>(num_nodes));
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  for (int64_t i = 1; i <= num_nodes; ++i) {
+    node->AppendInt64(i);
+    status->AppendInt64(u(rng) < available_fraction ? 1 : 0);
+  }
+  return Table::FromColumns(schema, {node, status});
+}
+
+Status LoadIntoDatabase(Database* db, const EdgeList& graph,
+                        double available_fraction, uint64_t status_seed) {
+  DBSP_RETURN_NOT_OK(db->RegisterTable("edges", BuildEdgesTable(graph)));
+  if (available_fraction >= 0) {
+    DBSP_RETURN_NOT_OK(db->RegisterTable(
+        "vertexstatus",
+        BuildVertexStatusTable(graph.num_nodes, available_fraction,
+                               status_seed),
+        /*primary_key_col=*/0));
+  }
+  return Status::OK();
+}
+
+}  // namespace graph
+}  // namespace dbspinner

@@ -1,0 +1,73 @@
+// Synthetic graph generation.
+//
+// The paper evaluates on SNAP datasets (DBLP: 317,080 nodes / 1,049,866
+// edges; Pokec: 1,632,803 / 30,622,564). We cannot redistribute those, so we
+// generate graphs with the same node:edge proportions and a social-network
+// degree skew (preferential attachment). Edge weights are 1/outdegree(src),
+// the standard PageRank transition probability, which is also a valid
+// positive length for SSSP.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/database.h"
+#include "storage/table.h"
+
+namespace dbspinner {
+namespace graph {
+
+enum class GraphKind {
+  kPreferentialAttachment,  ///< power-law in-degree (social-network shaped)
+  kUniform,                 ///< uniformly random endpoints
+  kGrid,                    ///< 2D grid (deterministic; long SSSP paths)
+};
+
+struct GraphSpec {
+  GraphKind kind = GraphKind::kPreferentialAttachment;
+  int64_t num_nodes = 1000;
+  int64_t num_edges = 5000;
+  uint64_t seed = 42;
+};
+
+/// DBLP-shaped spec: 317,080 / `scale` nodes, 1,049,866 / `scale` edges.
+GraphSpec DblpShaped(int64_t scale = 16, uint64_t seed = 42);
+
+/// Pokec-shaped spec: 1,632,803 / `scale` nodes, 30,622,564 / `scale` edges.
+GraphSpec PokecShaped(int64_t scale = 16, uint64_t seed = 43);
+
+/// A generated edge list. Node ids are 1..num_nodes; weights are
+/// 1/outdegree(src). Self-loops are excluded; parallel edges may occur
+/// (multigraph), which every workload handles.
+struct EdgeList {
+  int64_t num_nodes = 0;
+  std::vector<int64_t> src;
+  std::vector<int64_t> dst;
+  std::vector<double> weight;
+
+  size_t num_edges() const { return src.size(); }
+};
+
+/// Generates a graph deterministically from `spec`.
+EdgeList Generate(const GraphSpec& spec);
+
+/// Builds the `edges(src, dst, weight)` table.
+TablePtr BuildEdgesTable(const EdgeList& graph);
+
+/// Builds `vertexstatus(node, status)` for nodes 1..num_nodes; roughly
+/// `available_fraction` of nodes get status 1, the rest 0 (deterministic in
+/// `seed`).
+TablePtr BuildVertexStatusTable(int64_t num_nodes, double available_fraction,
+                                uint64_t seed);
+
+/// Registers `edges` (and `vertexstatus` when `available_fraction` >= 0)
+/// into `db`.
+Status LoadIntoDatabase(Database* db, const EdgeList& graph,
+                        double available_fraction = 0.8,
+                        uint64_t status_seed = 7);
+
+}  // namespace graph
+}  // namespace dbspinner

@@ -1,0 +1,69 @@
+#include "graph/io.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+namespace dbspinner {
+namespace graph {
+
+Status WriteEdgeListFile(const EdgeList& graph, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::InvalidArgument("cannot open '" + path + "' for writing");
+  }
+  out << "# dbspinner edge list: src dst weight (" << graph.num_nodes
+      << " nodes, " << graph.num_edges() << " edges)\n";
+  for (size_t i = 0; i < graph.num_edges(); ++i) {
+    out << graph.src[i] << ' ' << graph.dst[i] << ' ' << graph.weight[i]
+        << '\n';
+  }
+  if (!out) {
+    return Status::ExecutionError("write to '" + path + "' failed");
+  }
+  return Status::OK();
+}
+
+Result<EdgeList> ReadEdgeListFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound("cannot open '" + path + "' for reading");
+  }
+  EdgeList g;
+  bool any_weight = false;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ss(line);
+    int64_t s, d;
+    if (!(ss >> s >> d)) {
+      return Status::ParseError("malformed edge at line " +
+                                std::to_string(line_no) + " of " + path);
+    }
+    double w;
+    if (ss >> w) {
+      any_weight = true;
+    } else {
+      w = 0;
+    }
+    g.src.push_back(s);
+    g.dst.push_back(d);
+    g.weight.push_back(w);
+    g.num_nodes = std::max({g.num_nodes, s, d});
+  }
+  if (!any_weight) {
+    std::unordered_map<int64_t, int64_t> outdeg;
+    for (int64_t s : g.src) ++outdeg[s];
+    for (size_t i = 0; i < g.src.size(); ++i) {
+      g.weight[i] = 1.0 / static_cast<double>(outdeg[g.src[i]]);
+    }
+  }
+  return g;
+}
+
+}  // namespace graph
+}  // namespace dbspinner

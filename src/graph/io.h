@@ -1,0 +1,24 @@
+// Edge-list file I/O (SNAP-style whitespace-separated text). Lets users
+// load real datasets (e.g. the paper's DBLP/Pokec downloads) in place of the
+// synthetic generators.
+
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "graph/generator.h"
+
+namespace dbspinner {
+namespace graph {
+
+/// Writes "src dst weight" lines (with a `# comment` header).
+Status WriteEdgeListFile(const EdgeList& graph, const std::string& path);
+
+/// Reads an edge-list file. Lines starting with '#' are skipped. Each data
+/// line is "src dst [weight]"; when the weight column is absent everywhere,
+/// weights are recomputed as 1/outdegree(src).
+Result<EdgeList> ReadEdgeListFile(const std::string& path);
+
+}  // namespace graph
+}  // namespace dbspinner

@@ -1,0 +1,181 @@
+#include "graph/reference_algorithms.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dbspinner {
+namespace graph {
+
+std::vector<int64_t> GraphNodes(const EdgeList& graph) {
+  std::unordered_set<int64_t> set;
+  set.reserve(graph.num_edges() * 2);
+  for (int64_t s : graph.src) set.insert(s);
+  for (int64_t d : graph.dst) set.insert(d);
+  std::vector<int64_t> nodes(set.begin(), set.end());
+  std::sort(nodes.begin(), nodes.end());
+  return nodes;
+}
+
+std::unordered_map<int64_t, int64_t> StatusMap(const Table& vertexstatus) {
+  std::unordered_map<int64_t, int64_t> out;
+  out.reserve(vertexstatus.num_rows());
+  for (size_t i = 0; i < vertexstatus.num_rows(); ++i) {
+    out[vertexstatus.column(0).Int64At(i)] = vertexstatus.column(1).Int64At(i);
+  }
+  return out;
+}
+
+namespace {
+
+// Incoming adjacency: node -> list of (src, weight).
+std::unordered_map<int64_t, std::vector<std::pair<int64_t, double>>>
+IncomingEdges(const EdgeList& graph) {
+  std::unordered_map<int64_t, std::vector<std::pair<int64_t, double>>> in;
+  in.reserve(graph.num_edges());
+  for (size_t i = 0; i < graph.num_edges(); ++i) {
+    in[graph.dst[i]].emplace_back(graph.src[i], graph.weight[i]);
+  }
+  return in;
+}
+
+}  // namespace
+
+std::vector<PageRankRow> ReferencePageRank(
+    const EdgeList& graph, int iterations,
+    const std::unordered_map<int64_t, int64_t>* status) {
+  std::vector<int64_t> nodes = GraphNodes(graph);
+  auto incoming = IncomingEdges(graph);
+
+  std::unordered_map<int64_t, size_t> index;
+  index.reserve(nodes.size());
+  std::vector<PageRankRow> state(nodes.size());
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    index[nodes[i]] = i;
+    state[i] = PageRankRow{nodes[i], 0.0, 0.15};
+  }
+
+  auto available = [&](int64_t node) {
+    if (status == nullptr) return true;
+    auto it = status->find(node);
+    return it != status->end() && it->second != 0;
+  };
+
+  for (int iter = 0; iter < iterations; ++iter) {
+    std::vector<PageRankRow> next = state;
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      int64_t node = nodes[i];
+      const auto in_it = incoming.find(node);
+      bool has_incoming = in_it != incoming.end() && !in_it->second.empty();
+      if (status != nullptr) {
+        // PR-VS: the working table only contains available nodes with at
+        // least one incoming edge; everything else keeps its old row.
+        if (!available(node) || !has_incoming) continue;
+      }
+      // new rank = rank + delta (NULL-propagating).
+      std::optional<double> new_rank;
+      if (state[i].rank.has_value() && state[i].delta.has_value()) {
+        new_rank = *state[i].rank + *state[i].delta;
+      }
+      // new delta = 0.85 * SUM(delta_src * w); SUM skips NULL terms and is
+      // NULL when no non-NULL term exists (including "no incoming edges").
+      std::optional<double> new_delta;
+      if (has_incoming) {
+        double sum = 0;
+        bool any = false;
+        for (const auto& [src, w] : in_it->second) {
+          const PageRankRow& src_row = state[index[src]];
+          if (src_row.delta.has_value()) {
+            sum += *src_row.delta * w;
+            any = true;
+          }
+        }
+        if (any) new_delta = 0.85 * sum;
+      }
+      next[i].rank = new_rank;
+      next[i].delta = new_delta;
+    }
+    state = std::move(next);
+  }
+  return state;
+}
+
+std::vector<SsspRow> ReferenceSssp(
+    const EdgeList& graph, int iterations, int64_t source,
+    const std::unordered_map<int64_t, int64_t>* status) {
+  constexpr double kInf = 9999999;
+  std::vector<int64_t> nodes = GraphNodes(graph);
+  auto incoming = IncomingEdges(graph);
+
+  std::unordered_map<int64_t, size_t> index;
+  std::vector<SsspRow> state(nodes.size());
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    index[nodes[i]] = i;
+    state[i] = SsspRow{nodes[i], kInf, nodes[i] == source ? 0 : kInf};
+  }
+
+  auto available = [&](int64_t node) {
+    if (status == nullptr) return true;
+    auto it = status->find(node);
+    return it != status->end() && it->second != 0;
+  };
+
+  for (int iter = 0; iter < iterations; ++iter) {
+    std::vector<SsspRow> next = state;
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      int64_t node = nodes[i];
+      if (status != nullptr && !available(node)) continue;
+      const auto in_it = incoming.find(node);
+      if (in_it == incoming.end()) continue;  // LEFT JOIN row filtered by WHERE
+      // Only rows with an explored source survive the WHERE clause.
+      double best = kInf;
+      bool any = false;
+      for (const auto& [src, w] : in_it->second) {
+        const SsspRow& src_row = state[index[src]];
+        if (src_row.delta != kInf) {
+          best = std::min(best, src_row.delta + w);
+          any = true;
+        }
+      }
+      if (!any) continue;  // node absent from the working table: keep old row
+      next[i].distance = std::min(state[i].distance, state[i].delta);
+      next[i].delta = best;
+    }
+    state = std::move(next);
+  }
+  return state;
+}
+
+std::vector<ForecastRow> ReferenceForecast(const EdgeList& graph,
+                                           int iterations) {
+  // R0: per source node, friends = COUNT(dst), friendsprev =
+  // CEILING(friends * (1 - (src % 10) / 100)).
+  std::unordered_map<int64_t, int64_t> outdeg;
+  for (int64_t s : graph.src) ++outdeg[s];
+
+  std::vector<ForecastRow> state;
+  state.reserve(outdeg.size());
+  for (const auto& [node, deg] : outdeg) {
+    double friends = static_cast<double>(deg);
+    double prev = std::ceil(
+        friends * (1.0 - static_cast<double>(node % 10) / 100.0));
+    state.push_back(ForecastRow{node, friends, prev});
+  }
+  std::sort(state.begin(), state.end(),
+            [](const ForecastRow& a, const ForecastRow& b) {
+              return a.node < b.node;
+            });
+
+  for (int iter = 0; iter < iterations; ++iter) {
+    for (ForecastRow& row : state) {
+      double next =
+          std::round((row.friends / row.friends_prev) * row.friends * 1e5) /
+          1e5;
+      row.friends_prev = row.friends;
+      row.friends = next;
+    }
+  }
+  return state;
+}
+
+}  // namespace graph
+}  // namespace dbspinner

@@ -1,0 +1,67 @@
+// Reference implementations of the paper's workloads, mirroring the SQL
+// semantics *exactly* (including SQL NULL propagation). Used as ground truth
+// by the integration tests: the iterative-CTE results must match these
+// row-for-row, with and without every optimization enabled.
+
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "graph/generator.h"
+
+namespace dbspinner {
+namespace graph {
+
+/// PageRank state per node. `rank`/`delta` are nullable to mirror the SQL
+/// NULL propagation of the paper's Fig 2 query (nodes with no incoming
+/// edges get a NULL delta, which then NULLs their rank).
+struct PageRankRow {
+  int64_t node;
+  std::optional<double> rank;
+  std::optional<double> delta;
+};
+
+/// Runs the Fig 2 PR query semantics for `iterations` rounds. When `status`
+/// is non-null, runs the PR-VS variant: only nodes with status != 0 that
+/// have at least one incoming edge are updated each round (merge
+/// semantics); others keep their previous values.
+std::vector<PageRankRow> ReferencePageRank(
+    const EdgeList& graph, int iterations,
+    const std::unordered_map<int64_t, int64_t>* status = nullptr);
+
+struct SsspRow {
+  int64_t node;
+  double distance;
+  double delta;
+};
+
+/// Runs the Fig 7 SSSP query semantics (sentinel 9999999; merge updates for
+/// nodes with at least one explored incoming edge). `status` non-null runs
+/// the -VS variant.
+std::vector<SsspRow> ReferenceSssp(
+    const EdgeList& graph, int iterations, int64_t source,
+    const std::unordered_map<int64_t, int64_t>* status = nullptr);
+
+struct ForecastRow {
+  int64_t node;
+  double friends;
+  double friends_prev;
+};
+
+/// Runs the Fig 6 FF query semantics for `iterations` rounds (all nodes
+/// with outgoing edges; geometric growth with ROUND(x, 5)).
+std::vector<ForecastRow> ReferenceForecast(const EdgeList& graph,
+                                           int iterations);
+
+/// Distinct nodes of the graph (src union dst), ascending — the node set
+/// every query's non-iterative part produces.
+std::vector<int64_t> GraphNodes(const EdgeList& graph);
+
+/// vertexstatus table contents as a map (for the reference -VS runs).
+std::unordered_map<int64_t, int64_t> StatusMap(const Table& vertexstatus);
+
+}  // namespace graph
+}  // namespace dbspinner

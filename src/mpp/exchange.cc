@@ -1,0 +1,79 @@
+#include "mpp/exchange.h"
+
+namespace dbspinner {
+
+DistributedTable DistributedTable::Distribute(
+    const Table& table, const std::vector<size_t>& key_cols,
+    size_t num_nodes) {
+  DistributedTable out;
+  out.key_cols_ = key_cols;
+  if (num_nodes == 0) num_nodes = 1;
+  if (key_cols.empty()) {
+    out.partitions_ = RangePartition(table, num_nodes);
+    while (out.partitions_.size() < num_nodes) {
+      out.partitions_.push_back(Table::Make(table.schema()));
+    }
+  } else {
+    out.partitions_ = HashPartition(table, key_cols, num_nodes);
+  }
+  return out;
+}
+
+DistributedTable DistributedTable::FromPartitions(
+    std::vector<TablePtr> partitions, std::vector<size_t> key_cols) {
+  DistributedTable out;
+  out.partitions_ = std::move(partitions);
+  out.key_cols_ = std::move(key_cols);
+  return out;
+}
+
+size_t DistributedTable::TotalRows() const {
+  size_t total = 0;
+  for (const auto& p : partitions_) total += p->num_rows();
+  return total;
+}
+
+TablePtr DistributedTable::ToTable() const { return Gather(partitions_); }
+
+DistributedTable Exchange::Shuffle(const DistributedTable& input,
+                                   const std::vector<size_t>& key_cols,
+                                   ThreadPool* pool, int64_t* rows_shuffled) {
+  size_t nodes = input.num_nodes();
+  // Each node splits its local partition by the new key ("send buffers").
+  std::vector<std::vector<TablePtr>> buffers(nodes);
+  auto split_one = [&](size_t node) {
+    buffers[node] = HashPartition(*input.partition(node), key_cols, nodes);
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(nodes, split_one);
+  } else {
+    for (size_t i = 0; i < nodes; ++i) split_one(i);
+  }
+  // Route buffers to target nodes and concatenate ("receive").
+  std::vector<TablePtr> received(nodes);
+  int64_t moved = 0;
+  for (size_t target = 0; target < nodes; ++target) {
+    TablePtr merged = Table::Make(input.partition(0)->schema());
+    for (size_t source = 0; source < nodes; ++source) {
+      const TablePtr& buf = buffers[source][target];
+      if (source != target) moved += static_cast<int64_t>(buf->num_rows());
+      merged->AppendAll(*buf);
+    }
+    received[target] = std::move(merged);
+  }
+  if (rows_shuffled != nullptr) *rows_shuffled += moved;
+  return DistributedTable::FromPartitions(std::move(received), key_cols);
+}
+
+std::vector<TablePtr> Exchange::Broadcast(const TablePtr& table,
+                                          size_t num_nodes,
+                                          int64_t* rows_shuffled) {
+  std::vector<TablePtr> out(num_nodes, table);
+  if (rows_shuffled != nullptr && num_nodes > 1) {
+    *rows_shuffled +=
+        static_cast<int64_t>(table->num_rows() * (num_nodes - 1));
+  }
+  return out;
+}
+
+}  // namespace dbspinner

@@ -1,0 +1,65 @@
+// Exchange and DistributedTable: the shared-nothing data-distribution layer.
+//
+// A DistributedTable models a relation spread across the W nodes of an MPP
+// cluster (one partition per simulated node). Exchange::Shuffle re-hashes a
+// distributed relation onto a new key — the data-movement step whose cost
+// the paper's common-result optimization amortizes by shuffling invariant
+// join inputs once instead of every iteration.
+
+#pragma once
+
+#include <vector>
+
+#include "common/status.h"
+#include "mpp/partition.h"
+#include "mpp/thread_pool.h"
+#include "storage/table.h"
+
+namespace dbspinner {
+
+/// A relation hash- or range-partitioned across simulated nodes.
+class DistributedTable {
+ public:
+  /// Distributes `table` across `num_nodes` by hashing `key_cols` (empty =>
+  /// range/round-robin distribution).
+  static DistributedTable Distribute(const Table& table,
+                                     const std::vector<size_t>& key_cols,
+                                     size_t num_nodes);
+
+  /// Wraps already-partitioned data (e.g. the output of node-local
+  /// transforms that preserve the existing distribution).
+  static DistributedTable FromPartitions(std::vector<TablePtr> partitions,
+                                         std::vector<size_t> key_cols);
+
+  size_t num_nodes() const { return partitions_.size(); }
+  const TablePtr& partition(size_t i) const { return partitions_[i]; }
+  const std::vector<size_t>& key_cols() const { return key_cols_; }
+
+  /// Total rows across all nodes.
+  size_t TotalRows() const;
+
+  /// Collects all partitions on one node (the MPP gather).
+  TablePtr ToTable() const;
+
+ private:
+  std::vector<TablePtr> partitions_;
+  std::vector<size_t> key_cols_;
+};
+
+/// Exchange: moves rows between nodes.
+class Exchange {
+ public:
+  /// Re-partitions `input` on `key_cols`. Every row not already on its
+  /// target node is counted as shuffled (network traffic in a real MPP).
+  /// Runs node-local splits on `pool` when provided.
+  static DistributedTable Shuffle(const DistributedTable& input,
+                                  const std::vector<size_t>& key_cols,
+                                  ThreadPool* pool, int64_t* rows_shuffled);
+
+  /// Broadcast: replicates `table` to every node (small-table joins).
+  static std::vector<TablePtr> Broadcast(const TablePtr& table,
+                                         size_t num_nodes,
+                                         int64_t* rows_shuffled);
+};
+
+}  // namespace dbspinner

@@ -1,0 +1,156 @@
+#include "mpp/parallel_ops.h"
+
+#include <unordered_map>
+
+namespace dbspinner {
+
+Result<DistributedTable> DistributedFilter(const DistributedTable& input,
+                                           const BoundExpr& predicate,
+                                           ThreadPool* pool) {
+  size_t nodes = input.num_nodes();
+  std::vector<TablePtr> out(nodes);
+  Status first_error = Status::OK();
+  std::mutex mu;
+  auto task = [&](size_t node) {
+    const Table& local = *input.partition(node);
+    Result<std::vector<uint32_t>> sel = EvaluatePredicate(predicate, local);
+    if (!sel.ok()) {
+      std::lock_guard<std::mutex> lock(mu);
+      if (first_error.ok()) first_error = sel.status();
+      out[node] = Table::Make(local.schema());
+      return;
+    }
+    out[node] = local.Gather(*sel);
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(nodes, task);
+  } else {
+    for (size_t i = 0; i < nodes; ++i) task(i);
+  }
+  DBSP_RETURN_NOT_OK(first_error);
+  return DistributedTable::FromPartitions(std::move(out), input.key_cols());
+}
+
+Result<DistributedTable> DistributedHashJoin(const DistributedTable& left,
+                                             size_t left_key,
+                                             const DistributedTable& right,
+                                             size_t right_key,
+                                             ThreadPool* pool,
+                                             int64_t* rows_shuffled) {
+  if (left.num_nodes() != right.num_nodes()) {
+    return Status::InvalidArgument(
+        "DistributedHashJoin requires equal node counts");
+  }
+  // Shuffle both sides onto their join keys (skipped in a real engine when
+  // already co-partitioned; we re-shuffle unconditionally for simplicity,
+  // which only over-counts movement).
+  DistributedTable l =
+      Exchange::Shuffle(left, {left_key}, pool, rows_shuffled);
+  DistributedTable r =
+      Exchange::Shuffle(right, {right_key}, pool, rows_shuffled);
+
+  Schema out_schema = l.partition(0)->schema();
+  for (const auto& col : r.partition(0)->schema().columns()) {
+    out_schema.AddColumn(col.name, col.type);
+  }
+
+  size_t nodes = l.num_nodes();
+  std::vector<TablePtr> out(nodes);
+  auto task = [&](size_t node) {
+    const Table& lt = *l.partition(node);
+    const Table& rt = *r.partition(node);
+    std::unordered_multimap<size_t, uint32_t> build;
+    build.reserve(rt.num_rows());
+    for (size_t i = 0; i < rt.num_rows(); ++i) {
+      if (rt.column(right_key).IsNull(i)) continue;
+      build.emplace(rt.column(right_key).HashAt(i), static_cast<uint32_t>(i));
+    }
+    auto result = Table::Make(out_schema);
+    for (size_t i = 0; i < lt.num_rows(); ++i) {
+      if (lt.column(left_key).IsNull(i)) continue;
+      size_t h = lt.column(left_key).HashAt(i);
+      auto range = build.equal_range(h);
+      for (auto it = range.first; it != range.second; ++it) {
+        if (!lt.column(left_key).EqualsAt(i, rt.column(right_key),
+                                          it->second)) {
+          continue;
+        }
+        std::vector<Value> row;
+        row.reserve(out_schema.num_columns());
+        for (size_t c = 0; c < lt.num_columns(); ++c) {
+          row.push_back(lt.GetValue(i, c));
+        }
+        for (size_t c = 0; c < rt.num_columns(); ++c) {
+          row.push_back(rt.GetValue(it->second, c));
+        }
+        result->AppendRow(row);
+      }
+    }
+    out[node] = std::move(result);
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(nodes, task);
+  } else {
+    for (size_t i = 0; i < nodes; ++i) task(i);
+  }
+  return DistributedTable::FromPartitions(std::move(out), {left_key});
+}
+
+Result<DistributedTable> DistributedSumAggregate(const DistributedTable& input,
+                                                 size_t key_col,
+                                                 size_t value_col,
+                                                 ThreadPool* pool,
+                                                 int64_t* rows_shuffled) {
+  DistributedTable shuffled =
+      Exchange::Shuffle(input, {key_col}, pool, rows_shuffled);
+
+  const Schema& in_schema = shuffled.partition(0)->schema();
+  Schema out_schema;
+  out_schema.AddColumn(in_schema.column(key_col).name,
+                       in_schema.column(key_col).type);
+  out_schema.AddColumn("sum", TypeId::kDouble);
+
+  size_t nodes = shuffled.num_nodes();
+  std::vector<TablePtr> out(nodes);
+  auto task = [&](size_t node) {
+    const Table& local = *shuffled.partition(node);
+    std::unordered_multimap<size_t, size_t> index;  // key hash -> group
+    std::vector<uint32_t> first_row;
+    std::vector<double> sums;
+    for (size_t i = 0; i < local.num_rows(); ++i) {
+      size_t h = local.column(key_col).HashAt(i);
+      size_t g = SIZE_MAX;
+      auto range = index.equal_range(h);
+      for (auto it = range.first; it != range.second; ++it) {
+        if (local.column(key_col).EqualsAt(i, local.column(key_col),
+                                           first_row[it->second])) {
+          g = it->second;
+          break;
+        }
+      }
+      if (g == SIZE_MAX) {
+        g = sums.size();
+        index.emplace(h, g);
+        first_row.push_back(static_cast<uint32_t>(i));
+        sums.push_back(0);
+      }
+      if (!local.column(value_col).IsNull(i)) {
+        sums[g] += local.column(value_col).NumericAt(i);
+      }
+    }
+    auto result = Table::Make(out_schema);
+    for (size_t g = 0; g < sums.size(); ++g) {
+      result->AppendRow({local.GetValue(first_row[g], key_col),
+                         Value::Double(sums[g])});
+    }
+    out[node] = std::move(result);
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(nodes, task);
+  } else {
+    for (size_t i = 0; i < nodes; ++i) task(i);
+  }
+  return DistributedTable::FromPartitions(std::move(out), {0});
+}
+
+}  // namespace dbspinner

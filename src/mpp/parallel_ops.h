@@ -1,0 +1,39 @@
+// Node-local parallel kernels over DistributedTables: the building blocks a
+// shared-nothing engine composes into distributed plans. Used by the MPP
+// tests and the worker-scaling ablation bench; the SQL executor embeds the
+// same partition-then-gather pattern directly in its operators.
+
+#pragma once
+
+#include <functional>
+
+#include "common/status.h"
+#include "expr/expr.h"
+#include "mpp/exchange.h"
+
+namespace dbspinner {
+
+/// Applies a filter predicate on every node in parallel.
+Result<DistributedTable> DistributedFilter(const DistributedTable& input,
+                                           const BoundExpr& predicate,
+                                           ThreadPool* pool);
+
+/// Co-partitioned hash join: shuffles both sides onto the join key, joins
+/// node-locally, and returns the distributed result (inner join,
+/// single-column keys).
+Result<DistributedTable> DistributedHashJoin(const DistributedTable& left,
+                                             size_t left_key,
+                                             const DistributedTable& right,
+                                             size_t right_key,
+                                             ThreadPool* pool,
+                                             int64_t* rows_shuffled);
+
+/// Grouped SUM over a single key column and a single value column:
+/// shuffle-on-key then node-local aggregation (the two-phase MPP aggregate).
+Result<DistributedTable> DistributedSumAggregate(const DistributedTable& input,
+                                                 size_t key_col,
+                                                 size_t value_col,
+                                                 ThreadPool* pool,
+                                                 int64_t* rows_shuffled);
+
+}  // namespace dbspinner

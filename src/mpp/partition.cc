@@ -1,0 +1,57 @@
+#include "mpp/partition.h"
+
+namespace dbspinner {
+
+size_t HashRowKeys(const Table& t, const std::vector<size_t>& key_cols,
+                   size_t row) {
+  size_t h = 0x9e3779b97f4a7c15ULL;
+  for (size_t c : key_cols) {
+    size_t hc = t.column(c).HashAt(row);
+    h ^= hc + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+std::vector<TablePtr> HashPartition(const Table& input,
+                                    const std::vector<size_t>& key_cols,
+                                    size_t num_partitions) {
+  std::vector<std::vector<uint32_t>> selections(num_partitions);
+  size_t n = input.num_rows();
+  for (auto& s : selections) s.reserve(n / num_partitions + 1);
+  for (size_t i = 0; i < n; ++i) {
+    size_t p = HashRowKeys(input, key_cols, i) % num_partitions;
+    selections[p].push_back(static_cast<uint32_t>(i));
+  }
+  std::vector<TablePtr> out;
+  out.reserve(num_partitions);
+  for (const auto& sel : selections) out.push_back(input.Gather(sel));
+  return out;
+}
+
+std::vector<TablePtr> RangePartition(const Table& input,
+                                     size_t num_partitions) {
+  size_t n = input.num_rows();
+  if (num_partitions == 0) num_partitions = 1;
+  size_t chunk = (n + num_partitions - 1) / num_partitions;
+  std::vector<TablePtr> out;
+  for (size_t start = 0; start < n; start += chunk) {
+    size_t end = std::min(n, start + chunk);
+    std::vector<uint32_t> sel;
+    sel.reserve(end - start);
+    for (size_t i = start; i < end; ++i) sel.push_back(static_cast<uint32_t>(i));
+    out.push_back(input.Gather(sel));
+  }
+  if (out.empty()) out.push_back(input.Gather({}));
+  return out;
+}
+
+TablePtr Gather(const std::vector<TablePtr>& partitions) {
+  TablePtr out = Table::Make(partitions.at(0)->schema());
+  size_t total = 0;
+  for (const auto& p : partitions) total += p->num_rows();
+  out->Reserve(total);
+  for (const auto& p : partitions) out->AppendAll(*p);
+  return out;
+}
+
+}  // namespace dbspinner

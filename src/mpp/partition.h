@@ -1,0 +1,34 @@
+// Hash partitioning: the data-distribution primitive of the shared-nothing
+// simulation. A partitioned table models a relation distributed across the
+// nodes of an MPP cluster.
+
+#pragma once
+
+#include <vector>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace dbspinner {
+
+/// Splits `input` into `num_partitions` tables by hashing the given key
+/// columns (rows with equal keys land in the same partition). NULL keys hash
+/// to partition 0's bucket deterministically.
+std::vector<TablePtr> HashPartition(const Table& input,
+                                    const std::vector<size_t>& key_cols,
+                                    size_t num_partitions);
+
+/// Splits `input` into up to `num_partitions` contiguous row ranges of
+/// near-equal size (round-robin by range; models node-local scans).
+std::vector<TablePtr> RangePartition(const Table& input,
+                                     size_t num_partitions);
+
+/// Concatenates partitions back into one table (the "gather" step).
+/// All partitions must share the first partition's schema.
+TablePtr Gather(const std::vector<TablePtr>& partitions);
+
+/// Combined row hash over `key_cols` of row `row`.
+size_t HashRowKeys(const Table& t, const std::vector<size_t>& key_cols,
+                   size_t row);
+
+}  // namespace dbspinner

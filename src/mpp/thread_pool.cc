@@ -1,0 +1,78 @@
+#include "mpp/thread_pool.h"
+
+#include <atomic>
+
+namespace dbspinner {
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads < 1) num_threads = 1;
+  workers_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !tasks_.empty(); });
+      if (shutdown_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (n == 1 || workers_.size() <= 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::atomic<size_t> remaining{n};
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t i = 0; i < n; ++i) {
+      tasks_.push([&, i] {
+        fn(i);
+        if (remaining.fetch_sub(1) == 1) {
+          std::lock_guard<std::mutex> dl(done_mu);
+          done_cv.notify_all();
+        }
+      });
+    }
+  }
+  cv_.notify_all();
+  std::unique_lock<std::mutex> dl(done_mu);
+  done_cv.wait(dl, [&] { return remaining.load() == 0; });
+}
+
+Status ThreadPool::ParallelForStatus(size_t n,
+                                     const std::function<Status(size_t)>& fn) {
+  std::mutex status_mu;
+  Status first_error = Status::OK();
+  ParallelFor(n, [&](size_t i) {
+    Status s = fn(i);
+    if (!s.ok()) {
+      std::lock_guard<std::mutex> lock(status_mu);
+      if (first_error.ok()) first_error = std::move(s);
+    }
+  });
+  return first_error;
+}
+
+}  // namespace dbspinner

@@ -1,0 +1,51 @@
+// Fixed-size worker pool used by the shared-nothing (MPP) simulation.
+//
+// Each worker plays the role of one node of the paper's MPP cluster:
+// partitioned operators split their input by hash or range, run one task per
+// partition on the pool, and concatenate ("gather") the partial results.
+
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dbspinner {
+
+/// A minimal fixed-size thread pool with a blocking "run all and wait" API,
+/// which is the only pattern the executor needs.
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers (minimum 1).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Runs tasks 0..n-1 by calling `fn(i)` across the pool and blocks until
+  /// all complete. `fn` must be thread-safe across distinct indices.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  /// Runs each task and collects the first non-OK status (if any).
+  Status ParallelForStatus(size_t n,
+                           const std::function<Status(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::queue<std::function<void()>> tasks_;
+  bool shutdown_ = false;
+};
+
+}  // namespace dbspinner

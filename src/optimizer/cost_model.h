@@ -1,0 +1,57 @@
+// Cost model and iteration estimation.
+//
+// The paper's future-work list (§IX) names "estimating number of iterations
+// for more accurate optimizer costing". This module implements that idea:
+// textbook cardinality heuristics give per-plan costs, a LoopSpec-aware
+// estimator predicts how often the loop body runs, and Program costs weight
+// loop-body steps by that estimate. The common-result rewrite consults it to
+// skip hoisting when the loop is predicted to run at most once (the only
+// case where materializing the common part cannot pay off).
+
+#pragma once
+
+#include <string>
+
+#include "plan/program.h"
+#include "storage/catalog.h"
+
+namespace dbspinner {
+
+/// Cardinality and cost estimates for logical plans and programs.
+/// Heuristic selectivities in the absence of column statistics:
+///   equality predicate 0.1, range predicate 1/3, other predicates 1/2,
+///   equi-join |L|*|R| * 0.01 (capped below by max input), aggregate
+///   |input|^0.75 groups, distinct 0.5.
+class CostModel {
+ public:
+  explicit CostModel(Catalog* catalog) : catalog_(catalog) {}
+
+  /// Estimated output rows of a plan.
+  double EstimateCardinality(const LogicalOp& plan) const;
+
+  /// Estimated cost (total rows flowing through all operators — the C_out
+  /// model) of one plan.
+  double EstimatePlanCost(const LogicalOp& plan) const;
+
+  /// Estimated iterations a loop will run. Metadata conditions are exact
+  /// (or derived from the CTE's estimated size for UNTIL n UPDATES); Data /
+  /// Delta / recursive conditions fall back to `default_iterations`.
+  double EstimateIterations(const LoopSpec& spec, double cte_rows,
+                            double default_iterations = 10.0) const;
+
+  /// Estimated total cost of a program: plan-bearing steps cost their plan,
+  /// Rename costs ~0, MergeUpdate costs the CTE size; steps between an
+  /// InitLoop and its LoopCheck are weighted by the loop's estimated
+  /// iteration count.
+  double EstimateProgramCost(const Program& program) const;
+
+  /// Human-readable per-step cost breakdown (EXPLAIN COST style).
+  std::string ExplainCost(const Program& program) const;
+
+ private:
+  double ScanRows(const LogicalOp& scan) const;
+
+  Catalog* catalog_;
+};
+
+}  // namespace dbspinner

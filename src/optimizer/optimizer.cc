@@ -1,0 +1,61 @@
+#include "optimizer/optimizer.h"
+
+#include "optimizer/cost_model.h"
+
+namespace dbspinner {
+
+Status Optimizer::OptimizePlan(LogicalOpPtr* plan) {
+  if (options_.enable_constant_folding) {
+    DBSP_RETURN_NOT_OK(ConstantFold(plan));
+  }
+  if (options_.enable_join_simplification) {
+    DBSP_RETURN_NOT_OK(SimplifyJoins(plan));
+  }
+  if (options_.enable_predicate_pushdown) {
+    DBSP_RETURN_NOT_OK(PushDownPredicates(plan));
+  }
+  return Status::OK();
+}
+
+Status Optimizer::OptimizeProgram(Program* program) {
+  // 1. Cross-block pushdown first, so pushed predicates can sink further
+  //    inside R0 during the local pass below.
+  if (options_.enable_cte_predicate_pushdown) {
+    for (const IterativeCteInfo& info : program->iterative_ctes) {
+      if (info.pushdown_legal) {
+        DBSP_RETURN_NOT_OK(ApplyCtePredicatePushdown(program, info));
+      }
+    }
+  }
+  // 2. Local rules on every step plan.
+  for (Step& step : program->steps) {
+    if (step.plan) {
+      DBSP_RETURN_NOT_OK(OptimizePlan(&step.plan));
+    }
+  }
+  // 3. Common-result extraction (wants simplified/pushed-down Ri plans).
+  //    Cost guard: a loop predicted to run at most once cannot amortize the
+  //    hoisted materialization, so skip it (paper §IX future work).
+  if (options_.enable_common_result) {
+    CostModel cost(catalog_);
+    int counter = 0;
+    for (const IterativeCteInfo& info : program->iterative_ctes) {
+      int init_idx = program->FindStep(info.init_step_id);
+      if (init_idx >= 0) {
+        const Step& init = program->steps[static_cast<size_t>(init_idx)];
+        int r0_idx = program->FindStep(info.r0_step_id);
+        double cte_rows =
+            r0_idx >= 0 && program->steps[static_cast<size_t>(r0_idx)].plan
+                ? cost.EstimateCardinality(
+                      *program->steps[static_cast<size_t>(r0_idx)].plan)
+                : 0.0;
+        if (cost.EstimateIterations(init.loop, cte_rows) <= 1.0) continue;
+      }
+      DBSP_RETURN_NOT_OK(
+          ApplyCommonResultRewrite(program, info, &counter, this));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace dbspinner

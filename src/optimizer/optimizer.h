@@ -1,0 +1,70 @@
+// Rule-based optimizer.
+//
+// The cost-based parts of a production optimizer (join ordering, statistics)
+// are untouched by the paper's proposal — it explicitly reuses them. Our
+// engine correspondingly keeps physical planning trivial and implements the
+// rewrites the paper discusses:
+//   - constant folding (stock rule)
+//   - outer->inner join conversion ("outer to inner join conversions", §V)
+//   - predicate pushdown within a block (stock rule)
+//   - predicate pushdown from Qf into R0 of an iterative CTE (§V-B, Fig 10)
+//   - common-result extraction out of Ri (§V-A, Fig 9)
+
+#pragma once
+
+#include "common/status.h"
+#include "engine/options.h"
+#include "plan/program.h"
+#include "storage/catalog.h"
+
+namespace dbspinner {
+
+class Optimizer {
+ public:
+  /// `catalog` (optional) enables cardinality-based decisions: with it, the
+  /// common-result rewrite is skipped for loops estimated to run <= 1
+  /// iteration, where materialization cannot pay off (the paper's §IX
+  /// future-work costing).
+  explicit Optimizer(const OptimizerOptions& options,
+                     Catalog* catalog = nullptr)
+      : options_(options), catalog_(catalog) {}
+
+  /// Applies all enabled rewrites to every plan in the program, plus the
+  /// cross-step iterative-CTE rewrites.
+  Status OptimizeProgram(Program* program);
+
+  /// Applies the enabled local (single-plan) rules.
+  Status OptimizePlan(LogicalOpPtr* plan);
+
+ private:
+  OptimizerOptions options_;
+  Catalog* catalog_;
+};
+
+// --- individual rules (exposed for tests) -----------------------------------
+
+/// Folds constant subexpressions in every expression of the plan, removes
+/// always-true filters, and replaces always-false filters with empty inputs.
+Status ConstantFold(LogicalOpPtr* plan);
+
+/// Converts LEFT joins to INNER where a null-rejecting predicate above the
+/// join discards NULL-extended rows.
+Status SimplifyJoins(LogicalOpPtr* plan);
+
+/// Pushes filter conjuncts below projects, into join inputs / conditions,
+/// through unions and distinct, and below aggregates (group columns only).
+Status PushDownPredicates(LogicalOpPtr* plan);
+
+/// Fig 10: pushes conjuncts of the main query's filter over the iterative
+/// CTE into the CTE's non-iterative part R0, when `info.pushdown_legal` and
+/// the predicate only touches pass-through columns.
+Status ApplyCtePredicatePushdown(Program* program,
+                                 const IterativeCteInfo& info);
+
+/// Fig 9: hoists loop-invariant join components out of the Ri plan,
+/// materializing them once before the loop as __common#k results.
+/// `local_rules` is applied to each hoisted plan and the rewritten Ri plan.
+Status ApplyCommonResultRewrite(Program* program, const IterativeCteInfo& info,
+                                int* common_counter, Optimizer* optimizer);
+
+}  // namespace dbspinner

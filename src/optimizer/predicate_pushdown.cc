@@ -1,0 +1,215 @@
+// Predicate pushdown.
+//
+// Within a block: filters sink below projects, into join inputs and
+// conditions, through unions/distinct/sort, and below aggregates when they
+// touch only group columns.
+//
+// Across blocks (Fig 10): a filter applied by the main query Qf on an
+// iterative CTE may be evaluated once in R0 instead of after the loop — but
+// only when each CTE row evolves independently (no joins, self references, or
+// aggregates in Ri) and the filtered columns pass through Ri unchanged.
+// Applying it blindly (e.g. to the PR query, where a node's rank needs its
+// neighbours) would be incorrect, which is why the rule is restricted
+// (§V-B).
+
+#include <functional>
+
+#include "optimizer/optimizer.h"
+
+namespace dbspinner {
+
+namespace {
+
+LogicalOpPtr WrapFilter(LogicalOpPtr plan, std::vector<BoundExprPtr> conjs) {
+  if (conjs.empty()) return plan;
+  return MakeFilter(CombineConjuncts(std::move(conjs)), std::move(plan));
+}
+
+// Replaces column references in `expr` with clones of the projection
+// expressions they select.
+BoundExprPtr SubstituteColumns(BoundExprPtr expr,
+                               const std::vector<BoundExprPtr>& projections) {
+  if (expr->kind == BoundExprKind::kColumnRef) {
+    return projections[expr->column_index]->Clone();
+  }
+  for (auto& c : expr->children) {
+    c = SubstituteColumns(std::move(c), projections);
+  }
+  return expr;
+}
+
+LogicalOpPtr Push(LogicalOpPtr plan, std::vector<BoundExprPtr> pending) {
+  LogicalOp* op = plan.get();
+  switch (op->kind) {
+    case LogicalOpKind::kFilter: {
+      SplitConjuncts(*op->predicate, &pending);
+      return Push(std::move(op->children[0]), std::move(pending));
+    }
+    case LogicalOpKind::kProject: {
+      std::vector<BoundExprPtr> below;
+      below.reserve(pending.size());
+      for (auto& c : pending) {
+        below.push_back(SubstituteColumns(std::move(c), op->projections));
+      }
+      op->children[0] = Push(std::move(op->children[0]), std::move(below));
+      return plan;
+    }
+    case LogicalOpKind::kJoin: {
+      size_t nleft = op->children[0]->output_schema.num_columns();
+      std::vector<BoundExprPtr> below_left, below_right, cond_rest, stay;
+      bool inner = op->join_type == JoinType::kInner;
+      // Single-side conjuncts of an inner join's condition also sink.
+      if (inner && op->join_condition) {
+        std::vector<BoundExprPtr> cond_conjs;
+        SplitConjuncts(*op->join_condition, &cond_conjs);
+        for (auto& c : cond_conjs) pending.push_back(std::move(c));
+        op->join_condition = nullptr;
+      }
+      for (auto& c : pending) {
+        if (!c->HasColumnRef()) {
+          stay.push_back(std::move(c));
+        } else if (c->RefsWithin(0, nleft)) {
+          below_left.push_back(std::move(c));
+        } else if (c->RefsWithin(nleft, op->output_schema.num_columns())) {
+          if (inner) {
+            c->ShiftColumns(-static_cast<int64_t>(nleft));
+            below_right.push_back(std::move(c));
+          } else {
+            stay.push_back(std::move(c));
+          }
+        } else {
+          if (inner) {
+            cond_rest.push_back(std::move(c));
+          } else {
+            stay.push_back(std::move(c));
+          }
+        }
+      }
+      if (!inner && op->join_condition) {
+        // LEFT join keeps its condition untouched.
+      }
+      if (inner) {
+        op->join_condition = cond_rest.empty()
+                                 ? nullptr
+                                 : CombineConjuncts(std::move(cond_rest));
+      }
+      op->children[0] = Push(std::move(op->children[0]),
+                             std::move(below_left));
+      op->children[1] = Push(std::move(op->children[1]),
+                             std::move(below_right));
+      return WrapFilter(std::move(plan), std::move(stay));
+    }
+    case LogicalOpKind::kAggregate: {
+      size_t ngroups = op->group_exprs.size();
+      std::vector<BoundExprPtr> below, stay;
+      for (auto& c : pending) {
+        if (c->HasColumnRef() && c->RefsWithin(0, ngroups)) {
+          // Rewrite group-output refs into the underlying group expressions.
+          below.push_back(SubstituteColumns(std::move(c), op->group_exprs));
+        } else {
+          stay.push_back(std::move(c));
+        }
+      }
+      op->children[0] = Push(std::move(op->children[0]), std::move(below));
+      return WrapFilter(std::move(plan), std::move(stay));
+    }
+    case LogicalOpKind::kUnionAll:
+    case LogicalOpKind::kExcept:
+    case LogicalOpKind::kIntersect: {
+      // Deterministic predicates commute with all three set operations.
+      for (auto& child : op->children) {
+        std::vector<BoundExprPtr> clones;
+        clones.reserve(pending.size());
+        for (const auto& c : pending) clones.push_back(c->Clone());
+        child = Push(std::move(child), std::move(clones));
+      }
+      return plan;
+    }
+    case LogicalOpKind::kDistinct:
+    case LogicalOpKind::kSort: {
+      op->children[0] = Push(std::move(op->children[0]), std::move(pending));
+      return plan;
+    }
+    case LogicalOpKind::kLimit: {
+      // Filtering below a LIMIT changes which rows are kept: stop here.
+      op->children[0] = Push(std::move(op->children[0]), {});
+      return WrapFilter(std::move(plan), std::move(pending));
+    }
+    case LogicalOpKind::kScan:
+    case LogicalOpKind::kValues:
+      return WrapFilter(std::move(plan), std::move(pending));
+  }
+  return WrapFilter(std::move(plan), std::move(pending));
+}
+
+}  // namespace
+
+Status PushDownPredicates(LogicalOpPtr* plan) {
+  *plan = Push(std::move(*plan), {});
+  return Status::OK();
+}
+
+Status ApplyCtePredicatePushdown(Program* program,
+                                 const IterativeCteInfo& info) {
+  // Find the final step and, within it, a Filter over a scan of the CTE.
+  int final_idx = -1;
+  for (size_t i = 0; i < program->steps.size(); ++i) {
+    if (program->steps[i].kind == Step::Kind::kFinal) {
+      final_idx = static_cast<int>(i);
+    }
+  }
+  if (final_idx < 0) return Status::OK();
+  LogicalOpPtr& final_plan = program->steps[static_cast<size_t>(final_idx)].plan;
+
+  // Walk for Filter(Scan(result:cte)) or Filter(Join(leftmost Scan(cte))).
+  std::vector<BoundExprPtr> pushable;
+  std::function<void(LogicalOp*)> walk = [&](LogicalOp* op) {
+    if (op->kind == LogicalOpKind::kFilter) {
+      LogicalOp* child = op->children[0].get();
+      // Accept a direct scan, or a join tree whose leftmost leaf is the scan
+      // (the CTE's columns are then ordinals [0, width)).
+      LogicalOp* leftmost = child;
+      while (leftmost->kind == LogicalOpKind::kJoin) {
+        leftmost = leftmost->children[0].get();
+      }
+      bool over_cte = leftmost->kind == LogicalOpKind::kScan &&
+                      leftmost->scan_source == ScanSource::kResult &&
+                      leftmost->scan_name == info.cte_name &&
+                      (child == leftmost ||
+                       child->kind == LogicalOpKind::kJoin);
+      if (over_cte) {
+        std::vector<BoundExprPtr> conjuncts;
+        SplitConjuncts(*op->predicate, &conjuncts);
+        for (auto& c : conjuncts) {
+          if (!c->HasColumnRef()) continue;
+          bool ok = true;
+          std::vector<size_t> refs;
+          c->CollectColumnRefs(&refs);
+          for (size_t r : refs) {
+            if (r >= info.pass_through.size() || !info.pass_through[r]) {
+              ok = false;
+              break;
+            }
+          }
+          if (ok) pushable.push_back(c->Clone());
+        }
+      }
+    }
+    for (auto& c : op->children) walk(c.get());
+  };
+  walk(final_plan.get());
+  if (pushable.empty()) return Status::OK();
+
+  // Wrap R0's plan: the predicate's ordinals are CTE-schema positions, which
+  // equal R0's output positions. The original filter in Qf is kept (it is
+  // now a cheap no-op), preserving correctness even for borderline cases.
+  int r0_idx = program->FindStep(info.r0_step_id);
+  if (r0_idx < 0) return Status::Internal("R0 step not found");
+  Step& r0 = program->steps[static_cast<size_t>(r0_idx)];
+  r0.plan = MakeFilter(CombineConjuncts(std::move(pushable)),
+                       std::move(r0.plan));
+  r0.comment += " [predicate pushed down from Qf]";
+  return Status::OK();
+}
+
+}  // namespace dbspinner

@@ -1,0 +1,237 @@
+#include "parser/ast.h"
+
+#include "common/string_util.h"
+
+namespace dbspinner {
+
+const char* BinaryOpName(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd: return "+";
+    case BinaryOp::kSub: return "-";
+    case BinaryOp::kMul: return "*";
+    case BinaryOp::kDiv: return "/";
+    case BinaryOp::kMod: return "%";
+    case BinaryOp::kEq: return "=";
+    case BinaryOp::kNe: return "!=";
+    case BinaryOp::kLt: return "<";
+    case BinaryOp::kLe: return "<=";
+    case BinaryOp::kGt: return ">";
+    case BinaryOp::kGe: return ">=";
+    case BinaryOp::kAnd: return "AND";
+    case BinaryOp::kOr: return "OR";
+    case BinaryOp::kConcat: return "||";
+  }
+  return "?";
+}
+
+ParseExprPtr MakeLiteral(Value v) {
+  auto e = std::make_unique<ParseExpr>();
+  e->kind = ParseExprKind::kLiteral;
+  e->literal = std::move(v);
+  return e;
+}
+
+ParseExprPtr MakeColumnRef(std::string qualifier, std::string column) {
+  auto e = std::make_unique<ParseExpr>();
+  e->kind = ParseExprKind::kColumnRef;
+  e->qualifier = ToLower(qualifier);
+  e->column_name = ToLower(column);
+  return e;
+}
+
+ParseExprPtr MakeBinary(BinaryOp op, ParseExprPtr l, ParseExprPtr r) {
+  auto e = std::make_unique<ParseExpr>();
+  e->kind = ParseExprKind::kBinaryOp;
+  e->binary_op = op;
+  e->children.push_back(std::move(l));
+  e->children.push_back(std::move(r));
+  return e;
+}
+
+ParseExprPtr MakeUnary(UnaryOp op, ParseExprPtr operand) {
+  auto e = std::make_unique<ParseExpr>();
+  e->kind = ParseExprKind::kUnaryOp;
+  e->unary_op = op;
+  e->children.push_back(std::move(operand));
+  return e;
+}
+
+ParseExprPtr MakeFunction(std::string name, std::vector<ParseExprPtr> args) {
+  auto e = std::make_unique<ParseExpr>();
+  e->kind = ParseExprKind::kFunctionCall;
+  e->function_name = ToLower(name);
+  e->children = std::move(args);
+  return e;
+}
+
+ParseExprPtr ParseExpr::Clone() const {
+  auto e = std::make_unique<ParseExpr>();
+  e->kind = kind;
+  e->literal = literal;
+  e->qualifier = qualifier;
+  e->column_name = column_name;
+  e->binary_op = binary_op;
+  e->unary_op = unary_op;
+  e->function_name = function_name;
+  e->distinct = distinct;
+  e->cast_type = cast_type;
+  e->negated = negated;
+  e->case_has_else = case_has_else;
+  e->children.reserve(children.size());
+  for (const auto& c : children) e->children.push_back(c->Clone());
+  return e;
+}
+
+std::string ParseExpr::ToString() const {
+  switch (kind) {
+    case ParseExprKind::kLiteral:
+      return literal.type() == TypeId::kString ? "'" + literal.ToString() + "'"
+                                               : literal.ToString();
+    case ParseExprKind::kColumnRef:
+      return qualifier.empty() ? column_name : qualifier + "." + column_name;
+    case ParseExprKind::kStar:
+      return "*";
+    case ParseExprKind::kBinaryOp:
+      return "(" + children[0]->ToString() + " " + BinaryOpName(binary_op) +
+             " " + children[1]->ToString() + ")";
+    case ParseExprKind::kUnaryOp:
+      return std::string(unary_op == UnaryOp::kNeg ? "-" : "NOT ") +
+             children[0]->ToString();
+    case ParseExprKind::kFunctionCall: {
+      std::string out = function_name + "(";
+      if (distinct) out += "DISTINCT ";
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += children[i]->ToString();
+      }
+      return out + ")";
+    }
+    case ParseExprKind::kCase: {
+      std::string out = "CASE";
+      size_t pairs = children.size() / 2;
+      for (size_t i = 0; i < pairs; ++i) {
+        out += " WHEN " + children[2 * i]->ToString() + " THEN " +
+               children[2 * i + 1]->ToString();
+      }
+      if (case_has_else) out += " ELSE " + children.back()->ToString();
+      return out + " END";
+    }
+    case ParseExprKind::kCast:
+      return "CAST(" + children[0]->ToString() + " AS " +
+             TypeName(cast_type) + ")";
+    case ParseExprKind::kIsNull:
+      return children[0]->ToString() + (negated ? " IS NOT NULL" : " IS NULL");
+    case ParseExprKind::kIn: {
+      std::string out = children[0]->ToString();
+      out += negated ? " NOT IN (" : " IN (";
+      for (size_t i = 1; i < children.size(); ++i) {
+        if (i > 1) out += ", ";
+        out += children[i]->ToString();
+      }
+      return out + ")";
+    }
+    case ParseExprKind::kBetween:
+      return children[0]->ToString() + " BETWEEN " + children[1]->ToString() +
+             " AND " + children[2]->ToString();
+    case ParseExprKind::kLike:
+      return children[0]->ToString() + (negated ? " NOT LIKE " : " LIKE ") +
+             children[1]->ToString();
+  }
+  return "?";
+}
+
+TableRefPtr TableRef::Clone() const {
+  auto t = std::make_unique<TableRef>();
+  t->kind = kind;
+  t->table_name = table_name;
+  t->alias = alias;
+  t->join_type = join_type;
+  if (left) t->left = left->Clone();
+  if (right) t->right = right->Clone();
+  if (join_condition) t->join_condition = join_condition->Clone();
+  if (subquery) t->subquery = subquery->Clone();
+  return t;
+}
+
+SelectItem SelectItem::Clone() const {
+  SelectItem s;
+  s.expr = expr->Clone();
+  s.alias = alias;
+  return s;
+}
+
+QueryNodePtr QueryNode::Clone() const {
+  auto q = std::make_unique<QueryNode>();
+  q->kind = kind;
+  q->distinct = distinct;
+  for (const auto& item : select_list) q->select_list.push_back(item.Clone());
+  if (from) q->from = from->Clone();
+  if (where) q->where = where->Clone();
+  for (const auto& g : group_by) q->group_by.push_back(g->Clone());
+  if (having) q->having = having->Clone();
+  q->set_op = set_op;
+  if (left) q->left = left->Clone();
+  if (right) q->right = right->Clone();
+  for (const auto& o : order_by) {
+    OrderByItem item;
+    item.expr = o.expr->Clone();
+    item.descending = o.descending;
+    q->order_by.push_back(std::move(item));
+  }
+  q->limit = limit;
+  q->offset = offset;
+  return q;
+}
+
+TerminationCondition TerminationCondition::Clone() const {
+  TerminationCondition t;
+  t.kind = kind;
+  t.n = n;
+  if (expr) t.expr = expr->Clone();
+  return t;
+}
+
+std::string TerminationCondition::ToString() const {
+  switch (kind) {
+    case Kind::kIterations:
+      return std::to_string(n) + " ITERATIONS";
+    case Kind::kUpdates:
+      return std::to_string(n) + " UPDATES";
+    case Kind::kAny:
+      return "ANY(" + expr->ToString() + ")";
+    case Kind::kAll:
+      return "ALL(" + expr->ToString() + ")";
+    case Kind::kDeltaLess:
+      return "DELTA < " + std::to_string(n);
+  }
+  return "?";
+}
+
+const char* TerminationCondition::TypeName() const {
+  switch (kind) {
+    case Kind::kIterations:
+    case Kind::kUpdates:
+      return "Metadata";
+    case Kind::kAny:
+    case Kind::kAll:
+      return "Data";
+    case Kind::kDeltaLess:
+      return "Delta";
+  }
+  return "?";
+}
+
+CteDef CteDef::Clone() const {
+  CteDef c;
+  c.name = name;
+  c.column_names = column_names;
+  c.kind = kind;
+  if (query) c.query = query->Clone();
+  if (init_query) c.init_query = init_query->Clone();
+  if (iter_query) c.iter_query = iter_query->Clone();
+  c.until = until.Clone();
+  c.key_column = key_column;
+  return c;
+}
+
+}  // namespace dbspinner

@@ -1,0 +1,295 @@
+// Abstract syntax tree produced by the SQL parser (unbound names).
+//
+// The grammar covers everything the paper's workloads need: SELECT with
+// inner/left joins, GROUP BY/HAVING, ORDER BY/LIMIT, UNION [ALL], scalar
+// functions, CASE, CAST, plus the WITH [RECURSIVE|ITERATIVE] clause and the
+// DDL/DML statements used by the external/stored-procedure baselines
+// (CREATE TABLE / INSERT / UPDATE [FROM] / DELETE / DROP TABLE), and EXPLAIN.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "common/value.h"
+
+namespace dbspinner {
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+struct ParseExpr;
+using ParseExprPtr = std::unique_ptr<ParseExpr>;
+
+enum class ParseExprKind {
+  kLiteral,
+  kColumnRef,
+  kStar,        ///< `*` or `COUNT(*)` argument
+  kBinaryOp,
+  kUnaryOp,
+  kFunctionCall,
+  kCase,
+  kCast,
+  kIsNull,      ///< IS [NOT] NULL
+  kIn,          ///< expr [NOT] IN (literal, ...)
+  kBetween,     ///< expr BETWEEN lo AND hi
+  kLike,        ///< expr [NOT] LIKE 'pattern' (% and _ wildcards)
+};
+
+enum class BinaryOp {
+  kAdd, kSub, kMul, kDiv, kMod,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAnd, kOr,
+  kConcat,
+};
+
+enum class UnaryOp { kNeg, kNot };
+
+const char* BinaryOpName(BinaryOp op);
+
+/// One node of an (unbound) expression tree.
+struct ParseExpr {
+  ParseExprKind kind;
+
+  // kLiteral
+  Value literal;
+
+  // kColumnRef: optional qualifier ("t.col"); names normalized lower-case.
+  std::string qualifier;
+  std::string column_name;
+
+  // kBinaryOp / kUnaryOp
+  BinaryOp binary_op = BinaryOp::kAdd;
+  UnaryOp unary_op = UnaryOp::kNeg;
+
+  // kFunctionCall: normalized lower-case function name; `distinct` for
+  // aggregate arguments (COUNT(DISTINCT x)).
+  std::string function_name;
+  bool distinct = false;
+
+  // kCast
+  TypeId cast_type = TypeId::kNull;
+
+  // kIsNull / kIn
+  bool negated = false;
+
+  // Children. Layout by kind:
+  //   kBinaryOp: [lhs, rhs]            kUnaryOp: [operand]
+  //   kFunctionCall: args              kCast: [operand]
+  //   kIsNull: [operand]               kIn: [operand, item...]
+  //   kBetween: [operand, lo, hi]
+  //   kCase: [when1, then1, when2, then2, ..., else?] — `case_has_else`
+  std::vector<ParseExprPtr> children;
+  bool case_has_else = false;
+
+  /// Deep copy.
+  ParseExprPtr Clone() const;
+
+  /// SQL-ish rendering for diagnostics and plan printing.
+  std::string ToString() const;
+};
+
+ParseExprPtr MakeLiteral(Value v);
+ParseExprPtr MakeColumnRef(std::string qualifier, std::string column);
+ParseExprPtr MakeBinary(BinaryOp op, ParseExprPtr l, ParseExprPtr r);
+ParseExprPtr MakeUnary(UnaryOp op, ParseExprPtr operand);
+ParseExprPtr MakeFunction(std::string name, std::vector<ParseExprPtr> args);
+
+// ---------------------------------------------------------------------------
+// Table references
+// ---------------------------------------------------------------------------
+
+struct QueryNode;
+using QueryNodePtr = std::unique_ptr<QueryNode>;
+
+enum class JoinType { kInner, kLeft };
+
+struct TableRef;
+using TableRefPtr = std::unique_ptr<TableRef>;
+
+enum class TableRefKind { kBase, kJoin, kSubquery };
+
+/// FROM-clause item: base table, join, or derived table.
+struct TableRef {
+  TableRefKind kind;
+
+  // kBase
+  std::string table_name;  ///< also resolves to CTEs in scope
+  // kBase / kSubquery
+  std::string alias;       ///< empty if none
+
+  // kJoin
+  JoinType join_type = JoinType::kInner;
+  TableRefPtr left;
+  TableRefPtr right;
+  ParseExprPtr join_condition;  ///< ON expr (null for CROSS JOIN)
+
+  // kSubquery
+  QueryNodePtr subquery;
+
+  TableRefPtr Clone() const;
+};
+
+// ---------------------------------------------------------------------------
+// Query nodes (SELECT core and set operations)
+// ---------------------------------------------------------------------------
+
+struct SelectItem {
+  ParseExprPtr expr;
+  std::string alias;  ///< empty if none
+
+  SelectItem Clone() const;
+};
+
+struct OrderByItem {
+  ParseExprPtr expr;
+  bool descending = false;
+};
+
+enum class QueryNodeKind { kSelect, kSetOp };
+enum class SetOpKind { kUnion, kUnionAll, kExcept, kIntersect };
+
+/// A SELECT block or a set operation over two query nodes.
+struct QueryNode {
+  QueryNodeKind kind;
+
+  // --- kSelect ---
+  bool distinct = false;
+  std::vector<SelectItem> select_list;
+  TableRefPtr from;       ///< null => SELECT of constants
+  ParseExprPtr where;     ///< null if absent
+  std::vector<ParseExprPtr> group_by;
+  ParseExprPtr having;    ///< null if absent
+
+  // --- kSetOp ---
+  SetOpKind set_op = SetOpKind::kUnion;
+  QueryNodePtr left;
+  QueryNodePtr right;
+
+  // ORDER BY / LIMIT [OFFSET] may attach to either kind (applies to the
+  // whole node).
+  std::vector<OrderByItem> order_by;
+  std::optional<int64_t> limit;
+  int64_t offset = 0;
+
+  QueryNodePtr Clone() const;
+};
+
+// ---------------------------------------------------------------------------
+// WITH clause
+// ---------------------------------------------------------------------------
+
+enum class CteKind { kRegular, kRecursive, kIterative };
+
+/// Termination condition of an iterative CTE (paper §II, §VI-B).
+struct TerminationCondition {
+  enum class Kind {
+    kIterations,  ///< UNTIL n ITERATIONS           (Metadata)
+    kUpdates,     ///< UNTIL n UPDATES: stop when an iteration updates < n rows (Metadata)
+    kAny,         ///< UNTIL ANY(expr): stop when >= 1 row satisfies expr (Data)
+    kAll,         ///< UNTIL ALL(expr): stop when every row satisfies expr (Data)
+    kDeltaLess,   ///< UNTIL DELTA < n: stop when < n rows changed vs previous iteration (Delta)
+  };
+  Kind kind = Kind::kIterations;
+  int64_t n = 0;
+  ParseExprPtr expr;  ///< for kAny/kAll, evaluated over the CTE table
+
+  TerminationCondition Clone() const;
+  std::string ToString() const;
+  /// "Metadata" / "Data" / "Delta" — the Type field of Fig 3/4.
+  const char* TypeName() const;
+};
+
+/// One CTE definition within a WITH clause.
+struct CteDef {
+  std::string name;
+  std::vector<std::string> column_names;  ///< optional rename list
+  CteKind kind = CteKind::kRegular;
+
+  /// kRegular / kRecursive: the defining query (for recursive CTEs the
+  /// top-level node must be a UNION [ALL] of base and recursive parts).
+  QueryNodePtr query;
+
+  // kIterative:
+  QueryNodePtr init_query;  ///< R0
+  QueryNodePtr iter_query;  ///< Ri
+  TerminationCondition until;
+  /// Optional `KEY (col)` marker naming the unique row identifier used for
+  /// merging updates; defaults to the first column (see DESIGN.md).
+  std::optional<std::string> key_column;
+
+  CteDef Clone() const;
+};
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+enum class StatementKind {
+  kSelect,
+  kCreateTable,
+  kInsert,
+  kUpdate,
+  kDelete,
+  kDropTable,
+  kExplain,
+  kBegin,     ///< BEGIN [TRANSACTION]
+  kCommit,    ///< COMMIT
+  kRollback,  ///< ROLLBACK
+  kCopy,      ///< COPY t TO/FROM 'file' [DELIMITER 'c']
+};
+
+struct ColumnDef {
+  std::string name;
+  TypeId type;
+  bool primary_key = false;
+};
+
+struct Statement;
+using StatementPtr = std::unique_ptr<Statement>;
+
+/// A single parsed SQL statement.
+struct Statement {
+  StatementKind kind;
+
+  // kSelect
+  std::vector<CteDef> ctes;
+  QueryNodePtr query;
+
+  // kCreateTable: column definitions, or (CREATE TABLE ... AS) a source
+  // query whose result seeds the table.
+  std::string table_name;
+  std::vector<ColumnDef> columns;
+  bool if_not_exists = false;
+  QueryNodePtr ctas_query;  ///< non-null for CREATE TABLE ... AS SELECT
+
+  // kInsert: either VALUES rows or a source query (with optional CTEs).
+  std::vector<std::vector<ParseExprPtr>> insert_values;
+  QueryNodePtr insert_query;
+  std::vector<std::string> insert_columns;  ///< optional target column list
+
+  // kUpdate: SET assignments with optional FROM table and WHERE.
+  std::vector<std::pair<std::string, ParseExprPtr>> set_clauses;
+  TableRefPtr update_from;  ///< UPDATE t SET ... FROM <ref> WHERE ...
+  ParseExprPtr where;       ///< also used by kDelete
+
+  // kDropTable
+  bool if_exists = false;
+
+  // kExplain
+  StatementPtr explained;
+  bool explain_cost = false;     ///< EXPLAIN COST: include cost estimates
+  bool explain_analyze = false;  ///< EXPLAIN ANALYZE: run + per-step timings
+
+  // kCopy
+  bool copy_to = false;  ///< true: export (TO); false: import (FROM)
+  std::string copy_path;
+  char copy_delimiter = ',';
+};
+
+}  // namespace dbspinner

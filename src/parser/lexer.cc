@@ -1,0 +1,283 @@
+#include "parser/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace dbspinner {
+
+std::string Token::Describe() const {
+  switch (type) {
+    case TokenType::kIdentifier:
+      return "identifier '" + text + "'";
+    case TokenType::kIntLiteral:
+      return "integer " + std::to_string(int_value);
+    case TokenType::kFloatLiteral:
+      return "float literal";
+    case TokenType::kStringLiteral:
+      return "string '" + text + "'";
+    case TokenType::kSymbol:
+      return "'" + text + "'";
+    case TokenType::kEnd:
+      return "end of input";
+  }
+  return "?";
+}
+
+namespace {
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& sql) : sql_(sql) {}
+
+  Result<std::vector<Token>> Run() {
+    std::vector<Token> tokens;
+    while (true) {
+      DBSP_RETURN_NOT_OK(SkipWhitespaceAndComments());
+      if (pos_ >= sql_.size()) break;
+      Token tok;
+      tok.line = line_;
+      tok.column = col_;
+      char c = sql_[pos_];
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        tok.type = TokenType::kIdentifier;
+        tok.text = LexIdentifier();
+      } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+                 (c == '.' && pos_ + 1 < sql_.size() &&
+                  std::isdigit(static_cast<unsigned char>(sql_[pos_ + 1])))) {
+        DBSP_RETURN_NOT_OK(LexNumber(&tok));
+      } else if (c == '\'') {
+        DBSP_RETURN_NOT_OK(LexString(&tok));
+      } else if (c == '"') {
+        DBSP_RETURN_NOT_OK(LexQuotedIdentifier(&tok));
+      } else {
+        DBSP_RETURN_NOT_OK(LexSymbol(&tok));
+      }
+      tokens.push_back(std::move(tok));
+    }
+    Token end;
+    end.type = TokenType::kEnd;
+    end.line = line_;
+    end.column = col_;
+    tokens.push_back(end);
+    return tokens;
+  }
+
+ private:
+  void Advance() {
+    if (sql_[pos_] == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    ++pos_;
+  }
+
+  Status SkipWhitespaceAndComments() {
+    while (pos_ < sql_.size()) {
+      char c = sql_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        Advance();
+      } else if (c == '-' && pos_ + 1 < sql_.size() && sql_[pos_ + 1] == '-') {
+        while (pos_ < sql_.size() && sql_[pos_] != '\n') Advance();
+      } else if (c == '/' && pos_ + 1 < sql_.size() && sql_[pos_ + 1] == '*') {
+        size_t start_line = line_;
+        Advance();
+        Advance();
+        while (pos_ + 1 < sql_.size() &&
+               !(sql_[pos_] == '*' && sql_[pos_ + 1] == '/')) {
+          Advance();
+        }
+        if (pos_ + 1 >= sql_.size()) {
+          return Status::ParseError("unterminated block comment at line " +
+                                    std::to_string(start_line));
+        }
+        Advance();
+        Advance();
+      } else {
+        break;
+      }
+    }
+    return Status::OK();
+  }
+
+  std::string LexIdentifier() {
+    size_t start = pos_;
+    while (pos_ < sql_.size() &&
+           (std::isalnum(static_cast<unsigned char>(sql_[pos_])) ||
+            sql_[pos_] == '_')) {
+      Advance();
+    }
+    return sql_.substr(start, pos_ - start);
+  }
+
+  Status LexNumber(Token* tok) {
+    size_t start = pos_;
+    bool is_float = false;
+    while (pos_ < sql_.size() &&
+           std::isdigit(static_cast<unsigned char>(sql_[pos_]))) {
+      Advance();
+    }
+    if (pos_ < sql_.size() && sql_[pos_] == '.' &&
+        !(pos_ + 1 < sql_.size() && sql_[pos_ + 1] == '.')) {
+      is_float = true;
+      Advance();
+      while (pos_ < sql_.size() &&
+             std::isdigit(static_cast<unsigned char>(sql_[pos_]))) {
+        Advance();
+      }
+    }
+    if (pos_ < sql_.size() && (sql_[pos_] == 'e' || sql_[pos_] == 'E')) {
+      size_t save = pos_;
+      Advance();
+      if (pos_ < sql_.size() && (sql_[pos_] == '+' || sql_[pos_] == '-')) {
+        Advance();
+      }
+      if (pos_ < sql_.size() &&
+          std::isdigit(static_cast<unsigned char>(sql_[pos_]))) {
+        is_float = true;
+        while (pos_ < sql_.size() &&
+               std::isdigit(static_cast<unsigned char>(sql_[pos_]))) {
+          Advance();
+        }
+      } else {
+        pos_ = save;  // 'e' belongs to a following identifier
+      }
+    }
+    std::string text = sql_.substr(start, pos_ - start);
+    if (is_float) {
+      tok->type = TokenType::kFloatLiteral;
+      tok->float_value = std::strtod(text.c_str(), nullptr);
+    } else {
+      errno = 0;
+      tok->type = TokenType::kIntLiteral;
+      tok->int_value = std::strtoll(text.c_str(), nullptr, 10);
+      if (errno == ERANGE) {
+        return Status::ParseError("integer literal out of range: " + text);
+      }
+    }
+    tok->text = std::move(text);
+    return Status::OK();
+  }
+
+  Status LexString(Token* tok) {
+    size_t start_line = line_;
+    Advance();  // opening quote
+    std::string body;
+    while (pos_ < sql_.size()) {
+      char c = sql_[pos_];
+      if (c == '\'') {
+        if (pos_ + 1 < sql_.size() && sql_[pos_ + 1] == '\'') {
+          body += '\'';  // escaped quote
+          Advance();
+          Advance();
+          continue;
+        }
+        Advance();
+        tok->type = TokenType::kStringLiteral;
+        tok->text = std::move(body);
+        return Status::OK();
+      }
+      body += c;
+      Advance();
+    }
+    return Status::ParseError("unterminated string literal at line " +
+                              std::to_string(start_line));
+  }
+
+  Status LexQuotedIdentifier(Token* tok) {
+    size_t start_line = line_;
+    Advance();
+    std::string body;
+    while (pos_ < sql_.size()) {
+      char c = sql_[pos_];
+      if (c == '"') {
+        Advance();
+        tok->type = TokenType::kIdentifier;
+        tok->text = std::move(body);
+        return Status::OK();
+      }
+      body += c;
+      Advance();
+    }
+    return Status::ParseError("unterminated quoted identifier at line " +
+                              std::to_string(start_line));
+  }
+
+  Status LexSymbol(Token* tok) {
+    char c = sql_[pos_];
+    tok->type = TokenType::kSymbol;
+    auto two = [&](char next) {
+      return pos_ + 1 < sql_.size() && sql_[pos_ + 1] == next;
+    };
+    switch (c) {
+      case '(': case ')': case ',': case '.': case ';':
+      case '+': case '-': case '*': case '/': case '%':
+        tok->text = std::string(1, c);
+        Advance();
+        return Status::OK();
+      case '=':
+        tok->text = "=";
+        Advance();
+        return Status::OK();
+      case '!':
+        if (two('=')) {
+          tok->text = "!=";
+          Advance();
+          Advance();
+          return Status::OK();
+        }
+        break;
+      case '<':
+        if (two('=')) {
+          tok->text = "<=";
+          Advance();
+          Advance();
+        } else if (two('>')) {
+          tok->text = "!=";
+          Advance();
+          Advance();
+        } else {
+          tok->text = "<";
+          Advance();
+        }
+        return Status::OK();
+      case '>':
+        if (two('=')) {
+          tok->text = ">=";
+          Advance();
+          Advance();
+        } else {
+          tok->text = ">";
+          Advance();
+        }
+        return Status::OK();
+      case '|':
+        if (two('|')) {
+          tok->text = "||";
+          Advance();
+          Advance();
+          return Status::OK();
+        }
+        break;
+      default:
+        break;
+    }
+    return Status::ParseError("unexpected character '" + std::string(1, c) +
+                              "' at line " + std::to_string(line_) +
+                              ", column " + std::to_string(col_));
+  }
+
+  const std::string& sql_;
+  size_t pos_ = 0;
+  size_t line_ = 1;
+  size_t col_ = 1;
+};
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& sql) {
+  return Lexer(sql).Run();
+}
+
+}  // namespace dbspinner

@@ -1,0 +1,38 @@
+// SQL tokenizer.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dbspinner {
+
+enum class TokenType {
+  kIdentifier,   ///< bare or "quoted" identifier / keyword (keywords are
+                 ///< recognized case-insensitively by the parser)
+  kIntLiteral,
+  kFloatLiteral,
+  kStringLiteral,
+  kSymbol,       ///< operator or punctuation; `text` holds the lexeme
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;      ///< identifier (original case), symbol, or string body
+  int64_t int_value = 0;
+  double float_value = 0;
+  size_t line = 1;
+  size_t column = 1;
+
+  std::string Describe() const;
+};
+
+/// Tokenizes `sql`. Symbols produced: ( ) , . ; + - * / % = != <> < <= > >=
+/// || and standalone |. Comments: `-- ...\n` and `/* ... */`.
+Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+}  // namespace dbspinner

@@ -1,0 +1,23 @@
+// Recursive-descent SQL parser.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "parser/ast.h"
+
+namespace dbspinner {
+
+/// Parses exactly one statement (a trailing ';' is allowed).
+Result<StatementPtr> ParseStatement(const std::string& sql);
+
+/// Parses a ';'-separated script into a statement list.
+Result<std::vector<StatementPtr>> ParseScript(const std::string& sql);
+
+/// Parses a standalone scalar expression (used by tests and tools).
+Result<ParseExprPtr> ParseExpression(const std::string& text);
+
+}  // namespace dbspinner

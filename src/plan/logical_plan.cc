@@ -1,0 +1,159 @@
+#include "plan/logical_plan.h"
+
+#include "common/string_util.h"
+
+namespace dbspinner {
+
+const char* LogicalOpKindName(LogicalOpKind k) {
+  switch (k) {
+    case LogicalOpKind::kScan: return "Scan";
+    case LogicalOpKind::kValues: return "Values";
+    case LogicalOpKind::kFilter: return "Filter";
+    case LogicalOpKind::kProject: return "Project";
+    case LogicalOpKind::kJoin: return "Join";
+    case LogicalOpKind::kAggregate: return "Aggregate";
+    case LogicalOpKind::kUnionAll: return "UnionAll";
+    case LogicalOpKind::kExcept: return "Except";
+    case LogicalOpKind::kIntersect: return "Intersect";
+    case LogicalOpKind::kDistinct: return "Distinct";
+    case LogicalOpKind::kSort: return "Sort";
+    case LogicalOpKind::kLimit: return "Limit";
+  }
+  return "?";
+}
+
+LogicalOpPtr LogicalOp::Clone() const {
+  auto op = std::make_unique<LogicalOp>();
+  op->kind = kind;
+  op->output_schema = output_schema;
+  for (const auto& c : children) op->children.push_back(c->Clone());
+  op->scan_source = scan_source;
+  op->scan_name = scan_name;
+  op->rows = rows;
+  if (predicate) op->predicate = predicate->Clone();
+  for (const auto& p : projections) op->projections.push_back(p->Clone());
+  op->join_type = join_type;
+  if (join_condition) op->join_condition = join_condition->Clone();
+  for (const auto& g : group_exprs) op->group_exprs.push_back(g->Clone());
+  for (const auto& a : aggregates) op->aggregates.push_back(a.Clone());
+  for (const auto& k : sort_keys) {
+    SortKey sk;
+    sk.expr = k.expr->Clone();
+    sk.descending = k.descending;
+    op->sort_keys.push_back(std::move(sk));
+  }
+  op->limit = limit;
+  op->offset = offset;
+  return op;
+}
+
+bool LogicalOp::ReadsResult(const std::string& name) const {
+  if (kind == LogicalOpKind::kScan && scan_source == ScanSource::kResult &&
+      EqualsIgnoreCase(scan_name, name)) {
+    return true;
+  }
+  for (const auto& c : children) {
+    if (c->ReadsResult(name)) return true;
+  }
+  return false;
+}
+
+std::string LogicalOp::ToString(int indent) const {
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  std::string out = pad + LogicalOpKindName(kind);
+  switch (kind) {
+    case LogicalOpKind::kScan:
+      out += std::string(" ") +
+             (scan_source == ScanSource::kCatalog ? "table:" : "result:") +
+             scan_name;
+      break;
+    case LogicalOpKind::kValues:
+      out += " rows:" + std::to_string(rows.size());
+      break;
+    case LogicalOpKind::kFilter:
+      out += " [" + predicate->ToString() + "]";
+      break;
+    case LogicalOpKind::kProject: {
+      out += " [";
+      for (size_t i = 0; i < projections.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += output_schema.column(i).name + "=" + projections[i]->ToString();
+      }
+      out += "]";
+      break;
+    }
+    case LogicalOpKind::kJoin:
+      out += join_type == JoinType::kLeft ? " LEFT" : " INNER";
+      if (join_condition) out += " ON " + join_condition->ToString();
+      break;
+    case LogicalOpKind::kAggregate: {
+      out += " groups:[";
+      for (size_t i = 0; i < group_exprs.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += group_exprs[i]->ToString();
+      }
+      out += "] aggs:[";
+      for (size_t i = 0; i < aggregates.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += std::string(AggKindName(aggregates[i].kind)) +
+               (aggregates[i].arg ? "(" + aggregates[i].arg->ToString() + ")"
+                                  : "");
+      }
+      out += "]";
+      break;
+    }
+    case LogicalOpKind::kSort: {
+      out += " [";
+      for (size_t i = 0; i < sort_keys.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += sort_keys[i].expr->ToString();
+        if (sort_keys[i].descending) out += " DESC";
+      }
+      out += "]";
+      break;
+    }
+    case LogicalOpKind::kLimit:
+      out += " " + std::to_string(limit);
+      if (offset > 0) out += " OFFSET " + std::to_string(offset);
+      break;
+    default:
+      break;
+  }
+  out += "\n";
+  for (const auto& c : children) out += c->ToString(indent + 1);
+  return out;
+}
+
+LogicalOpPtr MakeScan(ScanSource source, std::string name, Schema schema) {
+  auto op = std::make_unique<LogicalOp>();
+  op->kind = LogicalOpKind::kScan;
+  op->scan_source = source;
+  op->scan_name = ToLower(name);
+  op->output_schema = std::move(schema);
+  return op;
+}
+
+LogicalOpPtr MakeFilter(BoundExprPtr predicate, LogicalOpPtr child) {
+  auto op = std::make_unique<LogicalOp>();
+  op->kind = LogicalOpKind::kFilter;
+  op->output_schema = child->output_schema;
+  op->predicate = std::move(predicate);
+  op->children.push_back(std::move(child));
+  return op;
+}
+
+LogicalOpPtr MakeProject(std::vector<BoundExprPtr> projections,
+                         std::vector<std::string> names, LogicalOpPtr child) {
+  auto op = std::make_unique<LogicalOp>();
+  op->kind = LogicalOpKind::kProject;
+  Schema schema;
+  for (size_t i = 0; i < projections.size(); ++i) {
+    schema.AddColumn(names[i], projections[i]->type);
+  }
+  op->output_schema = std::move(schema);
+  op->projections = std::move(projections);
+  op->children.push_back(std::move(child));
+  return op;
+}
+
+}  // namespace dbspinner

@@ -1,0 +1,100 @@
+// Logical query plan operators.
+//
+// Logical plans are produced by the binder, rewritten by the optimizer rules,
+// and converted to physical plans by the physical planner. Nodes are a tagged
+// struct (like the AST) which keeps rewrites simple.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "expr/aggregate_functions.h"
+#include "expr/expr.h"
+#include "parser/ast.h"
+#include "storage/schema.h"
+
+namespace dbspinner {
+
+enum class LogicalOpKind {
+  kScan,      ///< read a catalog table or a named intermediate result
+  kValues,    ///< constant rows
+  kFilter,
+  kProject,
+  kJoin,
+  kAggregate,
+  kUnionAll,   ///< bag union of the two children
+  kExcept,     ///< set difference (distinct), left minus right
+  kIntersect,  ///< set intersection (distinct)
+  kDistinct,   ///< dedupe all columns
+  kSort,
+  kLimit,
+};
+
+const char* LogicalOpKindName(LogicalOpKind k);
+
+/// Where a kScan reads from.
+enum class ScanSource {
+  kCatalog,  ///< base table
+  kResult,   ///< named intermediate result (CTE / working / common table)
+};
+
+struct SortKey {
+  BoundExprPtr expr;  ///< bound over the child's output
+  bool descending = false;
+};
+
+struct LogicalOp;
+using LogicalOpPtr = std::unique_ptr<LogicalOp>;
+
+/// One logical operator. Only the fields of the given `kind` are meaningful.
+struct LogicalOp {
+  LogicalOpKind kind;
+  Schema output_schema;
+  std::vector<LogicalOpPtr> children;
+
+  // kScan
+  ScanSource scan_source = ScanSource::kCatalog;
+  std::string scan_name;
+
+  // kValues
+  std::vector<std::vector<Value>> rows;
+
+  // kFilter
+  BoundExprPtr predicate;
+
+  // kProject: one expression per output column (names in output_schema)
+  std::vector<BoundExprPtr> projections;
+
+  // kJoin: condition bound over [left columns ++ right columns]
+  JoinType join_type = JoinType::kInner;
+  BoundExprPtr join_condition;  ///< null => cross join
+
+  // kAggregate: output = [group columns ++ aggregate results]
+  std::vector<BoundExprPtr> group_exprs;
+  std::vector<AggregateSpec> aggregates;
+
+  // kSort
+  std::vector<SortKey> sort_keys;
+
+  // kLimit: -1 = no limit (offset only)
+  int64_t limit = -1;
+  int64_t offset = 0;
+
+  LogicalOpPtr Clone() const;
+
+  /// True if any kScan in the subtree reads result `name` (case-insensitive
+  /// exact match on scan_name with kResult source).
+  bool ReadsResult(const std::string& name) const;
+
+  /// Indented multi-line rendering.
+  std::string ToString(int indent = 0) const;
+};
+
+LogicalOpPtr MakeScan(ScanSource source, std::string name, Schema schema);
+LogicalOpPtr MakeFilter(BoundExprPtr predicate, LogicalOpPtr child);
+LogicalOpPtr MakeProject(std::vector<BoundExprPtr> projections,
+                         std::vector<std::string> names, LogicalOpPtr child);
+
+}  // namespace dbspinner

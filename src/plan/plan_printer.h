@@ -1,0 +1,34 @@
+// EXPLAIN rendering of Programs and plans (the Table I view).
+
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "exec/physical_plan.h"
+#include "plan/program.h"
+
+namespace dbspinner {
+
+/// Renders a program as a numbered step list in the style of the paper's
+/// Table I, e.g.:
+///
+///   Step 1: Materialize 'pagerank' <- non-iterative part R0
+///           Project [...]
+///             ...
+///   Step 2: Initialize loop <<Type:metadata, N:10 iterations, Expr:NONE>>
+///   Step 3: Materialize 'pagerank__working' <- iterative part Ri
+///   Step 4: Rename 'pagerank__working' to 'pagerank'
+///   Step 5: Increment counter; go to step 3 if continue
+///
+/// `verbose` includes the nested logical plan of each Materialize/Final step.
+std::string ExplainProgram(const Program& program, bool verbose = true);
+
+/// EXPLAIN ANALYZE rendering: like ExplainProgram but annotates each step
+/// with its measured executions, accumulated time, and last row count from
+/// `profile` (keyed by step id).
+std::string ExplainProgramWithProfile(
+    const Program& program, const std::map<int, StepProfile>& profile,
+    bool verbose = false);
+
+}  // namespace dbspinner

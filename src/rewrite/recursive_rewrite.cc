@@ -1,0 +1,188 @@
+// Recursive CTE expansion (ANSI-style WITH RECURSIVE).
+//
+// Implemented for substrate completeness: the paper contrasts iterative CTEs
+// with recursive ones (fixed-point union semantics, no aggregates in the
+// recursive part). The rewrite expands into the classic semi-naive loop:
+//
+//   acc   := base            (deduped for UNION)
+//   delta := base
+//   while delta not empty:
+//     delta' := recursive(delta)
+//     delta' := delta' - acc (UNION only; UNION ALL keeps duplicates)
+//     acc    += delta'
+//     delta  := delta'
+//
+// References to the CTE inside the recursive part see the previous delta
+// (standard SQL working-table semantics); references after the CTE see the
+// accumulated result.
+
+#include "common/string_util.h"
+#include "rewrite/iterative_rewrite.h"
+
+namespace dbspinner {
+
+Status ProgramBuilder::AddRecursiveCte(Program* program, const CteDef& def) {
+  if (binder_.HasCte(def.name)) {
+    return Status::BindError("duplicate CTE name: " + def.name);
+  }
+  const QueryNode& q = *def.query;
+  if (q.kind != QueryNodeKind::kSetOp) {
+    return Status::BindError(
+        "recursive CTE '" + def.name +
+        "' must be a UNION [ALL] of a base part and a recursive part");
+  }
+  if (QueryReferences(*q.left, def.name)) {
+    return Status::BindError("recursive CTE '" + def.name +
+                             "': the base (left) part must not reference the "
+                             "CTE itself");
+  }
+  bool distinct_union = q.set_op == SetOpKind::kUnion;
+
+  // Bind the base part.
+  DBSP_ASSIGN_OR_RETURN(LogicalOpPtr base_plan, binder_.BindQuery(*q.left));
+  Schema schema = base_plan->output_schema;
+  if (!def.column_names.empty()) {
+    if (def.column_names.size() != schema.num_columns()) {
+      return Status::BindError("CTE '" + def.name + "' declares " +
+                               std::to_string(def.column_names.size()) +
+                               " columns but its query returns " +
+                               std::to_string(schema.num_columns()));
+    }
+    Schema renamed;
+    for (size_t i = 0; i < def.column_names.size(); ++i) {
+      renamed.AddColumn(def.column_names[i], schema.column(i).type);
+    }
+    schema = renamed;
+  }
+  base_plan = MakeCastProject(std::move(base_plan), schema);
+  if (distinct_union) {
+    auto d = std::make_unique<LogicalOp>();
+    d->kind = LogicalOpKind::kDistinct;
+    d->output_schema = base_plan->output_schema;
+    d->children.push_back(std::move(base_plan));
+    base_plan = std::move(d);
+  }
+
+  std::string delta_name = def.name + "__delta";
+  std::string new_delta_name = def.name + "__delta_next";
+  std::string tmp_name = def.name + "__base";
+
+  // The recursive part reads the previous delta.
+  binder_.AddCte(def.name, CteBinding{delta_name, schema});
+  Result<LogicalOpPtr> rec = binder_.BindQuery(*q.right);
+  binder_.RemoveCte(def.name);
+  if (!rec.ok()) return rec.status();
+  LogicalOpPtr rec_plan = std::move(rec).value();
+  if (!schema.TypesCompatible(rec_plan->output_schema)) {
+    return Status::BindError("recursive CTE '" + def.name +
+                             "': base and recursive parts have incompatible "
+                             "schemas");
+  }
+  rec_plan = MakeCastProject(std::move(rec_plan), schema);
+
+  int loop_id = ++loop_counter_;
+  LoopSpec spec;
+  spec.kind = LoopSpec::Kind::kWhileResultNonEmpty;
+  spec.watch_name = delta_name;
+  spec.cte_name = def.name;
+
+  auto add = [&](Step s) { program->steps.push_back(std::move(s)); };
+
+  {
+    Step s;
+    s.kind = Step::Kind::kMaterialize;
+    s.id = program->NewId();
+    s.target = tmp_name;
+    s.plan = std::move(base_plan);
+    s.comment = "materialize recursive base of '" + def.name + "'";
+    add(std::move(s));
+  }
+  {
+    Step s;  // acc gets a private copy (it is appended to in the loop)
+    s.kind = Step::Kind::kCopyResult;
+    s.id = program->NewId();
+    s.source = tmp_name;
+    s.target = def.name;
+    s.comment = "initialize accumulator '" + def.name + "'";
+    add(std::move(s));
+  }
+  {
+    Step s;
+    s.kind = Step::Kind::kRename;
+    s.id = program->NewId();
+    s.source = tmp_name;
+    s.target = delta_name;
+    s.comment = "initial delta := base";
+    add(std::move(s));
+  }
+  {
+    Step s;
+    s.kind = Step::Kind::kInitLoop;
+    s.id = program->NewId();
+    s.loop_id = loop_id;
+    s.loop = spec.Clone();
+    s.comment = "initialize recursive loop " + spec.ToString();
+    add(std::move(s));
+  }
+  int body_id;
+  {
+    Step s;
+    s.kind = Step::Kind::kMaterialize;
+    s.id = program->NewId();
+    s.target = new_delta_name;
+    s.plan = std::move(rec_plan);
+    s.comment = "evaluate recursive part over the previous delta";
+    body_id = s.id;
+    add(std::move(s));
+  }
+  if (distinct_union) {
+    Step s;
+    s.kind = Step::Kind::kDedupeResult;
+    s.id = program->NewId();
+    s.target = new_delta_name;
+    s.source = def.name;
+    s.comment = "drop rows already in the accumulator (UNION semantics)";
+    add(std::move(s));
+  }
+  {
+    Step s;
+    s.kind = Step::Kind::kAppendResult;
+    s.id = program->NewId();
+    s.source = new_delta_name;
+    s.target = def.name;
+    s.comment = "append new delta to the accumulator";
+    add(std::move(s));
+  }
+  {
+    Step s;
+    s.kind = Step::Kind::kRename;
+    s.id = program->NewId();
+    s.source = new_delta_name;
+    s.target = delta_name;
+    s.comment = "delta := new delta";
+    add(std::move(s));
+  }
+  {
+    Step s;
+    s.kind = Step::Kind::kLoopCheck;
+    s.id = program->NewId();
+    s.loop_id = loop_id;
+    s.loop = spec.Clone();
+    s.jump_to_id = body_id;
+    s.comment = "loop while the delta is non-empty";
+    add(std::move(s));
+  }
+  {
+    Step s;
+    s.kind = Step::Kind::kRemoveResult;
+    s.id = program->NewId();
+    s.target = delta_name;
+    s.comment = "release the final delta";
+    add(std::move(s));
+  }
+
+  binder_.AddCte(def.name, CteBinding{def.name, schema});
+  return Status::OK();
+}
+
+}  // namespace dbspinner

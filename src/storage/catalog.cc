@@ -1,0 +1,59 @@
+#include "storage/catalog.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace dbspinner {
+
+Status Catalog::CreateTable(const std::string& name, TablePtr table,
+                            std::optional<size_t> primary_key_col) {
+  std::string key = ToLower(name);
+  if (tables_.count(key)) {
+    return Status::AlreadyExists("table '" + name + "' already exists");
+  }
+  tables_[key] = CatalogEntry{key, std::move(table), primary_key_col};
+  return Status::OK();
+}
+
+Status Catalog::DropTable(const std::string& name, bool if_exists) {
+  std::string key = ToLower(name);
+  auto it = tables_.find(key);
+  if (it == tables_.end()) {
+    if (if_exists) return Status::OK();
+    return Status::NotFound("table '" + name + "' does not exist");
+  }
+  tables_.erase(it);
+  return Status::OK();
+}
+
+Result<CatalogEntry*> Catalog::Get(const std::string& name) {
+  auto it = tables_.find(ToLower(name));
+  if (it == tables_.end()) {
+    return Status::NotFound("table '" + name + "' does not exist");
+  }
+  return &it->second;
+}
+
+bool Catalog::Exists(const std::string& name) const {
+  return tables_.count(ToLower(name)) > 0;
+}
+
+Status Catalog::ReplaceContents(const std::string& name, TablePtr table) {
+  auto it = tables_.find(ToLower(name));
+  if (it == tables_.end()) {
+    return Status::NotFound("table '" + name + "' does not exist");
+  }
+  it->second.table = std::move(table);
+  return Status::OK();
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [k, v] : tables_) names.push_back(k);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace dbspinner

@@ -1,0 +1,60 @@
+// Catalog: persistent-name -> base table mapping plus table metadata.
+
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace dbspinner {
+
+/// Metadata and storage of one base table.
+struct CatalogEntry {
+  std::string name;                       ///< normalized (lower-case)
+  TablePtr table;                         ///< current contents
+  std::optional<size_t> primary_key_col;  ///< declared PK ordinal, if any
+};
+
+/// Thread-compatible name -> table registry for base (user) tables.
+/// Temporary/intermediate results live in ResultRegistry instead.
+class Catalog {
+ public:
+  /// Registers a new table. Fails with AlreadyExists if the name is taken.
+  Status CreateTable(const std::string& name, TablePtr table,
+                     std::optional<size_t> primary_key_col = std::nullopt);
+
+  /// Removes a table. Fails with NotFound unless `if_exists`.
+  Status DropTable(const std::string& name, bool if_exists = false);
+
+  /// Looks up a table by (case-insensitive) name.
+  Result<CatalogEntry*> Get(const std::string& name);
+
+  bool Exists(const std::string& name) const;
+
+  /// Replaces the contents of an existing table (used by UPDATE/DELETE).
+  Status ReplaceContents(const std::string& name, TablePtr table);
+
+  std::vector<std::string> TableNames() const;
+
+  /// Snapshot / restore of the whole catalog state. Because every DML path
+  /// is copy-on-write (tables are never mutated in place once registered),
+  /// a snapshot is a shallow copy of the name -> entry map; restoring it
+  /// rolls back all DDL and DML performed since. Powers BEGIN/ROLLBACK.
+  std::unordered_map<std::string, CatalogEntry> Snapshot() const {
+    return tables_;
+  }
+  void Restore(std::unordered_map<std::string, CatalogEntry> snapshot) {
+    tables_ = std::move(snapshot);
+  }
+
+ private:
+  std::unordered_map<std::string, CatalogEntry> tables_;
+};
+
+}  // namespace dbspinner

@@ -1,0 +1,190 @@
+#include "storage/column_vector.h"
+
+#include <cassert>
+
+namespace dbspinner {
+
+void ColumnVector::Reserve(size_t n) {
+  nulls_.reserve(n);
+  switch (type_) {
+    case TypeId::kBool:
+    case TypeId::kInt64:
+      ints_.reserve(n);
+      break;
+    case TypeId::kDouble:
+      doubles_.reserve(n);
+      break;
+    case TypeId::kString:
+      strings_.reserve(n);
+      break;
+    case TypeId::kNull:
+      break;
+  }
+}
+
+void ColumnVector::AppendInt64Raw(int64_t v) {
+  ints_.push_back(v);
+  nulls_.push_back(0);
+  ++size_;
+}
+
+void ColumnVector::AppendDouble(double v) {
+  doubles_.push_back(v);
+  nulls_.push_back(0);
+  ++size_;
+}
+
+void ColumnVector::AppendString(std::string v) {
+  strings_.push_back(std::move(v));
+  nulls_.push_back(0);
+  ++size_;
+}
+
+void ColumnVector::AppendNull() {
+  switch (type_) {
+    case TypeId::kBool:
+    case TypeId::kInt64:
+      ints_.push_back(0);
+      break;
+    case TypeId::kDouble:
+      doubles_.push_back(0);
+      break;
+    case TypeId::kString:
+      strings_.emplace_back();
+      break;
+    case TypeId::kNull:
+      break;
+  }
+  nulls_.push_back(1);
+  ++size_;
+}
+
+void ColumnVector::Append(const Value& v) {
+  if (v.is_null()) {
+    AppendNull();
+    return;
+  }
+  switch (type_) {
+    case TypeId::kBool:
+      AppendBool(v.bool_value());
+      return;
+    case TypeId::kInt64:
+      AppendInt64(v.AsInt64());
+      return;
+    case TypeId::kDouble:
+      AppendDouble(v.AsDouble());
+      return;
+    case TypeId::kString:
+      if (v.type() == TypeId::kString) {
+        AppendString(v.string_value());
+      } else {
+        AppendString(v.ToString());
+      }
+      return;
+    case TypeId::kNull:
+      AppendNull();
+      return;
+  }
+}
+
+Value ColumnVector::GetValue(size_t i) const {
+  assert(i < size_);
+  if (nulls_[i]) return Value::Null(type_);
+  switch (type_) {
+    case TypeId::kBool:
+      return Value::Bool(ints_[i] != 0);
+    case TypeId::kInt64:
+      return Value::Int64(ints_[i]);
+    case TypeId::kDouble:
+      return Value::Double(doubles_[i]);
+    case TypeId::kString:
+      return Value::String(strings_[i]);
+    case TypeId::kNull:
+      break;
+  }
+  return Value::Null();
+}
+
+void ColumnVector::AppendFrom(const ColumnVector& src, size_t i) {
+  if (src.nulls_[i]) {
+    AppendNull();
+    return;
+  }
+  if (src.type_ == type_) {
+    switch (type_) {
+      case TypeId::kBool:
+      case TypeId::kInt64:
+        AppendInt64Raw(src.ints_[i]);
+        return;
+      case TypeId::kDouble:
+        AppendDouble(src.doubles_[i]);
+        return;
+      case TypeId::kString:
+        AppendString(src.strings_[i]);
+        return;
+      case TypeId::kNull:
+        AppendNull();
+        return;
+    }
+  }
+  // Coercing path (e.g. INT64 source into DOUBLE column).
+  Append(src.GetValue(i));
+}
+
+ColumnVectorPtr ColumnVector::Gather(const std::vector<uint32_t>& sel) const {
+  auto out = std::make_shared<ColumnVector>(type_);
+  out->Reserve(sel.size());
+  for (uint32_t i : sel) out->AppendFrom(*this, i);
+  return out;
+}
+
+void ColumnVector::AppendAll(const ColumnVector& src) {
+  Reserve(size_ + src.size_);
+  for (size_t i = 0; i < src.size_; ++i) AppendFrom(src, i);
+}
+
+size_t ColumnVector::HashAt(size_t i) const {
+  if (nulls_[i]) return 0x9e3779b97f4a7c15ULL;
+  switch (type_) {
+    case TypeId::kBool:
+      return std::hash<int64_t>()(ints_[i] + 2);
+    case TypeId::kInt64: {
+      double d = static_cast<double>(ints_[i]);
+      if (static_cast<int64_t>(d) == ints_[i]) return std::hash<double>()(d);
+      return std::hash<int64_t>()(ints_[i]);
+    }
+    case TypeId::kDouble:
+      return std::hash<double>()(doubles_[i]);
+    case TypeId::kString:
+      return std::hash<std::string>()(strings_[i]);
+    case TypeId::kNull:
+      break;
+  }
+  return 0;
+}
+
+bool ColumnVector::EqualsAt(size_t i, const ColumnVector& other,
+                            size_t j) const {
+  bool an = nulls_[i] != 0;
+  bool bn = other.nulls_[j] != 0;
+  if (an || bn) return an && bn;
+  if (type_ == other.type_) {
+    switch (type_) {
+      case TypeId::kBool:
+      case TypeId::kInt64:
+        return ints_[i] == other.ints_[j];
+      case TypeId::kDouble:
+        return doubles_[i] == other.doubles_[j];
+      case TypeId::kString:
+        return strings_[i] == other.strings_[j];
+      case TypeId::kNull:
+        return true;
+    }
+  }
+  if (IsNumeric(type_) && IsNumeric(other.type_)) {
+    return NumericAt(i) == other.NumericAt(j);
+  }
+  return false;
+}
+
+}  // namespace dbspinner

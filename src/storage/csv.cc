@@ -1,0 +1,163 @@
+#include "storage/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace dbspinner {
+
+namespace {
+
+bool NeedsQuoting(const std::string& s, char delim) {
+  if (s.empty()) return true;  // distinguish empty string from NULL
+  return s.find(delim) != std::string::npos ||
+         s.find('"') != std::string::npos ||
+         s.find('\n') != std::string::npos ||
+         s.find('\r') != std::string::npos;
+}
+
+void WriteField(std::ostream& out, const std::string& s, char delim,
+                bool force_quote) {
+  if (!force_quote && !NeedsQuoting(s, delim)) {
+    out << s;
+    return;
+  }
+  out << '"';
+  for (char c : s) {
+    if (c == '"') out << '"';
+    out << c;
+  }
+  out << '"';
+}
+
+// Splits one CSV record (may span lines for quoted fields, which the caller
+// has already joined). Each field reports whether it was quoted.
+struct Field {
+  std::string text;
+  bool quoted = false;
+};
+
+Result<std::vector<Field>> SplitRecord(const std::string& line, char delim,
+                                       size_t line_no) {
+  std::vector<Field> fields;
+  Field current;
+  bool in_quotes = false;
+  size_t i = 0;
+  while (i < line.size()) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current.text += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current.text += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+      current.quoted = true;
+    } else if (c == delim) {
+      fields.push_back(std::move(current));
+      current = Field{};
+    } else {
+      current.text += c;
+    }
+    ++i;
+  }
+  if (in_quotes) {
+    return Status::ParseError("unterminated quoted CSV field at line " +
+                              std::to_string(line_no));
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+}  // namespace
+
+Status WriteCsv(const Table& table, const std::string& path, char delim) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::InvalidArgument("cannot open '" + path + "' for writing");
+  }
+  const Schema& schema = table.schema();
+  for (size_t c = 0; c < schema.num_columns(); ++c) {
+    if (c > 0) out << delim;
+    WriteField(out, schema.column(c).name, delim, false);
+  }
+  out << '\n';
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < schema.num_columns(); ++c) {
+      if (c > 0) out << delim;
+      Value v = table.GetValue(r, c);
+      if (v.is_null()) continue;  // NULL = empty unquoted field
+      // Force-quote strings so empty strings round-trip distinctly.
+      WriteField(out, v.ToString(), delim,
+                 schema.column(c).type == TypeId::kString);
+    }
+    out << '\n';
+  }
+  if (!out) {
+    return Status::ExecutionError("write to '" + path + "' failed");
+  }
+  return Status::OK();
+}
+
+Result<TablePtr> ReadCsv(const Schema& schema, const std::string& path,
+                         char delim) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound("cannot open '" + path + "' for reading");
+  }
+  auto table = Table::Make(schema);
+  std::string line;
+  size_t line_no = 0;
+  bool header_seen = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    // Re-join physical lines while inside an unterminated quoted field.
+    while (true) {
+      size_t quotes = 0;
+      for (char c : line) {
+        if (c == '"') ++quotes;
+      }
+      if (quotes % 2 == 0) break;
+      std::string next;
+      if (!std::getline(in, next)) break;
+      ++line_no;
+      if (!next.empty() && next.back() == '\r') next.pop_back();
+      line += '\n' + next;
+    }
+    DBSP_ASSIGN_OR_RETURN(std::vector<Field> fields,
+                          SplitRecord(line, delim, line_no));
+    if (fields.size() != schema.num_columns()) {
+      return Status::ParseError(
+          "CSV line " + std::to_string(line_no) + " has " +
+          std::to_string(fields.size()) + " fields, expected " +
+          std::to_string(schema.num_columns()));
+    }
+    if (!header_seen) {
+      header_seen = true;  // header validated for count only
+      continue;
+    }
+    std::vector<Value> row;
+    row.reserve(fields.size());
+    for (size_t c = 0; c < fields.size(); ++c) {
+      const Field& f = fields[c];
+      if (f.text.empty() && !f.quoted) {
+        row.push_back(Value::Null(schema.column(c).type));
+        continue;
+      }
+      DBSP_ASSIGN_OR_RETURN(
+          Value v,
+          Value::String(f.text).CastTo(schema.column(c).type));
+      row.push_back(std::move(v));
+    }
+    table->AppendRow(row);
+  }
+  return table;
+}
+
+}  // namespace dbspinner

@@ -1,0 +1,26 @@
+// CSV import/export for tables (the COPY statement's engine).
+//
+// Format: RFC-4180-style CSV with a header row of column names. Fields
+// containing the delimiter, quotes, or newlines are double-quoted with
+// internal quotes doubled. NULL is an empty unquoted field (an explicitly
+// quoted empty string "" is an empty VARCHAR, not NULL).
+
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace dbspinner {
+
+/// Writes `table` as CSV to `path` (header + one line per row).
+Status WriteCsv(const Table& table, const std::string& path, char delim = ',');
+
+/// Reads a CSV file written in the format above and appends its rows to a
+/// fresh table with `schema` (values cast to the column types; the header
+/// row is validated for column count, names are not enforced).
+Result<TablePtr> ReadCsv(const Schema& schema, const std::string& path,
+                         char delim = ',');
+
+}  // namespace dbspinner

@@ -1,0 +1,45 @@
+#include "storage/result_registry.h"
+
+#include "common/string_util.h"
+
+namespace dbspinner {
+
+void ResultRegistry::Put(const std::string& name, TablePtr table) {
+  results_[ToLower(name)] = std::move(table);
+}
+
+Result<TablePtr> ResultRegistry::Get(const std::string& name) const {
+  auto it = results_.find(ToLower(name));
+  if (it == results_.end()) {
+    return Status::NotFound("intermediate result '" + name + "' is not bound");
+  }
+  return it->second;
+}
+
+bool ResultRegistry::Exists(const std::string& name) const {
+  return results_.count(ToLower(name)) > 0;
+}
+
+Status ResultRegistry::Rename(const std::string& old_name,
+                              const std::string& new_name) {
+  std::string old_key = ToLower(old_name);
+  std::string new_key = ToLower(new_name);
+  auto it = results_.find(old_key);
+  if (it == results_.end()) {
+    return Status::NotFound("intermediate result '" + old_name +
+                            "' is not bound");
+  }
+  TablePtr moved = std::move(it->second);
+  results_.erase(it);
+  // Overwriting releases whatever `new_name` pointed at (paper §VI-A).
+  results_[new_key] = std::move(moved);
+  return Status::OK();
+}
+
+void ResultRegistry::Remove(const std::string& name) {
+  results_.erase(ToLower(name));
+}
+
+void ResultRegistry::Clear() { results_.clear(); }
+
+}  // namespace dbspinner

@@ -1,0 +1,49 @@
+// ResultRegistry: the executor's lookup table of named intermediate results.
+//
+// This is the structure described in paper §VI-A: a two-column map from name
+// to {schema, pointer to in-memory data}. The `rename` operator mutates this
+// map: it re-points a name at another entry's storage, releasing whatever the
+// target name previously referenced. Because rename is O(1) and copies no
+// rows, it is the mechanism behind the "minimizing data movement"
+// optimization (Fig 8).
+
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace dbspinner {
+
+/// Named intermediate results of one executing query.
+class ResultRegistry {
+ public:
+  /// Binds `name` to `table`, replacing (and releasing) any previous binding.
+  void Put(const std::string& name, TablePtr table);
+
+  /// Looks up a result by (case-insensitive) name.
+  Result<TablePtr> Get(const std::string& name) const;
+
+  bool Exists(const std::string& name) const;
+
+  /// The paper's `rename` operator: re-points `new_name` at the storage
+  /// currently named `old_name` and removes `old_name`. If `new_name`
+  /// already exists its storage is released (its entry is overwritten).
+  /// Fails with NotFound if `old_name` is unbound.
+  Status Rename(const std::string& old_name, const std::string& new_name);
+
+  /// Drops one binding (no-op if absent).
+  void Remove(const std::string& name);
+
+  /// Releases everything (end of query).
+  void Clear();
+
+  size_t size() const { return results_.size(); }
+
+ private:
+  std::unordered_map<std::string, TablePtr> results_;
+};
+
+}  // namespace dbspinner

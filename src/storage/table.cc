@@ -1,0 +1,128 @@
+#include "storage/table.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dbspinner {
+
+Table::Table(Schema schema) : schema_(std::move(schema)) {
+  columns_.reserve(schema_.num_columns());
+  for (size_t i = 0; i < schema_.num_columns(); ++i) {
+    columns_.push_back(
+        std::make_shared<ColumnVector>(schema_.column(i).type));
+  }
+}
+
+TablePtr Table::FromColumns(Schema schema,
+                            std::vector<ColumnVectorPtr> columns) {
+  auto out = Table::Make(std::move(schema));
+  assert(columns.size() == out->num_columns());
+  size_t rows = columns.empty() ? 0 : columns[0]->size();
+  for (const auto& c : columns) {
+    assert(c->size() == rows);
+    (void)c;
+  }
+  out->columns_ = std::move(columns);
+  out->num_rows_ = rows;
+  return out;
+}
+
+void Table::SetColumn(size_t i, ColumnVectorPtr col) {
+  assert(col && col->size() == num_rows_);
+  columns_[i] = std::move(col);
+}
+
+void Table::Reserve(size_t n) {
+  for (auto& c : columns_) c->Reserve(n);
+}
+
+void Table::AppendRow(const std::vector<Value>& values) {
+  assert(values.size() == columns_.size());
+  for (size_t i = 0; i < columns_.size(); ++i) columns_[i]->Append(values[i]);
+  ++num_rows_;
+}
+
+void Table::AppendRowFrom(const Table& src, size_t row) {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    columns_[i]->AppendFrom(src.column(i), row);
+  }
+  ++num_rows_;
+}
+
+void Table::AppendAll(const Table& src) {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    columns_[i]->AppendAll(src.column(i));
+  }
+  num_rows_ += src.num_rows_;
+}
+
+std::vector<Value> Table::GetRow(size_t row) const {
+  std::vector<Value> out;
+  out.reserve(columns_.size());
+  for (const auto& c : columns_) out.push_back(c->GetValue(row));
+  return out;
+}
+
+TablePtr Table::Gather(const std::vector<uint32_t>& sel) const {
+  auto out = Table::Make(schema_);
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    out->columns_[i] = columns_[i]->Gather(sel);
+  }
+  out->num_rows_ = sel.size();
+  return out;
+}
+
+TablePtr Table::Clone() const {
+  auto out = Table::Make(schema_);
+  out->AppendAll(*this);
+  return out;
+}
+
+std::vector<uint32_t> Table::SortedOrder() const {
+  std::vector<uint32_t> order(num_rows_);
+  for (size_t i = 0; i < num_rows_; ++i) order[i] = static_cast<uint32_t>(i);
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    for (const auto& c : columns_) {
+      int cmp = c->GetValue(a).Compare(c->GetValue(b));
+      if (cmp != 0) return cmp < 0;
+    }
+    return false;
+  });
+  return order;
+}
+
+std::string Table::ToString(size_t max_rows) const {
+  std::string out;
+  for (size_t i = 0; i < schema_.num_columns(); ++i) {
+    if (i > 0) out += " | ";
+    out += schema_.column(i).name;
+  }
+  out += "\n";
+  size_t n = std::min(num_rows_, max_rows);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      if (c > 0) out += " | ";
+      out += columns_[c]->GetValue(r).ToString();
+    }
+    out += "\n";
+  }
+  if (n < num_rows_) {
+    out += "... (" + std::to_string(num_rows_ - n) + " more rows)\n";
+  }
+  return out;
+}
+
+bool Table::SameRows(const Table& a, const Table& b) {
+  if (a.num_columns() != b.num_columns()) return false;
+  if (a.num_rows() != b.num_rows()) return false;
+  std::vector<uint32_t> oa = a.SortedOrder();
+  std::vector<uint32_t> ob = b.SortedOrder();
+  for (size_t r = 0; r < oa.size(); ++r) {
+    for (size_t c = 0; c < a.num_columns(); ++c) {
+      if (!a.column(c).EqualsAt(oa[r], b.column(c), ob[r])) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace dbspinner

@@ -1,0 +1,84 @@
+// Table: an in-memory columnar relation (base table or intermediate result).
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/column_vector.h"
+#include "storage/schema.h"
+
+namespace dbspinner {
+
+class Table;
+using TablePtr = std::shared_ptr<Table>;
+
+/// A fully materialized relation: a Schema plus one ColumnVector per column.
+/// All ColumnVectors have identical length (`num_rows`).
+class Table {
+ public:
+  explicit Table(Schema schema);
+
+  static TablePtr Make(Schema schema) {
+    return std::make_shared<Table>(std::move(schema));
+  }
+
+  /// Builds a table directly from pre-computed columns (all must have equal
+  /// length and types matching `schema`).
+  static TablePtr FromColumns(Schema schema,
+                              std::vector<ColumnVectorPtr> columns);
+
+  const Schema& schema() const { return schema_; }
+  size_t num_columns() const { return schema_.num_columns(); }
+  size_t num_rows() const { return num_rows_; }
+
+  ColumnVector& column(size_t i) { return *columns_[i]; }
+  const ColumnVector& column(size_t i) const { return *columns_[i]; }
+  const ColumnVectorPtr& column_ptr(size_t i) const { return columns_[i]; }
+
+  /// Replaces column `i` (must have num_rows() entries).
+  void SetColumn(size_t i, ColumnVectorPtr col);
+
+  void Reserve(size_t n);
+
+  /// Appends one row; `values.size()` must equal num_columns(); values must
+  /// be coercible to the column types.
+  void AppendRow(const std::vector<Value>& values);
+
+  /// Appends row `row` of `src` (schemas must be type-compatible).
+  void AppendRowFrom(const Table& src, size_t row);
+
+  /// Appends all rows of `src`.
+  void AppendAll(const Table& src);
+
+  Value GetValue(size_t row, size_t col) const {
+    return columns_[col]->GetValue(row);
+  }
+
+  std::vector<Value> GetRow(size_t row) const;
+
+  /// New table with rows selected by `sel`, in order.
+  TablePtr Gather(const std::vector<uint32_t>& sel) const;
+
+  /// Deep copy.
+  TablePtr Clone() const;
+
+  /// Row indices sorted by all columns ascending (NULLs first). Used by tests
+  /// to compare results order-insensitively.
+  std::vector<uint32_t> SortedOrder() const;
+
+  /// Multi-line debug rendering (header + rows, ' | ' separated).
+  std::string ToString(size_t max_rows = 50) const;
+
+  /// True if both tables contain the same multiset of rows (types compared
+  /// by value; column names ignored).
+  static bool SameRows(const Table& a, const Table& b);
+
+ private:
+  Schema schema_;
+  std::vector<ColumnVectorPtr> columns_;
+  size_t num_rows_ = 0;
+};
+
+}  // namespace dbspinner

@@ -1,0 +1,223 @@
+// Binder tests: name resolution, scoping, aggregate extraction, typing.
+
+#include <gtest/gtest.h>
+
+#include "binder/binder.h"
+#include "parser/parser.h"
+#include "test_util.h"
+
+namespace dbspinner {
+namespace {
+
+class BinderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Schema edges;
+    edges.AddColumn("src", TypeId::kInt64);
+    edges.AddColumn("dst", TypeId::kInt64);
+    edges.AddColumn("weight", TypeId::kDouble);
+    ASSERT_TRUE(catalog_.CreateTable("edges", Table::Make(edges)).ok());
+    Schema vs;
+    vs.AddColumn("node", TypeId::kInt64);
+    vs.AddColumn("status", TypeId::kInt64);
+    ASSERT_TRUE(catalog_.CreateTable("vertexstatus", Table::Make(vs)).ok());
+  }
+
+  LogicalOpPtr Bind(const std::string& sql) {
+    auto stmt = ParseStatement(sql);
+    EXPECT_TRUE(stmt.ok()) << stmt.status().ToString();
+    Binder binder(&catalog_);
+    auto plan = binder.BindQuery(*(*stmt)->query);
+    EXPECT_TRUE(plan.ok()) << plan.status().ToString() << "\nSQL: " << sql;
+    return plan.ok() ? std::move(plan).value() : nullptr;
+  }
+
+  Status BindError(const std::string& sql) {
+    auto stmt = ParseStatement(sql);
+    if (!stmt.ok()) return stmt.status();
+    Binder binder(&catalog_);
+    auto plan = binder.BindQuery(*(*stmt)->query);
+    EXPECT_FALSE(plan.ok()) << "expected bind error for: " << sql;
+    return plan.ok() ? Status::OK() : plan.status();
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(BinderTest, SimpleScanProject) {
+  auto plan = Bind("SELECT src, weight FROM edges");
+  ASSERT_NE(plan, nullptr);
+  EXPECT_EQ(plan->kind, LogicalOpKind::kProject);
+  EXPECT_EQ(plan->output_schema.column(0).name, "src");
+  EXPECT_EQ(plan->output_schema.column(1).type, TypeId::kDouble);
+  EXPECT_EQ(plan->children[0]->kind, LogicalOpKind::kScan);
+}
+
+TEST_F(BinderTest, UnknownColumnFails) {
+  Status s = BindError("SELECT nope FROM edges");
+  EXPECT_EQ(s.code(), StatusCode::kBindError);
+}
+
+TEST_F(BinderTest, UnknownTableFails) {
+  Status s = BindError("SELECT 1 FROM nope");
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+}
+
+TEST_F(BinderTest, QualifierResolution) {
+  auto plan = Bind(
+      "SELECT edges.src, e2.dst FROM edges JOIN edges AS e2 "
+      "ON edges.src = e2.dst");
+  ASSERT_NE(plan, nullptr);
+  // First projection comes from the unaliased scan (ordinal 0), second from
+  // the aliased one (ordinal 3 + 1 = 4).
+  EXPECT_EQ(plan->projections[0]->column_index, 0u);
+  EXPECT_EQ(plan->projections[1]->column_index, 4u);
+}
+
+TEST_F(BinderTest, AliasShadowsTableName) {
+  // `edges` as a qualifier must not match the aliased second instance.
+  auto plan = Bind(
+      "SELECT edges.src FROM edges JOIN edges AS e2 ON edges.src = e2.src");
+  EXPECT_EQ(plan->projections[0]->column_index, 0u);
+}
+
+TEST_F(BinderTest, AmbiguousColumnFails) {
+  Status s =
+      BindError("SELECT src FROM edges JOIN edges AS e2 ON edges.src = e2.src");
+  EXPECT_NE(s.message().find("ambiguous"), std::string::npos);
+}
+
+TEST_F(BinderTest, TypeInference) {
+  auto plan = Bind("SELECT src + 1, src + weight, src / 2, src / 2.0 "
+                   "FROM edges");
+  EXPECT_EQ(plan->projections[0]->type, TypeId::kInt64);
+  EXPECT_EQ(plan->projections[1]->type, TypeId::kDouble);
+  EXPECT_EQ(plan->projections[2]->type, TypeId::kInt64);
+  EXPECT_EQ(plan->projections[3]->type, TypeId::kDouble);
+}
+
+TEST_F(BinderTest, ComparingStringToIntFails) {
+  Status s = BindError("SELECT src FROM edges WHERE src = 'abc'");
+  EXPECT_EQ(s.code(), StatusCode::kTypeError);
+}
+
+TEST_F(BinderTest, AggregateExtraction) {
+  auto plan = Bind(
+      "SELECT src, 0.85 * SUM(weight), COUNT(*) FROM edges GROUP BY src");
+  // Project over Aggregate over Scan.
+  ASSERT_EQ(plan->kind, LogicalOpKind::kProject);
+  const LogicalOp& agg = *plan->children[0];
+  ASSERT_EQ(agg.kind, LogicalOpKind::kAggregate);
+  EXPECT_EQ(agg.group_exprs.size(), 1u);
+  ASSERT_EQ(agg.aggregates.size(), 2u);
+  EXPECT_EQ(agg.aggregates[0].kind, AggKind::kSum);
+  EXPECT_EQ(agg.aggregates[1].kind, AggKind::kCountStar);
+  // Projection 1 multiplies a reference to aggregate output column 1.
+  EXPECT_EQ(plan->projections[1]->kind, BoundExprKind::kBinaryOp);
+}
+
+TEST_F(BinderTest, GroupByExpressionMatch) {
+  auto plan = Bind(
+      "SELECT src % 10, COUNT(*) FROM edges GROUP BY src % 10");
+  ASSERT_EQ(plan->kind, LogicalOpKind::kProject);
+  EXPECT_EQ(plan->projections[0]->kind, BoundExprKind::kColumnRef);
+  EXPECT_EQ(plan->projections[0]->column_index, 0u);
+}
+
+TEST_F(BinderTest, DuplicateAggregatesShareOneSpec) {
+  auto plan = Bind("SELECT SUM(weight), SUM(weight) + 1 FROM edges");
+  const LogicalOp& agg = *plan->children[0];
+  EXPECT_EQ(agg.aggregates.size(), 1u);
+}
+
+TEST_F(BinderTest, NestedAggregateArgsBindOverInput) {
+  auto plan = Bind(
+      "SELECT CEILING(COUNT(dst) * (1.0 - (src % 10) / 100.0)) "
+      "FROM edges GROUP BY src");
+  ASSERT_EQ(plan->kind, LogicalOpKind::kProject);
+  EXPECT_EQ(plan->projections[0]->kind, BoundExprKind::kFunctionCall);
+}
+
+TEST_F(BinderTest, HavingMustBeBoolean) {
+  Status s = BindError("SELECT src FROM edges GROUP BY src HAVING SUM(weight)");
+  EXPECT_EQ(s.code(), StatusCode::kTypeError);
+}
+
+TEST_F(BinderTest, AggregateInWhereFails) {
+  Status s = BindError("SELECT src FROM edges WHERE SUM(weight) > 1");
+  EXPECT_EQ(s.code(), StatusCode::kBindError);
+}
+
+TEST_F(BinderTest, OrderByAliasResolvesAgainstOutput) {
+  auto plan = Bind("SELECT src AS s FROM edges ORDER BY s DESC");
+  ASSERT_EQ(plan->kind, LogicalOpKind::kSort);
+  EXPECT_TRUE(plan->sort_keys[0].descending);
+  EXPECT_EQ(plan->sort_keys[0].expr->column_index, 0u);
+}
+
+TEST_F(BinderTest, UnionCompatibilityChecked) {
+  Status s = BindError("SELECT src FROM edges UNION SELECT 'x'");
+  EXPECT_EQ(s.code(), StatusCode::kBindError);
+}
+
+TEST_F(BinderTest, UnionWidensSchema) {
+  auto plan = Bind("SELECT src FROM edges UNION ALL SELECT weight FROM edges");
+  EXPECT_EQ(plan->output_schema.column(0).type, TypeId::kDouble);
+}
+
+TEST_F(BinderTest, LeftJoinWithoutOnFails) {
+  auto stmt = ParseStatement("SELECT 1 FROM edges LEFT JOIN vertexstatus");
+  // The parser requires ON after LEFT JOIN.
+  EXPECT_FALSE(stmt.ok());
+}
+
+TEST_F(BinderTest, SubqueryScopes) {
+  auto plan = Bind(
+      "SELECT t.s FROM (SELECT src AS s FROM edges) t WHERE t.s > 0");
+  ASSERT_NE(plan, nullptr);
+  EXPECT_EQ(plan->output_schema.column(0).name, "s");
+}
+
+TEST_F(BinderTest, CteShadowsCatalogTable) {
+  Binder binder(&catalog_);
+  Schema s;
+  s.AddColumn("x", TypeId::kInt64);
+  binder.AddCte("edges", CteBinding{"edges_result", s});
+  auto stmt = ParseStatement("SELECT x FROM edges");
+  ASSERT_TRUE(stmt.ok());
+  auto plan = binder.BindQuery(*(*stmt)->query);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  const LogicalOp* scan = (*plan)->children[0].get();
+  EXPECT_EQ(scan->scan_source, ScanSource::kResult);
+  EXPECT_EQ(scan->scan_name, "edges_result");
+}
+
+TEST_F(BinderTest, BindExprOverSchema) {
+  Binder binder(&catalog_);
+  Schema s;
+  s.AddColumn("n", TypeId::kInt64);
+  auto expr = ParseExpression("n * 2 > 10");
+  ASSERT_TRUE(expr.ok());
+  auto bound = binder.BindExprOverSchema(**expr, s, "r");
+  ASSERT_TRUE(bound.ok()) << bound.status().ToString();
+  EXPECT_EQ((*bound)->type, TypeId::kBool);
+}
+
+TEST_F(BinderTest, ParseExprEqualsDistinguishesQualifiers) {
+  auto a = *ParseExpression("t.x + 1");
+  auto b = *ParseExpression("t.x + 1");
+  auto c = *ParseExpression("x + 1");
+  EXPECT_TRUE(ParseExprEquals(*a, *b));
+  EXPECT_FALSE(ParseExprEquals(*a, *c));
+}
+
+TEST_F(BinderTest, MakeCastProjectIsNoOpForSameSchema) {
+  auto plan = Bind("SELECT src FROM edges");
+  Schema same = plan->output_schema;
+  LogicalOp* before = plan.get();
+  plan = MakeCastProject(std::move(plan), same);
+  EXPECT_EQ(plan.get(), before);
+}
+
+}  // namespace
+}  // namespace dbspinner

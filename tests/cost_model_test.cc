@@ -1,0 +1,163 @@
+// Cost model / iteration estimation tests (paper §IX future work).
+
+#include <gtest/gtest.h>
+
+#include "engine/workloads.h"
+#include "optimizer/cost_model.h"
+#include "plan/plan_printer.h"
+#include "test_util.h"
+
+namespace dbspinner {
+namespace {
+
+using testing::MustExecute;
+
+class CostModelTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MustExecute(&db_,
+                "CREATE TABLE edges (src BIGINT, dst BIGINT, weight DOUBLE)");
+    MustExecute(&db_,
+                "CREATE TABLE vertexstatus (node BIGINT, status BIGINT)");
+    // Give the tables real sizes for the estimator to read.
+    std::string insert = "INSERT INTO edges VALUES (1, 2, 1.0)";
+    for (int i = 1; i < 1000; ++i) {
+      insert += ", (" + std::to_string(i % 100) + ", " +
+                std::to_string((i * 7) % 100) + ", 1.0)";
+    }
+    MustExecute(&db_, insert);
+    std::string vs = "INSERT INTO vertexstatus VALUES (0, 1)";
+    for (int i = 1; i < 100; ++i) {
+      vs += ", (" + std::to_string(i) + ", " + std::to_string(i % 2) + ")";
+    }
+    MustExecute(&db_, vs);
+  }
+
+  double Cardinality(const std::string& sql) {
+    auto program = db_.Plan(sql);
+    EXPECT_TRUE(program.ok()) << program.status().ToString();
+    CostModel model(&db_.catalog());
+    // The final step's plan is the query.
+    return model.EstimateCardinality(*program->steps.back().plan);
+  }
+
+  Database db_;
+};
+
+TEST_F(CostModelTest, ScanUsesCatalogSize) {
+  EXPECT_DOUBLE_EQ(Cardinality("SELECT * FROM edges"), 1000.0);
+  EXPECT_DOUBLE_EQ(Cardinality("SELECT * FROM vertexstatus"), 100.0);
+}
+
+TEST_F(CostModelTest, FilterReducesCardinality) {
+  double all = Cardinality("SELECT * FROM edges");
+  double eq = Cardinality("SELECT * FROM edges WHERE src = 5");
+  double range = Cardinality("SELECT * FROM edges WHERE src > 5");
+  EXPECT_LT(eq, range);
+  EXPECT_LT(range, all);
+}
+
+TEST_F(CostModelTest, ConjunctsMultiply) {
+  double one = Cardinality("SELECT * FROM edges WHERE src = 5");
+  double two = Cardinality("SELECT * FROM edges WHERE src = 5 AND dst = 7");
+  EXPECT_LT(two, one);
+}
+
+TEST_F(CostModelTest, CrossJoinIsProduct) {
+  EXPECT_DOUBLE_EQ(
+      Cardinality("SELECT * FROM edges CROSS JOIN vertexstatus"),
+      1000.0 * 100.0);
+}
+
+TEST_F(CostModelTest, EquiJoinBelowCross) {
+  double equi = Cardinality(
+      "SELECT * FROM edges e JOIN vertexstatus v ON e.dst = v.node");
+  EXPECT_LT(equi, 1000.0 * 100.0);
+  EXPECT_GE(equi, 1000.0);  // no smaller than the bigger input
+}
+
+TEST_F(CostModelTest, GlobalAggregateIsOneRow) {
+  EXPECT_DOUBLE_EQ(Cardinality("SELECT COUNT(*) FROM edges"), 1.0);
+}
+
+TEST_F(CostModelTest, GroupedAggregateShrinks) {
+  double groups = Cardinality("SELECT src, COUNT(*) FROM edges GROUP BY src");
+  EXPECT_LT(groups, 1000.0);
+  EXPECT_GT(groups, 1.0);
+}
+
+TEST_F(CostModelTest, LimitCaps) {
+  EXPECT_DOUBLE_EQ(Cardinality("SELECT * FROM edges LIMIT 7"), 7.0);
+}
+
+TEST_F(CostModelTest, IterationEstimates) {
+  CostModel model(&db_.catalog());
+  LoopSpec metadata;
+  metadata.kind = LoopSpec::Kind::kIterations;
+  metadata.n = 25;
+  EXPECT_DOUBLE_EQ(model.EstimateIterations(metadata, 0), 25.0);
+
+  LoopSpec updates;
+  updates.kind = LoopSpec::Kind::kUpdates;
+  updates.n = 1000;
+  EXPECT_DOUBLE_EQ(model.EstimateIterations(updates, 100.0), 10.0);
+
+  LoopSpec delta;
+  delta.kind = LoopSpec::Kind::kDeltaLess;
+  delta.n = 1;
+  EXPECT_DOUBLE_EQ(model.EstimateIterations(delta, 100.0, 12.0), 12.0);
+}
+
+TEST_F(CostModelTest, ProgramCostWeighsLoopBody) {
+  auto few = db_.Plan(workloads::PRQuery(2));
+  auto many = db_.Plan(workloads::PRQuery(50));
+  ASSERT_TRUE(few.ok());
+  ASSERT_TRUE(many.ok());
+  CostModel model(&db_.catalog());
+  double cost_few = model.EstimateProgramCost(*few);
+  double cost_many = model.EstimateProgramCost(*many);
+  EXPECT_GT(cost_many, 5 * cost_few);
+}
+
+TEST_F(CostModelTest, ExplainCostRenders) {
+  auto program = db_.Plan(workloads::PRQuery(3));
+  ASSERT_TRUE(program.ok());
+  CostModel model(&db_.catalog());
+  std::string text = model.ExplainCost(*program);
+  EXPECT_NE(text.find("Total program cost"), std::string::npos);
+  EXPECT_NE(text.find("est_rows"), std::string::npos);
+}
+
+TEST_F(CostModelTest, SingleIterationLoopSkipsCommonResult) {
+  // The cost guard: a 1-iteration loop cannot amortize the hoisted
+  // materialization, so the common-result rewrite must not fire.
+  auto program = db_.Plan(workloads::PRVSQuery(1));
+  ASSERT_TRUE(program.ok());
+  std::string text = ExplainProgram(*program, false);
+  EXPECT_EQ(text.find("__common#"), std::string::npos) << text;
+
+  auto program2 = db_.Plan(workloads::PRVSQuery(2));
+  ASSERT_TRUE(program2.ok());
+  std::string text2 = ExplainProgram(*program2, false);
+  EXPECT_NE(text2.find("__common#"), std::string::npos) << text2;
+}
+
+TEST_F(CostModelTest, ExplainCostStatement) {
+  auto result = db_.Execute("EXPLAIN COST " + workloads::PRQuery(3));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_NE(result->explain.find("Total program cost"), std::string::npos);
+  // Plain EXPLAIN omits the cost section.
+  auto plain = db_.Execute("EXPLAIN " + workloads::PRQuery(3));
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(plain->explain.find("Total program cost"), std::string::npos);
+}
+
+TEST_F(CostModelTest, NullCatalogStillEstimates) {
+  CostModel model(nullptr);
+  auto program = db_.Plan("SELECT * FROM edges");
+  ASSERT_TRUE(program.ok());
+  EXPECT_GT(model.EstimateCardinality(*program->steps.back().plan), 0.0);
+}
+
+}  // namespace
+}  // namespace dbspinner

@@ -1,0 +1,150 @@
+// COPY TO / COPY FROM and the CSV round-trip engine.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "storage/csv.h"
+#include "test_util.h"
+
+namespace dbspinner {
+namespace {
+
+using testing::MustExecute;
+using testing::MustQuery;
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+class CopyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MustExecute(&db_, "CREATE TABLE t (a BIGINT, b DOUBLE, s VARCHAR)");
+    MustExecute(&db_,
+                "INSERT INTO t VALUES (1, 1.5, 'plain'), "
+                "(2, NULL, 'with,comma'), (3, 3.25, 'quote\"inside'), "
+                "(4, 4.0, ''), (5, 5.0, NULL)");
+  }
+  Database db_;
+};
+
+TEST_F(CopyTest, RoundTripPreservesEverything) {
+  std::string path = TempPath("copy_roundtrip.csv");
+  auto out = db_.Execute("COPY t TO '" + path + "'");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(out->rows_affected, 5);
+
+  MustExecute(&db_, "CREATE TABLE t2 (a BIGINT, b DOUBLE, s VARCHAR)");
+  auto in = db_.Execute("COPY t2 FROM '" + path + "'");
+  ASSERT_TRUE(in.ok()) << in.status().ToString();
+  EXPECT_EQ(in->rows_affected, 5);
+
+  auto original = MustQuery(&db_, "SELECT * FROM t");
+  auto copied = MustQuery(&db_, "SELECT * FROM t2");
+  testing::ExpectSameRows(original, copied);
+
+  // Empty string and NULL stayed distinct.
+  EXPECT_EQ(MustQuery(&db_, "SELECT a FROM t2 WHERE s IS NULL")
+                ->GetValue(0, 0)
+                .int64_value(),
+            5);
+  EXPECT_EQ(MustQuery(&db_, "SELECT a FROM t2 WHERE s = ''")
+                ->GetValue(0, 0)
+                .int64_value(),
+            4);
+  std::remove(path.c_str());
+}
+
+TEST_F(CopyTest, CustomDelimiter) {
+  std::string path = TempPath("copy_tab.csv");
+  ASSERT_TRUE(db_.Execute("COPY t TO '" + path + "' DELIMITER '\t'").ok());
+  MustExecute(&db_, "CREATE TABLE t3 (a BIGINT, b DOUBLE, s VARCHAR)");
+  ASSERT_TRUE(db_.Execute("COPY t3 FROM '" + path + "' DELIMITER '\t'").ok());
+  EXPECT_EQ(MustQuery(&db_, "SELECT COUNT(*) FROM t3")->GetValue(0, 0)
+                .int64_value(),
+            5);
+  std::remove(path.c_str());
+}
+
+TEST_F(CopyTest, ImportAppendsToExistingRows) {
+  std::string path = TempPath("copy_append.csv");
+  ASSERT_TRUE(db_.Execute("COPY t TO '" + path + "'").ok());
+  ASSERT_TRUE(db_.Execute("COPY t FROM '" + path + "'").ok());
+  EXPECT_EQ(MustQuery(&db_, "SELECT COUNT(*) FROM t")->GetValue(0, 0)
+                .int64_value(),
+            10);
+  std::remove(path.c_str());
+}
+
+TEST_F(CopyTest, ImportCastsToColumnTypes) {
+  std::string path = TempPath("copy_types.csv");
+  {
+    std::ofstream f(path);
+    f << "a,b,s\n42,2.75,\"hello\"\n";
+  }
+  ASSERT_TRUE(db_.Execute("COPY t FROM '" + path + "'").ok());
+  auto row = MustQuery(&db_, "SELECT a, b FROM t WHERE a = 42");
+  ASSERT_EQ(row->num_rows(), 1u);
+  EXPECT_EQ(row->GetValue(0, 0).type(), TypeId::kInt64);
+  EXPECT_DOUBLE_EQ(row->GetValue(0, 1).double_value(), 2.75);
+  std::remove(path.c_str());
+}
+
+TEST_F(CopyTest, FieldCountMismatchFails) {
+  std::string path = TempPath("copy_bad.csv");
+  {
+    std::ofstream f(path);
+    f << "a,b,s\n1,2\n";
+  }
+  auto result = db_.Execute("COPY t FROM '" + path + "'");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+  std::remove(path.c_str());
+}
+
+TEST_F(CopyTest, BadCastFails) {
+  std::string path = TempPath("copy_badcast.csv");
+  {
+    std::ofstream f(path);
+    f << "a,b,s\nnot_a_number,2.0,x\n";
+  }
+  auto result = db_.Execute("COPY t FROM '" + path + "'");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kTypeError);
+  std::remove(path.c_str());
+}
+
+TEST_F(CopyTest, MissingFileAndTable) {
+  EXPECT_FALSE(db_.Execute("COPY t FROM '/no/such/file.csv'").ok());
+  EXPECT_FALSE(db_.Execute("COPY nope TO '/tmp/x.csv'").ok());
+}
+
+TEST_F(CopyTest, QuotedNewlineRoundTrips) {
+  MustExecute(&db_, "CREATE TABLE ml (s VARCHAR)");
+  MustExecute(&db_, "INSERT INTO ml VALUES ('line1\nline2')");
+  std::string path = TempPath("copy_newline.csv");
+  ASSERT_TRUE(db_.Execute("COPY ml TO '" + path + "'").ok());
+  MustExecute(&db_, "CREATE TABLE ml2 (s VARCHAR)");
+  ASSERT_TRUE(db_.Execute("COPY ml2 FROM '" + path + "'").ok());
+  auto t = MustQuery(&db_, "SELECT s FROM ml2");
+  ASSERT_EQ(t->num_rows(), 1u);
+  EXPECT_EQ(t->GetValue(0, 0).string_value(), "line1\nline2");
+  std::remove(path.c_str());
+}
+
+TEST_F(CopyTest, CopyInsideTransactionRollsBack) {
+  std::string path = TempPath("copy_tx.csv");
+  ASSERT_TRUE(db_.Execute("COPY t TO '" + path + "'").ok());
+  MustExecute(&db_, "BEGIN");
+  ASSERT_TRUE(db_.Execute("COPY t FROM '" + path + "'").ok());
+  MustExecute(&db_, "ROLLBACK");
+  EXPECT_EQ(MustQuery(&db_, "SELECT COUNT(*) FROM t")->GetValue(0, 0)
+                .int64_value(),
+            5);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace dbspinner

@@ -1,0 +1,200 @@
+// Physical operator and program-executor unit tests (below the SQL layer).
+
+#include <gtest/gtest.h>
+
+#include "exec/merge_update.h"
+#include "exec/physical_plan.h"
+#include "exec/physical_planner.h"
+#include "exec/program_executor.h"
+#include "test_util.h"
+
+namespace dbspinner {
+namespace {
+
+Schema KV() {
+  Schema s;
+  s.AddColumn("k", TypeId::kInt64);
+  s.AddColumn("v", TypeId::kDouble);
+  return s;
+}
+
+TablePtr MakeKV(std::vector<std::pair<int64_t, double>> rows) {
+  auto t = Table::Make(KV());
+  for (auto& [k, v] : rows) {
+    t->AppendRow({Value::Int64(k), Value::Double(v)});
+  }
+  return t;
+}
+
+struct Env {
+  Catalog catalog;
+  ResultRegistry registry;
+  EngineOptions options;
+  ExecContext ctx;
+
+  Env() {
+    ctx.catalog = &catalog;
+    ctx.registry = &registry;
+    ctx.options = &options;
+  }
+};
+
+TEST(MergeUpdateTest, MatchedRowsTakeWorkingValues) {
+  auto cte = MakeKV({{1, 1.0}, {2, 2.0}, {3, 3.0}});
+  auto working = MakeKV({{2, 20.0}, {3, 3.0}});
+  auto result = MergeUpdateTables(*cte, *working, 0);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->merged->num_rows(), 3u);
+  // Only key 2 actually changed (key 3 got identical values).
+  EXPECT_EQ(result->updated_rows, 1);
+  auto expected = MakeKV({{1, 1.0}, {2, 20.0}, {3, 3.0}});
+  EXPECT_TRUE(Table::SameRows(*result->merged, *expected));
+}
+
+TEST(MergeUpdateTest, WorkingKeysNotInCteAreIgnored) {
+  auto cte = MakeKV({{1, 1.0}});
+  auto working = MakeKV({{9, 9.0}});
+  auto result = MergeUpdateTables(*cte, *working, 0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->merged->num_rows(), 1u);
+  EXPECT_EQ(result->updated_rows, 0);
+}
+
+TEST(MergeUpdateTest, DuplicateKeyFails) {
+  auto cte = MakeKV({{1, 1.0}});
+  auto working = MakeKV({{1, 2.0}, {1, 3.0}});
+  auto result = MergeUpdateTables(*cte, *working, 0);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kExecutionError);
+}
+
+TEST(MergeUpdateTest, CountChangedRows) {
+  auto prev = MakeKV({{1, 1.0}, {2, 2.0}, {3, 3.0}});
+  auto cur = MakeKV({{1, 1.0}, {2, 9.0}, {4, 4.0}});
+  // key 2 changed, key 4 new, key 3 disappeared => 3 changes.
+  EXPECT_EQ(CountChangedRows(*prev, *cur, 0), 3);
+  EXPECT_EQ(CountChangedRows(*prev, *prev, 0), 0);
+}
+
+TEST(ProgramExecutorTest, JumpLoopRunsBodyNTimes) {
+  // Hand-built program: materialize 1-row table, loop 5 iterations over a
+  // body that replaces it with v + 1 (via plan Scan -> Project).
+  Env env;
+  env.registry.Put("acc", MakeKV({{1, 0.0}}));
+
+  Program program;
+  Schema kv = KV();
+
+  auto scan = MakeScan(ScanSource::kResult, "acc", kv);
+  std::vector<BoundExprPtr> projections;
+  projections.push_back(MakeBoundColumnRef(0, TypeId::kInt64, "k"));
+  projections.push_back(MakeBoundBinary(
+      BinaryOp::kAdd, MakeBoundColumnRef(1, TypeId::kDouble, "v"),
+      MakeBoundConstant(Value::Double(1)), TypeId::kDouble));
+  auto body_plan =
+      MakeProject(std::move(projections), {"k", "v"}, std::move(scan));
+
+  LoopSpec spec;
+  spec.kind = LoopSpec::Kind::kIterations;
+  spec.n = 5;
+  spec.cte_name = "acc";
+
+  Step init;
+  init.kind = Step::Kind::kInitLoop;
+  init.id = program.NewId();
+  init.loop_id = 1;
+  init.loop = spec.Clone();
+  program.steps.push_back(std::move(init));
+
+  Step body;
+  body.kind = Step::Kind::kMaterialize;
+  body.id = program.NewId();
+  body.target = "working";
+  body.plan = std::move(body_plan);
+  int body_id = body.id;
+  program.steps.push_back(std::move(body));
+
+  Step rename;
+  rename.kind = Step::Kind::kRename;
+  rename.id = program.NewId();
+  rename.source = "working";
+  rename.target = "acc";
+  rename.loop_id = 1;
+  program.steps.push_back(std::move(rename));
+
+  Step check;
+  check.kind = Step::Kind::kLoopCheck;
+  check.id = program.NewId();
+  check.loop_id = 1;
+  check.loop = spec.Clone();
+  check.jump_to_id = body_id;
+  program.steps.push_back(std::move(check));
+
+  Step final_step;
+  final_step.kind = Step::Kind::kFinal;
+  final_step.id = program.NewId();
+  final_step.plan = MakeScan(ScanSource::kResult, "acc", kv);
+  program.steps.push_back(std::move(final_step));
+
+  ASSERT_TRUE(PlanProgram(&program).ok());
+  auto result = RunProgram(program, &env.ctx);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_DOUBLE_EQ((*result)->GetValue(0, 1).double_value(), 5.0);
+  EXPECT_EQ(env.ctx.stats.loop_iterations, 5);
+  EXPECT_EQ(env.ctx.stats.renames, 5);
+}
+
+TEST(HashJoinExecTest, InnerAndLeftViaSql) {
+  Database db;
+  testing::MustExecute(&db, "CREATE TABLE l (k BIGINT, v DOUBLE)");
+  testing::MustExecute(&db, "CREATE TABLE r (k BIGINT, w DOUBLE)");
+  testing::MustExecute(&db, "INSERT INTO l VALUES (1, 1.0), (2, 2.0), "
+                            "(NULL, 0.0)");
+  testing::MustExecute(&db, "INSERT INTO r VALUES (1, 10.0), (1, 11.0), "
+                            "(NULL, 99.0)");
+
+  // NULL keys never match (SQL semantics), duplicates multiply.
+  auto inner = testing::MustQuery(
+      &db, "SELECT l.k, r.w FROM l JOIN r ON l.k = r.k ORDER BY r.w");
+  ASSERT_EQ(inner->num_rows(), 2u);
+
+  auto left = testing::MustQuery(
+      &db, "SELECT l.v, r.w FROM l LEFT JOIN r ON l.k = r.k ORDER BY l.v");
+  ASSERT_EQ(left->num_rows(), 4u);  // 2 matches for k=1, pads for k=2 & NULL
+  EXPECT_TRUE(left->GetValue(0, 1).is_null());  // v=0.0 row (NULL key)
+}
+
+TEST(DistinctExecTest, CrossTypeDuplicates) {
+  Database db;
+  testing::MustExecute(&db, "CREATE TABLE t (v DOUBLE)");
+  testing::MustExecute(&db, "INSERT INTO t VALUES (1.0), (1.0), (2.0)");
+  auto result =
+      testing::MustQuery(&db, "SELECT DISTINCT v FROM t");
+  EXPECT_EQ(result->num_rows(), 2u);
+}
+
+TEST(SortExecTest, StableMultiKey) {
+  Database db;
+  testing::MustExecute(&db, "CREATE TABLE t (a BIGINT, b BIGINT)");
+  testing::MustExecute(&db,
+                       "INSERT INTO t VALUES (1, 3), (2, 1), (1, 1), (2, 2)");
+  auto result = testing::MustQuery(
+      &db, "SELECT a, b FROM t ORDER BY a ASC, b DESC");
+  ASSERT_EQ(result->num_rows(), 4u);
+  EXPECT_EQ(result->GetValue(0, 0).int64_value(), 1);
+  EXPECT_EQ(result->GetValue(0, 1).int64_value(), 3);
+  EXPECT_EQ(result->GetValue(3, 1).int64_value(), 1);
+}
+
+TEST(StatsTest, MaterializedRowsTracked) {
+  Database db;
+  testing::MustExecute(&db, "CREATE TABLE t (a BIGINT)");
+  testing::MustExecute(&db, "INSERT INTO t VALUES (1), (2), (3)");
+  auto result = db.Execute("SELECT a + 1 FROM t WHERE a > 1");
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->stats.rows_materialized, 0);
+  EXPECT_GT(result->stats.steps_executed, 0);
+}
+
+}  // namespace
+}  // namespace dbspinner

@@ -1,0 +1,163 @@
+// Failure-path coverage: malformed SQL, semantic errors, runtime errors,
+// and engine guard rails all surface as typed Status codes, never crashes.
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace dbspinner {
+namespace {
+
+using testing::MustExecute;
+
+void ExpectFailure(Database* db, const std::string& sql, StatusCode code) {
+  auto result = db->Execute(sql);
+  ASSERT_FALSE(result.ok()) << "expected failure for: " << sql;
+  EXPECT_EQ(result.status().code(), code)
+      << sql << " -> " << result.status().ToString();
+}
+
+class FailureTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MustExecute(&db_, "CREATE TABLE t (a BIGINT, b DOUBLE)");
+    MustExecute(&db_, "INSERT INTO t VALUES (1, 1.0), (2, 2.0)");
+  }
+  Database db_;
+};
+
+TEST_F(FailureTest, LexErrors) {
+  ExpectFailure(&db_, "SELECT 'unterminated", StatusCode::kParseError);
+  ExpectFailure(&db_, "SELECT a ~ b FROM t", StatusCode::kParseError);
+}
+
+TEST_F(FailureTest, ParseErrors) {
+  ExpectFailure(&db_, "SELEC a FROM t", StatusCode::kParseError);
+  ExpectFailure(&db_, "SELECT FROM t", StatusCode::kParseError);
+  ExpectFailure(&db_, "SELECT a FROM t WHERE", StatusCode::kParseError);
+  ExpectFailure(&db_, "SELECT a FROM t GROUP", StatusCode::kParseError);
+  ExpectFailure(&db_, "SELECT a FROM t LIMIT x", StatusCode::kParseError);
+  ExpectFailure(&db_, "WITH ITERATIVE r AS (SELECT 1 ITERATE SELECT 1) "
+                      "SELECT 1", StatusCode::kParseError);
+}
+
+TEST_F(FailureTest, BindErrors) {
+  ExpectFailure(&db_, "SELECT missing FROM t", StatusCode::kBindError);
+  ExpectFailure(&db_, "SELECT t.a FROM t AS x", StatusCode::kBindError);
+  ExpectFailure(&db_, "SELECT UNKNOWN_FN(a) FROM t", StatusCode::kBindError);
+  ExpectFailure(&db_, "SELECT a FROM t ORDER BY 99", StatusCode::kBindError);
+  ExpectFailure(&db_, "SELECT a, COUNT(*) FROM t", StatusCode::kBindError);
+  ExpectFailure(&db_, "SELECT SUM(COUNT(a)) FROM t", StatusCode::kBindError);
+}
+
+TEST_F(FailureTest, MissingObjects) {
+  ExpectFailure(&db_, "SELECT * FROM nope", StatusCode::kNotFound);
+  ExpectFailure(&db_, "DROP TABLE nope", StatusCode::kNotFound);
+  ExpectFailure(&db_, "INSERT INTO nope VALUES (1)", StatusCode::kNotFound);
+  ExpectFailure(&db_, "UPDATE nope SET a = 1", StatusCode::kNotFound);
+  ExpectFailure(&db_, "DELETE FROM nope", StatusCode::kNotFound);
+}
+
+TEST_F(FailureTest, DuplicateTable) {
+  ExpectFailure(&db_, "CREATE TABLE t (x INT)", StatusCode::kAlreadyExists);
+  // IF NOT EXISTS suppresses the error.
+  MustExecute(&db_, "CREATE TABLE IF NOT EXISTS t (x INT)");
+}
+
+TEST_F(FailureTest, TypeErrors) {
+  ExpectFailure(&db_, "SELECT a + 'x' FROM t", StatusCode::kTypeError);
+  ExpectFailure(&db_, "SELECT a FROM t WHERE a + 1", StatusCode::kTypeError);
+  ExpectFailure(&db_, "SELECT NOT a FROM t", StatusCode::kTypeError);
+  ExpectFailure(&db_, "SELECT SUM('x') FROM t", StatusCode::kTypeError);
+  ExpectFailure(&db_, "CREATE TABLE bad (x BLOB)", StatusCode::kTypeError);
+}
+
+TEST_F(FailureTest, RuntimeErrors) {
+  ExpectFailure(&db_, "SELECT a / 0 FROM t", StatusCode::kExecutionError);
+  ExpectFailure(&db_, "SELECT MOD(a, 0) FROM t",
+                StatusCode::kExecutionError);
+  ExpectFailure(&db_, "SELECT CAST('xyz' AS BIGINT) FROM t",
+                StatusCode::kTypeError);
+}
+
+TEST_F(FailureTest, InsertArityMismatch) {
+  ExpectFailure(&db_, "INSERT INTO t VALUES (1)", StatusCode::kBindError);
+  ExpectFailure(&db_, "INSERT INTO t (a) VALUES (1, 2)",
+                StatusCode::kBindError);
+  ExpectFailure(&db_, "INSERT INTO t (zz) VALUES (1)",
+                StatusCode::kBindError);
+  ExpectFailure(&db_, "INSERT INTO t SELECT a FROM t",
+                StatusCode::kBindError);
+}
+
+TEST_F(FailureTest, UpdateUnknownColumn) {
+  ExpectFailure(&db_, "UPDATE t SET zz = 1", StatusCode::kBindError);
+}
+
+TEST_F(FailureTest, IterativeCteErrors) {
+  // Bad KEY column.
+  ExpectFailure(&db_,
+                "WITH ITERATIVE r (x) KEY (zz) AS (SELECT 1 ITERATE "
+                "SELECT x FROM r WHERE x > 0 UNTIL 2 ITERATIONS) "
+                "SELECT * FROM r",
+                StatusCode::kBindError);
+  // Column-count mismatch between declaration and query.
+  ExpectFailure(&db_,
+                "WITH ITERATIVE r (x, y) AS (SELECT 1 ITERATE "
+                "SELECT x, y FROM r UNTIL 2 ITERATIONS) SELECT * FROM r",
+                StatusCode::kBindError);
+  // Iterative part returning a different column count.
+  ExpectFailure(&db_,
+                "WITH ITERATIVE r (x) AS (SELECT 1 ITERATE "
+                "SELECT x, x FROM r UNTIL 2 ITERATIONS) SELECT * FROM r",
+                StatusCode::kBindError);
+  // Non-boolean data termination condition.
+  ExpectFailure(&db_,
+                "WITH ITERATIVE r (x) AS (SELECT 1 ITERATE "
+                "SELECT x + 1 FROM r UNTIL ANY(x + 1)) SELECT * FROM r",
+                StatusCode::kTypeError);
+  // Duplicate CTE names.
+  ExpectFailure(&db_,
+                "WITH c AS (SELECT 1 AS x), c AS (SELECT 2 AS x) "
+                "SELECT * FROM c",
+                StatusCode::kBindError);
+}
+
+TEST_F(FailureTest, IterativeTypeConflictFails) {
+  // Ri produces a string where R0 produced an int: no common type.
+  ExpectFailure(&db_,
+                "WITH ITERATIVE r (x) AS (SELECT 1 ITERATE "
+                "SELECT 'abc' FROM r UNTIL 2 ITERATIONS) SELECT * FROM r",
+                StatusCode::kTypeError);
+}
+
+TEST_F(FailureTest, EmptyScriptFails) {
+  auto result = db_.ExecuteScript("   ");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(FailureTest, ErrorsLeaveCatalogUsable) {
+  ExpectFailure(&db_, "SELECT a / 0 FROM t", StatusCode::kExecutionError);
+  // The engine remains fully usable after a runtime failure.
+  auto t = testing::MustQuery(&db_, "SELECT COUNT(*) FROM t");
+  EXPECT_EQ(t->GetValue(0, 0).int64_value(), 2);
+}
+
+TEST_F(FailureTest, MidIterationFailureSurfacesCleanly) {
+  MustExecute(&db_, "CREATE TABLE base (id BIGINT, v BIGINT)");
+  MustExecute(&db_, "INSERT INTO base VALUES (1, 4)");
+  // v reaches 0 after 4 iterations; the 5th divides by zero inside Ri.
+  auto result = db_.Execute(
+      "WITH ITERATIVE r (id, v) AS (SELECT id, v FROM base ITERATE "
+      "SELECT id, 100 / v + v - 100 / v - 1 FROM r UNTIL 10 ITERATIONS) "
+      "SELECT * FROM r");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kExecutionError);
+  // And the engine still works.
+  auto t = testing::MustQuery(&db_, "SELECT COUNT(*) FROM base");
+  EXPECT_EQ(t->GetValue(0, 0).int64_value(), 1);
+}
+
+}  // namespace
+}  // namespace dbspinner

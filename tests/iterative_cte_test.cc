@@ -1,0 +1,255 @@
+// Iterative CTE semantics: Algorithm 1, the loop operator's termination
+// conditions (Metadata / Data / Delta), rename vs merge paths, and the
+// paper's mandated runtime errors.
+
+#include <gtest/gtest.h>
+
+#include "plan/plan_printer.h"
+#include "test_util.h"
+
+namespace dbspinner {
+namespace {
+
+using testing::MustExecute;
+using testing::MustQuery;
+
+TEST(IterativeCteTest, SimpleCounterIterations) {
+  Database db;
+  auto t = MustQuery(&db,
+                     "WITH ITERATIVE c (n) AS (SELECT 0 ITERATE "
+                     "SELECT n + 1 FROM c UNTIL 10 ITERATIONS) "
+                     "SELECT n FROM c");
+  ASSERT_EQ(t->num_rows(), 1u);
+  EXPECT_EQ(t->GetValue(0, 0).int64_value(), 10);
+}
+
+TEST(IterativeCteTest, GeometricGrowth) {
+  Database db;
+  auto t = MustQuery(&db,
+                     "WITH ITERATIVE g (v) AS (SELECT 1.0 ITERATE "
+                     "SELECT v * 2 FROM g UNTIL 8 ITERATIONS) "
+                     "SELECT v FROM g");
+  EXPECT_DOUBLE_EQ(t->GetValue(0, 0).double_value(), 256.0);
+}
+
+TEST(IterativeCteTest, MultiRowWholeDatasetUpdate) {
+  Database db;
+  MustExecute(&db, "CREATE TABLE base (id BIGINT, v BIGINT)");
+  MustExecute(&db, "INSERT INTO base VALUES (1, 1), (2, 2), (3, 3)");
+  auto t = MustQuery(&db,
+                     "WITH ITERATIVE it (id, v) AS (SELECT id, v FROM base "
+                     "ITERATE SELECT id, v + 10 FROM it UNTIL 3 ITERATIONS) "
+                     "SELECT id, v FROM it ORDER BY id");
+  ASSERT_EQ(t->num_rows(), 3u);
+  EXPECT_EQ(t->GetValue(0, 1).int64_value(), 31);
+  EXPECT_EQ(t->GetValue(2, 1).int64_value(), 33);
+}
+
+TEST(IterativeCteTest, MergePathKeepsUnmatchedRows) {
+  Database db;
+  MustExecute(&db, "CREATE TABLE base (id BIGINT, v BIGINT)");
+  MustExecute(&db, "INSERT INTO base VALUES (1, 1), (2, 2), (3, 3)");
+  // WHERE id <= 2 makes Ri a partial update: merge semantics.
+  auto t = MustQuery(&db,
+                     "WITH ITERATIVE it (id, v) AS (SELECT id, v FROM base "
+                     "ITERATE SELECT id, v + 10 FROM it WHERE id <= 2 "
+                     "UNTIL 2 ITERATIONS) "
+                     "SELECT id, v FROM it ORDER BY id");
+  ASSERT_EQ(t->num_rows(), 3u);
+  EXPECT_EQ(t->GetValue(0, 1).int64_value(), 21);
+  EXPECT_EQ(t->GetValue(1, 1).int64_value(), 22);
+  EXPECT_EQ(t->GetValue(2, 1).int64_value(), 3);  // untouched by merges
+}
+
+TEST(IterativeCteTest, ExplicitKeyColumn) {
+  Database db;
+  MustExecute(&db, "CREATE TABLE base (v BIGINT, id BIGINT)");
+  MustExecute(&db, "INSERT INTO base VALUES (5, 1), (6, 2)");
+  // Key is the *second* column.
+  auto t = MustQuery(&db,
+                     "WITH ITERATIVE it (v, id) KEY (id) AS "
+                     "(SELECT v, id FROM base ITERATE "
+                     "SELECT v + 1, id FROM it WHERE id = 2 "
+                     "UNTIL 4 ITERATIONS) "
+                     "SELECT v FROM it ORDER BY id");
+  EXPECT_EQ(t->GetValue(0, 0).int64_value(), 5);
+  EXPECT_EQ(t->GetValue(1, 0).int64_value(), 10);
+}
+
+TEST(IterativeCteTest, DuplicateWorkingKeyIsRuntimeError) {
+  Database db;
+  MustExecute(&db, "CREATE TABLE base (id BIGINT, v BIGINT)");
+  MustExecute(&db, "INSERT INTO base VALUES (1, 1), (2, 2)");
+  // The iterative part maps both rows to id = 1: ambiguous update (§II).
+  auto result = db.Query(
+      "WITH ITERATIVE it (id, v) AS (SELECT id, v FROM base ITERATE "
+      "SELECT 1, v + 1 FROM it WHERE v < 100 UNTIL 2 ITERATIONS) "
+      "SELECT * FROM it");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kExecutionError);
+  EXPECT_NE(result.status().message().find("duplicate"), std::string::npos);
+}
+
+TEST(IterativeCteTest, UpdatesTermination) {
+  Database db;
+  MustExecute(&db, "CREATE TABLE base (id BIGINT, v BIGINT)");
+  MustExecute(&db, "INSERT INTO base VALUES (1, 0), (2, 0), (3, 0)");
+  // Each iteration updates all 3 rows (rename path counts full rows);
+  // cumulative updates reach 9 >= 7 after iteration 3.
+  auto t = MustQuery(&db,
+                     "WITH ITERATIVE it (id, v) AS (SELECT id, v FROM base "
+                     "ITERATE SELECT id, v + 1 FROM it UNTIL 7 UPDATES) "
+                     "SELECT MAX(v) FROM it");
+  EXPECT_EQ(t->GetValue(0, 0).int64_value(), 3);
+}
+
+TEST(IterativeCteTest, AnyDataTermination) {
+  Database db;
+  auto t = MustQuery(&db,
+                     "WITH ITERATIVE c (n) AS (SELECT 0 ITERATE "
+                     "SELECT n + 1 FROM c UNTIL ANY(n >= 5)) "
+                     "SELECT n FROM c");
+  EXPECT_EQ(t->GetValue(0, 0).int64_value(), 5);
+}
+
+TEST(IterativeCteTest, AllDataTermination) {
+  Database db;
+  MustExecute(&db, "CREATE TABLE base (id BIGINT, v BIGINT)");
+  MustExecute(&db, "INSERT INTO base VALUES (1, 0), (2, 3)");
+  // Stops when every row satisfies v >= 4: row 2 reaches it first but the
+  // loop continues until row 1 does too.
+  auto t = MustQuery(&db,
+                     "WITH ITERATIVE it (id, v) AS (SELECT id, v FROM base "
+                     "ITERATE SELECT id, v + 1 FROM it UNTIL ALL(v >= 4)) "
+                     "SELECT MIN(v), MAX(v) FROM it");
+  EXPECT_EQ(t->GetValue(0, 0).int64_value(), 4);
+  EXPECT_EQ(t->GetValue(0, 1).int64_value(), 7);
+}
+
+TEST(IterativeCteTest, DeltaTermination) {
+  Database db;
+  MustExecute(&db, "CREATE TABLE base (id BIGINT, v DOUBLE)");
+  MustExecute(&db, "INSERT INTO base VALUES (1, 0.0), (2, 6.0)");
+  // v' = LEAST(v + 1, 10) converges to 10 for every row; DELTA < 1 stops
+  // once an iteration changes no rows.
+  auto t = MustQuery(&db,
+                     "WITH ITERATIVE it (id, v) AS (SELECT id, v FROM base "
+                     "ITERATE SELECT id, LEAST(v + 1, 10) FROM it "
+                     "UNTIL DELTA < 1) "
+                     "SELECT MIN(v), MAX(v) FROM it");
+  EXPECT_DOUBLE_EQ(t->GetValue(0, 0).double_value(), 10.0);
+  EXPECT_DOUBLE_EQ(t->GetValue(0, 1).double_value(), 10.0);
+}
+
+TEST(IterativeCteTest, SchemaWideningIntToDouble) {
+  Database db;
+  // R0 yields INT, Ri yields DOUBLE: the CTE schema must widen.
+  auto t = MustQuery(&db,
+                     "WITH ITERATIVE c (n) AS (SELECT 1 ITERATE "
+                     "SELECT n / 2.0 FROM c UNTIL 2 ITERATIONS) "
+                     "SELECT n FROM c");
+  EXPECT_DOUBLE_EQ(t->GetValue(0, 0).double_value(), 0.25);
+}
+
+TEST(IterativeCteTest, IterativeCteFeedsLaterCte) {
+  Database db;
+  auto t = MustQuery(&db,
+                     "WITH ITERATIVE c (n) AS (SELECT 0 ITERATE "
+                     "SELECT n + 1 FROM c UNTIL 4 ITERATIONS), "
+                     "doubled AS (SELECT n * 2 AS n FROM c) "
+                     "SELECT n FROM doubled");
+  EXPECT_EQ(t->GetValue(0, 0).int64_value(), 8);
+}
+
+TEST(IterativeCteTest, TwoIterativeCtes) {
+  Database db;
+  auto t = MustQuery(&db,
+                     "WITH ITERATIVE a (x) AS (SELECT 0 ITERATE "
+                     "SELECT x + 1 FROM a UNTIL 3 ITERATIONS), "
+                     "ITERATIVE b (y) AS (SELECT 0 ITERATE "
+                     "SELECT y + 2 FROM b UNTIL 5 ITERATIONS) "
+                     "SELECT a.x + b.y FROM a CROSS JOIN b");
+  EXPECT_EQ(t->GetValue(0, 0).int64_value(), 13);
+}
+
+TEST(IterativeCteTest, IterativeOverRegularCte) {
+  Database db;
+  MustExecute(&db, "CREATE TABLE base (v BIGINT)");
+  MustExecute(&db, "INSERT INTO base VALUES (1), (2), (3)");
+  auto t = MustQuery(&db,
+                     "WITH src AS (SELECT SUM(v) AS v FROM base), "
+                     "ITERATIVE it (v) AS (SELECT v FROM src ITERATE "
+                     "SELECT v + 1 FROM it UNTIL 2 ITERATIONS) "
+                     "SELECT v FROM it");
+  EXPECT_EQ(t->GetValue(0, 0).int64_value(), 8);
+}
+
+TEST(IterativeCteTest, IterationGuardTrips) {
+  Database db;
+  db.options().max_iterations_guard = 50;
+  auto result = db.Query(
+      "WITH ITERATIVE c (n) AS (SELECT 0 ITERATE SELECT n + 1 FROM c "
+      "UNTIL ANY(n < 0)) SELECT n FROM c");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("max_iterations_guard"),
+            std::string::npos);
+}
+
+TEST(IterativeCteTest, ExplainShowsTableOneShape) {
+  Database db;
+  MustExecute(&db, "CREATE TABLE base (id BIGINT, v BIGINT)");
+  auto result = db.Execute(
+      "EXPLAIN WITH ITERATIVE it (id, v) AS (SELECT id, v FROM base ITERATE "
+      "SELECT id, v + 1 FROM it UNTIL 10 ITERATIONS) SELECT * FROM it");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const std::string& plan = result->explain;
+  // The six-step Table I shape: materialize R0, init loop, materialize Ri,
+  // rename, loop check, final.
+  EXPECT_NE(plan.find("Materialize 'it'"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("Initialize loop <<Type:metadata, N:10 iterations"),
+            std::string::npos)
+      << plan;
+  EXPECT_NE(plan.find("Materialize 'it__working'"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("Rename 'it__working' to 'it'"), std::string::npos)
+      << plan;
+  EXPECT_NE(plan.find("if continue"), std::string::npos) << plan;
+}
+
+TEST(IterativeCteTest, RenameDisabledUsesMerge) {
+  Database db;
+  db.options().optimizer.enable_rename_optimization = false;
+  MustExecute(&db, "CREATE TABLE base (id BIGINT, v BIGINT)");
+  MustExecute(&db, "INSERT INTO base VALUES (1, 1), (2, 2)");
+  auto result = db.Execute(
+      "WITH ITERATIVE it (id, v) AS (SELECT id, v FROM base ITERATE "
+      "SELECT id, v + 1 FROM it UNTIL 3 ITERATIONS) "
+      "SELECT MAX(v) FROM it");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->table->GetValue(0, 0).int64_value(), 5);
+  EXPECT_EQ(result->stats.renames, 0);
+  EXPECT_GT(result->stats.merge_updates, 0);
+}
+
+TEST(IterativeCteTest, RenameEnabledSkipsDataMovement) {
+  Database db;
+  MustExecute(&db, "CREATE TABLE base (id BIGINT, v BIGINT)");
+  MustExecute(&db, "INSERT INTO base VALUES (1, 1)");
+  auto result = db.Execute(
+      "WITH ITERATIVE it (id, v) AS (SELECT id, v FROM base ITERATE "
+      "SELECT id, v + 1 FROM it UNTIL 3 ITERATIONS) SELECT v FROM it");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->stats.renames, 3);
+  EXPECT_EQ(result->stats.merge_updates, 0);
+}
+
+TEST(IterativeCteTest, StatsCountIterations) {
+  Database db;
+  auto result = db.Execute(
+      "WITH ITERATIVE c (n) AS (SELECT 0 ITERATE SELECT n + 1 FROM c "
+      "UNTIL 7 ITERATIONS) SELECT n FROM c");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->stats.loop_iterations, 7);
+}
+
+}  // namespace
+}  // namespace dbspinner

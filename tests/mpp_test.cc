@@ -1,0 +1,213 @@
+// Shared-nothing simulation tests: partitioning, exchange/shuffle,
+// distributed kernels, and parallel SQL execution equivalence.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <unordered_map>
+
+#include "mpp/exchange.h"
+#include "mpp/parallel_ops.h"
+#include "mpp/partition.h"
+#include "mpp/thread_pool.h"
+#include "test_util.h"
+
+namespace dbspinner {
+namespace {
+
+Schema KV() {
+  Schema s;
+  s.AddColumn("k", TypeId::kInt64);
+  s.AddColumn("v", TypeId::kDouble);
+  return s;
+}
+
+TablePtr MakeKV(int64_t n, uint64_t mult = 1) {
+  auto t = Table::Make(KV());
+  for (int64_t i = 0; i < n; ++i) {
+    t->AppendRow({Value::Int64(i % 17), Value::Double(
+                      static_cast<double>(i * mult))});
+  }
+  return t;
+}
+
+TEST(ThreadPoolTest, ParallelForRunsEveryIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  pool.ParallelFor(100, [&](size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForStatusPropagatesFirstError) {
+  ThreadPool pool(4);
+  Status st = pool.ParallelForStatus(10, [&](size_t i) -> Status {
+    if (i == 7) return Status::ExecutionError("boom");
+    return Status::OK();
+  });
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.message(), "boom");
+}
+
+TEST(PartitionTest, HashPartitionKeepsEqualKeysTogether) {
+  auto t = MakeKV(500);
+  auto parts = HashPartition(*t, {0}, 4);
+  ASSERT_EQ(parts.size(), 4u);
+  size_t total = 0;
+  // Each key appears in exactly one partition.
+  std::unordered_map<int64_t, size_t> owner;
+  for (size_t p = 0; p < parts.size(); ++p) {
+    total += parts[p]->num_rows();
+    for (size_t r = 0; r < parts[p]->num_rows(); ++r) {
+      int64_t k = parts[p]->GetValue(r, 0).int64_value();
+      auto it = owner.find(k);
+      if (it == owner.end()) {
+        owner[k] = p;
+      } else {
+        EXPECT_EQ(it->second, p) << "key " << k << " split across partitions";
+      }
+    }
+  }
+  EXPECT_EQ(total, t->num_rows());
+}
+
+TEST(PartitionTest, RangePartitionPreservesOrder) {
+  auto t = MakeKV(10);
+  auto parts = RangePartition(*t, 3);
+  TablePtr back = Gather(parts);
+  ASSERT_EQ(back->num_rows(), 10u);
+  for (size_t i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(back->GetValue(i, 1).double_value(),
+                     static_cast<double>(i));
+  }
+}
+
+TEST(ExchangeTest, ShuffleRedistributesByKey) {
+  auto t = MakeKV(300);
+  DistributedTable dist = DistributedTable::Distribute(*t, {}, 4);
+  int64_t moved = 0;
+  DistributedTable shuffled = Exchange::Shuffle(dist, {0}, nullptr, &moved);
+  EXPECT_EQ(shuffled.TotalRows(), 300u);
+  EXPECT_GT(moved, 0);
+  EXPECT_TRUE(Table::SameRows(*t, *shuffled.ToTable()));
+  // Keys co-located after the shuffle.
+  std::unordered_map<int64_t, size_t> owner;
+  for (size_t p = 0; p < shuffled.num_nodes(); ++p) {
+    const Table& part = *shuffled.partition(p);
+    for (size_t r = 0; r < part.num_rows(); ++r) {
+      int64_t k = part.GetValue(r, 0).int64_value();
+      auto it = owner.find(k);
+      if (it == owner.end()) {
+        owner[k] = p;
+      } else {
+        EXPECT_EQ(it->second, p);
+      }
+    }
+  }
+}
+
+TEST(ExchangeTest, BroadcastReplicates) {
+  auto t = MakeKV(10);
+  int64_t moved = 0;
+  auto copies = Exchange::Broadcast(t, 3, &moved);
+  ASSERT_EQ(copies.size(), 3u);
+  EXPECT_EQ(moved, 20);  // 10 rows to each of 2 other nodes
+}
+
+TEST(DistributedOpsTest, FilterMatchesSerial) {
+  auto t = MakeKV(200);
+  ThreadPool pool(3);
+  DistributedTable dist = DistributedTable::Distribute(*t, {0}, 3);
+  auto pred = MakeBoundBinary(BinaryOp::kGt,
+                              MakeBoundColumnRef(1, TypeId::kDouble, "v"),
+                              MakeBoundConstant(Value::Double(100)),
+                              TypeId::kBool);
+  auto result = DistributedFilter(dist, *pred, &pool);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  auto sel = EvaluatePredicate(*pred, *t);
+  ASSERT_TRUE(sel.ok());
+  EXPECT_TRUE(Table::SameRows(*t->Gather(*sel), *result->ToTable()));
+}
+
+TEST(DistributedOpsTest, HashJoinMatchesSingleNode) {
+  auto l = MakeKV(120, 1);
+  auto r = MakeKV(60, 2);
+  ThreadPool pool(4);
+  int64_t moved = 0;
+  auto dl = DistributedTable::Distribute(*l, {}, 4);
+  auto dr = DistributedTable::Distribute(*r, {}, 4);
+  auto joined = DistributedHashJoin(dl, 0, dr, 0, &pool, &moved);
+  ASSERT_TRUE(joined.ok()) << joined.status().ToString();
+
+  // Serial comparison via the SQL engine.
+  Database db;
+  ASSERT_TRUE(db.RegisterTable("l", l).ok());
+  ASSERT_TRUE(db.RegisterTable("r", r).ok());
+  auto expected = testing::MustQuery(
+      &db, "SELECT l.k, l.v, r.k, r.v FROM l JOIN r ON l.k = r.k");
+  EXPECT_TRUE(Table::SameRows(*expected, *joined->ToTable()));
+  EXPECT_GT(moved, 0);
+}
+
+TEST(DistributedOpsTest, SumAggregateMatchesSingleNode) {
+  auto t = MakeKV(250);
+  ThreadPool pool(4);
+  int64_t moved = 0;
+  auto dist = DistributedTable::Distribute(*t, {}, 4);
+  auto agg = DistributedSumAggregate(dist, 0, 1, &pool, &moved);
+  ASSERT_TRUE(agg.ok()) << agg.status().ToString();
+
+  Database db;
+  ASSERT_TRUE(db.RegisterTable("t", t).ok());
+  auto expected = testing::MustQuery(
+      &db, "SELECT k, CAST(SUM(v) AS DOUBLE) FROM t GROUP BY k");
+  EXPECT_TRUE(Table::SameRows(*expected, *agg->ToTable()));
+}
+
+TEST(MppSqlTest, ParallelQueriesMatchSerial) {
+  Database serial;
+  testing::MustExecute(&serial, "CREATE TABLE t (k BIGINT, v DOUBLE)");
+  for (int chunk = 0; chunk < 4; ++chunk) {
+    std::string insert = "INSERT INTO t VALUES ";
+    for (int i = 0; i < 500; ++i) {
+      int id = chunk * 500 + i;
+      if (i > 0) insert += ", ";
+      insert += "(" + std::to_string(id % 13) + ", " +
+                std::to_string(id * 0.5) + ")";
+    }
+    testing::MustExecute(&serial, insert);
+  }
+  Database parallel;
+  parallel.options().num_workers = 4;
+  parallel.options().mpp_min_rows_per_task = 16;
+  auto entry = serial.catalog().Get("t");
+  ASSERT_TRUE(entry.ok());
+  ASSERT_TRUE(parallel.RegisterTable("t", (*entry)->table).ok());
+
+  const char* queries[] = {
+      "SELECT k, COUNT(*), SUM(v), MIN(v), MAX(v) FROM t GROUP BY k",
+      "SELECT v FROM t WHERE v > 250 AND k < 7",
+      "SELECT a.k, COUNT(*) FROM t a JOIN t b ON a.k = b.k GROUP BY a.k",
+      "SELECT DISTINCT k FROM t",
+  };
+  for (const char* q : queries) {
+    TablePtr a = testing::MustQuery(&serial, q);
+    TablePtr b = testing::MustQuery(&parallel, q);
+    EXPECT_TRUE(Table::SameRows(*a, *b)) << q;
+  }
+}
+
+TEST(MppSqlTest, ShuffleStatsReported) {
+  Database db;
+  db.options().num_workers = 4;
+  db.options().mpp_min_rows_per_task = 8;
+  testing::MustExecute(&db, "CREATE TABLE t (k BIGINT)");
+  std::string insert = "INSERT INTO t VALUES (0)";
+  for (int i = 1; i < 400; ++i) insert += ", (" + std::to_string(i % 5) + ")";
+  testing::MustExecute(&db, insert);
+  auto result = db.Execute("SELECT k, COUNT(*) FROM t GROUP BY k");
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->stats.rows_shuffled, 0);
+}
+
+}  // namespace
+}  // namespace dbspinner

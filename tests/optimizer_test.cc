@@ -1,0 +1,206 @@
+// Optimizer rule tests: constant folding, outer->inner conversion, predicate
+// pushdown (within-block and Qf->R0), common-result extraction.
+
+#include <gtest/gtest.h>
+
+#include "engine/workloads.h"
+#include "optimizer/optimizer.h"
+#include "plan/plan_printer.h"
+#include "test_util.h"
+
+namespace dbspinner {
+namespace {
+
+using testing::MustExecute;
+
+class OptimizerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MustExecute(&db_,
+                "CREATE TABLE edges (src BIGINT, dst BIGINT, weight DOUBLE)");
+    MustExecute(&db_,
+                "CREATE TABLE vertexstatus (node BIGINT, status BIGINT)");
+  }
+
+  // Plans a query and renders the program for structural assertions.
+  std::string Explain(const std::string& sql) {
+    auto program = db_.Plan(sql);
+    EXPECT_TRUE(program.ok()) << program.status().ToString();
+    if (!program.ok()) return "";
+    return ExplainProgram(*program, /*verbose=*/true);
+  }
+
+  Database db_;
+};
+
+TEST_F(OptimizerTest, ConstantFoldingFoldsArithmetic) {
+  std::string plan = Explain("SELECT 1 + 2 * 3 FROM edges");
+  EXPECT_NE(plan.find("=7"), std::string::npos) << plan;
+}
+
+TEST_F(OptimizerTest, AlwaysTrueFilterRemoved) {
+  std::string plan = Explain("SELECT src FROM edges WHERE 1 = 1");
+  EXPECT_EQ(plan.find("Filter"), std::string::npos) << plan;
+}
+
+TEST_F(OptimizerTest, AlwaysFalseFilterBecomesEmptyValues) {
+  std::string plan = Explain("SELECT src FROM edges WHERE 1 = 2");
+  EXPECT_EQ(plan.find("Filter"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("Values rows:0"), std::string::npos) << plan;
+}
+
+TEST_F(OptimizerTest, PushdownMovesFilterBelowJoin) {
+  std::string plan = Explain(
+      "SELECT e.src FROM edges e JOIN vertexstatus v ON e.dst = v.node "
+      "WHERE e.src > 5 AND v.status = 1");
+  // Both conjuncts sink below the join: the Filter lines must appear after
+  // (deeper than) the HashJoin-producing Join node, directly over scans.
+  size_t join_pos = plan.find("Join");
+  size_t filter1 = plan.find("src#0 > 5)");
+  size_t filter2 = plan.find("status#1 = 1)");
+  ASSERT_NE(join_pos, std::string::npos) << plan;
+  EXPECT_NE(filter1, std::string::npos) << plan;
+  EXPECT_NE(filter2, std::string::npos) << plan;
+  EXPECT_GT(filter1, join_pos);
+  EXPECT_GT(filter2, join_pos);
+}
+
+TEST_F(OptimizerTest, PushdownDisabledKeepsFilterAboveJoin) {
+  db_.options().optimizer.enable_predicate_pushdown = false;
+  std::string plan = Explain(
+      "SELECT e.src FROM edges e JOIN vertexstatus v ON e.dst = v.node "
+      "WHERE e.src > 5");
+  size_t join_pos = plan.find("Join");
+  size_t filter = plan.find("Filter");
+  ASSERT_NE(filter, std::string::npos) << plan;
+  EXPECT_LT(filter, join_pos) << plan;
+}
+
+TEST_F(OptimizerTest, NullRejectingFilterConvertsLeftJoin) {
+  std::string plan = Explain(
+      "SELECT e.src FROM edges e LEFT JOIN vertexstatus v ON e.dst = v.node "
+      "WHERE v.status = 1");
+  EXPECT_EQ(plan.find("LEFT"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("INNER"), std::string::npos) << plan;
+}
+
+TEST_F(OptimizerTest, NonRejectingFilterKeepsLeftJoin) {
+  std::string plan = Explain(
+      "SELECT e.src FROM edges e LEFT JOIN vertexstatus v ON e.dst = v.node "
+      "WHERE v.status IS NULL");
+  EXPECT_NE(plan.find("LEFT"), std::string::npos) << plan;
+}
+
+TEST_F(OptimizerTest, JoinSimplifyDisabledKeepsLeftJoin) {
+  db_.options().optimizer.enable_join_simplification = false;
+  std::string plan = Explain(
+      "SELECT e.src FROM edges e LEFT JOIN vertexstatus v ON e.dst = v.node "
+      "WHERE v.status = 1");
+  EXPECT_NE(plan.find("LEFT"), std::string::npos) << plan;
+}
+
+// --- Fig 10: cross-block pushdown -------------------------------------------
+
+TEST_F(OptimizerTest, CtePushdownAppliesToFF) {
+  std::string plan = Explain(workloads::FFQuery(5, 100));
+  // R0's materialize step gets the pushed predicate annotation.
+  EXPECT_NE(plan.find("[predicate pushed down from Qf]"), std::string::npos)
+      << plan;
+}
+
+TEST_F(OptimizerTest, CtePushdownSinksBelowAggregate) {
+  std::string plan = Explain(workloads::FFQuery(5, 100));
+  // After local pushdown, the filter must reference edges' src (the group
+  // expression), i.e. the filter sits below the Aggregate on the raw scan.
+  size_t agg = plan.find("Aggregate");
+  size_t filter = plan.find("mod(src#0");
+  ASSERT_NE(agg, std::string::npos) << plan;
+  ASSERT_NE(filter, std::string::npos) << plan;
+  EXPECT_GT(filter, agg) << plan;
+}
+
+TEST_F(OptimizerTest, CtePushdownIllegalForPR) {
+  // PR's Ri has joins + aggregation over the iterative reference: pushing
+  // the Qf predicate would change neighbours' ranks. Must not fire.
+  std::string pr = workloads::PRQuery(3);
+  pr += " WHERE node = 10";
+  // (append to Qf: SELECT node, rank FROM pagerank WHERE node = 10)
+  std::string plan = Explain(pr);
+  EXPECT_EQ(plan.find("[predicate pushed down from Qf]"), std::string::npos)
+      << plan;
+}
+
+TEST_F(OptimizerTest, CtePushdownDisabledByOption) {
+  db_.options().optimizer.enable_cte_predicate_pushdown = false;
+  std::string plan = Explain(workloads::FFQuery(5, 100));
+  EXPECT_EQ(plan.find("[predicate pushed down from Qf]"), std::string::npos);
+}
+
+TEST_F(OptimizerTest, CtePushdownSkipsNonPassThroughColumns) {
+  // The predicate references `friends`, which Ri rewrites every iteration:
+  // pushing it into R0 would be wrong and must not happen.
+  std::string sql =
+      "WITH ITERATIVE forecast (node, friends) AS ("
+      "  SELECT src, COUNT(dst) FROM edges GROUP BY src "
+      "ITERATE "
+      "  SELECT node, friends * 2 FROM forecast "
+      "UNTIL 3 ITERATIONS) "
+      "SELECT node FROM forecast WHERE friends > 100";
+  std::string plan = Explain(sql);
+  EXPECT_EQ(plan.find("[predicate pushed down from Qf]"), std::string::npos)
+      << plan;
+}
+
+// --- Fig 9: common-result extraction ------------------------------------------
+
+TEST_F(OptimizerTest, CommonResultHoistsEdgesVertexstatusJoin) {
+  std::string plan = Explain(workloads::PRVSQuery(3));
+  EXPECT_NE(plan.find("__common#"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("loop-invariant common result"), std::string::npos)
+      << plan;
+  // The hoisted materialize step must come before the loop init.
+  size_t common = plan.find("loop-invariant common result");
+  size_t init = plan.find("Initialize loop");
+  EXPECT_LT(common, init) << plan;
+}
+
+TEST_F(OptimizerTest, CommonResultAppliesToSsspVs) {
+  std::string plan = Explain(workloads::SSSPVSQuery(3, 1, 10));
+  EXPECT_NE(plan.find("__common#"), std::string::npos) << plan;
+}
+
+TEST_F(OptimizerTest, CommonResultSkipsPlainPR) {
+  // Plain PR has no invariant join pair (the lone edges scan is not worth
+  // hoisting, matching the paper's evaluation design).
+  std::string plan = Explain(workloads::PRQuery(3));
+  EXPECT_EQ(plan.find("__common#"), std::string::npos) << plan;
+}
+
+TEST_F(OptimizerTest, CommonResultDisabledByOption) {
+  db_.options().optimizer.enable_common_result = false;
+  std::string plan = Explain(workloads::PRVSQuery(3));
+  EXPECT_EQ(plan.find("__common#"), std::string::npos) << plan;
+}
+
+TEST_F(OptimizerTest, RenameStepForWholeDatasetUpdates) {
+  std::string plan = Explain(workloads::PRQuery(3));
+  EXPECT_NE(plan.find("Rename 'pagerank__working' to 'pagerank'"),
+            std::string::npos)
+      << plan;
+}
+
+TEST_F(OptimizerTest, MergeStepForPartialUpdates) {
+  std::string plan = Explain(workloads::SSSPQuery(3, 1, 10));
+  EXPECT_NE(plan.find("Merge 'sssp__working' into 'sssp'"), std::string::npos)
+      << plan;
+}
+
+TEST_F(OptimizerTest, RenameDisabledEmitsMergeForPR) {
+  db_.options().optimizer.enable_rename_optimization = false;
+  std::string plan = Explain(workloads::PRQuery(3));
+  EXPECT_EQ(plan.find("Rename"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("Merge 'pagerank__working'"), std::string::npos) << plan;
+}
+
+}  // namespace
+}  // namespace dbspinner

@@ -1,0 +1,341 @@
+// Unit tests for the lexer and parser, including the WITH ITERATIVE grammar.
+
+#include <gtest/gtest.h>
+
+#include "parser/lexer.h"
+#include "parser/parser.h"
+
+namespace dbspinner {
+namespace {
+
+StatementPtr MustParse(const std::string& sql) {
+  Result<StatementPtr> result = ParseStatement(sql);
+  EXPECT_TRUE(result.ok()) << result.status().ToString() << "\nSQL: " << sql;
+  if (!result.ok()) return nullptr;
+  return std::move(result).value();
+}
+
+void ExpectParseError(const std::string& sql) {
+  Result<StatementPtr> result = ParseStatement(sql);
+  EXPECT_FALSE(result.ok()) << "expected parse error for: " << sql;
+  if (!result.ok()) {
+    EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+  }
+}
+
+// --- lexer -------------------------------------------------------------------
+
+TEST(LexerTest, BasicTokens) {
+  auto tokens = *Tokenize("SELECT a, 1.5 FROM t WHERE x != 'it''s'");
+  // SELECT a , 1.5 FROM t WHERE x != 'it's' EOF
+  ASSERT_EQ(tokens.size(), 11u);
+  EXPECT_EQ(tokens[0].type, TokenType::kIdentifier);
+  EXPECT_EQ(tokens[3].type, TokenType::kFloatLiteral);
+  EXPECT_DOUBLE_EQ(tokens[3].float_value, 1.5);
+  EXPECT_EQ(tokens[8].text, "!=");
+  EXPECT_EQ(tokens[9].type, TokenType::kStringLiteral);
+  EXPECT_EQ(tokens[9].text, "it's");
+}
+
+TEST(LexerTest, Comments) {
+  auto tokens = *Tokenize("-- line comment\nSELECT /* block */ 1");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[1].int_value, 1);
+}
+
+TEST(LexerTest, NotEqualsVariants) {
+  auto a = *Tokenize("a <> b");
+  EXPECT_EQ(a[1].text, "!=");
+  auto b = *Tokenize("a != b");
+  EXPECT_EQ(b[1].text, "!=");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  EXPECT_FALSE(Tokenize("SELECT 'oops").ok());
+}
+
+TEST(LexerTest, UnterminatedCommentFails) {
+  EXPECT_FALSE(Tokenize("SELECT /* oops").ok());
+}
+
+TEST(LexerTest, LineAndColumnTracking) {
+  auto tokens = *Tokenize("SELECT\n  x");
+  EXPECT_EQ(tokens[1].line, 2u);
+  EXPECT_EQ(tokens[1].column, 3u);
+}
+
+// --- expressions -------------------------------------------------------------
+
+TEST(ParserTest, ExpressionPrecedence) {
+  auto e = *ParseExpression("1 + 2 * 3");
+  EXPECT_EQ(e->ToString(), "(1 + (2 * 3))");
+  e = *ParseExpression("NOT a = 1 AND b = 2 OR c = 3");
+  EXPECT_EQ(e->ToString(), "((NOT (a = 1) AND (b = 2)) OR (c = 3))");
+}
+
+TEST(ParserTest, UnaryMinusFoldsLiterals) {
+  auto e = *ParseExpression("-5");
+  EXPECT_EQ(e->kind, ParseExprKind::kLiteral);
+  EXPECT_EQ(e->literal.int64_value(), -5);
+}
+
+TEST(ParserTest, CaseExpression) {
+  auto e = *ParseExpression("CASE WHEN a = 1 THEN 'x' ELSE 'y' END");
+  EXPECT_EQ(e->kind, ParseExprKind::kCase);
+  EXPECT_TRUE(e->case_has_else);
+  ASSERT_EQ(e->children.size(), 3u);
+}
+
+TEST(ParserTest, SimpleCaseNormalizesToSearched) {
+  auto e = *ParseExpression("CASE x WHEN 1 THEN 'a' WHEN 2 THEN 'b' END");
+  EXPECT_EQ(e->kind, ParseExprKind::kCase);
+  EXPECT_EQ(e->children[0]->ToString(), "(x = 1)");
+}
+
+TEST(ParserTest, CastAndFunctions) {
+  auto e = *ParseExpression("ROUND(CAST(a / b AS NUMERIC), 5)");
+  EXPECT_EQ(e->kind, ParseExprKind::kFunctionCall);
+  EXPECT_EQ(e->function_name, "round");
+  EXPECT_EQ(e->children[0]->kind, ParseExprKind::kCast);
+  EXPECT_EQ(e->children[0]->cast_type, TypeId::kDouble);
+}
+
+TEST(ParserTest, InAndBetween) {
+  auto e = *ParseExpression("x IN (1, 2, 3)");
+  EXPECT_EQ(e->kind, ParseExprKind::kIn);
+  EXPECT_EQ(e->children.size(), 4u);
+  e = *ParseExpression("x NOT IN (1)");
+  EXPECT_TRUE(e->negated);
+  e = *ParseExpression("x BETWEEN 1 AND 10");
+  EXPECT_EQ(e->kind, ParseExprKind::kBetween);
+}
+
+TEST(ParserTest, IsNull) {
+  auto e = *ParseExpression("x IS NOT NULL");
+  EXPECT_EQ(e->kind, ParseExprKind::kIsNull);
+  EXPECT_TRUE(e->negated);
+}
+
+// --- SELECT ------------------------------------------------------------------
+
+TEST(ParserTest, SelectBasics) {
+  auto stmt = MustParse(
+      "SELECT a AS x, b + 1 FROM t WHERE a > 0 GROUP BY a HAVING COUNT(*) > 1 "
+      "ORDER BY x DESC LIMIT 5");
+  ASSERT_EQ(stmt->kind, StatementKind::kSelect);
+  const QueryNode& q = *stmt->query;
+  EXPECT_EQ(q.select_list.size(), 2u);
+  EXPECT_EQ(q.select_list[0].alias, "x");
+  EXPECT_NE(q.where, nullptr);
+  EXPECT_EQ(q.group_by.size(), 1u);
+  EXPECT_NE(q.having, nullptr);
+  ASSERT_EQ(q.order_by.size(), 1u);
+  EXPECT_TRUE(q.order_by[0].descending);
+  EXPECT_EQ(q.limit, 5);
+}
+
+TEST(ParserTest, ImplicitAlias) {
+  auto stmt = MustParse("SELECT a x FROM t");
+  EXPECT_EQ(stmt->query->select_list[0].alias, "x");
+}
+
+TEST(ParserTest, Joins) {
+  auto stmt = MustParse(
+      "SELECT * FROM a LEFT OUTER JOIN b ON a.x = b.y "
+      "JOIN c ON c.z = b.y CROSS JOIN d");
+  const TableRef& from = *stmt->query->from;
+  ASSERT_EQ(from.kind, TableRefKind::kJoin);  // (((a LJ b) IJ c) CJ d)
+  EXPECT_EQ(from.join_condition, nullptr);    // cross join
+  const TableRef& inner = *from.left;
+  EXPECT_EQ(inner.join_type, JoinType::kInner);
+  const TableRef& left = *inner.left;
+  EXPECT_EQ(left.join_type, JoinType::kLeft);
+}
+
+TEST(ParserTest, DerivedTable) {
+  auto stmt = MustParse("SELECT * FROM (SELECT 1 AS one) t");
+  EXPECT_EQ(stmt->query->from->kind, TableRefKind::kSubquery);
+  EXPECT_EQ(stmt->query->from->alias, "t");
+}
+
+TEST(ParserTest, UnionChain) {
+  auto stmt = MustParse("SELECT 1 UNION ALL SELECT 2 UNION SELECT 3");
+  const QueryNode& q = *stmt->query;
+  ASSERT_EQ(q.kind, QueryNodeKind::kSetOp);
+  EXPECT_EQ(q.set_op, SetOpKind::kUnion);
+  EXPECT_EQ(q.left->set_op, SetOpKind::kUnionAll);
+}
+
+TEST(ParserTest, QualifiedStar) {
+  auto stmt = MustParse("SELECT t.* FROM t");
+  EXPECT_EQ(stmt->query->select_list[0].expr->kind, ParseExprKind::kStar);
+  EXPECT_EQ(stmt->query->select_list[0].expr->qualifier, "t");
+}
+
+// --- WITH clauses ------------------------------------------------------------
+
+TEST(ParserTest, RegularCte) {
+  auto stmt = MustParse("WITH c AS (SELECT 1 AS x) SELECT * FROM c");
+  ASSERT_EQ(stmt->ctes.size(), 1u);
+  EXPECT_EQ(stmt->ctes[0].kind, CteKind::kRegular);
+  EXPECT_EQ(stmt->ctes[0].name, "c");
+}
+
+TEST(ParserTest, RecursiveCte) {
+  auto stmt = MustParse(
+      "WITH RECURSIVE r (n) AS (SELECT 1 UNION ALL SELECT n + 1 FROM r "
+      "WHERE n < 5) SELECT * FROM r");
+  ASSERT_EQ(stmt->ctes.size(), 1u);
+  EXPECT_EQ(stmt->ctes[0].kind, CteKind::kRecursive);
+  EXPECT_EQ(stmt->ctes[0].column_names.size(), 1u);
+}
+
+TEST(ParserTest, IterativeCteMetadata) {
+  auto stmt = MustParse(
+      "WITH ITERATIVE r (a, b) AS (SELECT 1, 2 ITERATE SELECT a, b + 1 FROM r "
+      "UNTIL 10 ITERATIONS) SELECT * FROM r");
+  ASSERT_EQ(stmt->ctes.size(), 1u);
+  const CteDef& def = stmt->ctes[0];
+  EXPECT_EQ(def.kind, CteKind::kIterative);
+  ASSERT_NE(def.init_query, nullptr);
+  ASSERT_NE(def.iter_query, nullptr);
+  EXPECT_EQ(def.until.kind, TerminationCondition::Kind::kIterations);
+  EXPECT_EQ(def.until.n, 10);
+  EXPECT_STREQ(def.until.TypeName(), "Metadata");
+}
+
+TEST(ParserTest, IterativeCteUpdates) {
+  auto stmt = MustParse(
+      "WITH ITERATIVE r AS (SELECT 1 AS a ITERATE SELECT a FROM r "
+      "UNTIL 100 UPDATES) SELECT * FROM r");
+  EXPECT_EQ(stmt->ctes[0].until.kind, TerminationCondition::Kind::kUpdates);
+  EXPECT_EQ(stmt->ctes[0].until.n, 100);
+}
+
+TEST(ParserTest, IterativeCteDelta) {
+  auto stmt = MustParse(
+      "WITH ITERATIVE r AS (SELECT 1 AS a ITERATE SELECT a FROM r "
+      "UNTIL DELTA < 5) SELECT * FROM r");
+  EXPECT_EQ(stmt->ctes[0].until.kind, TerminationCondition::Kind::kDeltaLess);
+  EXPECT_EQ(stmt->ctes[0].until.n, 5);
+  EXPECT_STREQ(stmt->ctes[0].until.TypeName(), "Delta");
+}
+
+TEST(ParserTest, IterativeCteDataConditions) {
+  auto stmt = MustParse(
+      "WITH ITERATIVE r AS (SELECT 1 AS a ITERATE SELECT a FROM r "
+      "UNTIL ANY(a > 100)) SELECT * FROM r");
+  EXPECT_EQ(stmt->ctes[0].until.kind, TerminationCondition::Kind::kAny);
+  EXPECT_STREQ(stmt->ctes[0].until.TypeName(), "Data");
+
+  stmt = MustParse(
+      "WITH ITERATIVE r AS (SELECT 1 AS a ITERATE SELECT a FROM r "
+      "UNTIL ALL(a > 100)) SELECT * FROM r");
+  EXPECT_EQ(stmt->ctes[0].until.kind, TerminationCondition::Kind::kAll);
+}
+
+TEST(ParserTest, IterativeCteKeyClause) {
+  auto stmt = MustParse(
+      "WITH ITERATIVE r (a, b) KEY (b) AS (SELECT 1, 2 ITERATE "
+      "SELECT a, b FROM r WHERE a > 0 UNTIL 3 ITERATIONS) SELECT * FROM r");
+  ASSERT_TRUE(stmt->ctes[0].key_column.has_value());
+  EXPECT_EQ(*stmt->ctes[0].key_column, "b");
+}
+
+TEST(ParserTest, IterateWithoutIterativeKeywordFails) {
+  ExpectParseError(
+      "WITH r AS (SELECT 1 ITERATE SELECT 1 UNTIL 3 ITERATIONS) "
+      "SELECT * FROM r");
+}
+
+TEST(ParserTest, IterativeWithoutIterateFails) {
+  ExpectParseError("WITH ITERATIVE r AS (SELECT 1) SELECT * FROM r");
+}
+
+TEST(ParserTest, NonPositiveIterationCountFails) {
+  ExpectParseError(
+      "WITH ITERATIVE r AS (SELECT 1 ITERATE SELECT 1 UNTIL 0 ITERATIONS) "
+      "SELECT * FROM r");
+}
+
+// --- DDL / DML ---------------------------------------------------------------
+
+TEST(ParserTest, CreateTable) {
+  auto stmt = MustParse(
+      "CREATE TABLE t (id BIGINT PRIMARY KEY, name VARCHAR, score DOUBLE)");
+  EXPECT_EQ(stmt->kind, StatementKind::kCreateTable);
+  ASSERT_EQ(stmt->columns.size(), 3u);
+  EXPECT_TRUE(stmt->columns[0].primary_key);
+  EXPECT_EQ(stmt->columns[2].type, TypeId::kDouble);
+}
+
+TEST(ParserTest, CreateTableIfNotExists) {
+  auto stmt = MustParse("CREATE TABLE IF NOT EXISTS t (x INT)");
+  EXPECT_TRUE(stmt->if_not_exists);
+}
+
+TEST(ParserTest, InsertValues) {
+  auto stmt = MustParse("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')");
+  EXPECT_EQ(stmt->kind, StatementKind::kInsert);
+  EXPECT_EQ(stmt->insert_columns.size(), 2u);
+  EXPECT_EQ(stmt->insert_values.size(), 2u);
+}
+
+TEST(ParserTest, InsertSelect) {
+  auto stmt = MustParse("INSERT INTO t SELECT a, b FROM s WHERE a > 0");
+  EXPECT_NE(stmt->insert_query, nullptr);
+  EXPECT_TRUE(stmt->insert_values.empty());
+}
+
+TEST(ParserTest, InsertParenthesizedSelect) {
+  auto stmt = MustParse("INSERT INTO t (SELECT a FROM s)");
+  EXPECT_NE(stmt->insert_query, nullptr);
+}
+
+TEST(ParserTest, UpdateWithFrom) {
+  auto stmt = MustParse(
+      "UPDATE main SET rank = w.rank, delta = w.delta FROM work AS w "
+      "WHERE main.node = w.node");
+  EXPECT_EQ(stmt->kind, StatementKind::kUpdate);
+  EXPECT_EQ(stmt->set_clauses.size(), 2u);
+  ASSERT_NE(stmt->update_from, nullptr);
+  EXPECT_EQ(stmt->update_from->alias, "w");
+  EXPECT_NE(stmt->where, nullptr);
+}
+
+TEST(ParserTest, DeleteAndDrop) {
+  auto del = MustParse("DELETE FROM t WHERE x = 1");
+  EXPECT_EQ(del->kind, StatementKind::kDelete);
+  auto drop = MustParse("DROP TABLE IF EXISTS t");
+  EXPECT_EQ(drop->kind, StatementKind::kDropTable);
+  EXPECT_TRUE(drop->if_exists);
+}
+
+TEST(ParserTest, Explain) {
+  auto stmt = MustParse("EXPLAIN SELECT 1");
+  EXPECT_EQ(stmt->kind, StatementKind::kExplain);
+  EXPECT_EQ(stmt->explained->kind, StatementKind::kSelect);
+}
+
+TEST(ParserTest, Script) {
+  auto stmts = *ParseScript("SELECT 1; SELECT 2;;SELECT 3");
+  EXPECT_EQ(stmts.size(), 3u);
+}
+
+TEST(ParserTest, TrailingGarbageFails) {
+  ExpectParseError("SELECT 1 x y z )");
+}
+
+TEST(ParserTest, CloneRoundTrip) {
+  auto stmt = MustParse(
+      "WITH ITERATIVE r (a) AS (SELECT 1 ITERATE SELECT a + 1 FROM r "
+      "UNTIL ANY(a > 3)) SELECT * FROM r ORDER BY a LIMIT 2");
+  CteDef clone = stmt->ctes[0].Clone();
+  EXPECT_EQ(clone.name, stmt->ctes[0].name);
+  EXPECT_EQ(clone.until.ToString(), stmt->ctes[0].until.ToString());
+  QueryNodePtr q = stmt->query->Clone();
+  EXPECT_EQ(q->limit, stmt->query->limit);
+}
+
+}  // namespace
+}  // namespace dbspinner

@@ -1,0 +1,177 @@
+// Stored-procedure runner tests, including equivalence between the Fig 11
+// procedure baselines and the iterative-CTE queries they mirror.
+
+#include <gtest/gtest.h>
+
+#include "engine/procedure.h"
+#include "engine/workloads.h"
+#include "graph/generator.h"
+#include "test_util.h"
+
+namespace dbspinner {
+namespace {
+
+using testing::ExpectSameRows;
+using testing::MustExecute;
+using testing::MustQuery;
+
+TEST(ProcedureTest, StatementsRunInOrder) {
+  Database db;
+  Procedure p;
+  p.Add("CREATE TABLE t (x BIGINT)")
+      .Add("INSERT INTO t VALUES (1)")
+      .Add("SELECT SUM(x) FROM t");
+  auto result = p.Run(&db);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->table->GetValue(0, 0).int64_value(), 1);
+}
+
+TEST(ProcedureTest, LoopRepeatsBody) {
+  Database db;
+  Procedure p;
+  p.Add("CREATE TABLE t (x BIGINT)")
+      .Add("INSERT INTO t VALUES (0)")
+      .BeginLoop(5)
+      .Add("UPDATE t SET x = x + 1")
+      .EndLoop()
+      .Add("SELECT x FROM t");
+  auto result = p.Run(&db);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->table->GetValue(0, 0).int64_value(), 5);
+}
+
+TEST(ProcedureTest, NestedLoops) {
+  Database db;
+  Procedure p;
+  p.Add("CREATE TABLE t (x BIGINT)")
+      .Add("INSERT INTO t VALUES (0)")
+      .BeginLoop(3)
+      .BeginLoop(4)
+      .Add("UPDATE t SET x = x + 1")
+      .EndLoop()
+      .EndLoop()
+      .Add("SELECT x FROM t");
+  auto result = p.Run(&db);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->table->GetValue(0, 0).int64_value(), 12);
+}
+
+TEST(ProcedureTest, TotalStatementsExpandsLoops) {
+  Procedure p;
+  p.Add("SELECT 1").BeginLoop(10).Add("SELECT 2").Add("SELECT 3").EndLoop();
+  EXPECT_EQ(p.TotalStatements(), 21);
+}
+
+TEST(ProcedureTest, UnbalancedLoopFails) {
+  Database db;
+  Procedure p;
+  p.BeginLoop(2).Add("SELECT 1");
+  auto result = p.Run(&db);
+  ASSERT_FALSE(result.ok());
+}
+
+TEST(ProcedureTest, FailedStatementAborts) {
+  Database db;
+  Procedure p;
+  p.Add("SELECT * FROM missing_table").Add("SELECT 1");
+  auto result = p.Run(&db);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+class ProcedureWorkloadTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    graph::GraphSpec spec;
+    spec.num_nodes = 120;
+    spec.num_edges = 500;
+    spec.seed = 77;
+    graph_ = graph::Generate(spec);
+    ASSERT_TRUE(graph::LoadIntoDatabase(&db_, graph_, 0.8, 3).ok());
+  }
+  Database db_;
+  graph::EdgeList graph_;
+};
+
+TEST_F(ProcedureWorkloadTest, PrVsProcedureMatchesCte) {
+  constexpr int kIters = 4;
+  TablePtr cte = MustQuery(&db_, workloads::PRVSQuery(kIters));
+  // The canonical procedure must run end-to-end (it drops its temp tables,
+  // so its Run() result is the final DROP's empty table).
+  auto proc_result = workloads::PRVSProcedure(kIters).Run(&db_);
+  ASSERT_TRUE(proc_result.ok()) << proc_result.status().ToString();
+  // For value comparison, use a drop-free variant whose last statement is
+  // the final SELECT:
+  Database db2;
+  ASSERT_TRUE(graph::LoadIntoDatabase(&db2, graph_, 0.8, 3).ok());
+  Procedure keep;
+  keep.Add("CREATE TABLE pr_main (node BIGINT, rank DOUBLE, delta DOUBLE)")
+      .Add("CREATE TABLE pr_work (node BIGINT, rank DOUBLE, delta DOUBLE)")
+      .Add(
+          "INSERT INTO pr_main SELECT src, 0, 0.15 FROM "
+          "(SELECT src FROM edges UNION SELECT dst FROM edges)")
+      .BeginLoop(kIters)
+      .Add("DELETE FROM pr_work")
+      .Add(
+          "INSERT INTO pr_work SELECT pr_main.node, "
+          "pr_main.rank + pr_main.delta, "
+          "0.85 * SUM(incomingrank.delta * incomingedges.weight) "
+          "FROM pr_main LEFT JOIN edges AS incomingedges "
+          "ON pr_main.node = incomingedges.dst "
+          "JOIN vertexstatus AS avail_pr "
+          "ON avail_pr.node = incomingedges.dst "
+          "LEFT JOIN pr_main AS incomingrank "
+          "ON incomingrank.node = incomingedges.src "
+          "WHERE avail_pr.status != 0 "
+          "GROUP BY pr_main.node, pr_main.rank + pr_main.delta")
+      .Add(
+          "UPDATE pr_main SET rank = pr_work.rank, delta = pr_work.delta "
+          "FROM pr_work WHERE pr_main.node = pr_work.node")
+      .EndLoop()
+      .Add("SELECT node, rank FROM pr_main");
+  auto kept = keep.Run(&db2);
+  ASSERT_TRUE(kept.ok()) << kept.status().ToString();
+  ExpectSameRows(cte, kept->table, 1e-9);
+}
+
+TEST_F(ProcedureWorkloadTest, FfProcedureMatchesCte) {
+  constexpr int kIters = 4;
+  TablePtr cte = MustQuery(&db_, workloads::FFQuery(kIters, 2, 1000000));
+  Database db2;
+  ASSERT_TRUE(graph::LoadIntoDatabase(&db2, graph_, 0.8, 3).ok());
+  // The canonical FFProcedure keeps LIMIT 10; compare the top-10 sets by
+  // running both with the same limit.
+  TablePtr cte10 = MustQuery(&db_, workloads::FFQuery(kIters, 2, 10));
+  auto proc = workloads::FFProcedure(kIters, 2).Run(&db2);
+  ASSERT_TRUE(proc.ok()) << proc.status().ToString();
+  // The procedure result is its last SELECT... which runs before drops; the
+  // runner returns the DROP result instead. Re-run the final select shape on
+  // a fresh DB via a drop-free procedure:
+  Database db3;
+  ASSERT_TRUE(graph::LoadIntoDatabase(&db3, graph_, 0.8, 3).ok());
+  Procedure keep;
+  keep.Add("CREATE TABLE ff_main (node BIGINT, friends DOUBLE, "
+           "friendsprev DOUBLE)")
+      .Add("CREATE TABLE ff_work (node BIGINT, friends DOUBLE, "
+           "friendsprev DOUBLE)")
+      .Add("INSERT INTO ff_main SELECT src AS node, COUNT(dst), "
+           "CEILING(COUNT(dst) * (1.0 - (src % 10) / 100.0)) "
+           "FROM edges GROUP BY src")
+      .BeginLoop(kIters)
+      .Add("DELETE FROM ff_work")
+      .Add("INSERT INTO ff_work SELECT node, "
+           "ROUND(CAST((friends / friendsprev) * friends AS NUMERIC), 5), "
+           "friends FROM ff_main")
+      .Add("DELETE FROM ff_main")
+      .Add("INSERT INTO ff_main SELECT node, friends, friendsprev "
+           "FROM ff_work")
+      .EndLoop()
+      .Add("SELECT node, friends FROM ff_main WHERE MOD(node, 2) = 0 "
+           "ORDER BY friends DESC LIMIT 10");
+  auto kept = keep.Run(&db3);
+  ASSERT_TRUE(kept.ok()) << kept.status().ToString();
+  ExpectSameRows(cte10, kept->table, 1e-6);
+}
+
+}  // namespace
+}  // namespace dbspinner

@@ -1,0 +1,173 @@
+// Tests for the extended SQL surface: EXCEPT / INTERSECT, LIMIT OFFSET,
+// CREATE TABLE AS SELECT, and LIKE.
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace dbspinner {
+namespace {
+
+using testing::MustExecute;
+using testing::MustQuery;
+
+class SqlFeaturesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MustExecute(&db_, "CREATE TABLE a (x BIGINT)");
+    MustExecute(&db_, "CREATE TABLE b (x BIGINT)");
+    MustExecute(&db_, "INSERT INTO a VALUES (1), (2), (2), (3), (4)");
+    MustExecute(&db_, "INSERT INTO b VALUES (2), (4), (5)");
+  }
+  Database db_;
+};
+
+TEST_F(SqlFeaturesTest, Except) {
+  auto t = MustQuery(&db_, "SELECT x FROM a EXCEPT SELECT x FROM b "
+                           "ORDER BY x");
+  ASSERT_EQ(t->num_rows(), 2u);  // {1, 3}, deduped
+  EXPECT_EQ(t->GetValue(0, 0).int64_value(), 1);
+  EXPECT_EQ(t->GetValue(1, 0).int64_value(), 3);
+}
+
+TEST_F(SqlFeaturesTest, Intersect) {
+  auto t = MustQuery(&db_, "SELECT x FROM a INTERSECT SELECT x FROM b "
+                           "ORDER BY x");
+  ASSERT_EQ(t->num_rows(), 2u);  // {2, 4}
+  EXPECT_EQ(t->GetValue(0, 0).int64_value(), 2);
+  EXPECT_EQ(t->GetValue(1, 0).int64_value(), 4);
+}
+
+TEST_F(SqlFeaturesTest, ExceptDedupesLeft) {
+  auto t = MustQuery(&db_, "SELECT x FROM a EXCEPT SELECT x FROM b "
+                           "WHERE x > 100");
+  EXPECT_EQ(t->num_rows(), 4u);  // distinct {1,2,3,4}
+}
+
+TEST_F(SqlFeaturesTest, SetOpsChain) {
+  // (a EXCEPT b) INTERSECT a  ==  {1, 3}
+  auto t = MustQuery(&db_,
+                     "SELECT x FROM a EXCEPT SELECT x FROM b "
+                     "INTERSECT SELECT x FROM a ORDER BY x");
+  ASSERT_EQ(t->num_rows(), 2u);
+}
+
+TEST_F(SqlFeaturesTest, ExceptWidensTypes) {
+  MustExecute(&db_, "CREATE TABLE d (x DOUBLE)");
+  MustExecute(&db_, "INSERT INTO d VALUES (2.0)");
+  auto t = MustQuery(&db_, "SELECT x FROM a EXCEPT SELECT x FROM d");
+  EXPECT_EQ(t->schema().column(0).type, TypeId::kDouble);
+  EXPECT_EQ(t->num_rows(), 3u);  // {1, 3, 4}
+}
+
+TEST_F(SqlFeaturesTest, LimitOffset) {
+  auto t = MustQuery(&db_, "SELECT x FROM a ORDER BY x LIMIT 2 OFFSET 1");
+  ASSERT_EQ(t->num_rows(), 2u);
+  EXPECT_EQ(t->GetValue(0, 0).int64_value(), 2);
+  EXPECT_EQ(t->GetValue(1, 0).int64_value(), 2);
+}
+
+TEST_F(SqlFeaturesTest, OffsetOnly) {
+  auto t = MustQuery(&db_, "SELECT x FROM a ORDER BY x OFFSET 3");
+  ASSERT_EQ(t->num_rows(), 2u);
+  EXPECT_EQ(t->GetValue(0, 0).int64_value(), 3);
+}
+
+TEST_F(SqlFeaturesTest, OffsetPastEnd) {
+  auto t = MustQuery(&db_, "SELECT x FROM a LIMIT 10 OFFSET 100");
+  EXPECT_EQ(t->num_rows(), 0u);
+}
+
+TEST_F(SqlFeaturesTest, CreateTableAsSelect) {
+  MustExecute(&db_,
+              "CREATE TABLE doubled AS SELECT x * 2 AS x2 FROM a WHERE x < 3");
+  auto t = MustQuery(&db_, "SELECT x2 FROM doubled ORDER BY x2");
+  ASSERT_EQ(t->num_rows(), 3u);
+  EXPECT_EQ(t->GetValue(0, 0).int64_value(), 2);
+  EXPECT_EQ(t->schema().column(0).name, "x2");
+}
+
+TEST_F(SqlFeaturesTest, CtasReportsRowCount) {
+  auto result = db_.Execute("CREATE TABLE copy AS SELECT x FROM a");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows_affected, 5);
+}
+
+TEST_F(SqlFeaturesTest, CtasFromIterativeCte) {
+  // An iterative CTE result persisted as a table: the "use the result as
+  // input to another query" workflow without re-running the loop.
+  MustExecute(&db_,
+              "CREATE TABLE grown AS "
+              "WITH ITERATIVE g (v) AS (SELECT 1 ITERATE SELECT v * 2 FROM g "
+              "UNTIL 5 ITERATIONS) SELECT v FROM g");
+  auto t = MustQuery(&db_, "SELECT v FROM grown");
+  EXPECT_EQ(t->GetValue(0, 0).int64_value(), 32);
+}
+
+TEST_F(SqlFeaturesTest, CtasDuplicateNameFails) {
+  auto result = db_.Execute("CREATE TABLE a AS SELECT 1");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kAlreadyExists);
+}
+
+class LikeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MustExecute(&db_, "CREATE TABLE s (v VARCHAR)");
+    MustExecute(&db_,
+                "INSERT INTO s VALUES ('apple'), ('apricot'), ('banana'), "
+                "('grape'), (NULL)");
+  }
+  Database db_;
+};
+
+TEST_F(LikeTest, PrefixPattern) {
+  auto t = MustQuery(&db_, "SELECT v FROM s WHERE v LIKE 'ap%' ORDER BY v");
+  ASSERT_EQ(t->num_rows(), 2u);
+  EXPECT_EQ(t->GetValue(0, 0).string_value(), "apple");
+}
+
+TEST_F(LikeTest, SuffixAndInfix) {
+  EXPECT_EQ(MustQuery(&db_, "SELECT v FROM s WHERE v LIKE '%ana'")->num_rows(),
+            1u);
+  EXPECT_EQ(MustQuery(&db_, "SELECT v FROM s WHERE v LIKE '%ap%'")->num_rows(),
+            3u);
+}
+
+TEST_F(LikeTest, UnderscoreMatchesOneChar) {
+  EXPECT_EQ(
+      MustQuery(&db_, "SELECT v FROM s WHERE v LIKE 'gr_pe'")->num_rows(),
+      1u);
+  EXPECT_EQ(
+      MustQuery(&db_, "SELECT v FROM s WHERE v LIKE 'gr_p'")->num_rows(), 0u);
+}
+
+TEST_F(LikeTest, NotLike) {
+  // NULL rows fail both LIKE and NOT LIKE.
+  EXPECT_EQ(
+      MustQuery(&db_, "SELECT v FROM s WHERE v NOT LIKE 'ap%'")->num_rows(),
+      2u);
+}
+
+TEST_F(LikeTest, ExactMatchNoWildcards) {
+  EXPECT_EQ(
+      MustQuery(&db_, "SELECT v FROM s WHERE v LIKE 'apple'")->num_rows(),
+      1u);
+}
+
+TEST_F(LikeTest, PercentBacktracking) {
+  MustExecute(&db_, "INSERT INTO s VALUES ('aXbXbXc')");
+  EXPECT_EQ(
+      MustQuery(&db_, "SELECT v FROM s WHERE v LIKE 'a%b%c'")->num_rows(),
+      1u);
+}
+
+TEST_F(LikeTest, LikeOnNumberFails) {
+  MustExecute(&db_, "CREATE TABLE n (x BIGINT)");
+  auto result = db_.Query("SELECT x FROM n WHERE x LIKE '1%'");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kTypeError);
+}
+
+}  // namespace
+}  // namespace dbspinner

@@ -1,0 +1,91 @@
+// Shared helpers for the dbspinner test suite.
+
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "engine/database.h"
+
+namespace dbspinner {
+namespace testing {
+
+// Asserts a Status/Result is OK, printing the message on failure.
+#define DBSP_ASSERT_OK(expr)                                  \
+  do {                                                        \
+    auto _st = (expr);                                        \
+    ASSERT_TRUE(_st.ok()) << _st.ToString();                  \
+  } while (0)
+
+#define DBSP_EXPECT_OK(expr)                                  \
+  do {                                                        \
+    auto _st = (expr);                                        \
+    EXPECT_TRUE(_st.ok()) << _st.ToString();                  \
+  } while (0)
+
+// Unwraps a Result<T> or fails the test.
+template <typename T>
+T Unwrap(Result<T> result) {
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  if (!result.ok()) return T{};
+  return std::move(result).value();
+}
+
+// Runs a query and returns its table, failing the test on error.
+inline TablePtr MustQuery(Database* db, const std::string& sql) {
+  Result<TablePtr> result = db->Query(sql);
+  EXPECT_TRUE(result.ok()) << result.status().ToString() << "\nSQL: " << sql;
+  if (!result.ok()) return Table::Make(Schema());
+  return std::move(result).value();
+}
+
+// Executes a statement expecting success.
+inline void MustExecute(Database* db, const std::string& sql) {
+  Result<QueryResult> result = db->Execute(sql);
+  ASSERT_TRUE(result.ok()) << result.status().ToString() << "\nSQL: " << sql;
+}
+
+// Small deterministic edges table:
+//
+//     1 -> 2 (0.5)   1 -> 3 (0.5)   2 -> 3 (1.0)   3 -> 1 (1.0)
+//
+// Node 4 exists only as a destination: 2 has an edge there in the wide
+// variant. Weights are 1/outdeg.
+inline void LoadTinyGraph(Database* db) {
+  MustExecute(db,
+              "CREATE TABLE edges (src BIGINT, dst BIGINT, weight DOUBLE)");
+  MustExecute(db,
+              "INSERT INTO edges VALUES (1, 2, 0.5), (1, 3, 0.5), "
+              "(2, 3, 1.0), (3, 1, 1.0)");
+}
+
+// Compares two tables as row multisets with numeric tolerance.
+inline void ExpectSameRows(const TablePtr& a, const TablePtr& b,
+                           double eps = 1e-9) {
+  ASSERT_EQ(a->num_columns(), b->num_columns());
+  ASSERT_EQ(a->num_rows(), b->num_rows());
+  std::vector<uint32_t> oa = a->SortedOrder();
+  std::vector<uint32_t> ob = b->SortedOrder();
+  for (size_t r = 0; r < oa.size(); ++r) {
+    for (size_t c = 0; c < a->num_columns(); ++c) {
+      Value va = a->GetValue(oa[r], c);
+      Value vb = b->GetValue(ob[r], c);
+      ASSERT_EQ(va.is_null(), vb.is_null())
+          << "row " << r << " col " << c << ": " << va.ToString() << " vs "
+          << vb.ToString();
+      if (va.is_null()) continue;
+      if (IsNumeric(va.type()) && IsNumeric(vb.type())) {
+        ASSERT_NEAR(va.AsDouble(), vb.AsDouble(), eps)
+            << "row " << r << " col " << c;
+      } else {
+        ASSERT_EQ(va.ToString(), vb.ToString())
+            << "row " << r << " col " << c;
+      }
+    }
+  }
+}
+
+}  // namespace testing
+}  // namespace dbspinner

@@ -1,0 +1,141 @@
+// Parameterized property sweep: for every graph shape x seed x iteration
+// count, the SQL workloads must match the reference implementations and the
+// engine's invariants must hold (row counts, key uniqueness, monotonicity).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <optional>
+
+#include "engine/workloads.h"
+#include "graph/generator.h"
+#include "graph/reference_algorithms.h"
+#include "test_util.h"
+
+namespace dbspinner {
+namespace {
+
+using graph::EdgeList;
+using testing::MustQuery;
+
+struct Sweep {
+  graph::GraphKind kind;
+  int64_t nodes;
+  int64_t edges;
+  uint64_t seed;
+  int iterations;
+};
+
+std::string SweepName(const ::testing::TestParamInfo<Sweep>& info) {
+  const Sweep& s = info.param;
+  std::string kind =
+      s.kind == graph::GraphKind::kPreferentialAttachment
+          ? "pa"
+          : (s.kind == graph::GraphKind::kUniform ? "uni" : "grid");
+  return kind + "_n" + std::to_string(s.nodes) + "_s" +
+         std::to_string(s.seed) + "_i" + std::to_string(s.iterations);
+}
+
+class WorkloadPropertyTest : public ::testing::TestWithParam<Sweep> {
+ protected:
+  void SetUp() override {
+    const Sweep& s = GetParam();
+    graph::GraphSpec spec;
+    spec.kind = s.kind;
+    spec.num_nodes = s.nodes;
+    spec.num_edges = s.edges;
+    spec.seed = s.seed;
+    graph_ = graph::Generate(spec);
+    ASSERT_TRUE(graph::LoadIntoDatabase(&db_, graph_, 0.7, s.seed + 1).ok());
+  }
+
+  Database db_;
+  EdgeList graph_;
+};
+
+TEST_P(WorkloadPropertyTest, PageRankMatchesReference) {
+  int iters = GetParam().iterations;
+  auto sql = MustQuery(&db_, workloads::PRQuery(iters));
+  auto ref = graph::ReferencePageRank(graph_, iters);
+  std::map<int64_t, std::optional<double>> expected;
+  for (const auto& row : ref) expected[row.node] = row.rank;
+  ASSERT_EQ(sql->num_rows(), expected.size());
+  for (size_t i = 0; i < sql->num_rows(); ++i) {
+    int64_t node = sql->GetValue(i, 0).int64_value();
+    Value rank = sql->GetValue(i, 1);
+    ASSERT_TRUE(expected.count(node));
+    ASSERT_EQ(rank.is_null(), !expected[node].has_value()) << "node " << node;
+    if (expected[node].has_value()) {
+      EXPECT_NEAR(rank.AsDouble(), *expected[node], 1e-9) << "node " << node;
+    }
+  }
+}
+
+TEST_P(WorkloadPropertyTest, SsspMatchesReferenceAndIsMonotone) {
+  int iters = GetParam().iterations;
+  std::string sql_text = workloads::SSSPQuery(iters, 1, 2);
+  size_t pos = sql_text.rfind("SELECT distance");
+  sql_text = sql_text.substr(0, pos) + "SELECT node, distance FROM sssp";
+  auto sql = MustQuery(&db_, sql_text);
+  auto ref = graph::ReferenceSssp(graph_, iters, 1);
+  std::map<int64_t, double> expected;
+  for (const auto& row : ref) expected[row.node] = row.distance;
+  ASSERT_EQ(sql->num_rows(), expected.size());
+  for (size_t i = 0; i < sql->num_rows(); ++i) {
+    int64_t node = sql->GetValue(i, 0).int64_value();
+    double d = sql->GetValue(i, 1).AsDouble();
+    EXPECT_NEAR(d, expected[node], 1e-9) << "node " << node;
+    EXPECT_GE(d, 0.0);
+    EXPECT_LE(d, 9999999.0);
+  }
+}
+
+TEST_P(WorkloadPropertyTest, ForecastMatchesReference) {
+  int iters = GetParam().iterations;
+  auto sql = MustQuery(&db_, workloads::FFQuery(iters, 1, 10000000));
+  auto ref = graph::ReferenceForecast(graph_, iters);
+  std::map<int64_t, double> expected;
+  for (const auto& row : ref) expected[row.node] = row.friends;
+  ASSERT_EQ(sql->num_rows(), expected.size());
+  for (size_t i = 0; i < sql->num_rows(); ++i) {
+    int64_t node = sql->GetValue(i, 0).int64_value();
+    double want = expected[node];
+    EXPECT_NEAR(sql->GetValue(i, 1).AsDouble(), want,
+                1e-6 * std::max(1.0, std::fabs(want)))
+        << "node " << node;
+  }
+}
+
+TEST_P(WorkloadPropertyTest, CteKeysStayUnique) {
+  // Invariant: the CTE table always keeps one row per node.
+  int iters = GetParam().iterations;
+  std::string sql_text = workloads::PRQuery(iters);
+  size_t pos = sql_text.rfind("SELECT node, rank");
+  sql_text = sql_text.substr(0, pos) +
+             "SELECT COUNT(*) - COUNT(DISTINCT node) FROM pagerank";
+  auto t = MustQuery(&db_, sql_text);
+  EXPECT_EQ(t->GetValue(0, 0).int64_value(), 0);
+}
+
+TEST_P(WorkloadPropertyTest, MoreIterationsNeverLosesRows) {
+  int iters = GetParam().iterations;
+  auto few = MustQuery(&db_, workloads::PRQuery(1));
+  auto more = MustQuery(&db_, workloads::PRQuery(iters));
+  EXPECT_EQ(few->num_rows(), more->num_rows());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweeps, WorkloadPropertyTest,
+    ::testing::Values(
+        Sweep{graph::GraphKind::kPreferentialAttachment, 60, 200, 11, 2},
+        Sweep{graph::GraphKind::kPreferentialAttachment, 150, 700, 12, 5},
+        Sweep{graph::GraphKind::kPreferentialAttachment, 300, 1500, 13, 8},
+        Sweep{graph::GraphKind::kUniform, 100, 300, 14, 3},
+        Sweep{graph::GraphKind::kUniform, 200, 1200, 15, 6},
+        Sweep{graph::GraphKind::kGrid, 49, 0, 16, 7},
+        Sweep{graph::GraphKind::kGrid, 100, 0, 17, 12}),
+    SweepName);
+
+}  // namespace
+}  // namespace dbspinner

@@ -1,0 +1,186 @@
+// Integration tests: the paper's PR / PR-VS / SSSP / SSSP-VS / FF queries
+// executed through SQL must match the reference implementations exactly.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "engine/workloads.h"
+#include "graph/generator.h"
+#include "graph/reference_algorithms.h"
+#include "test_util.h"
+
+namespace dbspinner {
+namespace {
+
+using graph::EdgeList;
+using testing::MustQuery;
+
+constexpr int kIters = 5;
+
+class WorkloadsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    graph::GraphSpec spec;
+    spec.kind = graph::GraphKind::kPreferentialAttachment;
+    spec.num_nodes = 200;
+    spec.num_edges = 800;
+    spec.seed = 123;
+    graph_ = graph::Generate(spec);
+    ASSERT_TRUE(graph::LoadIntoDatabase(&db_, graph_, 0.8, 99).ok());
+    auto vs = db_.catalog().Get("vertexstatus");
+    ASSERT_TRUE(vs.ok());
+    status_ = graph::StatusMap(*(*vs)->table);
+  }
+
+  Database db_;
+  EdgeList graph_;
+  std::unordered_map<int64_t, int64_t> status_;
+};
+
+TEST_F(WorkloadsTest, PageRankMatchesReference) {
+  auto sql = MustQuery(&db_, workloads::PRQuery(kIters));
+  auto ref = graph::ReferencePageRank(graph_, kIters);
+  std::map<int64_t, std::optional<double>> expected;
+  for (const auto& row : ref) expected[row.node] = row.rank;
+
+  ASSERT_EQ(sql->num_rows(), expected.size());
+  for (size_t i = 0; i < sql->num_rows(); ++i) {
+    int64_t node = sql->GetValue(i, 0).int64_value();
+    Value rank = sql->GetValue(i, 1);
+    ASSERT_TRUE(expected.count(node)) << "unexpected node " << node;
+    const auto& want = expected[node];
+    ASSERT_EQ(rank.is_null(), !want.has_value()) << "node " << node;
+    if (want.has_value()) {
+      EXPECT_NEAR(rank.AsDouble(), *want, 1e-9) << "node " << node;
+    }
+  }
+}
+
+TEST_F(WorkloadsTest, PageRankVsMatchesReference) {
+  auto sql = MustQuery(&db_, workloads::PRVSQuery(kIters));
+  auto ref = graph::ReferencePageRank(graph_, kIters, &status_);
+  std::map<int64_t, std::optional<double>> expected;
+  for (const auto& row : ref) expected[row.node] = row.rank;
+
+  ASSERT_EQ(sql->num_rows(), expected.size());
+  for (size_t i = 0; i < sql->num_rows(); ++i) {
+    int64_t node = sql->GetValue(i, 0).int64_value();
+    Value rank = sql->GetValue(i, 1);
+    const auto& want = expected[node];
+    ASSERT_EQ(rank.is_null(), !want.has_value()) << "node " << node;
+    if (want.has_value()) {
+      EXPECT_NEAR(rank.AsDouble(), *want, 1e-9) << "node " << node;
+    }
+  }
+}
+
+TEST_F(WorkloadsTest, SsspMatchesReference) {
+  // Check the full distance table via a modified Qf.
+  std::string sql_text = workloads::SSSPQuery(kIters, 1, 2);
+  // Replace the final projection with the full table.
+  size_t pos = sql_text.rfind("SELECT distance");
+  sql_text = sql_text.substr(0, pos) +
+             "SELECT node, distance, delta FROM sssp";
+  auto sql = MustQuery(&db_, sql_text);
+  auto ref = graph::ReferenceSssp(graph_, kIters, 1);
+  std::map<int64_t, std::pair<double, double>> expected;
+  for (const auto& row : ref) {
+    expected[row.node] = {row.distance, row.delta};
+  }
+  ASSERT_EQ(sql->num_rows(), expected.size());
+  for (size_t i = 0; i < sql->num_rows(); ++i) {
+    int64_t node = sql->GetValue(i, 0).int64_value();
+    EXPECT_NEAR(sql->GetValue(i, 1).AsDouble(), expected[node].first, 1e-9)
+        << "distance of node " << node;
+    EXPECT_NEAR(sql->GetValue(i, 2).AsDouble(), expected[node].second, 1e-9)
+        << "delta of node " << node;
+  }
+}
+
+TEST_F(WorkloadsTest, SsspVsMatchesReference) {
+  std::string sql_text = workloads::SSSPVSQuery(kIters, 1, 2);
+  size_t pos = sql_text.rfind("SELECT distance");
+  sql_text = sql_text.substr(0, pos) + "SELECT node, distance FROM sssp";
+  auto sql = MustQuery(&db_, sql_text);
+  auto ref = graph::ReferenceSssp(graph_, kIters, 1, &status_);
+  std::map<int64_t, double> expected;
+  for (const auto& row : ref) expected[row.node] = row.distance;
+  ASSERT_EQ(sql->num_rows(), expected.size());
+  for (size_t i = 0; i < sql->num_rows(); ++i) {
+    int64_t node = sql->GetValue(i, 0).int64_value();
+    EXPECT_NEAR(sql->GetValue(i, 1).AsDouble(), expected[node], 1e-9)
+        << "node " << node;
+  }
+}
+
+TEST_F(WorkloadsTest, ForecastMatchesReference) {
+  // Use mod_x = 1 (keep everything) and a large limit to compare all rows.
+  auto sql = MustQuery(&db_, workloads::FFQuery(kIters, 1, 1000000));
+  auto ref = graph::ReferenceForecast(graph_, kIters);
+  std::map<int64_t, double> expected;
+  for (const auto& row : ref) expected[row.node] = row.friends;
+  ASSERT_EQ(sql->num_rows(), expected.size());
+  for (size_t i = 0; i < sql->num_rows(); ++i) {
+    int64_t node = sql->GetValue(i, 0).int64_value();
+    EXPECT_NEAR(sql->GetValue(i, 1).AsDouble(), expected[node],
+                1e-6 * std::max(1.0, std::fabs(expected[node])))
+        << "node " << node;
+  }
+}
+
+TEST_F(WorkloadsTest, ForecastSelectivityFilters) {
+  auto all = MustQuery(&db_, workloads::FFQuery(2, 1, 1000000));
+  auto tenth = MustQuery(&db_, workloads::FFQuery(2, 10, 1000000));
+  EXPECT_LT(tenth->num_rows(), all->num_rows());
+  for (size_t i = 0; i < tenth->num_rows(); ++i) {
+    EXPECT_EQ(tenth->GetValue(i, 0).int64_value() % 10, 0);
+  }
+}
+
+TEST_F(WorkloadsTest, FfDeltaQueryConverges) {
+  // FF with nodes whose growth ratio is exactly 1 stabilizes; ratio > 1
+  // grows forever. Guard with a sane bound: the query must terminate via
+  // DELTA only if it converges — use a graph where all src % 10 == 0 so
+  // friendsprev == friends initially (ratio 1, immediate convergence).
+  Database db;
+  graph::EdgeList g;
+  g.num_nodes = 30;
+  for (int64_t s = 10; s <= 30; s += 10) {
+    for (int64_t d = 1; d <= 3; ++d) {
+      if (s != d) {
+        g.src.push_back(s);
+        g.dst.push_back(d);
+      }
+    }
+  }
+  g.weight.assign(g.src.size(), 1.0);
+  ASSERT_TRUE(graph::LoadIntoDatabase(&db, g, 0.8, 1).ok());
+  auto t = MustQuery(&db, workloads::FFDeltaQuery(1, 1));
+  EXPECT_GT(t->num_rows(), 0u);
+}
+
+TEST_F(WorkloadsTest, SsspDataConditionTerminates) {
+  auto t = MustQuery(&db_, workloads::SSSPDataConditionQuery(1, 2));
+  ASSERT_EQ(t->num_rows(), 1u);
+}
+
+TEST_F(WorkloadsTest, SsspDistancesAreShortestPathsOnGrid) {
+  // On a small grid with unit-ish weights, enough iterations give true
+  // shortest path lengths (Bellman-Ford rounds).
+  Database db;
+  graph::GraphSpec spec;
+  spec.kind = graph::GraphKind::kGrid;
+  spec.num_nodes = 16;  // 4x4 grid, ids 1..16
+  graph_ = graph::Generate(spec);
+  ASSERT_TRUE(graph::LoadIntoDatabase(&db, graph_, -1).ok());
+  std::string q = workloads::SSSPQuery(12, 1, 16);
+  auto t = MustQuery(&db, q);
+  ASSERT_EQ(t->num_rows(), 1u);
+  // Path 1 -> 16 takes 6 hops; every edge weight is 1/outdeg(src) > 0.
+  EXPECT_LT(t->GetValue(0, 0).AsDouble(), 9999999.0);
+}
+
+}  // namespace
+}  // namespace dbspinner
