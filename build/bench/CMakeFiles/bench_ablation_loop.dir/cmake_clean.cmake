@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_loop.dir/bench_ablation_loop.cc.o"
+  "CMakeFiles/bench_ablation_loop.dir/bench_ablation_loop.cc.o.d"
+  "bench_ablation_loop"
+  "bench_ablation_loop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

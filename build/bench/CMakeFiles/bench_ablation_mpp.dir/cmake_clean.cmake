@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_mpp.dir/bench_ablation_mpp.cc.o"
+  "CMakeFiles/bench_ablation_mpp.dir/bench_ablation_mpp.cc.o.d"
+  "bench_ablation_mpp"
+  "bench_ablation_mpp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_mpp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_data_movement.dir/bench_fig08_data_movement.cc.o"
+  "CMakeFiles/bench_fig08_data_movement.dir/bench_fig08_data_movement.cc.o.d"
+  "bench_fig08_data_movement"
+  "bench_fig08_data_movement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_data_movement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_predicate_pushdown.dir/bench_fig10_predicate_pushdown.cc.o"
+  "CMakeFiles/bench_fig10_predicate_pushdown.dir/bench_fig10_predicate_pushdown.cc.o.d"
+  "bench_fig10_predicate_pushdown"
+  "bench_fig10_predicate_pushdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_predicate_pushdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_cte_vs_storedproc.dir/bench_fig11_cte_vs_storedproc.cc.o"
+  "CMakeFiles/bench_fig11_cte_vs_storedproc.dir/bench_fig11_cte_vs_storedproc.cc.o.d"
+  "bench_fig11_cte_vs_storedproc"
+  "bench_fig11_cte_vs_storedproc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_cte_vs_storedproc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_operators.dir/bench_operators.cc.o"
+  "CMakeFiles/bench_operators.dir/bench_operators.cc.o.d"
+  "bench_operators"
+  "bench_operators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_operators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

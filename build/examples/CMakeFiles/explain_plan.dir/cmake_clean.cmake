@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explain_plan.dir/explain_plan.cpp.o"
+  "CMakeFiles/explain_plan.dir/explain_plan.cpp.o.d"
+  "explain_plan"
+  "explain_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explain_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

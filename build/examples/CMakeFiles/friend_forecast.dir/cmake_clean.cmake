@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/friend_forecast.dir/friend_forecast.cpp.o"
+  "CMakeFiles/friend_forecast.dir/friend_forecast.cpp.o.d"
+  "friend_forecast"
+  "friend_forecast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/friend_forecast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for friend_forecast.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pagerank_analytics.dir/pagerank_analytics.cpp.o"
+  "CMakeFiles/pagerank_analytics.dir/pagerank_analytics.cpp.o.d"
+  "pagerank_analytics"
+  "pagerank_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pagerank_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shortest_path_routing.dir/shortest_path_routing.cpp.o"
+  "CMakeFiles/shortest_path_routing.dir/shortest_path_routing.cpp.o.d"
+  "shortest_path_routing"
+  "shortest_path_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shortest_path_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for shortest_path_routing.
+# This may be replaced when dependencies are built.

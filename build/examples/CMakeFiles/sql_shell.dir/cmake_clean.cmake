@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql_shell.dir/sql_shell.cpp.o"
+  "CMakeFiles/sql_shell.dir/sql_shell.cpp.o.d"
+  "sql_shell"
+  "sql_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

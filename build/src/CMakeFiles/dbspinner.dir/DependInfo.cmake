@@ -1,0 +1,68 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/binder/binder.cc" "src/CMakeFiles/dbspinner.dir/binder/binder.cc.o" "gcc" "src/CMakeFiles/dbspinner.dir/binder/binder.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/dbspinner.dir/common/status.cc.o" "gcc" "src/CMakeFiles/dbspinner.dir/common/status.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "src/CMakeFiles/dbspinner.dir/common/string_util.cc.o" "gcc" "src/CMakeFiles/dbspinner.dir/common/string_util.cc.o.d"
+  "/root/repo/src/common/types.cc" "src/CMakeFiles/dbspinner.dir/common/types.cc.o" "gcc" "src/CMakeFiles/dbspinner.dir/common/types.cc.o.d"
+  "/root/repo/src/common/value.cc" "src/CMakeFiles/dbspinner.dir/common/value.cc.o" "gcc" "src/CMakeFiles/dbspinner.dir/common/value.cc.o.d"
+  "/root/repo/src/engine/database.cc" "src/CMakeFiles/dbspinner.dir/engine/database.cc.o" "gcc" "src/CMakeFiles/dbspinner.dir/engine/database.cc.o.d"
+  "/root/repo/src/engine/options.cc" "src/CMakeFiles/dbspinner.dir/engine/options.cc.o" "gcc" "src/CMakeFiles/dbspinner.dir/engine/options.cc.o.d"
+  "/root/repo/src/engine/procedure.cc" "src/CMakeFiles/dbspinner.dir/engine/procedure.cc.o" "gcc" "src/CMakeFiles/dbspinner.dir/engine/procedure.cc.o.d"
+  "/root/repo/src/engine/workloads.cc" "src/CMakeFiles/dbspinner.dir/engine/workloads.cc.o" "gcc" "src/CMakeFiles/dbspinner.dir/engine/workloads.cc.o.d"
+  "/root/repo/src/exec/filter.cc" "src/CMakeFiles/dbspinner.dir/exec/filter.cc.o" "gcc" "src/CMakeFiles/dbspinner.dir/exec/filter.cc.o.d"
+  "/root/repo/src/exec/hash_aggregate.cc" "src/CMakeFiles/dbspinner.dir/exec/hash_aggregate.cc.o" "gcc" "src/CMakeFiles/dbspinner.dir/exec/hash_aggregate.cc.o.d"
+  "/root/repo/src/exec/hash_join.cc" "src/CMakeFiles/dbspinner.dir/exec/hash_join.cc.o" "gcc" "src/CMakeFiles/dbspinner.dir/exec/hash_join.cc.o.d"
+  "/root/repo/src/exec/merge_update.cc" "src/CMakeFiles/dbspinner.dir/exec/merge_update.cc.o" "gcc" "src/CMakeFiles/dbspinner.dir/exec/merge_update.cc.o.d"
+  "/root/repo/src/exec/physical_plan.cc" "src/CMakeFiles/dbspinner.dir/exec/physical_plan.cc.o" "gcc" "src/CMakeFiles/dbspinner.dir/exec/physical_plan.cc.o.d"
+  "/root/repo/src/exec/physical_planner.cc" "src/CMakeFiles/dbspinner.dir/exec/physical_planner.cc.o" "gcc" "src/CMakeFiles/dbspinner.dir/exec/physical_planner.cc.o.d"
+  "/root/repo/src/exec/program_executor.cc" "src/CMakeFiles/dbspinner.dir/exec/program_executor.cc.o" "gcc" "src/CMakeFiles/dbspinner.dir/exec/program_executor.cc.o.d"
+  "/root/repo/src/exec/project.cc" "src/CMakeFiles/dbspinner.dir/exec/project.cc.o" "gcc" "src/CMakeFiles/dbspinner.dir/exec/project.cc.o.d"
+  "/root/repo/src/exec/seq_scan.cc" "src/CMakeFiles/dbspinner.dir/exec/seq_scan.cc.o" "gcc" "src/CMakeFiles/dbspinner.dir/exec/seq_scan.cc.o.d"
+  "/root/repo/src/exec/set_ops.cc" "src/CMakeFiles/dbspinner.dir/exec/set_ops.cc.o" "gcc" "src/CMakeFiles/dbspinner.dir/exec/set_ops.cc.o.d"
+  "/root/repo/src/exec/sort_limit.cc" "src/CMakeFiles/dbspinner.dir/exec/sort_limit.cc.o" "gcc" "src/CMakeFiles/dbspinner.dir/exec/sort_limit.cc.o.d"
+  "/root/repo/src/expr/aggregate_functions.cc" "src/CMakeFiles/dbspinner.dir/expr/aggregate_functions.cc.o" "gcc" "src/CMakeFiles/dbspinner.dir/expr/aggregate_functions.cc.o.d"
+  "/root/repo/src/expr/expr.cc" "src/CMakeFiles/dbspinner.dir/expr/expr.cc.o" "gcc" "src/CMakeFiles/dbspinner.dir/expr/expr.cc.o.d"
+  "/root/repo/src/expr/scalar_functions.cc" "src/CMakeFiles/dbspinner.dir/expr/scalar_functions.cc.o" "gcc" "src/CMakeFiles/dbspinner.dir/expr/scalar_functions.cc.o.d"
+  "/root/repo/src/graph/generator.cc" "src/CMakeFiles/dbspinner.dir/graph/generator.cc.o" "gcc" "src/CMakeFiles/dbspinner.dir/graph/generator.cc.o.d"
+  "/root/repo/src/graph/io.cc" "src/CMakeFiles/dbspinner.dir/graph/io.cc.o" "gcc" "src/CMakeFiles/dbspinner.dir/graph/io.cc.o.d"
+  "/root/repo/src/graph/reference_algorithms.cc" "src/CMakeFiles/dbspinner.dir/graph/reference_algorithms.cc.o" "gcc" "src/CMakeFiles/dbspinner.dir/graph/reference_algorithms.cc.o.d"
+  "/root/repo/src/mpp/exchange.cc" "src/CMakeFiles/dbspinner.dir/mpp/exchange.cc.o" "gcc" "src/CMakeFiles/dbspinner.dir/mpp/exchange.cc.o.d"
+  "/root/repo/src/mpp/parallel_ops.cc" "src/CMakeFiles/dbspinner.dir/mpp/parallel_ops.cc.o" "gcc" "src/CMakeFiles/dbspinner.dir/mpp/parallel_ops.cc.o.d"
+  "/root/repo/src/mpp/partition.cc" "src/CMakeFiles/dbspinner.dir/mpp/partition.cc.o" "gcc" "src/CMakeFiles/dbspinner.dir/mpp/partition.cc.o.d"
+  "/root/repo/src/mpp/thread_pool.cc" "src/CMakeFiles/dbspinner.dir/mpp/thread_pool.cc.o" "gcc" "src/CMakeFiles/dbspinner.dir/mpp/thread_pool.cc.o.d"
+  "/root/repo/src/optimizer/common_result.cc" "src/CMakeFiles/dbspinner.dir/optimizer/common_result.cc.o" "gcc" "src/CMakeFiles/dbspinner.dir/optimizer/common_result.cc.o.d"
+  "/root/repo/src/optimizer/constant_fold.cc" "src/CMakeFiles/dbspinner.dir/optimizer/constant_fold.cc.o" "gcc" "src/CMakeFiles/dbspinner.dir/optimizer/constant_fold.cc.o.d"
+  "/root/repo/src/optimizer/cost_model.cc" "src/CMakeFiles/dbspinner.dir/optimizer/cost_model.cc.o" "gcc" "src/CMakeFiles/dbspinner.dir/optimizer/cost_model.cc.o.d"
+  "/root/repo/src/optimizer/join_simplify.cc" "src/CMakeFiles/dbspinner.dir/optimizer/join_simplify.cc.o" "gcc" "src/CMakeFiles/dbspinner.dir/optimizer/join_simplify.cc.o.d"
+  "/root/repo/src/optimizer/optimizer.cc" "src/CMakeFiles/dbspinner.dir/optimizer/optimizer.cc.o" "gcc" "src/CMakeFiles/dbspinner.dir/optimizer/optimizer.cc.o.d"
+  "/root/repo/src/optimizer/predicate_pushdown.cc" "src/CMakeFiles/dbspinner.dir/optimizer/predicate_pushdown.cc.o" "gcc" "src/CMakeFiles/dbspinner.dir/optimizer/predicate_pushdown.cc.o.d"
+  "/root/repo/src/parser/ast.cc" "src/CMakeFiles/dbspinner.dir/parser/ast.cc.o" "gcc" "src/CMakeFiles/dbspinner.dir/parser/ast.cc.o.d"
+  "/root/repo/src/parser/lexer.cc" "src/CMakeFiles/dbspinner.dir/parser/lexer.cc.o" "gcc" "src/CMakeFiles/dbspinner.dir/parser/lexer.cc.o.d"
+  "/root/repo/src/parser/parser.cc" "src/CMakeFiles/dbspinner.dir/parser/parser.cc.o" "gcc" "src/CMakeFiles/dbspinner.dir/parser/parser.cc.o.d"
+  "/root/repo/src/plan/logical_plan.cc" "src/CMakeFiles/dbspinner.dir/plan/logical_plan.cc.o" "gcc" "src/CMakeFiles/dbspinner.dir/plan/logical_plan.cc.o.d"
+  "/root/repo/src/plan/plan_printer.cc" "src/CMakeFiles/dbspinner.dir/plan/plan_printer.cc.o" "gcc" "src/CMakeFiles/dbspinner.dir/plan/plan_printer.cc.o.d"
+  "/root/repo/src/plan/program.cc" "src/CMakeFiles/dbspinner.dir/plan/program.cc.o" "gcc" "src/CMakeFiles/dbspinner.dir/plan/program.cc.o.d"
+  "/root/repo/src/rewrite/iterative_rewrite.cc" "src/CMakeFiles/dbspinner.dir/rewrite/iterative_rewrite.cc.o" "gcc" "src/CMakeFiles/dbspinner.dir/rewrite/iterative_rewrite.cc.o.d"
+  "/root/repo/src/rewrite/recursive_rewrite.cc" "src/CMakeFiles/dbspinner.dir/rewrite/recursive_rewrite.cc.o" "gcc" "src/CMakeFiles/dbspinner.dir/rewrite/recursive_rewrite.cc.o.d"
+  "/root/repo/src/storage/catalog.cc" "src/CMakeFiles/dbspinner.dir/storage/catalog.cc.o" "gcc" "src/CMakeFiles/dbspinner.dir/storage/catalog.cc.o.d"
+  "/root/repo/src/storage/column_vector.cc" "src/CMakeFiles/dbspinner.dir/storage/column_vector.cc.o" "gcc" "src/CMakeFiles/dbspinner.dir/storage/column_vector.cc.o.d"
+  "/root/repo/src/storage/csv.cc" "src/CMakeFiles/dbspinner.dir/storage/csv.cc.o" "gcc" "src/CMakeFiles/dbspinner.dir/storage/csv.cc.o.d"
+  "/root/repo/src/storage/result_registry.cc" "src/CMakeFiles/dbspinner.dir/storage/result_registry.cc.o" "gcc" "src/CMakeFiles/dbspinner.dir/storage/result_registry.cc.o.d"
+  "/root/repo/src/storage/schema.cc" "src/CMakeFiles/dbspinner.dir/storage/schema.cc.o" "gcc" "src/CMakeFiles/dbspinner.dir/storage/schema.cc.o.d"
+  "/root/repo/src/storage/table.cc" "src/CMakeFiles/dbspinner.dir/storage/table.cc.o" "gcc" "src/CMakeFiles/dbspinner.dir/storage/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for dbspinner.
+# This may be replaced when dependencies are built.

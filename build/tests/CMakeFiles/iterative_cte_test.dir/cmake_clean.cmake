@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iterative_cte_test.dir/iterative_cte_test.cc.o"
+  "CMakeFiles/iterative_cte_test.dir/iterative_cte_test.cc.o.d"
+  "iterative_cte_test"
+  "iterative_cte_test.pdb"
+  "iterative_cte_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iterative_cte_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

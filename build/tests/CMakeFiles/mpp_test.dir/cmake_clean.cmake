@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpp_test.dir/mpp_test.cc.o"
+  "CMakeFiles/mpp_test.dir/mpp_test.cc.o.d"
+  "mpp_test"
+  "mpp_test.pdb"
+  "mpp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

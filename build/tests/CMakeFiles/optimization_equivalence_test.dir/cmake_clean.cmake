@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimization_equivalence_test.dir/optimization_equivalence_test.cc.o"
+  "CMakeFiles/optimization_equivalence_test.dir/optimization_equivalence_test.cc.o.d"
+  "optimization_equivalence_test"
+  "optimization_equivalence_test.pdb"
+  "optimization_equivalence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimization_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

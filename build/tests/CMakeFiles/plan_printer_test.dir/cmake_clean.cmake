@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plan_printer_test.dir/plan_printer_test.cc.o"
+  "CMakeFiles/plan_printer_test.dir/plan_printer_test.cc.o.d"
+  "plan_printer_test"
+  "plan_printer_test.pdb"
+  "plan_printer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plan_printer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

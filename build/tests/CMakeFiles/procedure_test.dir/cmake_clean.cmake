@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/procedure_test.dir/procedure_test.cc.o"
+  "CMakeFiles/procedure_test.dir/procedure_test.cc.o.d"
+  "procedure_test"
+  "procedure_test.pdb"
+  "procedure_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/procedure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recursive_cte_test.dir/recursive_cte_test.cc.o"
+  "CMakeFiles/recursive_cte_test.dir/recursive_cte_test.cc.o.d"
+  "recursive_cte_test"
+  "recursive_cte_test.pdb"
+  "recursive_cte_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recursive_cte_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

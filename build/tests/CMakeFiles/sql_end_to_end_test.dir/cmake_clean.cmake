@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql_end_to_end_test.dir/sql_end_to_end_test.cc.o"
+  "CMakeFiles/sql_end_to_end_test.dir/sql_end_to_end_test.cc.o.d"
+  "sql_end_to_end_test"
+  "sql_end_to_end_test.pdb"
+  "sql_end_to_end_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_end_to_end_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

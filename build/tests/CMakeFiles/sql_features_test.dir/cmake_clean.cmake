@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql_features_test.dir/sql_features_test.cc.o"
+  "CMakeFiles/sql_features_test.dir/sql_features_test.cc.o.d"
+  "sql_features_test"
+  "sql_features_test.pdb"
+  "sql_features_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_features_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vectorized_eval_test.dir/vectorized_eval_test.cc.o"
+  "CMakeFiles/vectorized_eval_test.dir/vectorized_eval_test.cc.o.d"
+  "vectorized_eval_test"
+  "vectorized_eval_test.pdb"
+  "vectorized_eval_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vectorized_eval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

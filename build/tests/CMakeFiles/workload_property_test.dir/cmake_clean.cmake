@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_property_test.dir/workload_property_test.cc.o"
+  "CMakeFiles/workload_property_test.dir/workload_property_test.cc.o.d"
+  "workload_property_test"
+  "workload_property_test.pdb"
+  "workload_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

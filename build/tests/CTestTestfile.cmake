@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/storage_test[1]_include.cmake")
+include("/root/repo/build/tests/csv_copy_test[1]_include.cmake")
+include("/root/repo/build/tests/parser_test[1]_include.cmake")
+include("/root/repo/build/tests/expr_test[1]_include.cmake")
+include("/root/repo/build/tests/vectorized_eval_test[1]_include.cmake")
+include("/root/repo/build/tests/binder_test[1]_include.cmake")
+include("/root/repo/build/tests/optimizer_test[1]_include.cmake")
+include("/root/repo/build/tests/cost_model_test[1]_include.cmake")
+include("/root/repo/build/tests/executor_test[1]_include.cmake")
+include("/root/repo/build/tests/sql_end_to_end_test[1]_include.cmake")
+include("/root/repo/build/tests/sql_features_test[1]_include.cmake")
+include("/root/repo/build/tests/iterative_cte_test[1]_include.cmake")
+include("/root/repo/build/tests/recursive_cte_test[1]_include.cmake")
+include("/root/repo/build/tests/optimization_equivalence_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_property_test[1]_include.cmake")
+include("/root/repo/build/tests/plan_printer_test[1]_include.cmake")
+include("/root/repo/build/tests/procedure_test[1]_include.cmake")
+include("/root/repo/build/tests/transaction_test[1]_include.cmake")
+include("/root/repo/build/tests/mpp_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_test[1]_include.cmake")
+include("/root/repo/build/tests/failure_injection_test[1]_include.cmake")
