@@ -4,6 +4,38 @@
 
 namespace dbspinner {
 
+const std::vector<OptimizerToggles::Toggle>& OptimizerToggles::All() {
+  static const std::vector<Toggle> kToggles = {
+      {"constant_folding", &OptimizerOptions::enable_constant_folding},
+      {"join_simplification", &OptimizerOptions::enable_join_simplification},
+      {"predicate_pushdown", &OptimizerOptions::enable_predicate_pushdown},
+      {"cte_predicate_pushdown",
+       &OptimizerOptions::enable_cte_predicate_pushdown},
+      {"common_result", &OptimizerOptions::enable_common_result},
+      {"rename", &OptimizerOptions::enable_rename_optimization},
+  };
+  return kToggles;
+}
+
+bool OptimizerToggles::Set(OptimizerOptions* options, const std::string& name,
+                           bool value) {
+  for (const Toggle& t : All()) {
+    if (name == t.name) {
+      options->*(t.member) = value;
+      return true;
+    }
+  }
+  return false;
+}
+
+OptimizerOptions OptimizerToggles::AllSetTo(bool value) {
+  OptimizerOptions options;
+  for (const Toggle& t : All()) {
+    options.*(t.member) = value;
+  }
+  return options;
+}
+
 std::string EngineOptions::ToString() const {
   return StringPrintf(
       "EngineOptions{workers=%d, fold=%d, join_simplify=%d, pushdown=%d, "

@@ -4,6 +4,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace dbspinner {
 
@@ -36,6 +37,27 @@ struct OptimizerOptions {
   bool enable_rename_optimization = true;
 };
 
+/// Programmatic access to every per-rule optimizer toggle. The differential
+/// fuzzer, benchmarks and tests iterate this list instead of hard-coding the
+/// field names, so a new rewrite only has to register itself here to be
+/// swept by the whole correctness tooling.
+struct OptimizerToggles {
+  struct Toggle {
+    const char* name;                    ///< stable identifier ("rename", ...)
+    bool OptimizerOptions::*member;      ///< the flag it controls
+  };
+
+  /// All rule toggles, in a stable order.
+  static const std::vector<Toggle>& All();
+
+  /// Sets the toggle called `name`; returns false if no such toggle.
+  static bool Set(OptimizerOptions* options, const std::string& name,
+                  bool value);
+
+  /// Options with every rule toggle forced to `value`.
+  static OptimizerOptions AllSetTo(bool value);
+};
+
 /// Top-level engine options.
 struct EngineOptions {
   OptimizerOptions optimizer;
@@ -49,6 +71,12 @@ struct EngineOptions {
 
   /// Inputs smaller than this bypass parallel execution.
   size_t mpp_min_rows_per_task = 8192;
+
+  /// Fault injection for the fuzzing harness only: makes the rename step
+  /// silently drop the last row of the renamed result, so a differential
+  /// run must flag the rename-enabled plan against the merge baseline.
+  /// Never enable outside tests.
+  bool dev_break_rename_for_testing = false;
 
   std::string ToString() const;
 };

@@ -10,6 +10,44 @@ namespace dbspinner {
 
 namespace {
 
+// Rows of the loop's CTE currently satisfying a kAny/kAll condition.
+Result<int64_t> CountSatisfiedRows(const LoopSpec& spec, const Table& cte) {
+  int64_t satisfied = 0;
+  for (size_t i = 0; i < cte.num_rows(); ++i) {
+    DBSP_ASSIGN_OR_RETURN(Value v, EvaluateExpr(*spec.expr, cte, i));
+    if (!v.is_null() && v.bool_value()) ++satisfied;
+  }
+  return satisfied;
+}
+
+// Decides whether the loop body should run at all, evaluated at kInitLoop
+// over the freshly materialized R0 (the Fig 4 loop operator's 0-iteration
+// case). Delta conditions need two versions to compare, so they always run
+// the first iteration.
+Result<bool> EvaluateStart(const LoopSpec& spec, ExecContext* ctx) {
+  switch (spec.kind) {
+    case LoopSpec::Kind::kIterations:
+    case LoopSpec::Kind::kUpdates:
+      return spec.n > 0;
+    case LoopSpec::Kind::kAny:
+    case LoopSpec::Kind::kAll: {
+      DBSP_ASSIGN_OR_RETURN(TablePtr cte, ctx->registry->Get(spec.cte_name));
+      DBSP_ASSIGN_OR_RETURN(int64_t satisfied,
+                            CountSatisfiedRows(spec, *cte));
+      if (spec.kind == LoopSpec::Kind::kAny) return satisfied == 0;
+      return satisfied < static_cast<int64_t>(cte->num_rows());
+    }
+    case LoopSpec::Kind::kDeltaLess:
+      return true;
+    case LoopSpec::Kind::kWhileResultNonEmpty: {
+      DBSP_ASSIGN_OR_RETURN(TablePtr watched,
+                            ctx->registry->Get(spec.watch_name));
+      return watched->num_rows() > 0;
+    }
+  }
+  return Status::Internal("unhandled loop condition");
+}
+
 // Decides whether the loop should run another iteration, updating state.
 Result<bool> EvaluateContinue(const LoopSpec& spec, LoopState* state,
                               ExecContext* ctx) {
@@ -22,11 +60,8 @@ Result<bool> EvaluateContinue(const LoopSpec& spec, LoopState* state,
     case LoopSpec::Kind::kAny:
     case LoopSpec::Kind::kAll: {
       DBSP_ASSIGN_OR_RETURN(TablePtr cte, ctx->registry->Get(spec.cte_name));
-      int64_t satisfied = 0;
-      for (size_t i = 0; i < cte->num_rows(); ++i) {
-        DBSP_ASSIGN_OR_RETURN(Value v, EvaluateExpr(*spec.expr, *cte, i));
-        if (!v.is_null() && v.bool_value()) ++satisfied;
-      }
+      DBSP_ASSIGN_OR_RETURN(int64_t satisfied,
+                            CountSatisfiedRows(spec, *cte));
       if (spec.kind == LoopSpec::Kind::kAny) {
         return satisfied == 0;  // continue until at least one row satisfies
       }
@@ -82,10 +117,24 @@ Result<TablePtr> RunProgram(const Program& program, ExecContext* ctx) {
       case Step::Kind::kRename: {
         // O(1): the paper's rename operator (§VI-A). The working table's
         // row count is recorded as this iteration's update count (a full
-        // replacement updates every row).
-        DBSP_ASSIGN_OR_RETURN(TablePtr moved,
-                              ctx->registry->Get(step.source));
+        // replacement updates every row). Rename goes first so that an
+        // unbound source surfaces as the registry's Internal error.
         DBSP_RETURN_NOT_OK(ctx->registry->Rename(step.source, step.target));
+        DBSP_ASSIGN_OR_RETURN(TablePtr moved,
+                              ctx->registry->Get(step.target));
+        if (ctx->options != nullptr &&
+            ctx->options->dev_break_rename_for_testing &&
+            moved->num_rows() > 0) {
+          // Fault injection for the fuzzing harness: silently drop the last
+          // row of the renamed result so the rename-enabled plan diverges
+          // from the merge baseline.
+          std::vector<uint32_t> sel;
+          for (uint32_t r = 0; r + 1 < moved->num_rows(); ++r) {
+            sel.push_back(r);
+          }
+          moved = moved->Gather(sel);
+          ctx->registry->Put(step.target, moved);
+        }
         ++ctx->stats.renames;
         if (step.loop_id != 0) {
           ctx->loops[step.loop_id].last_update_count =
@@ -178,6 +227,20 @@ Result<TablePtr> RunProgram(const Program& program, ExecContext* ctx) {
           // Snapshot the post-R0 version for the first diff.
           DBSP_ASSIGN_OR_RETURN(state.previous,
                                 ctx->registry->Get(step.loop.cte_name));
+        }
+        if (step.jump_to_id != 0) {
+          // 0-iteration loops: when the termination condition already holds
+          // over R0, skip the body entirely (jump past the loop check).
+          DBSP_ASSIGN_OR_RETURN(bool run_body, EvaluateStart(step.loop, ctx));
+          if (!run_body) {
+            int target = program.FindStep(step.jump_to_id);
+            if (target < 0) {
+              return Status::Internal("loop skip target not found");
+            }
+            record_profile();
+            pc = static_cast<size_t>(target) + 1;
+            continue;
+          }
         }
         break;
       }

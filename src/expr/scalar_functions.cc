@@ -1,5 +1,6 @@
 #include "expr/scalar_functions.h"
 
+#include <algorithm>
 #include <cmath>
 #include <unordered_map>
 
@@ -284,6 +285,20 @@ bool IsAggregateFunctionName(const std::string& name) {
   return n == "count" || n == "sum" || n == "min" || n == "max" ||
          n == "avg" || n == "stddev" || n == "stddev_samp" ||
          n == "variance" || n == "var_samp";
+}
+
+std::vector<std::string> ScalarFunctionNames() {
+  std::vector<std::string> names;
+  names.reserve(Registry().size());
+  for (const auto& [name, fn] : Registry()) {
+    names.push_back(name);
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+std::vector<std::string> AggregateFunctionNames() {
+  return {"avg", "count", "max", "min", "stddev", "sum", "variance"};
 }
 
 }  // namespace dbspinner

@@ -29,4 +29,11 @@ const ScalarFunction* GetScalarFunction(const std::string& name);
 /// True if `name` names an aggregate function (count/sum/min/max/avg).
 bool IsAggregateFunctionName(const std::string& name);
 
+/// All registered scalar function names, sorted. Generation hook for the
+/// SQL fuzzer: generated queries only call functions the engine implements.
+std::vector<std::string> ScalarFunctionNames();
+
+/// Canonical aggregate function names, sorted (one spelling per aggregate).
+std::vector<std::string> AggregateFunctionNames();
+
 }  // namespace dbspinner

@@ -49,10 +49,12 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
     for (size_t i = 0; i < n; ++i) {
       tasks_.push([&, i] {
         fn(i);
-        if (remaining.fetch_sub(1) == 1) {
-          std::lock_guard<std::mutex> dl(done_mu);
-          done_cv.notify_all();
-        }
+        // The decrement must happen under done_mu: if it preceded the lock,
+        // the waiter could observe remaining == 0 via a spurious wakeup and
+        // destroy done_mu/done_cv (they live on the waiter's stack) while
+        // this thread is still about to lock them.
+        std::lock_guard<std::mutex> dl(done_mu);
+        if (remaining.fetch_sub(1) == 1) done_cv.notify_all();
       });
     }
   }

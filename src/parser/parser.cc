@@ -253,7 +253,10 @@ class Parser {
       } else {
         return Err("expected ITERATIONS or UPDATES after count");
       }
-      if (tc.n <= 0) return Err("termination count must be positive");
+      // 0 is allowed: UNTIL 0 ITERATIONS / 0 UPDATES never enters the loop
+      // body, so the CTE is just its non-iterative part (the executor's
+      // InitLoop pre-check skips the body entirely).
+      if (tc.n < 0) return Err("termination count must be non-negative");
       return tc;
     }
     if (MatchKeyword("DELTA")) {
@@ -933,6 +936,10 @@ Result<std::vector<StatementPtr>> ParseScript(const std::string& sql) {
 Result<ParseExprPtr> ParseExpression(const std::string& text) {
   DBSP_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
   return Parser(std::move(tokens)).ParseSingleExpression();
+}
+
+bool IsReservedKeyword(const std::string& word) {
+  return ReservedWords().count(ToUpper(word)) > 0;
 }
 
 }  // namespace dbspinner

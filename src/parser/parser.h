@@ -20,4 +20,8 @@ Result<std::vector<StatementPtr>> ParseScript(const std::string& sql);
 /// Parses a standalone scalar expression (used by tests and tools).
 Result<ParseExprPtr> ParseExpression(const std::string& text);
 
+/// True if `word` (any case) is a reserved keyword of the grammar. The SQL
+/// fuzzer's query generator uses this to keep generated identifiers legal.
+bool IsReservedKeyword(const std::string& word);
+
 }  // namespace dbspinner

@@ -57,7 +57,10 @@ struct Step {
                     ///< and internal duplicates (recursive UNION DISTINCT)
     kCopyResult,    ///< deep-copy result `source` as `target`
     kRemoveResult,  ///< unbind result `target`
-    kInitLoop,      ///< reset loop `loop_id` state
+    kInitLoop,      ///< reset loop `loop_id` state; when `jump_to_id` is set
+                    ///< and the termination condition already holds before
+                    ///< the first body execution (a 0-iteration loop), jump
+                    ///< past the step with id `jump_to_id`
     kLoopCheck,     ///< update loop state; jump to step id `jump_to_id` if
                     ///< the loop should continue
     kFinal,         ///< run `plan`; its output is the program result
@@ -80,7 +83,9 @@ struct Step {
 
   int loop_id = 0;          ///< kInitLoop / kLoopCheck
   LoopSpec loop;            ///< kInitLoop (and echoed on kLoopCheck)
-  int jump_to_id = 0;       ///< kLoopCheck: body start step id
+  int jump_to_id = 0;       ///< kLoopCheck: body start step id;
+                            ///< kInitLoop: loop-check id to skip past when
+                            ///< the loop runs zero iterations
 
   std::string comment;      ///< EXPLAIN annotation
 

@@ -223,8 +223,14 @@ Status ProgramBuilder::AddIterativeCte(Program* program, const CteDef& def) {
       if (ContainsAggregate(*item.expr)) no_agg = false;
     }
   }
+  // The termination condition must not observe the row set: UPDATES counts
+  // updated rows, DELTA counts changed rows, and ANY/ALL evaluate over the
+  // CTE's contents, so filtering R0 would change when the loop stops (found
+  // by differential fuzzing). Only a counted-iterations loop is insensitive.
+  bool termination_row_insensitive =
+      def.until.kind == TerminationCondition::Kind::kIterations;
   info.pushdown_legal =
-      single_self_scan && no_agg &&
+      single_self_scan && no_agg && termination_row_insensitive &&
       !(ri.kind == QueryNodeKind::kSelect && ri.distinct);
   info.pass_through.assign(schema.num_columns(), false);
   if (info.pushdown_legal) {
@@ -341,6 +347,10 @@ Status ProgramBuilder::AddIterativeCte(Program* program, const CteDef& def) {
     info.check_step_id = s.id;
     program->steps.push_back(std::move(s));
   }
+  // Let the init step skip the body when the loop runs zero iterations
+  // (termination condition already true over R0).
+  program->steps[program->FindStep(info.init_step_id)].jump_to_id =
+      info.check_step_id;
 
   program->iterative_ctes.push_back(std::move(info));
   binder_.AddCte(def.name, CteBinding{def.name, schema});

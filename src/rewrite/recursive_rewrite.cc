@@ -115,6 +115,7 @@ Status ProgramBuilder::AddRecursiveCte(Program* program, const CteDef& def) {
     s.comment = "initial delta := base";
     add(std::move(s));
   }
+  int init_id;
   {
     Step s;
     s.kind = Step::Kind::kInitLoop;
@@ -122,6 +123,7 @@ Status ProgramBuilder::AddRecursiveCte(Program* program, const CteDef& def) {
     s.loop_id = loop_id;
     s.loop = spec.Clone();
     s.comment = "initialize recursive loop " + spec.ToString();
+    init_id = s.id;
     add(std::move(s));
   }
   int body_id;
@@ -170,6 +172,8 @@ Status ProgramBuilder::AddRecursiveCte(Program* program, const CteDef& def) {
     s.loop = spec.Clone();
     s.jump_to_id = body_id;
     s.comment = "loop while the delta is non-empty";
+    // An empty base means an empty initial delta: skip the body outright.
+    program->steps[program->FindStep(init_id)].jump_to_id = s.id;
     add(std::move(s));
   }
   {

@@ -26,8 +26,13 @@ Status ResultRegistry::Rename(const std::string& old_name,
   std::string new_key = ToLower(new_name);
   auto it = results_.find(old_key);
   if (it == results_.end()) {
-    return Status::NotFound("intermediate result '" + old_name +
-                            "' is not bound");
+    // Distinct from the NotFound a missing catalog table produces: a rename
+    // whose source is unbound means the Program referenced a result it never
+    // materialized — an engine invariant violation, not a user error. The
+    // differential fuzzer relies on this classification to separate engine
+    // bugs from ordinary query failures.
+    return Status::Internal("rename source '" + old_name +
+                            "' is not bound in the result registry");
   }
   TablePtr moved = std::move(it->second);
   results_.erase(it);

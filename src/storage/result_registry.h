@@ -31,7 +31,8 @@ class ResultRegistry {
   /// The paper's `rename` operator: re-points `new_name` at the storage
   /// currently named `old_name` and removes `old_name`. If `new_name`
   /// already exists its storage is released (its entry is overwritten).
-  /// Fails with NotFound if `old_name` is unbound.
+  /// Fails with Internal if `old_name` is unbound: a rename from an unbound
+  /// source can only come from a malformed Program, never from user SQL.
   Status Rename(const std::string& old_name, const std::string& new_name);
 
   /// Drops one binding (no-op if absent).

@@ -1,0 +1,267 @@
+#include "testing/differential.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+#include "graph/reference_algorithms.h"
+
+namespace dbspinner {
+namespace fuzz {
+
+namespace {
+
+EngineOptions BaseOptions(const DifferentialOptions& opts) {
+  EngineOptions eo;
+  eo.max_iterations_guard = opts.max_iterations_guard;
+  eo.dev_break_rename_for_testing =
+      opts.break_rename && eo.optimizer.enable_rename_optimization;
+  return eo;
+}
+
+OracleOutcome RunSqlOracle(const FuzzCase& c, std::string name,
+                           EngineOptions eo, const std::string& sql) {
+  OracleOutcome out;
+  out.name = std::move(name);
+  Database db(std::move(eo));
+  out.status = LoadCaseData(&db, c);
+  if (!out.status.ok()) return out;
+  Result<QueryResult> r = db.Execute(sql);
+  out.status = r.status();
+  if (r.ok()) out.table = r->table;
+  return out;
+}
+
+OracleOutcome RunProcedureOracle(const FuzzCase& c,
+                                 const DifferentialOptions& opts) {
+  OracleOutcome out;
+  out.name = "procedure";
+  Database db(BaseOptions(opts));
+  out.status = LoadCaseData(&db, c);
+  if (!out.status.ok()) return out;
+  Procedure p = RenderProcedure(c.query);
+  Result<QueryResult> r = p.Run(&db);
+  out.status = r.status();
+  if (r.ok()) out.table = r->table;
+  return out;
+}
+
+// Ground-truth rows for the canonical families, computed by the reference
+// implementations and shaped like the canonical query's final SELECT.
+OracleOutcome RunReferenceOracle(const FuzzCase& c,
+                                 std::vector<std::vector<Value>>* rows) {
+  OracleOutcome out;
+  out.name = "reference";
+  out.status = Status::OK();
+  graph::EdgeList g = graph::Generate(c.graph);
+
+  std::unordered_map<int64_t, int64_t> status_map;
+  const std::unordered_map<int64_t, int64_t>* status = nullptr;
+  if (c.query.vs_join) {
+    TablePtr vs = graph::BuildVertexStatusTable(g.num_nodes, c.status_fraction,
+                                                c.status_seed);
+    status_map = graph::StatusMap(*vs);
+    status = &status_map;
+  }
+
+  switch (c.query.family) {
+    case QueryFamily::kCanonicalPR: {
+      // PRQuery: SELECT node, rank FROM pagerank
+      for (const graph::PageRankRow& r :
+           graph::ReferencePageRank(g, c.query.iterations, status)) {
+        rows->push_back({Value::Int64(r.node),
+                         r.rank ? Value::Double(*r.rank) : Value::Null()});
+      }
+      break;
+    }
+    case QueryFamily::kCanonicalSSSP: {
+      // SSSPQuery: SELECT distance FROM sssp WHERE node = target
+      for (const graph::SsspRow& r :
+           graph::ReferenceSssp(g, c.query.iterations, c.query.source_node,
+                                status)) {
+        if (r.node == c.query.target_node) {
+          rows->push_back({Value::Double(r.distance)});
+        }
+      }
+      break;
+    }
+    case QueryFamily::kCanonicalFF: {
+      // FFQuery (huge limit): SELECT node, friends WHERE MOD(node, m) = 0
+      for (const graph::ForecastRow& r :
+           graph::ReferenceForecast(g, c.query.iterations)) {
+        if (r.node % c.query.filter_mod == 0) {
+          rows->push_back({Value::Int64(r.node), Value::Double(r.friends)});
+        }
+      }
+      break;
+    }
+    default:
+      out.status = Status::Internal("no reference for this family");
+      break;
+  }
+  return out;
+}
+
+bool RowLess(const std::vector<Value>& a, const std::vector<Value>& b) {
+  for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
+    int cmp = a[i].Compare(b[i]);
+    if (cmp != 0) return cmp < 0;
+  }
+  return a.size() < b.size();
+}
+
+std::string RowToString(const std::vector<Value>& row) {
+  std::string s = "(";
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i) s += ", ";
+    s += row[i].ToString();
+  }
+  return s + ")";
+}
+
+bool CellsMatch(const Value& a, const Value& b, double eps) {
+  if (a.is_null() != b.is_null()) return false;
+  if (a.is_null()) return true;
+  if (IsNumeric(a.type()) && IsNumeric(b.type())) {
+    return std::fabs(a.AsDouble() - b.AsDouble()) <= eps;
+  }
+  return a.ToString() == b.ToString();
+}
+
+}  // namespace
+
+std::vector<std::vector<Value>> TableRows(const Table& t) {
+  std::vector<std::vector<Value>> rows;
+  rows.reserve(t.num_rows());
+  for (size_t r = 0; r < t.num_rows(); ++r) rows.push_back(t.GetRow(r));
+  return rows;
+}
+
+std::string DiffRowSets(const std::vector<std::vector<Value>>& a,
+                        const std::vector<std::vector<Value>>& b, double eps) {
+  if (a.size() != b.size()) {
+    return StringPrintf("row count %zu vs %zu", a.size(), b.size());
+  }
+  if (a.empty()) return "";
+  if (a[0].size() != b[0].size()) {
+    return StringPrintf("column count %zu vs %zu", a[0].size(), b[0].size());
+  }
+  std::vector<std::vector<Value>> sa = a, sb = b;
+  std::sort(sa.begin(), sa.end(), RowLess);
+  std::sort(sb.begin(), sb.end(), RowLess);
+  for (size_t r = 0; r < sa.size(); ++r) {
+    for (size_t col = 0; col < sa[r].size(); ++col) {
+      if (!CellsMatch(sa[r][col], sb[r][col], eps)) {
+        return StringPrintf("row %zu differs: %s vs %s", r,
+                            RowToString(sa[r]).c_str(),
+                            RowToString(sb[r]).c_str());
+      }
+    }
+  }
+  return "";
+}
+
+std::string DiffReport::Describe(const FuzzCase& c) const {
+  std::string s = "case: " + c.Label() + "\n";
+  if (!ok) s += "FAILURE: " + failure + "\n";
+  s += "sql:\n" + sql + "\n";
+  for (const OracleOutcome& o : outcomes) {
+    s += "  [" + o.name + "] " + o.status.ToString();
+    if (o.status.ok() && o.table) {
+      s += StringPrintf(" (%zu rows)", o.table->num_rows());
+    }
+    s += "\n";
+  }
+  return s;
+}
+
+DiffReport RunDifferential(const FuzzCase& c,
+                           const DifferentialOptions& opts) {
+  DiffReport report;
+  report.sql = RenderQuery(c.query);
+
+  // --- run the matrix -------------------------------------------------------
+  report.outcomes.push_back(
+      RunSqlOracle(c, "baseline", BaseOptions(opts), report.sql));
+
+  for (const OptimizerToggles::Toggle& t : OptimizerToggles::All()) {
+    EngineOptions eo = BaseOptions(opts);
+    eo.optimizer.*t.member = false;
+    eo.dev_break_rename_for_testing =
+        opts.break_rename && eo.optimizer.enable_rename_optimization;
+    report.outcomes.push_back(
+        RunSqlOracle(c, std::string("no-") + t.name, eo, report.sql));
+  }
+  {
+    EngineOptions eo = BaseOptions(opts);
+    eo.optimizer = OptimizerToggles::AllSetTo(false);
+    eo.dev_break_rename_for_testing = false;
+    report.outcomes.push_back(RunSqlOracle(c, "all-off", eo, report.sql));
+  }
+  for (int workers : {2, 8}) {
+    EngineOptions eo = BaseOptions(opts);
+    eo.num_workers = workers;
+    eo.mpp_min_rows_per_task = 1;
+    report.outcomes.push_back(RunSqlOracle(
+        c, StringPrintf("mpp-%d", workers), eo, report.sql));
+  }
+  if (HasProcedureLowering(c.query)) {
+    report.outcomes.push_back(RunProcedureOracle(c, opts));
+  }
+  std::vector<std::vector<Value>> reference_rows;
+  bool have_reference = c.query.family == QueryFamily::kCanonicalPR ||
+                        c.query.family == QueryFamily::kCanonicalSSSP ||
+                        c.query.family == QueryFamily::kCanonicalFF;
+  if (have_reference) {
+    report.outcomes.push_back(RunReferenceOracle(c, &reference_rows));
+  }
+
+  // --- classify and diff ----------------------------------------------------
+  const OracleOutcome& baseline = report.outcomes[0];
+  for (const OracleOutcome& o : report.outcomes) {
+    if (o.status.code() == StatusCode::kInternal) {
+      report.ok = false;
+      report.failure =
+          "[" + o.name + "] internal error: " + o.status.message();
+      return report;
+    }
+  }
+
+  if (!baseline.status.ok()) {
+    // User-level rejection: fine, but every oracle must reject it too.
+    for (const OracleOutcome& o : report.outcomes) {
+      if (o.status.ok()) {
+        report.ok = false;
+        report.failure = "status mismatch: baseline rejected (" +
+                         baseline.status.ToString() + ") but [" + o.name +
+                         "] succeeded";
+        return report;
+      }
+    }
+    return report;
+  }
+
+  std::vector<std::vector<Value>> expected = TableRows(*baseline.table);
+  for (size_t i = 1; i < report.outcomes.size(); ++i) {
+    const OracleOutcome& o = report.outcomes[i];
+    if (!o.status.ok()) {
+      report.ok = false;
+      report.failure = "status mismatch: baseline succeeded but [" + o.name +
+                       "] failed: " + o.status.ToString();
+      return report;
+    }
+    const std::vector<std::vector<Value>>& actual =
+        (have_reference && o.name == "reference") ? reference_rows
+                                                  : TableRows(*o.table);
+    std::string diff = DiffRowSets(expected, actual, opts.eps);
+    if (!diff.empty()) {
+      report.ok = false;
+      report.failure = "[baseline] vs [" + o.name + "]: " + diff;
+      return report;
+    }
+  }
+  return report;
+}
+
+}  // namespace fuzz
+}  // namespace dbspinner

@@ -1,0 +1,74 @@
+// Differential executor: runs one fuzz case under a matrix of oracles and
+// diffs the results.
+//
+// Oracles (every one must agree with the baseline):
+//   - per-rule:    all optimizations on vs. each OptimizerToggles rule
+//                  individually disabled vs. all rules off;
+//   - parallelism: MPP thread pool with 2 and 8 workers (task threshold
+//                  forced to 1 row so small inputs really partition) vs.
+//                  the serial baseline;
+//   - lowering:    the iterative-CTE plan vs. the statement-at-a-time
+//                  Procedure rendering of the same spec (Fig 11 baseline);
+//   - ground truth: canonical workload queries vs. the C++ reference
+//                  implementations in graph/reference_algorithms.
+//
+// Status classification: a query may legitimately fail (user-level rejection
+// such as BindError), but then every oracle must reject it too, and no oracle
+// may ever return StatusCode::kInternal — an Internal status is an engine
+// bug by definition and fails the case on its own.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "testing/query_generator.h"
+
+namespace dbspinner {
+namespace fuzz {
+
+/// Result of one oracle run.
+struct OracleOutcome {
+  std::string name;
+  Status status;   ///< ok() implies `table` is the query result
+  TablePtr table;
+};
+
+struct DifferentialOptions {
+  /// Fault injection: sets EngineOptions::dev_break_rename_for_testing on
+  /// every rename-enabled oracle. Used to prove the harness catches bugs.
+  bool break_rename = false;
+
+  /// Small guard so a non-converging generated loop fails fast (and
+  /// consistently across oracles) instead of spinning.
+  int64_t max_iterations_guard = 4000;
+
+  /// Absolute tolerance for DOUBLE cells (MPP aggregation reorders sums).
+  double eps = 1e-6;
+};
+
+/// Outcome of the whole oracle matrix for one case.
+struct DiffReport {
+  bool ok = true;
+  std::string sql;      ///< rendered query under test
+  std::string failure;  ///< first mismatch, human-readable; empty when ok
+  std::vector<OracleOutcome> outcomes;
+
+  /// Multi-line description (case label, SQL, per-oracle status).
+  std::string Describe(const FuzzCase& c) const;
+};
+
+/// Runs `c` under the full oracle matrix.
+DiffReport RunDifferential(const FuzzCase& c,
+                           const DifferentialOptions& opts = {});
+
+/// Compares two row multisets with numeric tolerance. Returns "" when
+/// equivalent, else a description of the first difference.
+std::string DiffRowSets(const std::vector<std::vector<Value>>& a,
+                        const std::vector<std::vector<Value>>& b, double eps);
+
+/// All rows of `t` as Values (helper shared with tests).
+std::vector<std::vector<Value>> TableRows(const Table& t);
+
+}  // namespace fuzz
+}  // namespace dbspinner

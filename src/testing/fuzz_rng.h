@@ -1,0 +1,56 @@
+// Deterministic RNG for the SQL fuzzer.
+//
+// std::mt19937 + distributions are not guaranteed bit-identical across
+// standard libraries, and the whole point of `fuzz_sql --seed N` is that a
+// seed reproduces the same case list on every machine. splitmix64 is tiny,
+// well mixed, and fully specified.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dbspinner {
+namespace fuzz {
+
+class FuzzRng {
+ public:
+  explicit FuzzRng(uint64_t seed) : state_(seed) {}
+
+  /// Next 64 uniformly distributed bits (splitmix64).
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int64_t Range(int64_t lo, int64_t hi) {
+    uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int64_t>(Next() % span);
+  }
+
+  /// True with probability `percent`/100.
+  bool Chance(int percent) { return Range(0, 99) < percent; }
+
+  /// Uniform double in [0, 1).
+  double Uniform() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  template <typename T>
+  const T& Pick(const std::vector<T>& options) {
+    return options[static_cast<size_t>(Range(
+        0, static_cast<int64_t>(options.size()) - 1))];
+  }
+
+  /// Derives an independent stream (for per-case sub-seeds).
+  uint64_t Fork() { return Next() | 1; }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace fuzz
+}  // namespace dbspinner

@@ -1,0 +1,34 @@
+// Test-case minimizer: greedily shrinks a failing (query spec, graph spec,
+// options) triple while the differential still fails, then renders the result
+// as a ready-to-paste gtest regression test.
+//
+// Because a FuzzCase is a structured spec (not a SQL string), shrinking is
+// plain field surgery — turn a clause knob off, halve a count — and the
+// renderer re-produces syntactically valid SQL at every step. Each candidate
+// is accepted iff RunDifferential still reports a failure.
+
+#pragma once
+
+#include <string>
+
+#include "testing/differential.h"
+
+namespace dbspinner {
+namespace fuzz {
+
+struct MinimizeResult {
+  FuzzCase minimized;
+  DiffReport report;    ///< failing differential report of `minimized`
+  int candidates_tried = 0;
+  int shrinks_applied = 0;
+};
+
+/// Shrinks `failing` (which must fail RunDifferential under `opts`).
+MinimizeResult Minimize(const FuzzCase& failing,
+                        const DifferentialOptions& opts = {});
+
+/// A compilable gtest TEST() reproducing the failure of `c`.
+std::string EmitGtestRepro(const FuzzCase& c, const DiffReport& report);
+
+}  // namespace fuzz
+}  // namespace dbspinner

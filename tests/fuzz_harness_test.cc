@@ -1,0 +1,155 @@
+// Unit tests for the differential fuzzing harness itself: generator
+// determinism, the oracle matrix catching an injected engine fault, the
+// minimizer shrinking a failing case, row-set diffing, and the
+// OptimizerToggles registry the whole matrix is built from.
+
+#include <gtest/gtest.h>
+
+#include "engine/options.h"
+#include "testing/differential.h"
+#include "testing/minimizer.h"
+#include "testing/query_generator.h"
+
+namespace dbspinner {
+namespace {
+
+// A hand-built rename-path case: pass-through chain body with a counted
+// UNTIL, small deterministic grid. Small enough to differential-run in
+// milliseconds, big enough that dropping a row is visible.
+fuzz::FuzzCase RenamePathCase() {
+  fuzz::FuzzCase c;
+  c.case_seed = 999;
+  c.graph.kind = graph::GraphKind::kGrid;
+  c.graph.num_nodes = 16;
+  c.graph.num_edges = 0;  // grid ignores the edge count
+  c.query.family = fuzz::QueryFamily::kIterativeChain;
+  c.query.expr_seed = 1;
+  c.query.iterations = 2;
+  c.query.until = fuzz::UntilKind::kIterations;
+  return c;
+}
+
+TEST(QueryGeneratorTest, SameSeedSameStream) {
+  fuzz::QueryGenerator a(42);
+  fuzz::QueryGenerator b(42);
+  for (int i = 0; i < 25; ++i) {
+    fuzz::FuzzCase ca = a.NextCase();
+    fuzz::FuzzCase cb = b.NextCase();
+    EXPECT_EQ(ca.Label(), cb.Label()) << "case " << i;
+    EXPECT_EQ(fuzz::RenderQuery(ca.query), fuzz::RenderQuery(cb.query))
+        << "case " << i;
+  }
+}
+
+TEST(QueryGeneratorTest, DifferentSeedsDiverge) {
+  fuzz::QueryGenerator a(1);
+  fuzz::QueryGenerator b(2);
+  bool diverged = false;
+  for (int i = 0; i < 10 && !diverged; ++i) {
+    diverged = fuzz::RenderQuery(a.NextCase().query) !=
+               fuzz::RenderQuery(b.NextCase().query);
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(QueryGeneratorTest, RenderedSqlParsesAndRuns) {
+  // Every generated case must at least not crash the engine; run a short
+  // prefix of the stream through the baseline database only (the full
+  // matrix is the fuzz_sql smoke test's job).
+  fuzz::QueryGenerator gen(7);
+  for (int i = 0; i < 5; ++i) {
+    fuzz::FuzzCase c = gen.NextCase();
+    Database db;
+    ASSERT_TRUE(fuzz::LoadCaseData(&db, c).ok()) << c.Label();
+    auto result = db.Query(fuzz::RenderQuery(c.query));
+    if (!result.ok()) {
+      EXPECT_NE(result.status().code(), StatusCode::kInternal)
+          << c.Label() << "\n" << result.status().ToString();
+    }
+  }
+}
+
+TEST(DifferentialTest, CleanEngineAgreesOnRenamePathCase) {
+  fuzz::DiffReport report = fuzz::RunDifferential(RenamePathCase());
+  EXPECT_TRUE(report.ok) << report.Describe(RenamePathCase());
+  // Rename-path + counted UNTIL means the procedure oracle participated.
+  bool saw_procedure = false;
+  for (const auto& o : report.outcomes) {
+    if (o.name == "procedure") saw_procedure = true;
+  }
+  EXPECT_TRUE(saw_procedure);
+}
+
+TEST(DifferentialTest, InjectedRenameFaultIsCaught) {
+  fuzz::DifferentialOptions opts;
+  opts.break_rename = true;
+  fuzz::DiffReport report = fuzz::RunDifferential(RenamePathCase(), opts);
+  EXPECT_FALSE(report.ok);
+  EXPECT_FALSE(report.failure.empty());
+}
+
+TEST(MinimizerTest, ShrinksInjectedFaultAndEmitsRepro) {
+  fuzz::DifferentialOptions opts;
+  opts.break_rename = true;
+  fuzz::FuzzCase big = RenamePathCase();
+  big.graph.num_nodes = 64;  // give the minimizer something to shrink
+  fuzz::MinimizeResult min = fuzz::Minimize(big, opts);
+  EXPECT_FALSE(min.report.ok);  // still failing after shrinking
+  EXPECT_LE(min.minimized.graph.num_nodes, big.graph.num_nodes);
+  EXPECT_GT(min.candidates_tried, 0);
+
+  std::string repro = fuzz::EmitGtestRepro(min.minimized, min.report);
+  EXPECT_NE(repro.find("TEST(FuzzRegression"), std::string::npos) << repro;
+  EXPECT_NE(repro.find("RunDifferential"), std::string::npos) << repro;
+}
+
+TEST(DiffRowSetsTest, OrderInsensitiveMultisetCompare) {
+  std::vector<std::vector<Value>> a = {{Value::Int64(1), Value::Double(2.0)},
+                                       {Value::Int64(3), Value::Double(4.0)}};
+  std::vector<std::vector<Value>> b = {{Value::Int64(3), Value::Double(4.0)},
+                                       {Value::Int64(1), Value::Double(2.0)}};
+  EXPECT_EQ(fuzz::DiffRowSets(a, b, 1e-6), "");
+}
+
+TEST(DiffRowSetsTest, EpsToleratesFloatNoiseButNotRealDrift) {
+  std::vector<std::vector<Value>> a = {{Value::Double(1.0)}};
+  std::vector<std::vector<Value>> near = {{Value::Double(1.0 + 1e-9)}};
+  std::vector<std::vector<Value>> far = {{Value::Double(1.5)}};
+  EXPECT_EQ(fuzz::DiffRowSets(a, near, 1e-6), "");
+  EXPECT_NE(fuzz::DiffRowSets(a, far, 1e-6), "");
+}
+
+TEST(DiffRowSetsTest, ReportsCardinalityAndNullMismatches) {
+  std::vector<std::vector<Value>> two = {{Value::Int64(1)}, {Value::Int64(2)}};
+  std::vector<std::vector<Value>> one = {{Value::Int64(1)}};
+  std::vector<std::vector<Value>> null_row = {{Value::Null()},
+                                              {Value::Int64(2)}};
+  EXPECT_NE(fuzz::DiffRowSets(two, one, 1e-6), "");
+  EXPECT_NE(fuzz::DiffRowSets(two, null_row, 1e-6), "");
+}
+
+TEST(OptimizerTogglesTest, RegistryCoversEveryRule) {
+  const auto& all = OptimizerToggles::All();
+  EXPECT_EQ(all.size(), 6u);
+
+  // Every toggle flips exactly the field it names.
+  for (const auto& t : all) {
+    OptimizerOptions opts = OptimizerToggles::AllSetTo(true);
+    ASSERT_TRUE(OptimizerToggles::Set(&opts, t.name, false));
+    EXPECT_FALSE(opts.*(t.member)) << t.name;
+    // All other toggles stayed on.
+    for (const auto& other : all) {
+      if (other.name != std::string(t.name)) {
+        EXPECT_TRUE(opts.*(other.member)) << other.name;
+      }
+    }
+  }
+}
+
+TEST(OptimizerTogglesTest, UnknownNameIsRejected) {
+  OptimizerOptions opts;
+  EXPECT_FALSE(OptimizerToggles::Set(&opts, "no-such-rule", false));
+}
+
+}  // namespace
+}  // namespace dbspinner

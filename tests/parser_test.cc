@@ -252,9 +252,17 @@ TEST(ParserTest, IterativeWithoutIterateFails) {
   ExpectParseError("WITH ITERATIVE r AS (SELECT 1) SELECT * FROM r");
 }
 
-TEST(ParserTest, NonPositiveIterationCountFails) {
-  ExpectParseError(
+TEST(ParserTest, ZeroIterationCountParses) {
+  // UNTIL 0 ITERATIONS is legal: the loop body never runs and the CTE is
+  // just its non-iterative part.
+  MustParse(
       "WITH ITERATIVE r AS (SELECT 1 ITERATE SELECT 1 UNTIL 0 ITERATIONS) "
+      "SELECT * FROM r");
+}
+
+TEST(ParserTest, NegativeIterationCountFails) {
+  ExpectParseError(
+      "WITH ITERATIVE r AS (SELECT 1 ITERATE SELECT 1 UNTIL -3 ITERATIONS) "
       "SELECT * FROM r");
 }
 

@@ -188,9 +188,17 @@ TEST(ResultRegistryTest, RenameMovesPointerWithoutCopy) {
   EXPECT_EQ(got->get(), working.get());
 }
 
-TEST(ResultRegistryTest, RenameMissingSourceFails) {
+TEST(ResultRegistryTest, RenameMissingSourceIsInternalError) {
+  // A rename whose source is not bound can only come from a malformed
+  // program (the rewriter emits matching Materialize/Rename pairs), so it
+  // must surface as kInternal — the code the differential fuzzer treats as
+  // "engine bug", distinct from the kNotFound of a plain Get on a bad name.
   ResultRegistry reg;
-  EXPECT_FALSE(reg.Rename("nope", "x").ok());
+  Status s = reg.Rename("nope", "x");
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+  EXPECT_NE(s.message().find("nope"), std::string::npos);
+  EXPECT_FALSE(reg.Exists("x"));
 }
 
 TEST(ResultRegistryTest, Clear) {
