@@ -13,6 +13,8 @@ const std::vector<OptimizerToggles::Toggle>& OptimizerToggles::All() {
        &OptimizerOptions::enable_cte_predicate_pushdown},
       {"common_result", &OptimizerOptions::enable_common_result},
       {"rename", &OptimizerOptions::enable_rename_optimization},
+      {"delta_iteration", &OptimizerOptions::enable_delta_iteration},
+      {"join_build_cache", &OptimizerOptions::enable_join_build_cache},
   };
   return kToggles;
 }
@@ -39,13 +41,16 @@ OptimizerOptions OptimizerToggles::AllSetTo(bool value) {
 std::string EngineOptions::ToString() const {
   return StringPrintf(
       "EngineOptions{workers=%d, fold=%d, join_simplify=%d, pushdown=%d, "
-      "cte_pushdown=%d, common_result=%d, rename=%d}",
+      "cte_pushdown=%d, common_result=%d, rename=%d, delta=%d, "
+      "build_cache=%d}",
       num_workers, optimizer.enable_constant_folding ? 1 : 0,
       optimizer.enable_join_simplification ? 1 : 0,
       optimizer.enable_predicate_pushdown ? 1 : 0,
       optimizer.enable_cte_predicate_pushdown ? 1 : 0,
       optimizer.enable_common_result ? 1 : 0,
-      optimizer.enable_rename_optimization ? 1 : 0);
+      optimizer.enable_rename_optimization ? 1 : 0,
+      optimizer.enable_delta_iteration ? 1 : 0,
+      optimizer.enable_join_build_cache ? 1 : 0);
 }
 
 }  // namespace dbspinner

@@ -35,6 +35,17 @@ struct OptimizerOptions {
   /// disabled, fall back to the copy-back-with-update-identification
   /// baseline (§VII-B, Fig 8).
   bool enable_rename_optimization = true;
+
+  /// Delta-driven (semi-naive) iteration: when the loop body has a
+  /// merge-update shape (a key-preserving self-reference joined against
+  /// loop-invariant inputs), recompute only the keys affected by the rows
+  /// that changed in the previous iteration instead of the whole CTE.
+  bool enable_delta_iteration = true;
+
+  /// Reuse a hash join's build side across loop iterations while the build
+  /// input is the identical table version (pointer identity, sound under
+  /// the engine's copy-on-write result discipline).
+  bool enable_join_build_cache = true;
 };
 
 /// Programmatic access to every per-rule optimizer toggle. The differential

@@ -1,0 +1,52 @@
+// DeltaRestrict: the semi-naive frontier filter.
+//
+// Restricts its child to the rows whose key appears (or does not appear) in
+// the affected-key set materialized by the delta-iteration rewrite. This is
+// what makes each loop-body iteration proportional to the previous
+// iteration's changes instead of the full CTE.
+
+#include <unordered_map>
+
+#include "exec/physical_plan.h"
+#include "mpp/partition.h"
+
+namespace dbspinner {
+
+Result<TablePtr> PhysicalDeltaRestrict::Execute(ExecContext& ctx) const {
+  DBSP_ASSIGN_OR_RETURN(TablePtr input, children_[0]->Execute(ctx));
+  DBSP_ASSIGN_OR_RETURN(TablePtr keys, ctx.registry->Get(delta_source_));
+  if (keys->num_columns() == 0) {
+    return Status::Internal("DeltaRestrict key set '" + delta_source_ +
+                            "' has no columns");
+  }
+
+  const ColumnVector& set_keys = keys->column(0);
+  std::unordered_multimap<size_t, uint32_t> set_index;
+  set_index.reserve(keys->num_rows());
+  for (size_t i = 0; i < keys->num_rows(); ++i) {
+    set_index.emplace(set_keys.HashAt(i), static_cast<uint32_t>(i));
+  }
+
+  const ColumnVector& in_keys = input->column(key_col_);
+  std::vector<uint32_t> sel;
+  sel.reserve(input->num_rows());
+  for (size_t i = 0; i < input->num_rows(); ++i) {
+    bool in_set = false;
+    auto range = set_index.equal_range(in_keys.HashAt(i));
+    for (auto it = range.first; it != range.second; ++it) {
+      if (in_keys.EqualsAt(i, set_keys, it->second)) {
+        in_set = true;
+        break;
+      }
+    }
+    if (in_set == keep_matching_) sel.push_back(static_cast<uint32_t>(i));
+  }
+
+  if (keep_matching_) {
+    ctx.stats.delta_probe_rows += static_cast<int64_t>(sel.size());
+  }
+  if (sel.size() == input->num_rows()) return input;
+  return input->Gather(sel);
+}
+
+}  // namespace dbspinner

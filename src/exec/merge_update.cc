@@ -84,7 +84,10 @@ int64_t CountChangedRows(const Table& prev, const Table& current,
   }
   const ColumnVector& cur_keys = current.column(key_col);
   int64_t changed = 0;
-  size_t matched = 0;
+  // Duplicate keys in `current` can match the same prev row several times,
+  // so count distinct matched prev rows (a per-row counter could exceed
+  // prev.num_rows() and make the disappeared-keys subtraction wrap).
+  std::vector<char> prev_matched(prev.num_rows(), 0);
   for (size_t i = 0; i < current.num_rows(); ++i) {
     size_t h = cur_keys.HashAt(i);
     uint32_t match = 0xffffffffu;
@@ -98,13 +101,86 @@ int64_t CountChangedRows(const Table& prev, const Table& current,
     if (match == 0xffffffffu) {
       ++changed;  // new key
     } else {
-      ++matched;
+      prev_matched[match] = 1;
       if (!RowsEqual(prev, match, current, i)) ++changed;
     }
   }
   // Keys that disappeared.
-  changed += static_cast<int64_t>(prev.num_rows() - matched);
+  for (size_t i = 0; i < prev.num_rows(); ++i) {
+    if (!prev_matched[i]) ++changed;
+  }
   return changed;
+}
+
+TablePtr BuildChangedRowsTable(const Table& prev, const Table& current,
+                               size_t key_col) {
+  auto delta = Table::Make(current.schema());
+  const ColumnVector& prev_keys = prev.column(key_col);
+  const ColumnVector& cur_keys = current.column(key_col);
+
+  std::unordered_multimap<size_t, uint32_t> prev_idx, cur_idx;
+  prev_idx.reserve(prev.num_rows());
+  for (size_t i = 0; i < prev.num_rows(); ++i) {
+    prev_idx.emplace(prev_keys.HashAt(i), static_cast<uint32_t>(i));
+  }
+  cur_idx.reserve(current.num_rows());
+  for (size_t i = 0; i < current.num_rows(); ++i) {
+    cur_idx.emplace(cur_keys.HashAt(i), static_cast<uint32_t>(i));
+  }
+
+  std::vector<char> prev_visited(prev.num_rows(), 0);
+  std::vector<char> cur_visited(current.num_rows(), 0);
+  std::vector<uint32_t> prev_rows, cur_rows;
+  std::vector<char> used;
+  for (size_t i = 0; i < current.num_rows(); ++i) {
+    if (cur_visited[i]) continue;
+    size_t h = cur_keys.HashAt(i);
+    // Gather every row of this key from both versions.
+    prev_rows.clear();
+    cur_rows.clear();
+    auto crange = cur_idx.equal_range(h);
+    for (auto it = crange.first; it != crange.second; ++it) {
+      if (cur_keys.EqualsAt(i, cur_keys, it->second)) {
+        cur_visited[it->second] = 1;
+        cur_rows.push_back(it->second);
+      }
+    }
+    auto prange = prev_idx.equal_range(h);
+    for (auto it = prange.first; it != prange.second; ++it) {
+      if (cur_keys.EqualsAt(i, prev_keys, it->second)) {
+        prev_visited[it->second] = 1;
+        prev_rows.push_back(it->second);
+      }
+    }
+    // Multiset comparison (duplicate keys are rare; per-key sets are tiny).
+    bool same = prev_rows.size() == cur_rows.size();
+    if (same) {
+      used.assign(prev_rows.size(), 0);
+      for (uint32_t cr : cur_rows) {
+        bool found = false;
+        for (size_t p = 0; p < prev_rows.size(); ++p) {
+          if (!used[p] && RowsEqual(prev, prev_rows[p], current, cr)) {
+            used[p] = 1;
+            found = true;
+            break;
+          }
+        }
+        if (!found) {
+          same = false;
+          break;
+        }
+      }
+    }
+    if (!same) {
+      for (uint32_t pr : prev_rows) delta->AppendRowFrom(prev, pr);
+      for (uint32_t cr : cur_rows) delta->AppendRowFrom(current, cr);
+    }
+  }
+  // Keys that disappeared entirely.
+  for (size_t i = 0; i < prev.num_rows(); ++i) {
+    if (!prev_visited[i]) delta->AppendRowFrom(prev, i);
+  }
+  return delta;
 }
 
 }  // namespace dbspinner

@@ -34,4 +34,13 @@ Result<MergeResult> MergeUpdateTables(const Table& cte, const Table& working,
 int64_t CountChangedRows(const Table& prev, const Table& current,
                          size_t key_col);
 
+/// Builds the delta between two versions of a table keyed by `key_col`: all
+/// rows (from BOTH versions) of every key whose row multiset changed —
+/// including keys that appeared or disappeared. Old versions are included
+/// because a filter in the loop body may accept the old row but not the new
+/// one (or vice versa); dependency detection must see both. Used by the
+/// semi-naive ComputeDelta step.
+TablePtr BuildChangedRowsTable(const Table& prev, const Table& current,
+                               size_t key_col);
+
 }  // namespace dbspinner

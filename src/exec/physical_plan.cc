@@ -7,12 +7,16 @@ namespace dbspinner {
 std::string ExecStats::ToString() const {
   return StringPrintf(
       "ExecStats{steps=%lld, iterations=%lld, rows_materialized=%lld, "
-      "rows_shuffled=%lld, renames=%lld, merge_updates=%lld}",
+      "rows_shuffled=%lld, renames=%lld, merge_updates=%lld, "
+      "delta_rows=%lld, delta_probe_rows=%lld, build_cache_hits=%lld}",
       static_cast<long long>(steps_executed),
       static_cast<long long>(loop_iterations),
       static_cast<long long>(rows_materialized),
       static_cast<long long>(rows_shuffled), static_cast<long long>(renames),
-      static_cast<long long>(merge_updates));
+      static_cast<long long>(merge_updates),
+      static_cast<long long>(delta_rows),
+      static_cast<long long>(delta_probe_rows),
+      static_cast<long long>(build_cache_hits));
 }
 
 std::string PhysicalOp::ToString(int indent) const {

@@ -10,6 +10,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
@@ -32,6 +33,12 @@ struct ExecStats {
   int64_t rows_shuffled = 0;   ///< rows moved through Exchange (MPP)
   int64_t renames = 0;
   int64_t merge_updates = 0;   ///< updated rows identified by MergeUpdate
+  int64_t delta_rows = 0;      ///< rows emitted by ComputeDelta (old + new
+                               ///< versions of changed rows, all iterations)
+  int64_t delta_probe_rows = 0;  ///< driving rows kept by DeltaRestrict
+                                 ///< (the semi-naive recompute frontier)
+  int64_t build_cache_hits = 0;  ///< hash-join build sides reused across
+                                 ///< iterations
 
   std::string ToString() const;
 };
@@ -50,8 +57,13 @@ struct LoopState {
   int64_t iteration = 0;
   int64_t last_update_count = 0;
   int64_t cumulative_updates = 0;
-  TablePtr previous;  ///< previous CTE version for Delta conditions
+  TablePtr previous;        ///< previous CTE version for Delta conditions
+  TablePtr delta_snapshot;  ///< CTE version diffed by the last ComputeDelta
+                            ///< step (semi-naive iteration); null before the
+                            ///< first body execution
 };
+
+class PhysicalOp;
 
 /// Everything an executing plan needs. One per statement execution.
 struct ExecContext {
@@ -67,6 +79,19 @@ struct ExecContext {
   bool profiling = false;
   std::map<int, StepProfile> profile;  ///< step id -> accumulated profile
 
+  /// Hash-join build sides cached across loop iterations, keyed by operator
+  /// identity. A cached entry is valid only while the operator's build input
+  /// is the *identical* table version (TablePtr pointer equality) — sound
+  /// because every result/catalog mutation in the engine is copy-on-write,
+  /// so a reused pointer implies unchanged contents.
+  struct JoinBuildState {
+    TablePtr table;  ///< the build input version the entry was built from
+    std::shared_ptr<const std::unordered_multimap<size_t, uint32_t>> map;
+    std::shared_ptr<const std::vector<TablePtr>> partitions;  ///< MPP path
+    size_t num_partitions = 0;
+  };
+  std::map<const PhysicalOp*, JoinBuildState> join_builds;
+
   /// True if `rows` is large enough (and workers available) for the
   /// partitioned/parallel operator paths.
   bool UseParallel(size_t rows) const {
@@ -78,7 +103,6 @@ struct ExecContext {
   }
 };
 
-class PhysicalOp;
 using PhysicalOpPtr = std::unique_ptr<PhysicalOp>;
 
 /// Base physical operator. Execute() is const and reusable: all mutable
@@ -181,8 +205,11 @@ class PhysicalHashJoin final : public PhysicalOp {
   std::string Describe() const override;
 
  private:
-  Result<TablePtr> JoinPartition(ExecContext& ctx, const Table& left,
-                                 const Table& right) const;
+  /// Joins one co-partitioned pair. `prebuilt` (optional) is a cached build
+  /// hash over `right`; when null the build side is hashed locally.
+  Result<TablePtr> JoinPartition(
+      ExecContext& ctx, const Table& left, const Table& right,
+      const std::unordered_multimap<size_t, uint32_t>* prebuilt) const;
 
   JoinType type_;
   std::vector<size_t> left_keys_;
@@ -270,6 +297,31 @@ class PhysicalSort final : public PhysicalOp {
 
  private:
   std::vector<Key> keys_;
+};
+
+/// Semi-join filter against the key set in column 0 of a named intermediate
+/// result: keeps child rows whose key column value appears (keep_matching)
+/// or does not appear (!keep_matching) in the set. Used by delta-driven
+/// iteration to restrict the loop body to the affected keys.
+class PhysicalDeltaRestrict final : public PhysicalOp {
+ public:
+  PhysicalDeltaRestrict(Schema schema, std::string delta_source,
+                        size_t key_col, bool keep_matching)
+      : PhysicalOp(std::move(schema)),
+        delta_source_(std::move(delta_source)),
+        key_col_(key_col),
+        keep_matching_(keep_matching) {}
+  Result<TablePtr> Execute(ExecContext& ctx) const override;
+  const char* Name() const override { return "DeltaRestrict"; }
+  std::string Describe() const override {
+    return "key:" + std::to_string(key_col_) +
+           (keep_matching_ ? " IN " : " NOT IN ") + "result:" + delta_source_;
+  }
+
+ private:
+  std::string delta_source_;
+  size_t key_col_;
+  bool keep_matching_;
 };
 
 /// LIMIT n [OFFSET m]. limit < 0 means unlimited (offset only).

@@ -128,6 +128,11 @@ Result<PhysicalOpPtr> CreatePhysicalPlan(const LogicalOp& logical) {
       op = std::make_unique<PhysicalLimit>(logical.output_schema,
                                            logical.limit, logical.offset);
       break;
+    case LogicalOpKind::kDeltaRestrict:
+      op = std::make_unique<PhysicalDeltaRestrict>(
+          logical.output_schema, logical.delta_source, logical.delta_key_col,
+          logical.delta_keep_matching);
+      break;
   }
   if (!op) return Status::Internal("unhandled logical operator");
   for (auto& c : children) op->AddChild(std::move(c));

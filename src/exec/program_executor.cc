@@ -162,7 +162,12 @@ Result<TablePtr> RunProgram(const Program& program, ExecContext* ctx) {
       case Step::Kind::kAppendResult: {
         DBSP_ASSIGN_OR_RETURN(TablePtr target, ctx->registry->Get(step.target));
         DBSP_ASSIGN_OR_RETURN(TablePtr source, ctx->registry->Get(step.source));
-        target->AppendAll(*source);
+        // Copy-on-write: the registry pointer may be aliased (a Delta
+        // snapshot, another name after a rename, a broadcast replica), so
+        // appending in place would silently mutate every alias.
+        TablePtr appended = target->Clone();
+        appended->AppendAll(*source);
+        ctx->registry->Put(step.target, std::move(appended));
         break;
       }
       case Step::Kind::kDedupeResult: {
@@ -265,6 +270,28 @@ Result<TablePtr> RunProgram(const Program& program, ExecContext* ctx) {
           pc = static_cast<size_t>(target);
           continue;
         }
+        break;
+      }
+      case Step::Kind::kComputeDelta: {
+        DBSP_ASSIGN_OR_RETURN(TablePtr cur, ctx->registry->Get(step.source));
+        LoopState& state = ctx->loops[step.loop_id];
+        TablePtr delta;
+        if (!state.delta_snapshot) {
+          // First body execution: everything is new, so the whole CTE is the
+          // delta (the first semi-naive iteration is always full).
+          delta = cur;
+        } else if (state.delta_snapshot == cur) {
+          // Identical table version: nothing can have changed (copy-on-write
+          // makes pointer equality imply content equality).
+          delta = Table::Make(cur->schema());
+        } else {
+          delta = BuildChangedRowsTable(*state.delta_snapshot, *cur,
+                                        step.key_col);
+        }
+        state.delta_snapshot = cur;
+        profile_rows = static_cast<int64_t>(delta->num_rows());
+        ctx->stats.delta_rows += static_cast<int64_t>(delta->num_rows());
+        ctx->registry->Put(step.target, std::move(delta));
         break;
       }
       case Step::Kind::kFinal: {

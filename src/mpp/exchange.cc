@@ -39,6 +39,7 @@ DistributedTable Exchange::Shuffle(const DistributedTable& input,
                                    const std::vector<size_t>& key_cols,
                                    ThreadPool* pool, int64_t* rows_shuffled) {
   size_t nodes = input.num_nodes();
+  if (nodes == 0) return DistributedTable::FromPartitions({}, key_cols);
   // Each node splits its local partition by the new key ("send buffers").
   std::vector<std::vector<TablePtr>> buffers(nodes);
   auto split_one = [&](size_t node) {
@@ -68,7 +69,12 @@ DistributedTable Exchange::Shuffle(const DistributedTable& input,
 std::vector<TablePtr> Exchange::Broadcast(const TablePtr& table,
                                           size_t num_nodes,
                                           int64_t* rows_shuffled) {
-  std::vector<TablePtr> out(num_nodes, table);
+  // Every node gets a private replica. Handing out the same TablePtr would
+  // let an in-place mutation on one node silently corrupt all the others
+  // (and the sender's copy).
+  std::vector<TablePtr> out;
+  out.reserve(num_nodes);
+  for (size_t i = 0; i < num_nodes; ++i) out.push_back(table->Clone());
   if (rows_shuffled != nullptr && num_nodes > 1) {
     *rows_shuffled +=
         static_cast<int64_t>(table->num_rows() * (num_nodes - 1));

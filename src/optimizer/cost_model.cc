@@ -115,6 +115,10 @@ double CostModel::EstimateCardinality(const LogicalOp& plan) const {
       if (plan.limit < 0) return after_offset;
       return std::min(after_offset, static_cast<double>(plan.limit));
     }
+    case LogicalOpKind::kDeltaRestrict:
+      // The whole point of the restriction: a converging loop's frontier is
+      // a small fraction of the CTE.
+      return EstimateCardinality(*plan.children[0]) * 0.2;
   }
   return 1.0;
 }
@@ -194,6 +198,7 @@ double CostModel::EstimateProgramCost(const Program& program) const {
       case Step::Kind::kCopyResult:
       case Step::Kind::kAppendResult:
       case Step::Kind::kDedupeResult:
+      case Step::Kind::kComputeDelta:
         step_cost = result_rows.count(s.source) ? result_rows[s.source] : 1000;
         break;
       case Step::Kind::kRename:

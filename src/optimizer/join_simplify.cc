@@ -74,6 +74,7 @@ void Simplify(LogicalOp* op, std::vector<size_t> nr) {
     case LogicalOpKind::kDistinct:
     case LogicalOpKind::kSort:
     case LogicalOpKind::kLimit:
+    case LogicalOpKind::kDeltaRestrict:
       Simplify(op->children[0].get(), std::move(nr));
       return;
     case LogicalOpKind::kAggregate:

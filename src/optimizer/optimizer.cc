@@ -1,8 +1,29 @@
 #include "optimizer/optimizer.h"
 
 #include "optimizer/cost_model.h"
+#include "rewrite/iterative_rewrite.h"
 
 namespace dbspinner {
+
+namespace {
+
+// Loops predicted to run at most once cannot amortize the per-iteration
+// delta/affected bookkeeping (same gate as the common-result rewrite).
+bool LoopWorthRewriting(const Program& program, const IterativeCteInfo& info,
+                        const CostModel& cost) {
+  int init_idx = program.FindStep(info.init_step_id);
+  if (init_idx < 0) return false;
+  const Step& init = program.steps[static_cast<size_t>(init_idx)];
+  int r0_idx = program.FindStep(info.r0_step_id);
+  double cte_rows =
+      r0_idx >= 0 && program.steps[static_cast<size_t>(r0_idx)].plan
+          ? cost.EstimateCardinality(
+                *program.steps[static_cast<size_t>(r0_idx)].plan)
+          : 0.0;
+  return cost.EstimateIterations(init.loop, cte_rows) > 1.0;
+}
+
+}  // namespace
 
 Status Optimizer::OptimizePlan(LogicalOpPtr* plan) {
   if (options_.enable_constant_folding) {
@@ -40,19 +61,18 @@ Status Optimizer::OptimizeProgram(Program* program) {
     CostModel cost(catalog_);
     int counter = 0;
     for (const IterativeCteInfo& info : program->iterative_ctes) {
-      int init_idx = program->FindStep(info.init_step_id);
-      if (init_idx >= 0) {
-        const Step& init = program->steps[static_cast<size_t>(init_idx)];
-        int r0_idx = program->FindStep(info.r0_step_id);
-        double cte_rows =
-            r0_idx >= 0 && program->steps[static_cast<size_t>(r0_idx)].plan
-                ? cost.EstimateCardinality(
-                      *program->steps[static_cast<size_t>(r0_idx)].plan)
-                : 0.0;
-        if (cost.EstimateIterations(init.loop, cte_rows) <= 1.0) continue;
-      }
+      if (!LoopWorthRewriting(*program, info, cost)) continue;
       DBSP_RETURN_NOT_OK(
           ApplyCommonResultRewrite(program, info, &counter, this));
+    }
+  }
+  // 4. Delta-driven (semi-naive) iteration, after common results so hoisted
+  //    __common#k scans count as loop-invariant inputs of the region.
+  if (options_.enable_delta_iteration) {
+    CostModel cost(catalog_);
+    for (const IterativeCteInfo& info : program->iterative_ctes) {
+      if (!LoopWorthRewriting(*program, info, cost)) continue;
+      DBSP_RETURN_NOT_OK(ApplyDeltaIterationRewrite(program, info, this));
     }
   }
   return Status::OK();

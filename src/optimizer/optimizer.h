@@ -67,4 +67,16 @@ Status ApplyCtePredicatePushdown(Program* program,
 Status ApplyCommonResultRewrite(Program* program, const IterativeCteInfo& info,
                                 int* common_counter, Optimizer* optimizer);
 
+/// Delta-driven (semi-naive) iteration, part 1: legality analysis and plan
+/// surgery (delta_analysis.cc). When the Ri plan of `info` has the supported
+/// merge-update shape, restricts its driving self-scan to the keys bound as
+/// result `affected_name`, adds the carry union on the rename path, and
+/// fills `*affected_plan_out` with the plan computing the affected key set
+/// from the per-iteration delta `delta_name`. Returns false (and leaves the
+/// program untouched) when the shape is not supported.
+bool TryPlanDeltaIteration(Program* program, const IterativeCteInfo& info,
+                           const std::string& delta_name,
+                           const std::string& affected_name, bool rename_path,
+                           LogicalOpPtr* affected_plan_out);
+
 }  // namespace dbspinner

@@ -126,7 +126,9 @@ LogicalOpPtr Push(LogicalOpPtr plan, std::vector<BoundExprPtr> pending) {
       return plan;
     }
     case LogicalOpKind::kDistinct:
-    case LogicalOpKind::kSort: {
+    case LogicalOpKind::kSort:
+    case LogicalOpKind::kDeltaRestrict: {
+      // DeltaRestrict is itself a pure row filter, so predicates commute.
       op->children[0] = Push(std::move(op->children[0]), std::move(pending));
       return plan;
     }

@@ -18,6 +18,7 @@ const char* LogicalOpKindName(LogicalOpKind k) {
     case LogicalOpKind::kDistinct: return "Distinct";
     case LogicalOpKind::kSort: return "Sort";
     case LogicalOpKind::kLimit: return "Limit";
+    case LogicalOpKind::kDeltaRestrict: return "DeltaRestrict";
   }
   return "?";
 }
@@ -44,12 +45,19 @@ LogicalOpPtr LogicalOp::Clone() const {
   }
   op->limit = limit;
   op->offset = offset;
+  op->delta_source = delta_source;
+  op->delta_key_col = delta_key_col;
+  op->delta_keep_matching = delta_keep_matching;
   return op;
 }
 
 bool LogicalOp::ReadsResult(const std::string& name) const {
   if (kind == LogicalOpKind::kScan && scan_source == ScanSource::kResult &&
       EqualsIgnoreCase(scan_name, name)) {
+    return true;
+  }
+  if (kind == LogicalOpKind::kDeltaRestrict &&
+      EqualsIgnoreCase(delta_source, name)) {
     return true;
   }
   for (const auto& c : children) {
@@ -115,6 +123,11 @@ std::string LogicalOp::ToString(int indent) const {
     case LogicalOpKind::kLimit:
       out += " " + std::to_string(limit);
       if (offset > 0) out += " OFFSET " + std::to_string(offset);
+      break;
+    case LogicalOpKind::kDeltaRestrict:
+      out += std::string(" key:") + std::to_string(delta_key_col) +
+             (delta_keep_matching ? " IN " : " NOT IN ") + "result:" +
+             delta_source;
       break;
     default:
       break;

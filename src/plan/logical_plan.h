@@ -27,9 +27,11 @@ enum class LogicalOpKind {
   kUnionAll,   ///< bag union of the two children
   kExcept,     ///< set difference (distinct), left minus right
   kIntersect,  ///< set intersection (distinct)
-  kDistinct,   ///< dedupe all columns
+  kDistinct,       ///< dedupe all columns
   kSort,
   kLimit,
+  kDeltaRestrict,  ///< semi-join filter of the child against the key set in
+                   ///< result `delta_source` (semi-naive iteration)
 };
 
 const char* LogicalOpKindName(LogicalOpKind k);
@@ -81,6 +83,13 @@ struct LogicalOp {
   // kLimit: -1 = no limit (offset only)
   int64_t limit = -1;
   int64_t offset = 0;
+
+  // kDeltaRestrict: keep child rows whose `delta_key_col` value appears
+  // (keep_matching) / does not appear (!keep_matching) in column 0 of the
+  // named intermediate result.
+  std::string delta_source;
+  size_t delta_key_col = 0;
+  bool delta_keep_matching = true;
 
   LogicalOpPtr Clone() const;
 

@@ -89,6 +89,10 @@ std::string ExplainProgram(const Program& program, bool verbose) {
                " if continue";
         break;
       }
+      case Step::Kind::kComputeDelta:
+        out += "ComputeDelta '" + s.target + "' from '" + s.source +
+               "' by key #" + std::to_string(s.key_col);
+        break;
       case Step::Kind::kFinal:
         out += "Final query";
         break;

@@ -76,6 +76,7 @@ const char* Step::KindName() const {
     case Kind::kRemoveResult: return "RemoveResult";
     case Kind::kInitLoop: return "InitLoop";
     case Kind::kLoopCheck: return "LoopCheck";
+    case Kind::kComputeDelta: return "ComputeDelta";
     case Kind::kFinal: return "Final";
   }
   return "?";

@@ -63,6 +63,10 @@ struct Step {
                     ///< past the step with id `jump_to_id`
     kLoopCheck,     ///< update loop state; jump to step id `jump_to_id` if
                     ///< the loop should continue
+    kComputeDelta,  ///< diff result `source` against loop `loop_id`'s
+                    ///< previous-version snapshot by `key_col`; bind the
+                    ///< changed rows (old and new versions) as `target`
+                    ///< and advance the snapshot (semi-naive iteration)
     kFinal,         ///< run `plan`; its output is the program result
   };
 

@@ -1,0 +1,191 @@
+// Regression tests for table-aliasing and delta-count bugs: registry
+// TablePtrs are shared (snapshots, renames, broadcast replicas), so every
+// mutation path must copy-on-write, and CountChangedRows must stay correct
+// when duplicate keys make the matched-row count exceed the prev row count.
+
+#include <gtest/gtest.h>
+
+#include "engine/options.h"
+#include "exec/merge_update.h"
+#include "exec/physical_planner.h"
+#include "exec/program_executor.h"
+#include "mpp/exchange.h"
+#include "plan/program.h"
+#include "storage/catalog.h"
+#include "storage/result_registry.h"
+#include "test_util.h"
+
+namespace dbspinner {
+namespace {
+
+Schema KV() {
+  Schema s;
+  s.AddColumn("k", TypeId::kInt64);
+  s.AddColumn("v", TypeId::kDouble);
+  return s;
+}
+
+TablePtr MakeKV(std::vector<std::pair<int64_t, double>> rows) {
+  auto t = Table::Make(KV());
+  for (auto& [k, v] : rows) {
+    t->AppendRow({Value::Int64(k), Value::Double(v)});
+  }
+  return t;
+}
+
+struct Env {
+  Catalog catalog;
+  ResultRegistry registry;
+  EngineOptions options;
+  ExecContext ctx;
+
+  Env() {
+    ctx.catalog = &catalog;
+    ctx.registry = &registry;
+    ctx.options = &options;
+  }
+};
+
+// kAppendResult must not mutate the table in place: any snapshot alias of
+// the target (Delta snapshots, pre-rename names, cached build sides) would
+// silently grow with it.
+TEST(AppendResultCowTest, SnapshotAliasSurvivesAppend) {
+  Env env;
+  env.registry.Put("acc", MakeKV({{1, 1.0}}));
+  env.registry.Put("extra", MakeKV({{2, 2.0}}));
+  TablePtr snapshot = *env.registry.Get("acc");
+  ASSERT_EQ(snapshot->num_rows(), 1u);
+
+  Program program;
+  Step append;
+  append.kind = Step::Kind::kAppendResult;
+  append.id = program.NewId();
+  append.target = "acc";
+  append.source = "extra";
+  program.steps.push_back(std::move(append));
+
+  Step final_step;
+  final_step.kind = Step::Kind::kFinal;
+  final_step.id = program.NewId();
+  final_step.plan = MakeScan(ScanSource::kResult, "acc", KV());
+  program.steps.push_back(std::move(final_step));
+
+  ASSERT_TRUE(PlanProgram(&program).ok());
+  auto result = RunProgram(program, &env.ctx);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ((*result)->num_rows(), 2u);
+
+  // The registry now holds a fresh table; the snapshot kept the old rows.
+  TablePtr current = *env.registry.Get("acc");
+  EXPECT_NE(current.get(), snapshot.get());
+  EXPECT_EQ(current->num_rows(), 2u);
+  EXPECT_EQ(snapshot->num_rows(), 1u);
+}
+
+// Duplicate keys in `current` match the same prev row repeatedly; a naive
+// matched-row counter exceeds prev.num_rows() and makes the
+// disappeared-keys subtraction wrap around (unsigned), producing a huge
+// bogus change count that keeps DELTA loops spinning.
+TEST(CountChangedRowsTest, DuplicateCurrentKeysDoNotWrap) {
+  auto prev = MakeKV({{1, 10.0}, {2, 20.0}});
+  auto cur = MakeKV({{1, 10.0}, {1, 10.0}, {2, 25.0}});
+  // Key 1 rows are byte-identical to prev (twice); only key 2's value
+  // changed. Every prev row was matched, so nothing disappeared.
+  EXPECT_EQ(CountChangedRows(*prev, *cur, 0), 1);
+
+  // All-duplicates, no value change: zero changes, not a wrapped count.
+  auto dup_only = MakeKV({{1, 10.0}, {1, 10.0}, {2, 20.0}, {2, 20.0}});
+  EXPECT_EQ(CountChangedRows(*prev, *dup_only, 0), 0);
+}
+
+// Broadcast must hand every node its own copy: a node-local mutation (or a
+// downstream COW violation) on one replica must not leak into the others
+// or back into the source table.
+TEST(BroadcastTest, ReplicasAreIndependentCopies) {
+  auto source = MakeKV({{1, 1.0}, {2, 2.0}});
+  int64_t moved = 0;
+  std::vector<TablePtr> replicas = Exchange::Broadcast(source, 3, &moved);
+  ASSERT_EQ(replicas.size(), 3u);
+  // Replicating 2 rows to 2 remote nodes moves 4 rows over the network.
+  EXPECT_EQ(moved, 4);
+
+  EXPECT_NE(replicas[0].get(), source.get());
+  EXPECT_NE(replicas[0].get(), replicas[1].get());
+
+  replicas[0]->AppendRow({Value::Int64(9), Value::Double(9.0)});
+  EXPECT_EQ(replicas[0]->num_rows(), 3u);
+  EXPECT_EQ(replicas[1]->num_rows(), 2u);
+  EXPECT_EQ(replicas[2]->num_rows(), 2u);
+  EXPECT_EQ(source->num_rows(), 2u);
+}
+
+// Shuffle of a zero-partition DistributedTable (an empty loop delta on an
+// idle cluster) must not dereference partition(0) for its schema.
+TEST(ShuffleTest, EmptyDistributedTableDoesNotCrash) {
+  DistributedTable empty = DistributedTable::FromPartitions({}, {0});
+  int64_t moved = 0;
+  DistributedTable out = Exchange::Shuffle(empty, {0}, nullptr, &moved);
+  EXPECT_EQ(out.num_nodes(), 0u);
+  EXPECT_EQ(out.TotalRows(), 0u);
+  EXPECT_EQ(moved, 0);
+}
+
+// A DELTA-terminated loop whose body appends into the watched CTE: before
+// the kAppendResult copy-on-write fix, the loop state's `previous` snapshot
+// aliased the CTE table, so CountChangedRows compared the table against
+// itself and terminated after one iteration.
+TEST(DeltaLessAliasingTest, AppendBodyIteratesUntilQuiescent) {
+  Env env;
+  env.registry.Put("grow", MakeKV({{1, 1.0}}));
+  env.registry.Put("dup", MakeKV({{2, 2.0}}));
+
+  LoopSpec spec;
+  spec.kind = LoopSpec::Kind::kDeltaLess;
+  spec.n = 1;  // UNTIL DELTA < 1
+  spec.cte_name = "grow";
+
+  Program program;
+  Step init;
+  init.kind = Step::Kind::kInitLoop;
+  init.id = program.NewId();
+  init.loop_id = 1;
+  init.loop = spec.Clone();
+  program.steps.push_back(std::move(init));
+
+  Step body;
+  body.kind = Step::Kind::kAppendResult;
+  body.id = program.NewId();
+  body.target = "grow";
+  body.source = "dup";
+  body.loop_id = 1;
+  int body_id = body.id;
+  program.steps.push_back(std::move(body));
+
+  Step check;
+  check.kind = Step::Kind::kLoopCheck;
+  check.id = program.NewId();
+  check.loop_id = 1;
+  check.loop = spec.Clone();
+  check.jump_to_id = body_id;
+  program.steps.push_back(std::move(check));
+
+  Step final_step;
+  final_step.kind = Step::Kind::kFinal;
+  final_step.id = program.NewId();
+  final_step.plan = MakeScan(ScanSource::kResult, "grow", KV());
+  program.steps.push_back(std::move(final_step));
+
+  ASSERT_TRUE(PlanProgram(&program).ok());
+  auto result = RunProgram(program, &env.ctx);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  // Iteration 1 appends key 2 (one new key => delta 1 => continue);
+  // iteration 2 appends a second identical key-2 row (duplicate of a
+  // matched key-group => delta 0 => stop). The aliasing bug stopped after
+  // iteration 1 with only 2 rows.
+  EXPECT_EQ(env.ctx.stats.loop_iterations, 2);
+  EXPECT_EQ((*result)->num_rows(), 3u);
+}
+
+}  // namespace
+}  // namespace dbspinner

@@ -130,7 +130,7 @@ TEST(DiffRowSetsTest, ReportsCardinalityAndNullMismatches) {
 
 TEST(OptimizerTogglesTest, RegistryCoversEveryRule) {
   const auto& all = OptimizerToggles::All();
-  EXPECT_EQ(all.size(), 6u);
+  EXPECT_EQ(all.size(), 8u);
 
   // Every toggle flips exactly the field it names.
   for (const auto& t : all) {

@@ -32,13 +32,16 @@ class PlanPrinterTest : public ::testing::Test {
 };
 
 TEST_F(PlanPrinterTest, StepsAreNumberedSequentially) {
+  // Table I's six steps plus the ComputeDelta / affected-keys pair the
+  // delta-iteration rewrite inserts at the loop-body start.
   std::string text = Explain(workloads::PRQuery(10), /*verbose=*/false);
-  for (int i = 1; i <= 6; ++i) {
+  for (int i = 1; i <= 8; ++i) {
     EXPECT_NE(text.find("Step " + std::to_string(i) + ":"),
               std::string::npos)
         << text;
   }
-  EXPECT_EQ(text.find("Step 7:"), std::string::npos);
+  EXPECT_EQ(text.find("Step 9:"), std::string::npos);
+  EXPECT_NE(text.find("ComputeDelta"), std::string::npos) << text;
 }
 
 TEST_F(PlanPrinterTest, LoopCheckResolvesJumpTarget) {
