@@ -58,7 +58,7 @@ void MppShuffle(benchmark::State& state) {
   for (auto _ : state) {
     int64_t moved = 0;
     auto shuffled = Exchange::Shuffle(dist, {0}, &pool, &moved);
-    benchmark::DoNotOptimize(shuffled.TotalRows());
+    benchmark::DoNotOptimize(shuffled->TotalRows());
     state.counters["rows_shuffled"] = static_cast<double>(moved);
   }
 }

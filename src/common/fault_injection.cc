@@ -1,0 +1,128 @@
+#include "common/fault_injection.h"
+
+#include <algorithm>
+
+namespace dbspinner {
+
+namespace {
+
+// splitmix64: small, well-mixed, and stable across platforms — the schedule
+// must be identical everywhere or fuzz repros stop reproducing.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+uint64_t HashSite(const std::string& site) {
+  // FNV-1a; only needs to be deterministic, not strong.
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (char c : site) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+// Uniform double in [0, 1) from (seed, site, hit, salt).
+double DecisionPoint(const FaultInjectionConfig& config,
+                     const std::string& site, int64_t hit, uint64_t salt) {
+  uint64_t x = Mix64(config.seed ^ Mix64(HashSite(site) + salt) ^
+                     Mix64(static_cast<uint64_t>(hit)));
+  return static_cast<double>(x >> 11) * (1.0 / 9007199254740992.0);  // 2^53
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(FaultInjectionConfig config)
+    : config_(std::move(config)) {}
+
+bool FaultInjector::WouldFault(const FaultInjectionConfig& config,
+                               const std::string& site, int64_t hit) {
+  if (config.rate <= 0.0) return false;
+  if (!config.site_filter.empty() &&
+      site.find(config.site_filter) == std::string::npos) {
+    return false;
+  }
+  return DecisionPoint(config, site, hit, /*salt=*/0) < config.rate;
+}
+
+bool FaultInjector::WouldLoseWorker(const FaultInjectionConfig& config,
+                                    const std::string& site, int64_t hit) {
+  if (!WouldFault(config, site, hit)) return false;
+  if (config.worker_lost_fraction <= 0.0) return false;
+  return DecisionPoint(config, site, hit, /*salt=*/1) <
+         config.worker_lost_fraction;
+}
+
+Status FaultInjector::MaybeInject(const char* site) {
+  if (!config_.enabled) return Status::OK();
+  std::string name(site);
+  int64_t hit;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    SiteState& state = sites_[name];
+    hit = state.hits++;
+    ++total_hits_;
+    if (config_.max_faults >= 0 && total_faults_ >= config_.max_faults) {
+      return Status::OK();
+    }
+    if (!WouldFault(config_, name, hit)) return Status::OK();
+    ++state.faults;
+    ++total_faults_;
+  }
+  std::string msg = "injected fault at " + name + " (hit " +
+                    std::to_string(hit) + ")";
+  if (WouldLoseWorker(config_, name, hit)) {
+    return Status::WorkerLost(std::move(msg));
+  }
+  return Status::Unavailable(std::move(msg));
+}
+
+int64_t FaultInjector::total_hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_hits_;
+}
+
+int64_t FaultInjector::total_faults() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_faults_;
+}
+
+int64_t FaultInjector::site_hits(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.hits;
+}
+
+int64_t FaultInjector::site_faults(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.faults;
+}
+
+std::vector<FaultInjector::SiteReport> FaultInjector::Report() const {
+  std::vector<SiteReport> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.reserve(sites_.size());
+    for (const auto& [site, state] : sites_) {
+      out.push_back({site, state.hits, state.faults});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SiteReport& a, const SiteReport& b) {
+              return a.site < b.site;
+            });
+  return out;
+}
+
+void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  sites_.clear();
+  total_hits_ = 0;
+  total_faults_ = 0;
+}
+
+}  // namespace dbspinner

@@ -26,6 +26,10 @@ const char* StatusCodeName(StatusCode code) {
       return "NotImplemented";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kWorkerLost:
+      return "WorkerLost";
   }
   return "Unknown";
 }

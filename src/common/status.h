@@ -26,6 +26,11 @@ enum class StatusCode {
   kTypeError,         ///< Value/type mismatch.
   kNotImplemented,    ///< Recognized but unsupported construct.
   kInternal,          ///< Invariant violation: a bug in dbspinner.
+  kUnavailable,       ///< Transient infrastructure failure (lost exchange,
+                      ///< task dispatch); safe to retry the failed step.
+  kWorkerLost,        ///< Simulated node death mid-step; the step's partial
+                      ///< state is gone, so only a checkpoint restore (not a
+                      ///< step-level retry) can recover.
 };
 
 /// Human-readable name of a StatusCode ("ParseError", ...).
@@ -70,8 +75,23 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status WorkerLost(std::string msg) {
+    return Status(StatusCode::kWorkerLost, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
+  /// True for transient failures an idempotent step may simply re-run.
+  bool IsRetryable() const { return code_ == StatusCode::kUnavailable; }
+  /// True for the failure classes the executor's fault-tolerance layer
+  /// recovers from (retry or checkpoint restore). Genuine query errors
+  /// (division by zero, type failures, engine bugs) are never recoverable.
+  bool IsRecoverable() const {
+    return code_ == StatusCode::kUnavailable ||
+           code_ == StatusCode::kWorkerLost;
+  }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 

@@ -21,12 +21,32 @@ ThreadPool* Database::GetPool() {
   return pool_.get();
 }
 
+FaultInjector* Database::GetFaultInjector() {
+  if (!options_.fault_injection.enabled) {
+    // Disabling drops the injector, so a later re-enable — even with the
+    // identical config — starts a fresh schedule from hit 0. Tests rely on
+    // this to reproduce a schedule by toggling the config off and on.
+    fault_injector_.reset();
+    return nullptr;
+  }
+  if (!fault_injector_ ||
+      fault_injector_->config() != options_.fault_injection) {
+    fault_injector_ = std::make_unique<FaultInjector>(options_.fault_injection);
+  }
+  return fault_injector_.get();
+}
+
 ExecContext Database::MakeContext(ResultRegistry* registry) {
   ExecContext ctx;
   ctx.catalog = &catalog_;
   ctx.registry = registry;
   ctx.options = &options_;
   ctx.pool = GetPool();
+  ctx.faults = GetFaultInjector();
+  // Restart the schedule at hit 0 for every program execution: the fault
+  // set a statement sees is a pure function of the config, independent of
+  // what ran before it. Repro lines stay one statement long.
+  if (ctx.faults != nullptr) ctx.faults->Reset();
   return ctx;
 }
 
@@ -188,6 +208,9 @@ Result<QueryResult> Database::ExecuteExplain(const Statement& stmt) {
     (void)ignored;
     result.explain =
         ExplainProgramWithProfile(program, ctx.profile, /*verbose=*/false);
+    // Execution counters (including the fault-tolerance ones:
+    // checkpoints_taken / restores / step_retries) render below the plan.
+    result.explain += "\nStats: " + ctx.stats.ToString();
     result.stats = ctx.stats;
   } else {
     result.explain = ExplainProgram(program, /*verbose=*/true);

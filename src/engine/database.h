@@ -77,6 +77,7 @@ class Database {
   Result<QueryResult> RunProgramToResult(Program program);
 
   ThreadPool* GetPool();
+  FaultInjector* GetFaultInjector();
   ExecContext MakeContext(ResultRegistry* registry);
 
   Result<QueryResult> ExecuteTransactionControl(const Statement& stmt);
@@ -86,6 +87,12 @@ class Database {
   EngineOptions options_;
   std::unique_ptr<ThreadPool> pool_;
   int pool_width_ = 0;
+
+  /// Lazily created from options_.fault_injection and recreated whenever
+  /// that config changes. The schedule restarts at hit 0 for every program
+  /// execution (see MakeContext), so each statement's fault set is a pure
+  /// function of the config.
+  std::unique_ptr<FaultInjector> fault_injector_;
 
   /// Catalog snapshot taken at BEGIN; restored on ROLLBACK. Copy-on-write
   /// DML makes the snapshot a cheap shallow map copy (see Catalog).

@@ -42,7 +42,8 @@ std::string EngineOptions::ToString() const {
   return StringPrintf(
       "EngineOptions{workers=%d, fold=%d, join_simplify=%d, pushdown=%d, "
       "cte_pushdown=%d, common_result=%d, rename=%d, delta=%d, "
-      "build_cache=%d}",
+      "build_cache=%d, faults=%d(seed=%llu, rate=%.3f), recovery=%d(k=%lld, "
+      "retries=%d)}",
       num_workers, optimizer.enable_constant_folding ? 1 : 0,
       optimizer.enable_join_simplification ? 1 : 0,
       optimizer.enable_predicate_pushdown ? 1 : 0,
@@ -50,7 +51,12 @@ std::string EngineOptions::ToString() const {
       optimizer.enable_common_result ? 1 : 0,
       optimizer.enable_rename_optimization ? 1 : 0,
       optimizer.enable_delta_iteration ? 1 : 0,
-      optimizer.enable_join_build_cache ? 1 : 0);
+      optimizer.enable_join_build_cache ? 1 : 0,
+      fault_injection.enabled ? 1 : 0,
+      static_cast<unsigned long long>(fault_injection.seed),
+      fault_injection.rate, fault_tolerance.enable_recovery ? 1 : 0,
+      static_cast<long long>(fault_tolerance.checkpoint_interval),
+      fault_tolerance.max_step_retries);
 }
 
 }  // namespace dbspinner

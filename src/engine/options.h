@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "common/fault_injection.h"
+
 namespace dbspinner {
 
 /// Toggles for the rule-based rewrites. Each corresponds to a paper
@@ -69,9 +71,44 @@ struct OptimizerToggles {
   static OptimizerOptions AllSetTo(bool value);
 };
 
+/// Recovery policy for the fault-tolerant executor (see
+/// exec/program_executor.cc and DESIGN.md §8). Recovery is opt-in: with
+/// `enable_recovery` off, any injected fault surfaces to the caller
+/// unchanged, which is what the framework tests assert against.
+struct FaultToleranceOptions {
+  /// Master switch for retry + checkpoint/restore in RunProgram.
+  bool enable_recovery = false;
+
+  /// In-place re-executions of an idempotent step after a retryable
+  /// (kUnavailable) failure, before falling back to checkpoint restore.
+  int max_step_retries = 3;
+
+  /// Base backoff between retries; attempt i sleeps backoff << i. Zero (the
+  /// default) keeps tests fast; real deployments would set this.
+  int64_t retry_backoff_us = 0;
+
+  /// Checkpoint cadence K: snapshot loop state + registry every K loop
+  /// iterations (plus one checkpoint at every loop entry). <= 0 disables
+  /// periodic checkpoints, leaving only loop-entry and program-start ones.
+  int64_t checkpoint_interval = 4;
+
+  /// Livelock guard: after this many checkpoint restores the executor gives
+  /// up and surfaces the original typed failure status.
+  int64_t max_restores = 64;
+};
+
 /// Top-level engine options.
 struct EngineOptions {
   OptimizerOptions optimizer;
+
+  /// Deterministic fault injection (off by default; see
+  /// common/fault_injection.h). The Database materializes a FaultInjector
+  /// from this config whenever `fault_injection.enabled` is set.
+  FaultInjectionConfig fault_injection;
+
+  /// Recovery policy applied by RunProgram when steps fail with a
+  /// retryable/recoverable status.
+  FaultToleranceOptions fault_tolerance;
 
   /// Simulated shared-nothing width: number of worker "nodes" used by
   /// partitioned joins/aggregations/filters. 1 = serial.

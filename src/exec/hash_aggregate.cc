@@ -145,6 +145,8 @@ Result<TablePtr> PhysicalHashAggregate::Execute(ExecContext& ctx) const {
   if (!group_exprs_.empty() && ctx.UseParallel(input->num_rows())) {
     // Shuffle on the group key so each simulated node owns whole groups,
     // then aggregate partitions independently (shared-nothing two-phase).
+    // The shuffle can fail (injection point) before any state is touched.
+    DBSP_RETURN_NOT_OK(MaybeInjectFault(ctx.faults, "exec.aggregate.shuffle"));
     size_t parts = ctx.NumPartitions();
     // Materialize key columns for partitioning.
     std::vector<ColumnVectorPtr> key_cols;
@@ -171,13 +173,15 @@ Result<TablePtr> PhysicalHashAggregate::Execute(ExecContext& ctx) const {
 
     std::vector<TablePtr> results(parts_tables.size());
     Status st = ctx.pool->ParallelForStatus(
-        parts_tables.size(), [&](size_t p) -> Status {
+        parts_tables.size(),
+        [&](size_t p) -> Status {
           // Drop the helper key columns: expressions reference original
           // ordinals, which are unchanged.
           DBSP_ASSIGN_OR_RETURN(results[p],
                                 AggregatePartition(*parts_tables[p]));
           return Status::OK();
-        });
+        },
+        ctx.faults, "mpp.dispatch");
     DBSP_RETURN_NOT_OK(st);
     TablePtr out = Gather(results);
     ctx.stats.rows_materialized += static_cast<int64_t>(out->num_rows());

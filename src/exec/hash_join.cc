@@ -161,7 +161,10 @@ Result<TablePtr> PhysicalHashJoin::Execute(ExecContext& ctx) const {
   if (ctx.UseParallel(left->num_rows() + right->num_rows())) {
     // Shared-nothing simulation: shuffle both inputs on the join key so
     // co-partitioned pairs meet on the same simulated node. A cached build
-    // side is already resident on the nodes and is not re-shuffled.
+    // side is already resident on the nodes and is not re-shuffled. The
+    // shuffle can fail (injection point), always before any context state
+    // is touched, so the enclosing step can simply re-run.
+    DBSP_RETURN_NOT_OK(MaybeInjectFault(ctx.faults, "exec.join.shuffle"));
     size_t parts = ctx.NumPartitions();
     std::shared_ptr<const std::vector<TablePtr>> rparts;
     if (cache_enabled) {
@@ -188,11 +191,15 @@ Result<TablePtr> PhysicalHashJoin::Execute(ExecContext& ctx) const {
       }
     }
     std::vector<TablePtr> results(parts);
-    Status st = ctx.pool->ParallelForStatus(parts, [&](size_t p) -> Status {
-      DBSP_ASSIGN_OR_RETURN(
-          results[p], JoinPartition(ctx, *lparts[p], *(*rparts)[p], nullptr));
-      return Status::OK();
-    });
+    Status st = ctx.pool->ParallelForStatus(
+        parts,
+        [&](size_t p) -> Status {
+          DBSP_ASSIGN_OR_RETURN(
+              results[p],
+              JoinPartition(ctx, *lparts[p], *(*rparts)[p], nullptr));
+          return Status::OK();
+        },
+        ctx.faults, "mpp.dispatch");
     DBSP_RETURN_NOT_OK(st);
     TablePtr out = Gather(results);
     ctx.stats.rows_materialized += static_cast<int64_t>(out->num_rows());

@@ -8,7 +8,9 @@ std::string ExecStats::ToString() const {
   return StringPrintf(
       "ExecStats{steps=%lld, iterations=%lld, rows_materialized=%lld, "
       "rows_shuffled=%lld, renames=%lld, merge_updates=%lld, "
-      "delta_rows=%lld, delta_probe_rows=%lld, build_cache_hits=%lld}",
+      "delta_rows=%lld, delta_probe_rows=%lld, build_cache_hits=%lld, "
+      "faults_seen=%lld, step_retries=%lld, checkpoints_taken=%lld, "
+      "restores=%lld}",
       static_cast<long long>(steps_executed),
       static_cast<long long>(loop_iterations),
       static_cast<long long>(rows_materialized),
@@ -16,7 +18,11 @@ std::string ExecStats::ToString() const {
       static_cast<long long>(merge_updates),
       static_cast<long long>(delta_rows),
       static_cast<long long>(delta_probe_rows),
-      static_cast<long long>(build_cache_hits));
+      static_cast<long long>(build_cache_hits),
+      static_cast<long long>(faults_seen),
+      static_cast<long long>(step_retries),
+      static_cast<long long>(checkpoints_taken),
+      static_cast<long long>(restores));
 }
 
 std::string PhysicalOp::ToString(int indent) const {

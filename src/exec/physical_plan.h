@@ -13,6 +13,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/fault_injection.h"
 #include "common/status.h"
 #include "engine/options.h"
 #include "expr/aggregate_functions.h"
@@ -39,6 +40,16 @@ struct ExecStats {
                                  ///< (the semi-naive recompute frontier)
   int64_t build_cache_hits = 0;  ///< hash-join build sides reused across
                                  ///< iterations
+
+  // Fault-tolerance counters (see exec/program_executor.cc).
+  int64_t faults_seen = 0;        ///< step executions felled by an injected
+                                  ///< fault (retryable or worker-lost)
+  int64_t step_retries = 0;       ///< idempotent step re-executions after a
+                                  ///< retryable fault
+  int64_t checkpoints_taken = 0;  ///< loop-state snapshots (every K
+                                  ///< iterations + one per kInitLoop)
+  int64_t restores = 0;           ///< rollbacks to the last checkpoint (or to
+                                  ///< program start when none exists yet)
 
   std::string ToString() const;
 };
@@ -70,7 +81,8 @@ struct ExecContext {
   Catalog* catalog = nullptr;
   ResultRegistry* registry = nullptr;
   const EngineOptions* options = nullptr;
-  ThreadPool* pool = nullptr;  ///< null => serial
+  ThreadPool* pool = nullptr;   ///< null => serial
+  FaultInjector* faults = nullptr;  ///< null => no fault injection
 
   ExecStats stats;
   std::map<int, LoopState> loops;

@@ -1,6 +1,7 @@
 #include "exec/program_executor.h"
 
 #include <chrono>
+#include <thread>
 #include <unordered_map>
 
 #include "exec/merge_update.h"
@@ -87,14 +88,88 @@ Result<bool> EvaluateContinue(const LoopSpec& spec, LoopState* state,
   return Status::Internal("unhandled loop condition");
 }
 
+// Steps whose failed execution may be re-run in place. These steps either
+// execute a pure operator tree (kMaterialize, kFinal) or mutate the registry
+// and loop state only *after* every fallible sub-operation has succeeded
+// (kMergeUpdate, kComputeDelta) — every injection point, exchange, and
+// operator failure fires before the step's first side effect, so the step
+// observes identical inputs on retry. kRename is deliberately absent: it
+// moves a binding, so a re-run would fail on the now-unbound source; a
+// failure there falls through to checkpoint restore instead.
+bool StepIsIdempotent(Step::Kind kind) {
+  switch (kind) {
+    case Step::Kind::kMaterialize:
+    case Step::Kind::kFinal:
+    case Step::Kind::kMergeUpdate:
+    case Step::Kind::kComputeDelta:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Executor-level injection site for a step kind, or null for kinds that are
+// not fault targets (control flow and registry bookkeeping).
+const char* StepFaultSite(Step::Kind kind) {
+  switch (kind) {
+    case Step::Kind::kMaterialize:
+      return "exec.materialize";
+    case Step::Kind::kFinal:
+      return "exec.final";
+    case Step::Kind::kMergeUpdate:
+      return "exec.merge_update";
+    case Step::Kind::kComputeDelta:
+      return "exec.compute_delta";
+    default:
+      return nullptr;
+  }
+}
+
+// A consistent point to roll back to. The registry snapshot is a shallow
+// name -> TablePtr map copy and the loop states hold TablePtrs, so a
+// checkpoint is O(#names + #loops) regardless of data size — the engine's
+// copy-on-write discipline guarantees the snapshotted tables can never be
+// mutated in place by later steps.
+struct ExecutorCheckpoint {
+  size_t pc = 0;  ///< step index to resume from (the step is re-run)
+  std::map<int, LoopState> loops;
+  std::unordered_map<std::string, TablePtr> registry;
+};
+
 }  // namespace
 
 Result<TablePtr> RunProgram(const Program& program, ExecContext* ctx) {
   TablePtr final_result;
-  size_t pc = 0;
-  while (pc < program.steps.size()) {
-    const Step& step = program.steps[pc];
+
+  static const FaultToleranceOptions kNoRecovery;
+  const FaultToleranceOptions& ft = ctx->options != nullptr
+                                        ? ctx->options->fault_tolerance
+                                        : kNoRecovery;
+  const bool recovery = ft.enable_recovery;
+
+  // Implicit program-start checkpoint: restarting a SELECT program from
+  // step 0 is always sound because the catalog is only mutated after
+  // RunProgram returns (CTAS / INSERT ... SELECT consume the result). This
+  // makes even pre-loop failures recoverable.
+  ExecutorCheckpoint checkpoint;
+  if (recovery) checkpoint.registry = ctx->registry->Snapshot();
+  int64_t restores_used = 0;
+
+  // Runs one step. On success *next_pc holds the step index to continue
+  // from. All mutation of executor state (registry, loop states, stats)
+  // happens in here; the outer loop only sequences retries and restores.
+  auto run_step = [&](const Step& step, size_t pc,
+                      size_t* next_pc) -> Status {
     ++ctx->stats.steps_executed;
+    *next_pc = pc + 1;
+    // Executor-level injection points fire before the step touches any
+    // state, keeping the idempotency contract above.
+    if (ctx->faults != nullptr) {
+      const char* site = StepFaultSite(step.kind);
+      if (site != nullptr) {
+        DBSP_RETURN_NOT_OK(ctx->faults->MaybeInject(site));
+      }
+    }
     std::chrono::steady_clock::time_point step_begin;
     if (ctx->profiling) step_begin = std::chrono::steady_clock::now();
     int64_t profile_rows = -1;
@@ -243,8 +318,8 @@ Result<TablePtr> RunProgram(const Program& program, ExecContext* ctx) {
               return Status::Internal("loop skip target not found");
             }
             record_profile();
-            pc = static_cast<size_t>(target) + 1;
-            continue;
+            *next_pc = static_cast<size_t>(target) + 1;
+            return Status::OK();
           }
         }
         break;
@@ -267,8 +342,8 @@ Result<TablePtr> RunProgram(const Program& program, ExecContext* ctx) {
             return Status::Internal("loop jump target not found");
           }
           record_profile();
-          pc = static_cast<size_t>(target);
-          continue;
+          *next_pc = static_cast<size_t>(target);
+          return Status::OK();
         }
         break;
       }
@@ -301,7 +376,69 @@ Result<TablePtr> RunProgram(const Program& program, ExecContext* ctx) {
       }
     }
     record_profile();
-    ++pc;
+    return Status::OK();
+  };
+
+  size_t pc = 0;
+  while (pc < program.steps.size()) {
+    const Step& step = program.steps[pc];
+
+    // Checkpoints are taken *before* the step runs, so a later restore
+    // re-executes the checkpointed step against exactly the state it saw
+    // the first time: one at every loop entry (kInitLoop), one every K
+    // iterations (at the kLoopCheck about to finish iteration i with
+    // (i + 1) % K == 0).
+    if (recovery) {
+      bool take = step.kind == Step::Kind::kInitLoop;
+      if (step.kind == Step::Kind::kLoopCheck && ft.checkpoint_interval > 0) {
+        const LoopState& state = ctx->loops[step.loop_id];
+        take = (state.iteration + 1) % ft.checkpoint_interval == 0;
+      }
+      if (take) {
+        checkpoint.pc = pc;
+        checkpoint.loops = ctx->loops;
+        checkpoint.registry = ctx->registry->Snapshot();
+        ++ctx->stats.checkpoints_taken;
+      }
+    }
+
+    size_t next_pc = pc + 1;
+    Status st = run_step(step, pc, &next_pc);
+    if (!st.ok()) {
+      if (!recovery || !st.IsRecoverable()) return st;
+      ++ctx->stats.faults_seen;
+
+      // Transient faults on idempotent steps: bounded in-place retry.
+      if (st.IsRetryable() && StepIsIdempotent(step.kind)) {
+        for (int attempt = 0;
+             !st.ok() && st.IsRetryable() && attempt < ft.max_step_retries;
+             ++attempt) {
+          if (ft.retry_backoff_us > 0) {
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(ft.retry_backoff_us << attempt));
+          }
+          ++ctx->stats.step_retries;
+          st = run_step(step, pc, &next_pc);
+          if (!st.ok() && st.IsRecoverable()) ++ctx->stats.faults_seen;
+        }
+      }
+
+      if (!st.ok()) {
+        if (!st.IsRecoverable()) return st;
+        // Worker loss, a non-idempotent step, or retry exhaustion: roll
+        // back to the last checkpoint and resume from there. The restore
+        // cap guards against livelock under a saturating fault schedule —
+        // when it trips, the original typed status surfaces to the caller.
+        if (restores_used >= ft.max_restores) return st;
+        ++restores_used;
+        ++ctx->stats.restores;
+        ctx->registry->Restore(checkpoint.registry);
+        ctx->loops = checkpoint.loops;
+        pc = checkpoint.pc;
+        continue;
+      }
+    }
+    pc = next_pc;
   }
   if (!final_result) final_result = Table::Make(Schema());
   return final_result;

@@ -124,6 +124,8 @@ Result<TablePtr> PhysicalDistinct::Execute(ExecContext& ctx) const {
 
   if (ctx.UseParallel(input->num_rows())) {
     // Shuffle on all columns: duplicates land on the same simulated node.
+    // Fallible (injection point) before any state is touched.
+    DBSP_RETURN_NOT_OK(MaybeInjectFault(ctx.faults, "exec.distinct.shuffle"));
     std::vector<size_t> all_cols;
     for (size_t c = 0; c < input->num_columns(); ++c) all_cols.push_back(c);
     size_t parts = ctx.NumPartitions();

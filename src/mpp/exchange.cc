@@ -35,9 +35,11 @@ size_t DistributedTable::TotalRows() const {
 
 TablePtr DistributedTable::ToTable() const { return Gather(partitions_); }
 
-DistributedTable Exchange::Shuffle(const DistributedTable& input,
-                                   const std::vector<size_t>& key_cols,
-                                   ThreadPool* pool, int64_t* rows_shuffled) {
+Result<DistributedTable> Exchange::Shuffle(const DistributedTable& input,
+                                           const std::vector<size_t>& key_cols,
+                                           ThreadPool* pool,
+                                           int64_t* rows_shuffled,
+                                           FaultInjector* faults) {
   size_t nodes = input.num_nodes();
   if (nodes == 0) return DistributedTable::FromPartitions({}, key_cols);
   // Each node splits its local partition by the new key ("send buffers").
@@ -50,10 +52,13 @@ DistributedTable Exchange::Shuffle(const DistributedTable& input,
   } else {
     for (size_t i = 0; i < nodes; ++i) split_one(i);
   }
-  // Route buffers to target nodes and concatenate ("receive").
+  // Route buffers to target nodes and concatenate ("receive"). A receive can
+  // fail — the faulting node's stream is lost, so the whole exchange aborts
+  // before any downstream state is touched.
   std::vector<TablePtr> received(nodes);
   int64_t moved = 0;
   for (size_t target = 0; target < nodes; ++target) {
+    DBSP_RETURN_NOT_OK(MaybeInjectFault(faults, "exchange.shuffle"));
     TablePtr merged = Table::Make(input.partition(0)->schema());
     for (size_t source = 0; source < nodes; ++source) {
       const TablePtr& buf = buffers[source][target];
@@ -66,15 +71,19 @@ DistributedTable Exchange::Shuffle(const DistributedTable& input,
   return DistributedTable::FromPartitions(std::move(received), key_cols);
 }
 
-std::vector<TablePtr> Exchange::Broadcast(const TablePtr& table,
-                                          size_t num_nodes,
-                                          int64_t* rows_shuffled) {
+Result<std::vector<TablePtr>> Exchange::Broadcast(const TablePtr& table,
+                                                  size_t num_nodes,
+                                                  int64_t* rows_shuffled,
+                                                  FaultInjector* faults) {
   // Every node gets a private replica. Handing out the same TablePtr would
   // let an in-place mutation on one node silently corrupt all the others
   // (and the sender's copy).
   std::vector<TablePtr> out;
   out.reserve(num_nodes);
-  for (size_t i = 0; i < num_nodes; ++i) out.push_back(table->Clone());
+  for (size_t i = 0; i < num_nodes; ++i) {
+    DBSP_RETURN_NOT_OK(MaybeInjectFault(faults, "exchange.broadcast"));
+    out.push_back(table->Clone());
+  }
   if (rows_shuffled != nullptr && num_nodes > 1) {
     *rows_shuffled +=
         static_cast<int64_t>(table->num_rows() * (num_nodes - 1));

@@ -10,6 +10,7 @@
 
 #include <vector>
 
+#include "common/fault_injection.h"
 #include "common/status.h"
 #include "mpp/partition.h"
 #include "mpp/thread_pool.h"
@@ -46,20 +47,29 @@ class DistributedTable {
   std::vector<size_t> key_cols_;
 };
 
-/// Exchange: moves rows between nodes.
+/// Exchange: moves rows between nodes. Every exchange is fallible: in a real
+/// MPP a shuffle can lose a stream mid-flight, so both entry points consult
+/// the (optional) fault injector once per receiving node and surface a typed,
+/// retryable Status. Exchanges are pure functions of their inputs — they
+/// mutate nothing — so re-running a failed exchange is always sound.
 class Exchange {
  public:
   /// Re-partitions `input` on `key_cols`. Every row not already on its
   /// target node is counted as shuffled (network traffic in a real MPP).
-  /// Runs node-local splits on `pool` when provided.
-  static DistributedTable Shuffle(const DistributedTable& input,
-                                  const std::vector<size_t>& key_cols,
-                                  ThreadPool* pool, int64_t* rows_shuffled);
+  /// Runs node-local splits on `pool` when provided. Injection point
+  /// "exchange.shuffle" fires once per receiving node.
+  static Result<DistributedTable> Shuffle(const DistributedTable& input,
+                                          const std::vector<size_t>& key_cols,
+                                          ThreadPool* pool,
+                                          int64_t* rows_shuffled,
+                                          FaultInjector* faults = nullptr);
 
   /// Broadcast: replicates `table` to every node (small-table joins).
-  static std::vector<TablePtr> Broadcast(const TablePtr& table,
-                                         size_t num_nodes,
-                                         int64_t* rows_shuffled);
+  /// Injection point "exchange.broadcast" fires once per receiving node.
+  static Result<std::vector<TablePtr>> Broadcast(const TablePtr& table,
+                                                 size_t num_nodes,
+                                                 int64_t* rows_shuffled,
+                                                 FaultInjector* faults = nullptr);
 };
 
 }  // namespace dbspinner

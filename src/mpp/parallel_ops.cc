@@ -36,7 +36,8 @@ Result<DistributedTable> DistributedHashJoin(const DistributedTable& left,
                                              const DistributedTable& right,
                                              size_t right_key,
                                              ThreadPool* pool,
-                                             int64_t* rows_shuffled) {
+                                             int64_t* rows_shuffled,
+                                             FaultInjector* faults) {
   if (left.num_nodes() != right.num_nodes()) {
     return Status::InvalidArgument(
         "DistributedHashJoin requires equal node counts");
@@ -44,10 +45,12 @@ Result<DistributedTable> DistributedHashJoin(const DistributedTable& left,
   // Shuffle both sides onto their join keys (skipped in a real engine when
   // already co-partitioned; we re-shuffle unconditionally for simplicity,
   // which only over-counts movement).
-  DistributedTable l =
-      Exchange::Shuffle(left, {left_key}, pool, rows_shuffled);
-  DistributedTable r =
-      Exchange::Shuffle(right, {right_key}, pool, rows_shuffled);
+  DBSP_ASSIGN_OR_RETURN(
+      DistributedTable l,
+      Exchange::Shuffle(left, {left_key}, pool, rows_shuffled, faults));
+  DBSP_ASSIGN_OR_RETURN(
+      DistributedTable r,
+      Exchange::Shuffle(right, {right_key}, pool, rows_shuffled, faults));
 
   Schema out_schema = l.partition(0)->schema();
   for (const auto& col : r.partition(0)->schema().columns()) {
@@ -100,9 +103,11 @@ Result<DistributedTable> DistributedSumAggregate(const DistributedTable& input,
                                                  size_t key_col,
                                                  size_t value_col,
                                                  ThreadPool* pool,
-                                                 int64_t* rows_shuffled) {
-  DistributedTable shuffled =
-      Exchange::Shuffle(input, {key_col}, pool, rows_shuffled);
+                                                 int64_t* rows_shuffled,
+                                                 FaultInjector* faults) {
+  DBSP_ASSIGN_OR_RETURN(
+      DistributedTable shuffled,
+      Exchange::Shuffle(input, {key_col}, pool, rows_shuffled, faults));
 
   const Schema& in_schema = shuffled.partition(0)->schema();
   Schema out_schema;

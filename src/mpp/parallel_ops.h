@@ -20,13 +20,15 @@ Result<DistributedTable> DistributedFilter(const DistributedTable& input,
 
 /// Co-partitioned hash join: shuffles both sides onto the join key, joins
 /// node-locally, and returns the distributed result (inner join,
-/// single-column keys).
+/// single-column keys). Shuffle faults from `faults` surface as typed
+/// retryable statuses.
 Result<DistributedTable> DistributedHashJoin(const DistributedTable& left,
                                              size_t left_key,
                                              const DistributedTable& right,
                                              size_t right_key,
                                              ThreadPool* pool,
-                                             int64_t* rows_shuffled);
+                                             int64_t* rows_shuffled,
+                                             FaultInjector* faults = nullptr);
 
 /// Grouped SUM over a single key column and a single value column:
 /// shuffle-on-key then node-local aggregation (the two-phase MPP aggregate).
@@ -34,6 +36,7 @@ Result<DistributedTable> DistributedSumAggregate(const DistributedTable& input,
                                                  size_t key_col,
                                                  size_t value_col,
                                                  ThreadPool* pool,
-                                                 int64_t* rows_shuffled);
+                                                 int64_t* rows_shuffled,
+                                                 FaultInjector* faults = nullptr);
 
 }  // namespace dbspinner

@@ -2,6 +2,8 @@
 
 #include <atomic>
 
+#include "common/fault_injection.h"
+
 namespace dbspinner {
 
 ThreadPool::ThreadPool(int num_threads) {
@@ -75,6 +77,16 @@ Status ThreadPool::ParallelForStatus(size_t n,
     }
   });
   return first_error;
+}
+
+Status ThreadPool::ParallelForStatus(size_t n,
+                                     const std::function<Status(size_t)>& fn,
+                                     FaultInjector* faults, const char* site) {
+  if (faults == nullptr) return ParallelForStatus(n, fn);
+  return ParallelForStatus(n, [&](size_t i) -> Status {
+    DBSP_RETURN_NOT_OK(faults->MaybeInject(site));
+    return fn(i);
+  });
 }
 
 }  // namespace dbspinner

@@ -17,6 +17,8 @@
 
 namespace dbspinner {
 
+class FaultInjector;
+
 /// A minimal fixed-size thread pool with a blocking "run all and wait" API,
 /// which is the only pattern the executor needs.
 class ThreadPool {
@@ -37,6 +39,14 @@ class ThreadPool {
   /// Runs each task and collects the first non-OK status (if any).
   Status ParallelForStatus(size_t n,
                            const std::function<Status(size_t)>& fn);
+
+  /// As ParallelForStatus, but consults `faults` at injection point `site`
+  /// before dispatching each task — the "worker refused/abandoned the task"
+  /// failure mode of a real MPP scheduler. A fired fault fails that task
+  /// with the injected typed Status and skips `fn` for it; the remaining
+  /// tasks still run to completion (the pool drains, nothing leaks).
+  Status ParallelForStatus(size_t n, const std::function<Status(size_t)>& fn,
+                           FaultInjector* faults, const char* site);
 
  private:
   void WorkerLoop();

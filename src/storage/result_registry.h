@@ -41,6 +41,20 @@ class ResultRegistry {
   /// Releases everything (end of query).
   void Clear();
 
+  /// Shallow snapshot of every binding, for executor checkpoints. O(#names):
+  /// only the name -> TablePtr map is copied, never row data, which is sound
+  /// because all result mutation in the engine is copy-on-write — a step
+  /// that changes a result rebinds the name to a fresh table rather than
+  /// mutating shared storage.
+  std::unordered_map<std::string, TablePtr> Snapshot() const {
+    return results_;
+  }
+
+  /// Rolls every binding back to a snapshot taken earlier with Snapshot().
+  void Restore(std::unordered_map<std::string, TablePtr> snapshot) {
+    results_ = std::move(snapshot);
+  }
+
   size_t size() const { return results_.size(); }
 
  private:

@@ -205,6 +205,27 @@ DiffReport RunDifferential(const FuzzCase& c,
     report.outcomes.push_back(RunSqlOracle(
         c, StringPrintf("mpp-%d", workers), eo, report.sql));
   }
+  if (opts.fault_rate > 0.0) {
+    // Crash/recovery equivalence: the same query under an injected-fault
+    // schedule, with retry + checkpoint/restore recovery, must match the
+    // fault-free baseline. Serial exercises the executor-level step sites;
+    // MPP width 8 adds the exchange and dispatch sites.
+    for (int workers : {1, 8}) {
+      EngineOptions eo = BaseOptions(opts);
+      eo.num_workers = workers;
+      if (workers > 1) eo.mpp_min_rows_per_task = 1;
+      eo.fault_injection.enabled = true;
+      eo.fault_injection.seed =
+          opts.fault_seed * 2 + static_cast<uint64_t>(workers);
+      eo.fault_injection.rate = opts.fault_rate;
+      eo.fault_injection.worker_lost_fraction = opts.worker_lost_fraction;
+      eo.fault_tolerance.enable_recovery = true;
+      eo.fault_tolerance.max_restores = 100000;
+      report.outcomes.push_back(RunSqlOracle(
+          c, workers == 1 ? "faults-serial" : "faults-mpp-8", eo,
+          report.sql));
+    }
+  }
   if (HasProcedureLowering(c.query)) {
     report.outcomes.push_back(RunProcedureOracle(c, opts));
   }

@@ -45,6 +45,18 @@ struct DifferentialOptions {
 
   /// Absolute tolerance for DOUBLE cells (MPP aggregation reorders sums).
   double eps = 1e-6;
+
+  /// Fault-schedule oracle dimension: when fault_rate > 0 two extra oracles
+  /// ("faults-serial", "faults-mpp-8") run the query under a deterministic
+  /// injected-fault schedule with executor recovery enabled. Recovery must
+  /// reproduce the fault-free baseline exactly — any divergence (row diff,
+  /// or a fault leaking out as a failure status) fails the case.
+  double fault_rate = 0.0;
+  uint64_t fault_seed = 1;
+
+  /// Fraction of injected faults that simulate node death (kWorkerLost,
+  /// checkpoint-restore path) instead of a transient retryable loss.
+  double worker_lost_fraction = 0.0;
 };
 
 /// Outcome of the whole oracle matrix for one case.

@@ -104,7 +104,9 @@ TEST(CountChangedRowsTest, DuplicateCurrentKeysDoNotWrap) {
 TEST(BroadcastTest, ReplicasAreIndependentCopies) {
   auto source = MakeKV({{1, 1.0}, {2, 2.0}});
   int64_t moved = 0;
-  std::vector<TablePtr> replicas = Exchange::Broadcast(source, 3, &moved);
+  auto replicas_r = Exchange::Broadcast(source, 3, &moved);
+  ASSERT_TRUE(replicas_r.ok()) << replicas_r.status().ToString();
+  std::vector<TablePtr> replicas = std::move(*replicas_r);
   ASSERT_EQ(replicas.size(), 3u);
   // Replicating 2 rows to 2 remote nodes moves 4 rows over the network.
   EXPECT_EQ(moved, 4);
@@ -124,7 +126,9 @@ TEST(BroadcastTest, ReplicasAreIndependentCopies) {
 TEST(ShuffleTest, EmptyDistributedTableDoesNotCrash) {
   DistributedTable empty = DistributedTable::FromPartitions({}, {0});
   int64_t moved = 0;
-  DistributedTable out = Exchange::Shuffle(empty, {0}, nullptr, &moved);
+  auto out_r = Exchange::Shuffle(empty, {0}, nullptr, &moved);
+  ASSERT_TRUE(out_r.ok()) << out_r.status().ToString();
+  DistributedTable out = std::move(*out_r);
   EXPECT_EQ(out.num_nodes(), 0u);
   EXPECT_EQ(out.TotalRows(), 0u);
   EXPECT_EQ(moved, 0);

@@ -1,0 +1,229 @@
+// The deterministic fault-injection framework itself: schedule determinism
+// under a fixed seed, fire-count accounting, site filtering, the max-fault
+// cap, worker-loss typing, reset semantics, and the end-to-end contract that
+// a disabled toggle injects nothing while an un-recovered injection surfaces
+// its original typed Status to the caller.
+
+#include <gtest/gtest.h>
+
+#include "common/fault_injection.h"
+#include "engine/workloads.h"
+#include "test_util.h"
+
+namespace dbspinner {
+namespace {
+
+using testing::LoadTinyGraph;
+using testing::MustQuery;
+
+FaultInjectionConfig Config(double rate, uint64_t seed = 7) {
+  FaultInjectionConfig config;
+  config.enabled = true;
+  config.seed = seed;
+  config.rate = rate;
+  return config;
+}
+
+constexpr const char* kSites[] = {"exchange.shuffle", "exec.materialize",
+                                  "mpp.dispatch"};
+
+// Drives `hits` arrivals at each site and records which of them faulted.
+std::vector<bool> DriveSchedule(FaultInjector* injector, int hits) {
+  std::vector<bool> fired;
+  for (int h = 0; h < hits; ++h) {
+    for (const char* site : kSites) {
+      fired.push_back(!injector->MaybeInject(site).ok());
+    }
+  }
+  return fired;
+}
+
+TEST(FaultInjectionFrameworkTest, FixedSeedReproducesSchedule) {
+  FaultInjector a(Config(0.3));
+  FaultInjector b(Config(0.3));
+  EXPECT_EQ(DriveSchedule(&a, 50), DriveSchedule(&b, 50));
+  EXPECT_EQ(a.total_faults(), b.total_faults());
+  for (const char* site : kSites) {
+    EXPECT_EQ(a.site_faults(site), b.site_faults(site)) << site;
+  }
+}
+
+TEST(FaultInjectionFrameworkTest, LiveScheduleMatchesPureDecisionFunction) {
+  FaultInjectionConfig config = Config(0.3);
+  FaultInjector injector(config);
+  for (int64_t hit = 0; hit < 50; ++hit) {
+    for (const char* site : kSites) {
+      EXPECT_EQ(!injector.MaybeInject(site).ok(),
+                FaultInjector::WouldFault(config, site, hit))
+          << site << " hit " << hit;
+    }
+  }
+}
+
+TEST(FaultInjectionFrameworkTest, DifferentSeedsGiveDifferentSchedules) {
+  FaultInjector a(Config(0.3, /*seed=*/1));
+  FaultInjector b(Config(0.3, /*seed=*/2));
+  EXPECT_NE(DriveSchedule(&a, 100), DriveSchedule(&b, 100));
+}
+
+TEST(FaultInjectionFrameworkTest, FireCountsFollowRate) {
+  FaultInjector always(Config(1.0));
+  FaultInjector never(Config(0.0));
+  DriveSchedule(&always, 20);
+  DriveSchedule(&never, 20);
+  EXPECT_EQ(always.total_faults(), always.total_hits());
+  EXPECT_EQ(always.total_hits(), 60);
+  EXPECT_EQ(never.total_faults(), 0);
+  EXPECT_EQ(never.total_hits(), 60);
+}
+
+TEST(FaultInjectionFrameworkTest, SiteFilterRestrictsSchedule) {
+  FaultInjectionConfig config = Config(1.0);
+  config.site_filter = "shuffle";
+  FaultInjector injector(config);
+  DriveSchedule(&injector, 10);
+  EXPECT_EQ(injector.site_faults("exchange.shuffle"), 10);
+  EXPECT_EQ(injector.site_faults("exec.materialize"), 0);
+  EXPECT_EQ(injector.site_faults("mpp.dispatch"), 0);
+  EXPECT_EQ(injector.site_hits("exec.materialize"), 10);  // still counted
+}
+
+TEST(FaultInjectionFrameworkTest, MaxFaultsCapsTheTotal) {
+  FaultInjectionConfig config = Config(1.0);
+  config.max_faults = 3;
+  FaultInjector injector(config);
+  int fired = 0;
+  for (int h = 0; h < 10; ++h) {
+    if (!injector.MaybeInject("exec.materialize").ok()) ++fired;
+  }
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(injector.total_faults(), 3);
+  EXPECT_EQ(injector.total_hits(), 10);
+}
+
+TEST(FaultInjectionFrameworkTest, WorkerLostFractionTypesTheFaults) {
+  FaultInjectionConfig lost = Config(1.0);
+  lost.worker_lost_fraction = 1.0;
+  FaultInjector all_lost(lost);
+  for (int h = 0; h < 10; ++h) {
+    Status st = all_lost.MaybeInject("exchange.shuffle");
+    EXPECT_EQ(st.code(), StatusCode::kWorkerLost) << st.ToString();
+    EXPECT_FALSE(st.IsRetryable());
+    EXPECT_TRUE(st.IsRecoverable());
+  }
+  FaultInjector all_transient(Config(1.0));
+  for (int h = 0; h < 10; ++h) {
+    Status st = all_transient.MaybeInject("exchange.shuffle");
+    EXPECT_EQ(st.code(), StatusCode::kUnavailable) << st.ToString();
+    EXPECT_TRUE(st.IsRetryable());
+    EXPECT_TRUE(st.IsRecoverable());
+  }
+}
+
+TEST(FaultInjectionFrameworkTest, DisabledInjectorIsANoOp) {
+  FaultInjectionConfig config = Config(1.0);
+  config.enabled = false;
+  FaultInjector injector(config);
+  for (int h = 0; h < 10; ++h) {
+    EXPECT_TRUE(injector.MaybeInject("exec.materialize").ok());
+  }
+  EXPECT_EQ(injector.total_hits(), 0);
+  EXPECT_EQ(injector.total_faults(), 0);
+}
+
+TEST(FaultInjectionFrameworkTest, ResetRestartsTheSchedule) {
+  FaultInjector injector(Config(0.3));
+  std::vector<bool> first = DriveSchedule(&injector, 30);
+  injector.Reset();
+  EXPECT_EQ(injector.total_hits(), 0);
+  EXPECT_EQ(DriveSchedule(&injector, 30), first);
+}
+
+TEST(FaultInjectionFrameworkTest, ReportListsSitesSorted) {
+  FaultInjector injector(Config(1.0));
+  DriveSchedule(&injector, 2);
+  std::vector<FaultInjector::SiteReport> report = injector.Report();
+  ASSERT_EQ(report.size(), 3u);
+  EXPECT_EQ(report[0].site, "exchange.shuffle");
+  EXPECT_EQ(report[1].site, "exec.materialize");
+  EXPECT_EQ(report[2].site, "mpp.dispatch");
+  for (const auto& r : report) {
+    EXPECT_EQ(r.hits, 2);
+    EXPECT_EQ(r.faults, 2);
+  }
+}
+
+// --- end-to-end through the Database ---------------------------------------
+
+TEST(FaultInjectionEndToEndTest, DisabledToggleInjectsNothing) {
+  Database db;  // fault_injection.enabled defaults to false
+  LoadTinyGraph(&db);
+  auto result = db.Execute(workloads::SSSPQuery(6, 1, 3));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->stats.faults_seen, 0);
+  EXPECT_EQ(result->stats.step_retries, 0);
+  EXPECT_EQ(result->stats.checkpoints_taken, 0);  // recovery off by default
+  EXPECT_EQ(result->stats.restores, 0);
+}
+
+TEST(FaultInjectionEndToEndTest, FaultSurfacesTypedWhenRecoveryOff) {
+  Database db;
+  db.options().fault_injection = Config(1.0);
+  db.options().fault_injection.site_filter = "exec.materialize";
+  LoadTinyGraph(&db);
+  auto result = db.Execute(workloads::SSSPQuery(6, 1, 3));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable)
+      << result.status().ToString();
+  EXPECT_NE(result.status().message().find("injected fault"),
+            std::string::npos)
+      << result.status().ToString();
+}
+
+TEST(FaultInjectionEndToEndTest, RetryExhaustionSurfacesOriginalStatus) {
+  // A saturating schedule (every materialize fails, forever): retries
+  // exhaust, every restore re-fails, and after max_restores the executor
+  // must give up with the original typed status — not mask it, not loop.
+  Database db;
+  db.options().fault_injection = Config(1.0);
+  db.options().fault_injection.site_filter = "exec.materialize";
+  db.options().fault_tolerance.enable_recovery = true;
+  db.options().fault_tolerance.max_step_retries = 2;
+  db.options().fault_tolerance.max_restores = 3;
+  LoadTinyGraph(&db);
+  auto result = db.Execute(workloads::SSSPQuery(6, 1, 3));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable)
+      << result.status().ToString();
+}
+
+TEST(FaultInjectionEndToEndTest, WorkerLostExhaustionSurfacesWorkerLost) {
+  Database db;
+  db.options().fault_injection = Config(1.0);
+  db.options().fault_injection.site_filter = "exec.materialize";
+  db.options().fault_injection.worker_lost_fraction = 1.0;
+  db.options().fault_tolerance.enable_recovery = true;
+  db.options().fault_tolerance.max_restores = 3;
+  LoadTinyGraph(&db);
+  auto result = db.Execute(workloads::SSSPQuery(6, 1, 3));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kWorkerLost)
+      << result.status().ToString();
+}
+
+TEST(FaultInjectionEndToEndTest, GenuineErrorsAreNeverRecovered) {
+  // Recovery must react only to injected infrastructure faults; a genuine
+  // query error (division by zero) surfaces unchanged even with recovery on
+  // and a live injector.
+  Database db;
+  db.options().fault_injection = Config(0.0);  // enabled, but never fires
+  db.options().fault_tolerance.enable_recovery = true;
+  LoadTinyGraph(&db);
+  auto result = db.Execute("SELECT src / 0 FROM edges");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kExecutionError)
+      << result.status().ToString();
+}
+
+}  // namespace
+}  // namespace dbspinner

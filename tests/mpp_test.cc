@@ -85,7 +85,9 @@ TEST(ExchangeTest, ShuffleRedistributesByKey) {
   auto t = MakeKV(300);
   DistributedTable dist = DistributedTable::Distribute(*t, {}, 4);
   int64_t moved = 0;
-  DistributedTable shuffled = Exchange::Shuffle(dist, {0}, nullptr, &moved);
+  auto shuffled_r = Exchange::Shuffle(dist, {0}, nullptr, &moved);
+  ASSERT_TRUE(shuffled_r.ok()) << shuffled_r.status().ToString();
+  DistributedTable shuffled = std::move(*shuffled_r);
   EXPECT_EQ(shuffled.TotalRows(), 300u);
   EXPECT_GT(moved, 0);
   EXPECT_TRUE(Table::SameRows(*t, *shuffled.ToTable()));
@@ -108,7 +110,9 @@ TEST(ExchangeTest, ShuffleRedistributesByKey) {
 TEST(ExchangeTest, BroadcastReplicates) {
   auto t = MakeKV(10);
   int64_t moved = 0;
-  auto copies = Exchange::Broadcast(t, 3, &moved);
+  auto copies_r = Exchange::Broadcast(t, 3, &moved);
+  ASSERT_TRUE(copies_r.ok()) << copies_r.status().ToString();
+  std::vector<TablePtr> copies = std::move(*copies_r);
   ASSERT_EQ(copies.size(), 3u);
   EXPECT_EQ(moved, 20);  // 10 rows to each of 2 other nodes
 }

@@ -118,6 +118,40 @@ TEST_F(PlanPrinterTest, ExplainAnalyzeReportsExecutions) {
   EXPECT_EQ(result->stats.loop_iterations, 7);
 }
 
+TEST_F(PlanPrinterTest, ExplainAnalyzeRendersExecutionStats) {
+  MustExecute(&db_, "INSERT INTO edges VALUES (1, 2, 0.5), (2, 1, 0.5)");
+  auto result = db_.Execute("EXPLAIN ANALYZE " + workloads::PRQuery(3));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const std::string& text = result->explain;
+  // The counter block renders below the profiled plan, including the
+  // fault-tolerance counters (zero on a clean run, but always present).
+  EXPECT_NE(text.find("\nStats: ExecStats{"), std::string::npos) << text;
+  EXPECT_NE(text.find("checkpoints_taken=0"), std::string::npos) << text;
+  EXPECT_NE(text.find("restores=0"), std::string::npos) << text;
+  EXPECT_NE(text.find("step_retries=0"), std::string::npos) << text;
+  EXPECT_NE(text.find("faults_seen=0"), std::string::npos) << text;
+  // StepProfile splicing still renders alongside the stats block.
+  EXPECT_NE(text.find("(actual: "), std::string::npos) << text;
+}
+
+TEST_F(PlanPrinterTest, ExplainAnalyzeShowsRecoveryCounters) {
+  MustExecute(&db_, "INSERT INTO edges VALUES (1, 2, 0.5), (2, 1, 0.5)");
+  db_.options().fault_injection.enabled = true;
+  db_.options().fault_injection.seed = 11;
+  db_.options().fault_injection.rate = 0.3;
+  db_.options().fault_injection.site_filter = "exec.materialize";
+  db_.options().fault_tolerance.enable_recovery = true;
+  auto result = db_.Execute("EXPLAIN ANALYZE " + workloads::PRQuery(7));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // Recovery mode checkpoints every loop entry, so the counter is nonzero
+  // and EXPLAIN ANALYZE must surface it.
+  EXPECT_GT(result->stats.checkpoints_taken, 0);
+  EXPECT_EQ(result->explain.find("checkpoints_taken=0"), std::string::npos)
+      << result->explain;
+  EXPECT_NE(result->explain.find("checkpoints_taken="), std::string::npos)
+      << result->explain;
+}
+
 TEST_F(PlanPrinterTest, ExplainAnalyzeDisabledByDefault) {
   MustExecute(&db_, "INSERT INTO edges VALUES (1, 2, 0.5)");
   auto result = db_.Execute("EXPLAIN " + workloads::PRQuery(2));

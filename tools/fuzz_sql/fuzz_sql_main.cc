@@ -35,13 +35,15 @@ struct CliOptions {
   int64_t iterations = 200;
   int64_t time_budget_s = 0;  ///< 0 = no time limit
   bool break_rename = false;
+  bool faults = false;  ///< add recover-vs-clean oracles per case
+  double fault_rate = 0.1;
   bool verbose = false;
 };
 
 void Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--seed N] [--iterations N] [--time-budget SECONDS]"
-               " [--break-rename] [--verbose]\n",
+               " [--break-rename] [--faults] [--fault-rate R] [--verbose]\n",
                argv0);
 }
 
@@ -69,6 +71,17 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts) {
       opts->time_budget_s = v;
     } else if (arg == "--break-rename") {
       opts->break_rename = true;
+    } else if (arg == "--faults") {
+      opts->faults = true;
+    } else if (arg == "--fault-rate") {
+      if (i + 1 >= argc) return false;
+      char* end = nullptr;
+      opts->fault_rate = std::strtod(argv[++i], &end);
+      if (end == argv[i] || *end != '\0' || opts->fault_rate < 0 ||
+          opts->fault_rate > 1) {
+        return false;
+      }
+      opts->faults = true;
     } else if (arg == "--verbose") {
       opts->verbose = true;
     } else {
@@ -103,15 +116,25 @@ int main(int argc, char** argv) {
            std::chrono::seconds(cli.time_budget_s);
   };
 
-  std::printf("fuzz_sql: seed=%llu iterations=%lld time-budget=%llds%s\n",
+  std::printf("fuzz_sql: seed=%llu iterations=%lld time-budget=%llds%s%s\n",
               static_cast<unsigned long long>(cli.seed),
               static_cast<long long>(cli.iterations),
               static_cast<long long>(cli.time_budget_s),
-              cli.break_rename ? " [break-rename fault injection]" : "");
+              cli.break_rename ? " [break-rename fault injection]" : "",
+              cli.faults ? " [recover-vs-clean fault oracles]" : "");
 
   for (int64_t i = 0; i < cli.iterations && !out_of_time(); ++i) {
     FuzzCase c = generator.NextCase();
     ++family_counts[dbspinner::fuzz::FamilyName(c.query.family)];
+    if (cli.faults) {
+      // Per-case fault schedule, derived deterministically from the sweep
+      // seed and case index so any mismatch reproduces from the CLI line.
+      diff_opts.fault_rate = cli.fault_rate;
+      diff_opts.fault_seed = cli.seed * 1000003u + static_cast<uint64_t>(i);
+      // Alternate between transient-only and mixed worker-loss schedules so
+      // both the retry and the checkpoint-restore paths are exercised.
+      diff_opts.worker_lost_fraction = (i % 2 == 0) ? 0.0 : 0.3;
+    }
     if (cli.verbose) {
       std::printf("[%lld] %s\n", static_cast<long long>(i),
                   c.Label().c_str());
