@@ -9,6 +9,7 @@
 #include "plan/plan_printer.h"
 #include "rewrite/iterative_rewrite.h"
 #include "storage/csv.h"
+#include "verify/verify.h"
 
 namespace dbspinner {
 
@@ -43,6 +44,10 @@ ExecContext Database::MakeContext(ResultRegistry* registry) {
   ctx.options = &options_;
   ctx.pool = GetPool();
   ctx.faults = GetFaultInjector();
+  // Surface verifier findings counted (not enforced) during planning in the
+  // execution stats of the statement they belong to.
+  ctx.stats.verify_violations = pending_verify_violations_;
+  pending_verify_violations_ = 0;
   // Restart the schedule at hit 0 for every program execution: the fault
   // set a statement sees is a pure function of the config, independent of
   // what ran before it. Repro lines stay one statement long.
@@ -86,10 +91,38 @@ Result<Program> Database::Plan(const std::string& sql) {
   if (target->kind != StatementKind::kSelect) {
     return Status::InvalidArgument("Plan() supports SELECT statements only");
   }
+  return PrepareProgram(
+      [&](ProgramBuilder& builder) { return builder.BuildSelect(*target); });
+}
+
+Status Database::VerifyStage(const std::string& phase, const Program& program,
+                             bool require_physical) {
+  if (!options_.verify.verify_plans) return Status::OK();
+  verify::VerifyContext vctx;
+  vctx.catalog = &catalog_;
+  vctx.require_physical = require_physical;
+  verify::VerifyReport report = verify::VerifyProgram(program, vctx);
+  report.phase = phase;
+  return verify::EnforceOrCount(report, options_.verify.enforce,
+                                &pending_verify_violations_);
+}
+
+Result<Program> Database::PrepareProgram(
+    const std::function<Result<Program>(ProgramBuilder&)>& build) {
   ProgramBuilder builder(&catalog_, options_.optimizer);
-  DBSP_ASSIGN_OR_RETURN(Program program, builder.BuildSelect(*target));
+  DBSP_ASSIGN_OR_RETURN(Program program, build(builder));
+  DBSP_RETURN_NOT_OK(
+      VerifyStage("after-binding", program, /*require_physical=*/false));
   Optimizer optimizer(options_.optimizer, &catalog_);
+  if (options_.verify.verify_plans) {
+    optimizer.set_rule_hook([this](const char* rule, const Program& p) {
+      return VerifyStage(std::string("after-") + rule, p,
+                         /*require_physical=*/false);
+    });
+  }
   DBSP_RETURN_NOT_OK(optimizer.OptimizeProgram(&program));
+  DBSP_RETURN_NOT_OK(
+      VerifyStage("after-optimize", program, /*require_physical=*/false));
   return program;
 }
 
@@ -170,6 +203,8 @@ Result<QueryResult> Database::ExecuteTransactionControl(const Statement& stmt) {
 
 Result<QueryResult> Database::RunProgramToResult(Program program) {
   DBSP_RETURN_NOT_OK(PlanProgram(&program));
+  DBSP_RETURN_NOT_OK(
+      VerifyStage("after-compile", program, /*require_physical=*/true));
   ResultRegistry registry;
   ExecContext ctx = MakeContext(&registry);
   DBSP_ASSIGN_OR_RETURN(TablePtr table, RunProgram(program, &ctx));
@@ -180,10 +215,10 @@ Result<QueryResult> Database::RunProgramToResult(Program program) {
 }
 
 Result<QueryResult> Database::ExecuteSelect(const Statement& stmt) {
-  ProgramBuilder builder(&catalog_, options_.optimizer);
-  DBSP_ASSIGN_OR_RETURN(Program program, builder.BuildSelect(stmt));
-  Optimizer optimizer(options_.optimizer, &catalog_);
-  DBSP_RETURN_NOT_OK(optimizer.OptimizeProgram(&program));
+  DBSP_ASSIGN_OR_RETURN(
+      Program program, PrepareProgram([&](ProgramBuilder& builder) {
+        return builder.BuildSelect(stmt);
+      }));
   return RunProgramToResult(std::move(program));
 }
 
@@ -192,15 +227,17 @@ Result<QueryResult> Database::ExecuteExplain(const Statement& stmt) {
   if (inner.kind != StatementKind::kSelect) {
     return Status::NotImplemented("EXPLAIN supports SELECT statements only");
   }
-  ProgramBuilder builder(&catalog_, options_.optimizer);
-  DBSP_ASSIGN_OR_RETURN(Program program, builder.BuildSelect(inner));
-  Optimizer optimizer(options_.optimizer, &catalog_);
-  DBSP_RETURN_NOT_OK(optimizer.OptimizeProgram(&program));
+  DBSP_ASSIGN_OR_RETURN(
+      Program program, PrepareProgram([&](ProgramBuilder& builder) {
+        return builder.BuildSelect(inner);
+      }));
   QueryResult result;
   if (stmt.explain_analyze) {
     // EXPLAIN ANALYZE: actually run the program with per-step profiling
     // and annotate each step with executions / time / rows.
     DBSP_RETURN_NOT_OK(PlanProgram(&program));
+    DBSP_RETURN_NOT_OK(
+        VerifyStage("after-compile", program, /*require_physical=*/true));
     ResultRegistry registry;
     ExecContext ctx = MakeContext(&registry);
     ctx.profiling = true;
@@ -219,6 +256,17 @@ Result<QueryResult> Database::ExecuteExplain(const Statement& stmt) {
     CostModel model(&catalog_);
     result.explain += "\n" + model.ExplainCost(program);
   }
+  if (stmt.explain_verify) {
+    // EXPLAIN (VERIFY): render the verifier's report for the fully
+    // optimized (and, under ANALYZE, compiled) program, regardless of the
+    // verify_plans option.
+    verify::VerifyContext vctx;
+    vctx.catalog = &catalog_;
+    vctx.require_physical = stmt.explain_analyze;
+    verify::VerifyReport report = verify::VerifyProgram(program, vctx);
+    report.phase = "final program";
+    result.explain += "\n" + report.ToString();
+  }
   // EXPLAIN also returns its text as a one-column table for convenience.
   Schema schema;
   schema.AddColumn("plan", TypeId::kString);
@@ -233,11 +281,10 @@ Result<QueryResult> Database::ExecuteCreateTable(const Statement& stmt) {
   }
   if (stmt.ctas_query) {
     // CREATE TABLE ... AS SELECT: the query's result seeds the table.
-    ProgramBuilder builder(&catalog_, options_.optimizer);
-    DBSP_ASSIGN_OR_RETURN(Program program,
-                          builder.BuildQuery(stmt.ctes, *stmt.ctas_query));
-    Optimizer optimizer(options_.optimizer, &catalog_);
-    DBSP_RETURN_NOT_OK(optimizer.OptimizeProgram(&program));
+    DBSP_ASSIGN_OR_RETURN(
+        Program program, PrepareProgram([&](ProgramBuilder& builder) {
+          return builder.BuildQuery(stmt.ctes, *stmt.ctas_query);
+        }));
     DBSP_ASSIGN_OR_RETURN(QueryResult rows,
                           RunProgramToResult(std::move(program)));
     DBSP_RETURN_NOT_OK(
@@ -318,11 +365,10 @@ Result<QueryResult> Database::ExecuteInsert(const Statement& stmt) {
       ++inserted;
     }
   } else if (stmt.insert_query) {
-    ProgramBuilder builder(&catalog_, options_.optimizer);
-    DBSP_ASSIGN_OR_RETURN(Program program,
-                          builder.BuildQuery(stmt.ctes, *stmt.insert_query));
-    Optimizer optimizer(options_.optimizer, &catalog_);
-    DBSP_RETURN_NOT_OK(optimizer.OptimizeProgram(&program));
+    DBSP_ASSIGN_OR_RETURN(
+        Program program, PrepareProgram([&](ProgramBuilder& builder) {
+          return builder.BuildQuery(stmt.ctes, *stmt.insert_query);
+        }));
     DBSP_ASSIGN_OR_RETURN(QueryResult rows, RunProgramToResult(std::move(program)));
     if (rows.table->num_columns() != targets.size()) {
       return Status::BindError(
@@ -468,6 +514,15 @@ Result<QueryResult> Database::ExecuteUpdate(const Statement& stmt) {
 
   Optimizer optimizer(options_.optimizer, &catalog_);
   DBSP_RETURN_NOT_OK(optimizer.OptimizePlan(&plan));
+  if (options_.verify.verify_plans) {
+    // Standalone-plan path (no Program): run just the plan checker.
+    verify::VerifyContext vctx;
+    vctx.catalog = &catalog_;
+    verify::VerifyReport report = verify::VerifyPlan(*plan, vctx);
+    report.phase = "update-from";
+    DBSP_RETURN_NOT_OK(verify::EnforceOrCount(
+        report, options_.verify.enforce, &pending_verify_violations_));
+  }
   DBSP_ASSIGN_OR_RETURN(PhysicalOpPtr physical, CreatePhysicalPlan(*plan));
 
   ResultRegistry registry;

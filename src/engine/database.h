@@ -10,6 +10,7 @@
 
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -76,6 +77,19 @@ class Database {
   /// Runs a bound-and-optimized program and returns its final table.
   Result<QueryResult> RunProgramToResult(Program program);
 
+  /// Builds + optimizes a Program via `build`, running the static verifier
+  /// (src/verify/) after binding, after each optimizer rule, and after the
+  /// whole optimization pipeline, per options_.verify. All query paths
+  /// (SELECT, EXPLAIN, CTAS, INSERT ... SELECT) funnel through here.
+  Result<Program> PrepareProgram(
+      const std::function<Result<Program>(class ProgramBuilder&)>& build);
+
+  /// Runs one verifier pass over `program` and applies the configured
+  /// policy: enforce -> kInternal, otherwise log + count the diagnostics
+  /// into pending_verify_violations_ (surfaced via ExecStats).
+  Status VerifyStage(const std::string& phase, const Program& program,
+                     bool require_physical);
+
   ThreadPool* GetPool();
   FaultInjector* GetFaultInjector();
   ExecContext MakeContext(ResultRegistry* registry);
@@ -97,6 +111,11 @@ class Database {
   /// Catalog snapshot taken at BEGIN; restored on ROLLBACK. Copy-on-write
   /// DML makes the snapshot a cheap shallow map copy (see Catalog).
   std::optional<std::unordered_map<std::string, CatalogEntry>> tx_snapshot_;
+
+  /// Verifier diagnostics counted (not enforced) while planning the current
+  /// statement; transferred into ExecStats::verify_violations by
+  /// MakeContext.
+  int64_t pending_verify_violations_ = 0;
 };
 
 }  // namespace dbspinner

@@ -43,7 +43,7 @@ std::string EngineOptions::ToString() const {
       "EngineOptions{workers=%d, fold=%d, join_simplify=%d, pushdown=%d, "
       "cte_pushdown=%d, common_result=%d, rename=%d, delta=%d, "
       "build_cache=%d, faults=%d(seed=%llu, rate=%.3f), recovery=%d(k=%lld, "
-      "retries=%d)}",
+      "retries=%d), verify=%d(enforce=%d)}",
       num_workers, optimizer.enable_constant_folding ? 1 : 0,
       optimizer.enable_join_simplification ? 1 : 0,
       optimizer.enable_predicate_pushdown ? 1 : 0,
@@ -56,7 +56,8 @@ std::string EngineOptions::ToString() const {
       static_cast<unsigned long long>(fault_injection.seed),
       fault_injection.rate, fault_tolerance.enable_recovery ? 1 : 0,
       static_cast<long long>(fault_tolerance.checkpoint_interval),
-      fault_tolerance.max_step_retries);
+      fault_tolerance.max_step_retries, verify.verify_plans ? 1 : 0,
+      verify.enforce ? 1 : 0);
 }
 
 }  // namespace dbspinner

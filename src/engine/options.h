@@ -97,9 +97,26 @@ struct FaultToleranceOptions {
   int64_t max_restores = 64;
 };
 
+/// Static plan & program verification (src/verify/, DESIGN.md §9).
+struct VerifyOptions {
+  /// Run the verifier after binding, after each optimizer rule, and after
+  /// program compilation. Cheap (linear in plan size), so on by default.
+  bool verify_plans = true;
+
+  /// Escalate any verifier diagnostic to a kInternal error. Off by default:
+  /// release builds log the report to stderr, count it in
+  /// ExecStats::verify_violations, and keep executing (a verifier bug must
+  /// never take down a working query). Tests and the fuzzer turn this on so
+  /// an illegal rewrite is a crash-class finding.
+  bool enforce = false;
+};
+
 /// Top-level engine options.
 struct EngineOptions {
   OptimizerOptions optimizer;
+
+  /// Static verification of plans and compiled programs.
+  VerifyOptions verify;
 
   /// Deterministic fault injection (off by default; see
   /// common/fault_injection.h). The Database materializes a FaultInjector

@@ -51,6 +51,11 @@ struct ExecStats {
   int64_t restores = 0;           ///< rollbacks to the last checkpoint (or to
                                   ///< program start when none exists yet)
 
+  /// Verifier diagnostics observed while planning this statement with
+  /// EngineOptions::verify.enforce off (the release-build escape hatch;
+  /// see src/verify/verify.h). Always 0 on a healthy engine.
+  int64_t verify_violations = 0;
+
   std::string ToString() const;
 };
 

@@ -88,6 +88,8 @@ Result<bool> EvaluateContinue(const LoopSpec& spec, LoopState* state,
   return Status::Internal("unhandled loop condition");
 }
 
+}  // namespace
+
 // Steps whose failed execution may be re-run in place. These steps either
 // execute a pure operator tree (kMaterialize, kFinal) or mutate the registry
 // and loop state only *after* every fallible sub-operation has succeeded
@@ -124,6 +126,8 @@ const char* StepFaultSite(Step::Kind kind) {
       return nullptr;
   }
 }
+
+namespace {
 
 // A consistent point to roll back to. The registry snapshot is a shallow
 // name -> TablePtr map copy and the loop states hold TablePtrs, so a

@@ -14,4 +14,15 @@ namespace dbspinner {
 /// none (DDL-ish programs).
 Result<TablePtr> RunProgram(const Program& program, ExecContext* ctx);
 
+/// The fault-tolerance retry whitelist: step kinds whose failed execution
+/// may be re-run in place because every fallible sub-operation precedes the
+/// step's first side effect. Exported so the static verifier (src/verify/)
+/// can cross-check its own step-effect model against the executor's
+/// classification (defect V109).
+bool StepIsIdempotent(Step::Kind kind);
+
+/// Executor-level fault-injection site name for a step kind, or nullptr for
+/// kinds that are not fault targets (control flow, registry bookkeeping).
+const char* StepFaultSite(Step::Kind kind);
+
 }  // namespace dbspinner

@@ -38,21 +38,44 @@ Status Optimizer::OptimizePlan(LogicalOpPtr* plan) {
   return Status::OK();
 }
 
+Status Optimizer::ApplyLocalRule(
+    Program* program, const std::function<Status(LogicalOpPtr*)>& rule) {
+  for (Step& step : program->steps) {
+    if (step.plan) {
+      DBSP_RETURN_NOT_OK(rule(&step.plan));
+    }
+  }
+  return Status::OK();
+}
+
+Status Optimizer::FireHook(const char* rule, const Program& program) {
+  if (!rule_hook_) return Status::OK();
+  return rule_hook_(rule, program);
+}
+
 Status Optimizer::OptimizeProgram(Program* program) {
   // 1. Cross-block pushdown first, so pushed predicates can sink further
-  //    inside R0 during the local pass below.
+  //    inside R0 during the local passes below.
   if (options_.enable_cte_predicate_pushdown) {
     for (const IterativeCteInfo& info : program->iterative_ctes) {
       if (info.pushdown_legal) {
         DBSP_RETURN_NOT_OK(ApplyCtePredicatePushdown(program, info));
       }
     }
+    DBSP_RETURN_NOT_OK(FireHook("cte_predicate_pushdown", *program));
   }
-  // 2. Local rules on every step plan.
-  for (Step& step : program->steps) {
-    if (step.plan) {
-      DBSP_RETURN_NOT_OK(OptimizePlan(&step.plan));
-    }
+  // 2. Local rules, each as a named program-wide pass over every step plan.
+  if (options_.enable_constant_folding) {
+    DBSP_RETURN_NOT_OK(ApplyLocalRule(program, ConstantFold));
+    DBSP_RETURN_NOT_OK(FireHook("constant_folding", *program));
+  }
+  if (options_.enable_join_simplification) {
+    DBSP_RETURN_NOT_OK(ApplyLocalRule(program, SimplifyJoins));
+    DBSP_RETURN_NOT_OK(FireHook("join_simplification", *program));
+  }
+  if (options_.enable_predicate_pushdown) {
+    DBSP_RETURN_NOT_OK(ApplyLocalRule(program, PushDownPredicates));
+    DBSP_RETURN_NOT_OK(FireHook("predicate_pushdown", *program));
   }
   // 3. Common-result extraction (wants simplified/pushed-down Ri plans).
   //    Cost guard: a loop predicted to run at most once cannot amortize the
@@ -65,6 +88,7 @@ Status Optimizer::OptimizeProgram(Program* program) {
       DBSP_RETURN_NOT_OK(
           ApplyCommonResultRewrite(program, info, &counter, this));
     }
+    DBSP_RETURN_NOT_OK(FireHook("common_result", *program));
   }
   // 4. Delta-driven (semi-naive) iteration, after common results so hoisted
   //    __common#k scans count as loop-invariant inputs of the region.
@@ -74,6 +98,7 @@ Status Optimizer::OptimizeProgram(Program* program) {
       if (!LoopWorthRewriting(*program, info, cost)) continue;
       DBSP_RETURN_NOT_OK(ApplyDeltaIterationRewrite(program, info, this));
     }
+    DBSP_RETURN_NOT_OK(FireHook("delta_iteration", *program));
   }
   return Status::OK();
 }

@@ -12,6 +12,8 @@
 
 #pragma once
 
+#include <functional>
+
 #include "common/status.h"
 #include "engine/options.h"
 #include "plan/program.h"
@@ -21,6 +23,12 @@ namespace dbspinner {
 
 class Optimizer {
  public:
+  /// Observer invoked after each enabled rewrite rule finishes transforming
+  /// the program, with the rule's stable name (matching OptimizerToggles).
+  /// A non-OK return aborts optimization with that status. The static
+  /// verifier hooks in here to check every intermediate program.
+  using RuleHook = std::function<Status(const char* rule, const Program&)>;
+
   /// `catalog` (optional) enables cardinality-based decisions: with it, the
   /// common-result rewrite is skipped for loops estimated to run <= 1
   /// iteration, where materialization cannot pay off (the paper's §IX
@@ -29,16 +37,27 @@ class Optimizer {
                      Catalog* catalog = nullptr)
       : options_(options), catalog_(catalog) {}
 
+  void set_rule_hook(RuleHook hook) { rule_hook_ = std::move(hook); }
+
   /// Applies all enabled rewrites to every plan in the program, plus the
-  /// cross-step iterative-CTE rewrites.
+  /// cross-step iterative-CTE rewrites. Rules run as named program-wide
+  /// passes; the rule hook (if any) fires after each one.
   Status OptimizeProgram(Program* program);
 
-  /// Applies the enabled local (single-plan) rules.
+  /// Applies the enabled local (single-plan) rules. Used for standalone
+  /// plans (UPDATE ... FROM) and by rewrites on freshly built subplans; does
+  /// not fire the rule hook.
   Status OptimizePlan(LogicalOpPtr* plan);
 
  private:
+  /// Applies one local rule to every step plan of the program.
+  Status ApplyLocalRule(Program* program,
+                        const std::function<Status(LogicalOpPtr*)>& rule);
+  Status FireHook(const char* rule, const Program& program);
+
   OptimizerOptions options_;
   Catalog* catalog_;
+  RuleHook rule_hook_;
 };
 
 // --- individual rules (exposed for tests) -----------------------------------

@@ -285,6 +285,8 @@ struct Statement {
   StatementPtr explained;
   bool explain_cost = false;     ///< EXPLAIN COST: include cost estimates
   bool explain_analyze = false;  ///< EXPLAIN ANALYZE: run + per-step timings
+  bool explain_verify = false;   ///< EXPLAIN (VERIFY): append the static
+                                 ///< verifier's report for the final program
 
   // kCopy
   bool copy_to = false;  ///< true: export (TO); false: import (FROM)

@@ -152,15 +152,47 @@ class Parser {
 
   Result<StatementPtr> ParseExplain() {
     Advance();  // EXPLAIN
-    bool with_cost = MatchKeyword("COST");
-    bool with_analyze = MatchKeyword("ANALYZE");
-    if (!with_cost) with_cost = MatchKeyword("COST");
+    bool with_cost = false;
+    bool with_analyze = false;
+    bool with_verify = false;
+    if (MatchSymbol("(")) {
+      // EXPLAIN (opt, opt, ...): parenthesized option list.
+      do {
+        if (MatchKeyword("COST")) {
+          with_cost = true;
+        } else if (MatchKeyword("ANALYZE")) {
+          with_analyze = true;
+        } else if (MatchKeyword("VERIFY")) {
+          with_verify = true;
+        } else {
+          return Err("expected an EXPLAIN option (COST, ANALYZE, VERIFY), "
+                     "found " +
+                     Peek().Describe());
+        }
+      } while (MatchSymbol(","));
+      DBSP_RETURN_NOT_OK(ExpectSymbol(")"));
+    } else {
+      // Bare options, in any order.
+      for (bool progressed = true; progressed;) {
+        progressed = false;
+        if (!with_cost && MatchKeyword("COST")) {
+          with_cost = progressed = true;
+        }
+        if (!with_analyze && MatchKeyword("ANALYZE")) {
+          with_analyze = progressed = true;
+        }
+        if (!with_verify && MatchKeyword("VERIFY")) {
+          with_verify = progressed = true;
+        }
+      }
+    }
     DBSP_ASSIGN_OR_RETURN(StatementPtr inner, ParseStatementTop());
     auto stmt = std::make_unique<Statement>();
     stmt->kind = StatementKind::kExplain;
     stmt->explained = std::move(inner);
     stmt->explain_cost = with_cost;
     stmt->explain_analyze = with_analyze;
+    stmt->explain_verify = with_verify;
     return stmt;
   }
 

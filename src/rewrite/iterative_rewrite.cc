@@ -230,16 +230,26 @@ Status ProgramBuilder::AddIterativeCte(Program* program, const CteDef& def) {
   // by differential fuzzing). Only a counted-iterations loop is insensitive.
   bool termination_row_insensitive =
       def.until.kind == TerminationCondition::Kind::kIterations;
+  // A LIMIT/OFFSET in Ri is row-sensitive too: the cutoff selects different
+  // rows depending on what survives into the iteration, so a predicate
+  // filtered into R0 would change which rows the cutoff keeps (the verifier
+  // re-derives this as defect V108).
+  bool no_limit = !ri.limit.has_value() && ri.offset == 0;
   info.pushdown_legal =
-      single_self_scan && no_agg && termination_row_insensitive &&
+      single_self_scan && no_agg && termination_row_insensitive && no_limit &&
       !(ri.kind == QueryNodeKind::kSelect && ri.distinct);
   info.pass_through.assign(schema.num_columns(), false);
   if (info.pushdown_legal) {
     for (size_t i = 0;
          i < ri.select_list.size() && i < schema.num_columns(); ++i) {
       const ParseExpr& e = *ri.select_list[i].expr;
-      info.pass_through[i] = e.kind == ParseExprKind::kColumnRef &&
-                             e.column_name == schema.column(i).name;
+      // The binder resolves a name to its *first* occurrence in the CTE
+      // schema, so with duplicate column names a name match alone could
+      // mark column i pass-through while the select item actually copies an
+      // earlier column. Require the resolved ordinal to be i.
+      info.pass_through[i] =
+          e.kind == ParseExprKind::kColumnRef &&
+          schema.FindColumn(e.column_name) == std::optional<size_t>(i);
     }
   }
 

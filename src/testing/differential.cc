@@ -16,6 +16,8 @@ EngineOptions BaseOptions(const DifferentialOptions& opts) {
   eo.max_iterations_guard = opts.max_iterations_guard;
   eo.dev_break_rename_for_testing =
       opts.break_rename && eo.optimizer.enable_rename_optimization;
+  eo.verify.verify_plans = opts.verify;
+  eo.verify.enforce = opts.verify;
   return eo;
 }
 

@@ -39,6 +39,12 @@ struct DifferentialOptions {
   /// every rename-enabled oracle. Used to prove the harness catches bugs.
   bool break_rename = false;
 
+  /// Runs the static plan/program verifier (src/verify/) in *enforcing*
+  /// mode on every oracle. A diagnostic then surfaces as kInternal, which
+  /// the status classifier treats as an engine bug — making the verifier a
+  /// fuzzing oracle in its own right.
+  bool verify = true;
+
   /// Small guard so a non-converging generated loop fails fast (and
   /// consistently across oracles) instead of spinning.
   int64_t max_iterations_guard = 4000;

@@ -1,0 +1,30 @@
+// Internal interface between the verifier's entry points (verify.cc) and
+// the two analyses (plan_checker.cc, program_checker.cc).
+
+#pragma once
+
+#include "verify/verify.h"
+
+namespace dbspinner {
+namespace verify {
+namespace internal {
+
+/// Structural + type/schema validation of one logical plan tree (V0xx).
+void CheckPlan(const LogicalOp& plan, const VerifyContext& ctx, int step_id,
+               VerifyReport* report);
+
+/// Step-payload validation and the dataflow abstract interpretation over the
+/// whole program (V1xx, plus result-scan V008 checks that need binding
+/// state).
+void CheckProgram(const Program& program, const VerifyContext& ctx,
+                  VerifyReport* report);
+
+/// Truncated single-node plan excerpt for diagnostics.
+std::string PlanExcerpt(const LogicalOp& op);
+
+/// One-line step excerpt ("step 4 kRename 'x' -> 'y'").
+std::string StepExcerpt(const Step& step);
+
+}  // namespace internal
+}  // namespace verify
+}  // namespace dbspinner

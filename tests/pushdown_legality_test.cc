@@ -116,6 +116,24 @@ TEST_F(PushdownLegalityTest, NotAppliedUnderDataCondition) {
   EXPECT_EQ(plan.find(kPushdownMarker), std::string::npos) << plan;
 }
 
+TEST_F(PushdownLegalityTest, NotAppliedWhenRiHasLimit) {
+  // LIMIT is a row-sensitive cutoff: filtering R0 changes *which* rows
+  // survive the cutoff in every iteration, not just how many reach Qf.
+  // Found by the static verifier's V108 re-derivation of the legality fact.
+  std::string plan = ExplainText(
+      Cte("SELECT node, v * 2 FROM f LIMIT 3", "3 ITERATIONS"));
+  EXPECT_EQ(plan.find(kPushdownMarker), std::string::npos) << plan;
+}
+
+TEST_F(PushdownLegalityTest, LimitInRiResultsMatchWithRuleOnAndOff) {
+  const std::string sql =
+      Cte("SELECT node, v * 2 FROM f ORDER BY node LIMIT 3", "3 ITERATIONS");
+  TablePtr with_rule = MustQuery(&db_, sql);
+  db_.options().optimizer.enable_cte_predicate_pushdown = false;
+  TablePtr without_rule = MustQuery(&db_, sql);
+  ExpectSameRows(with_rule, without_rule);
+}
+
 TEST_F(PushdownLegalityTest, UpdatesTerminationResultsMatchWithRuleOnAndOff) {
   // The minimized shape the fuzzer reported: with pushdown (wrongly) applied
   // the filtered working set reaches n cumulative updates later, running

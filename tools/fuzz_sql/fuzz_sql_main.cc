@@ -37,13 +37,15 @@ struct CliOptions {
   bool break_rename = false;
   bool faults = false;  ///< add recover-vs-clean oracles per case
   double fault_rate = 0.1;
+  bool verify = true;  ///< enforce the static plan/program verifier
   bool verbose = false;
 };
 
 void Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--seed N] [--iterations N] [--time-budget SECONDS]"
-               " [--break-rename] [--faults] [--fault-rate R] [--verbose]\n",
+               " [--break-rename] [--faults] [--fault-rate R]"
+               " [--verify|--no-verify] [--verbose]\n",
                argv0);
 }
 
@@ -82,6 +84,10 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts) {
         return false;
       }
       opts->faults = true;
+    } else if (arg == "--verify") {
+      opts->verify = true;
+    } else if (arg == "--no-verify") {
+      opts->verify = false;
     } else if (arg == "--verbose") {
       opts->verbose = true;
     } else {
@@ -103,6 +109,7 @@ int main(int argc, char** argv) {
 
   DifferentialOptions diff_opts;
   diff_opts.break_rename = cli.break_rename;
+  diff_opts.verify = cli.verify;
 
   dbspinner::fuzz::QueryGenerator generator(cli.seed);
   std::map<std::string, int64_t> family_counts;
@@ -116,12 +123,13 @@ int main(int argc, char** argv) {
            std::chrono::seconds(cli.time_budget_s);
   };
 
-  std::printf("fuzz_sql: seed=%llu iterations=%lld time-budget=%llds%s%s\n",
+  std::printf("fuzz_sql: seed=%llu iterations=%lld time-budget=%llds%s%s%s\n",
               static_cast<unsigned long long>(cli.seed),
               static_cast<long long>(cli.iterations),
               static_cast<long long>(cli.time_budget_s),
               cli.break_rename ? " [break-rename fault injection]" : "",
-              cli.faults ? " [recover-vs-clean fault oracles]" : "");
+              cli.faults ? " [recover-vs-clean fault oracles]" : "",
+              cli.verify ? " [verifier enforced]" : " [verifier off]");
 
   for (int64_t i = 0; i < cli.iterations && !out_of_time(); ++i) {
     FuzzCase c = generator.NextCase();
