@@ -1,0 +1,156 @@
+// Concurrent serving benchmark (DESIGN.md §10): aggregate throughput and
+// latency of the session/scheduler/snapshot-catalog stack at 1, 4, and 16
+// concurrent sessions hammering one shared Database with a mixed read
+// workload.
+//
+// Reads are admission-controlled but lock-free against the catalog (each
+// query pins a snapshot), so on a multi-core host aggregate QPS should
+// scale with session count until the shared worker pool saturates. On a
+// single core the numbers show scheduling overhead instead — the counters
+// make either case visible.
+//
+// Emits per-run counters (qps, p50_ms, p99_ms, queue_wait_avg_us,
+// queued_fraction); run with --benchmark_format=json for machine-readable
+// output:
+//
+//   ./build/bench/bench_concurrency --benchmark_format=json
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "server/session.h"
+
+namespace dbspinner {
+namespace bench {
+namespace {
+
+/// Small shared read-only database: big enough that queries do real work,
+/// small enough that a 16-session sweep finishes in seconds.
+Database* GetServeDb() {
+  static Database* db = [] {
+    auto* d = new Database();
+    graph::GraphSpec spec;
+    spec.num_nodes = 1500;
+    spec.num_edges = 6000;
+    spec.seed = 17;
+    graph::EdgeList g = graph::Generate(spec);
+    Status st = graph::LoadIntoDatabase(d, g, 0.8, 7);
+    if (!st.ok()) {
+      fprintf(stderr, "bench setup failed: %s\n", st.ToString().c_str());
+      std::abort();
+    }
+    return d;
+  }();
+  return db;
+}
+
+const std::vector<std::string>& QueryMix() {
+  static const std::vector<std::string> mix = {
+      // Join-aggregate: one-shot, hash-join + group-by heavy.
+      "SELECT e1.src, COUNT(*) FROM edges e1 JOIN edges e2 "
+      "ON e1.dst = e2.src GROUP BY e1.src",
+      // Iterative: a bounded SSSP loop (merge-by-key updates).
+      workloads::SSSPQuery(6, 1, 100),
+      // Iterative: a short full-update PageRank.
+      workloads::PRQuery(3),
+  };
+  return mix;
+}
+
+double Percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  size_t idx = static_cast<size_t>(p * static_cast<double>(sorted.size() - 1));
+  return sorted[idx];
+}
+
+void BM_ConcurrentServing(benchmark::State& state) {
+  const int sessions = static_cast<int>(state.range(0));
+  constexpr int kQueriesPerSession = 6;
+  Database* db = GetServeDb();
+
+  server::SchedulerOptions sched;
+  // Admission sized to the offered load: this measures the serving stack,
+  // not queue-full rejections (those are covered by tests).
+  sched.max_concurrent_queries = sessions;
+  sched.max_queue_depth = sessions * kQueriesPerSession;
+  server::SessionManager manager(db, sched);
+
+  std::mutex lat_mu;
+  std::vector<double> latencies_ms;
+  std::atomic<int64_t> errors{0};
+  int64_t total_queries = 0;
+  double total_seconds = 0.0;
+
+  for (auto _ : state) {
+    const auto begin = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    threads.reserve(sessions);
+    for (int s = 0; s < sessions; ++s) {
+      threads.emplace_back([&, s] {
+        std::shared_ptr<server::Session> session = manager.CreateSession();
+        std::vector<double> local;
+        local.reserve(kQueriesPerSession);
+        for (int q = 0; q < kQueriesPerSession; ++q) {
+          const std::string& sql =
+              QueryMix()[(s + q) % QueryMix().size()];
+          const auto t0 = std::chrono::steady_clock::now();
+          Result<QueryResult> r = session->Execute(sql);
+          const auto t1 = std::chrono::steady_clock::now();
+          if (!r.ok()) {
+            ++errors;
+            continue;
+          }
+          benchmark::DoNotOptimize(r->table);
+          local.push_back(
+              std::chrono::duration<double, std::milli>(t1 - t0).count());
+        }
+        std::lock_guard<std::mutex> lock(lat_mu);
+        latencies_ms.insert(latencies_ms.end(), local.begin(), local.end());
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    total_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      begin)
+            .count();
+    total_queries += static_cast<int64_t>(sessions) * kQueriesPerSession;
+  }
+
+  if (errors.load() > 0) {
+    state.SkipWithError("query failures during benchmark");
+    return;
+  }
+
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  server::SchedulerStats sstats = manager.scheduler().stats();
+  state.counters["qps"] =
+      total_seconds > 0 ? static_cast<double>(total_queries) / total_seconds
+                        : 0.0;
+  state.counters["p50_ms"] = Percentile(latencies_ms, 0.50);
+  state.counters["p99_ms"] = Percentile(latencies_ms, 0.99);
+  state.counters["queue_wait_avg_us"] =
+      sstats.queued > 0 ? static_cast<double>(sstats.total_queue_wait_us) /
+                              static_cast<double>(sstats.queued)
+                        : 0.0;
+  state.counters["queued_fraction"] =
+      sstats.admitted > 0 ? static_cast<double>(sstats.queued) /
+                                static_cast<double>(sstats.admitted)
+                          : 0.0;
+}
+
+BENCHMARK(BM_ConcurrentServing)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace bench
+}  // namespace dbspinner
+
+BENCHMARK_MAIN();

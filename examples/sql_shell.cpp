@@ -5,27 +5,74 @@
 //
 // Statements end with ';'. Meta-commands: \q quit, \timing toggle per-
 // statement timing, \stats toggle executor statistics, \tables list tables,
-// \demo load a small demo graph (tables `edges` and `vertexstatus`).
+// \demo load a small demo graph (tables `edges` and `vertexstatus`),
+// \set [name value] show or override per-session engine options.
+//
+// The shell is a client of the concurrent serving layer: it opens one
+// server::Session, so \set overrides are session-scoped and Ctrl-C
+// cooperatively cancels the in-flight statement (kCancelled) instead of
+// killing the shell.
 
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "common/string_util.h"
 #include "engine/database.h"
 #include "graph/generator.h"
+#include "server/session.h"
 
 using namespace dbspinner;
 
 namespace {
 
-void RunStatement(Database* db, const std::string& sql, bool timing,
-                  bool stats) {
+// Set by the SIGINT handler; the statement loop polls it and issues the
+// cooperative cancel from normal (non-handler) context.
+volatile std::sig_atomic_t g_interrupted = 0;
+
+void OnSigint(int) { g_interrupted = 1; }
+
+struct ShellSettings {
+  bool timing = false;
+  bool stats = false;
+  int64_t deadline_ms = 0;  ///< 0 = no per-statement deadline
+};
+
+void RunStatement(server::Session* session, const std::string& sql,
+                  const ShellSettings& settings) {
+  g_interrupted = 0;
   auto begin = std::chrono::steady_clock::now();
-  Result<QueryResult> result = db->Execute(sql);
+
+  // Execute on a worker so the main thread stays responsive to Ctrl-C: on
+  // interrupt it requests cooperative cancellation and keeps waiting — the
+  // engine unwinds at the next cancellation point and returns kCancelled.
+  std::atomic<bool> done{false};
+  Result<QueryResult> result = Status::Internal("statement never ran");
+  std::thread worker([&] {
+    result = settings.deadline_ms > 0
+                 ? session->ExecuteWithDeadline(sql,
+                                                settings.deadline_ms * 1000)
+                 : session->Execute(sql);
+    done = true;
+  });
+  bool cancel_requested = false;
+  while (!done) {
+    if (g_interrupted && !cancel_requested) {
+      g_interrupted = 0;
+      cancel_requested = true;
+      session->CancelCurrent();
+      std::cout << "\ncancel requested, waiting for the query to unwind...\n";
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  worker.join();
   auto end = std::chrono::steady_clock::now();
+
   if (!result.ok()) {
     std::cout << result.status().ToString() << "\n";
     return;
@@ -40,8 +87,8 @@ void RunStatement(Database* db, const std::string& sql, bool timing,
   } else {
     std::cout << "OK\n";
   }
-  if (stats) std::cout << result->stats.ToString() << "\n";
-  if (timing) {
+  if (settings.stats) std::cout << result->stats.ToString() << "\n";
+  if (settings.timing) {
     double ms =
         std::chrono::duration<double, std::milli>(end - begin).count();
     std::cout << "Time: " << ms << " ms\n";
@@ -63,12 +110,69 @@ void LoadDemo(Database* db) {
             << " rows) and vertexstatus(" << g.num_nodes << " rows)\n";
 }
 
+bool ParseOnOff(const std::string& v, bool* out) {
+  if (v == "on" || v == "true" || v == "1") {
+    *out = true;
+    return true;
+  }
+  if (v == "off" || v == "false" || v == "0") {
+    *out = false;
+    return true;
+  }
+  return false;
+}
+
+// \set [name value]: show or change per-session overrides. Only this
+// session is affected — other sessions (and the database defaults) keep
+// their own options.
+void HandleSet(server::Session* session, ShellSettings* settings,
+               const std::string& args) {
+  std::istringstream in(args);
+  std::string name, value;
+  in >> name >> value;
+  EngineOptions& opts = session->options();
+  if (name.empty()) {
+    std::cout << "workers         " << opts.num_workers << "\n"
+              << "max_iterations  " << opts.max_iterations_guard << "\n"
+              << "verify          "
+              << (opts.verify.verify_plans ? "on" : "off") << "\n"
+              << "rename          "
+              << (opts.optimizer.enable_rename_optimization ? "on" : "off")
+              << "\n"
+              << "deadline_ms     " << settings->deadline_ms
+              << (settings->deadline_ms == 0 ? " (off)" : "") << "\n";
+    return;
+  }
+  int64_t n = 0;
+  bool flag = false;
+  char* end = nullptr;
+  if (!value.empty()) n = std::strtoll(value.c_str(), &end, 10);
+  bool is_int = !value.empty() && end != nullptr && *end == '\0';
+  if (name == "workers" && is_int && n >= 1 && n <= 64) {
+    opts.num_workers = static_cast<int>(n);
+  } else if (name == "max_iterations" && is_int && n >= 1) {
+    opts.max_iterations_guard = n;
+  } else if (name == "deadline_ms" && is_int && n >= 0) {
+    settings->deadline_ms = n;
+  } else if (name == "verify" && ParseOnOff(value, &flag)) {
+    opts.verify.verify_plans = flag;
+  } else if (name == "rename" && ParseOnOff(value, &flag)) {
+    opts.optimizer.enable_rename_optimization = flag;
+  } else {
+    std::cout << "usage: \\set [workers N | max_iterations N | "
+                 "deadline_ms N | verify on|off | rename on|off]\n";
+    return;
+  }
+  std::cout << name << " = " << value << " (this session only)\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Database db;
-  bool timing = false;
-  bool stats = false;
+  server::SessionManager manager(&db);
+  std::shared_ptr<server::Session> session = manager.CreateSession();
+  ShellSettings settings;
 
   std::istream* in = &std::cin;
   std::ifstream file;
@@ -84,30 +188,44 @@ int main(int argc, char** argv) {
   }
 
   if (interactive) {
+    std::signal(SIGINT, OnSigint);
     std::cout << "dbspinner shell — iterative CTEs in SQL. \\q to quit, "
-                 "\\demo for sample data.\n";
+                 "\\demo for sample data, Ctrl-C cancels the running "
+                 "query.\n";
   }
 
   std::string buffer;
   std::string line;
   while (true) {
     if (interactive) std::cout << (buffer.empty() ? "dbsp> " : "  ... ");
-    if (!std::getline(*in, line)) break;
+    if (!std::getline(*in, line)) {
+      if (interactive && g_interrupted) {
+        // Ctrl-C at the prompt: clear the flag and keep reading.
+        g_interrupted = 0;
+        std::cin.clear();
+        std::cout << "\n";
+        continue;
+      }
+      break;
+    }
     std::string trimmed = Trim(line);
     if (buffer.empty() && !trimmed.empty() && trimmed[0] == '\\') {
       if (trimmed == "\\q" || trimmed == "\\quit") break;
       if (trimmed == "\\timing") {
-        timing = !timing;
-        std::cout << "timing " << (timing ? "on" : "off") << "\n";
+        settings.timing = !settings.timing;
+        std::cout << "timing " << (settings.timing ? "on" : "off") << "\n";
       } else if (trimmed == "\\stats") {
-        stats = !stats;
-        std::cout << "stats " << (stats ? "on" : "off") << "\n";
+        settings.stats = !settings.stats;
+        std::cout << "stats " << (settings.stats ? "on" : "off") << "\n";
       } else if (trimmed == "\\tables") {
         for (const auto& name : db.catalog().TableNames()) {
           std::cout << name << "\n";
         }
       } else if (trimmed == "\\demo") {
         LoadDemo(&db);
+      } else if (trimmed == "\\set" || trimmed.rfind("\\set ", 0) == 0) {
+        HandleSet(session.get(), &settings,
+                  trimmed.size() > 4 ? trimmed.substr(5) : "");
       } else {
         std::cout << "unknown command: " << trimmed << "\n";
       }
@@ -117,12 +235,12 @@ int main(int argc, char** argv) {
     // Execute once the buffer holds a ';'-terminated statement.
     std::string t = Trim(buffer);
     if (!t.empty() && t.back() == ';') {
-      RunStatement(&db, t, timing, stats);
+      RunStatement(session.get(), t, settings);
       buffer.clear();
     }
   }
   // Run any trailing statement without ';' (file mode convenience).
   std::string t = Trim(buffer);
-  if (!t.empty()) RunStatement(&db, t, timing, stats);
+  if (!t.empty()) RunStatement(session.get(), t, settings);
   return 0;
 }

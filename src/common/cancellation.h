@@ -1,0 +1,94 @@
+// Cooperative cancellation for long-running queries.
+//
+// A CancellationToken is a cheap shared handle to an atomic cancel flag and
+// an optional deadline. The server layer hands one to each query; the
+// executor checks it at every step boundary and the thread pool checks it
+// before dispatching each parallel task, so a runaway WITH ITERATIVE loop
+// can be killed (or timed out) within one loop iteration. An observed
+// cancellation surfaces as StatusCode::kCancelled, which is neither
+// retryable nor recoverable — the fault-tolerance layer never resurrects a
+// cancelled query.
+
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+
+#include "common/status.h"
+
+namespace dbspinner {
+
+/// Shared cancel-flag handle. The default-constructed token is *inert*: it
+/// has no state, can never fire, and costs one null check per inspection —
+/// callers that don't serve cancellable queries (tests, benchmarks, the
+/// default session) pay nothing. Make() creates a live token.
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+
+  /// Creates a live (cancellable) token.
+  static CancellationToken Make() {
+    CancellationToken t;
+    t.state_ = std::make_shared<State>();
+    return t;
+  }
+
+  /// True when this token can actually fire.
+  bool live() const { return state_ != nullptr; }
+
+  /// Requests cancellation. Thread-safe; no-op on an inert token.
+  void RequestCancel() const {
+    if (state_) state_->cancelled.store(true, std::memory_order_relaxed);
+  }
+
+  /// Arms a deadline `micros` from now. A check after the deadline reports
+  /// kCancelled ("deadline exceeded"). <= 0 disarms. No-op on inert tokens.
+  void SetDeadlineAfterMicros(int64_t micros) const {
+    if (!state_) return;
+    if (micros <= 0) {
+      state_->deadline_ns.store(0, std::memory_order_relaxed);
+      return;
+    }
+    int64_t now = NowNanos();
+    state_->deadline_ns.store(now + micros * 1000, std::memory_order_relaxed);
+  }
+
+  /// True once cancelled explicitly or past the deadline.
+  bool IsCancelled() const {
+    if (!state_) return false;
+    if (state_->cancelled.load(std::memory_order_relaxed)) return true;
+    int64_t dl = state_->deadline_ns.load(std::memory_order_relaxed);
+    return dl != 0 && NowNanos() >= dl;
+  }
+
+  /// OK, or the kCancelled status describing why the query must stop.
+  Status Check() const {
+    if (!state_) return Status::OK();
+    if (state_->cancelled.load(std::memory_order_relaxed)) {
+      return Status::Cancelled("query cancelled");
+    }
+    int64_t dl = state_->deadline_ns.load(std::memory_order_relaxed);
+    if (dl != 0 && NowNanos() >= dl) {
+      return Status::Cancelled("query deadline exceeded");
+    }
+    return Status::OK();
+  }
+
+ private:
+  struct State {
+    std::atomic<bool> cancelled{false};
+    std::atomic<int64_t> deadline_ns{0};  ///< steady-clock ns; 0 = unarmed
+  };
+
+  static int64_t NowNanos() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace dbspinner

@@ -30,6 +30,8 @@ const char* StatusCodeName(StatusCode code) {
       return "Unavailable";
     case StatusCode::kWorkerLost:
       return "WorkerLost";
+    case StatusCode::kCancelled:
+      return "Cancelled";
   }
   return "Unknown";
 }

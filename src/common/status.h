@@ -31,6 +31,10 @@ enum class StatusCode {
   kWorkerLost,        ///< Simulated node death mid-step; the step's partial
                       ///< state is gone, so only a checkpoint restore (not a
                       ///< step-level retry) can recover.
+  kCancelled,         ///< Query killed cooperatively: an explicit cancel or
+                      ///< an expired deadline observed at a cancellation
+                      ///< point. Never retried or recovered — the caller
+                      ///< asked for the query to stop.
 };
 
 /// Human-readable name of a StatusCode ("ParseError", ...).
@@ -80,6 +84,9 @@ class Status {
   }
   static Status WorkerLost(std::string msg) {
     return Status(StatusCode::kWorkerLost, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

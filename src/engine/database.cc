@@ -13,41 +13,53 @@
 
 namespace dbspinner {
 
-ThreadPool* Database::GetPool() {
-  if (options_.num_workers <= 1) return nullptr;
-  if (!pool_ || pool_width_ != options_.num_workers) {
-    pool_ = std::make_unique<ThreadPool>(options_.num_workers);
-    pool_width_ = options_.num_workers;
+ThreadPool* Database::GetPool(SessionState& ss) {
+  if (ss.options.num_workers <= 1) return nullptr;
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  if (!pool_ || pool_->num_threads() < ss.options.num_workers) {
+    // Grow-only: never destroy a pool another session's query may still be
+    // dispatching onto. The retired pool stays alive (idle) until the
+    // Database is destroyed.
+    if (pool_) retired_pools_.push_back(std::move(pool_));
+    pool_ = std::make_unique<ThreadPool>(ss.options.num_workers);
   }
   return pool_.get();
 }
 
-FaultInjector* Database::GetFaultInjector() {
-  if (!options_.fault_injection.enabled) {
+FaultInjector* Database::GetFaultInjector(SessionState& ss) {
+  if (!ss.options.fault_injection.enabled) {
     // Disabling drops the injector, so a later re-enable — even with the
     // identical config — starts a fresh schedule from hit 0. Tests rely on
     // this to reproduce a schedule by toggling the config off and on.
-    fault_injector_.reset();
+    ss.fault_injector.reset();
     return nullptr;
   }
-  if (!fault_injector_ ||
-      fault_injector_->config() != options_.fault_injection) {
-    fault_injector_ = std::make_unique<FaultInjector>(options_.fault_injection);
+  if (!ss.fault_injector ||
+      ss.fault_injector->config() != ss.options.fault_injection) {
+    ss.fault_injector =
+        std::make_unique<FaultInjector>(ss.options.fault_injection);
   }
-  return fault_injector_.get();
+  return ss.fault_injector.get();
 }
 
-ExecContext Database::MakeContext(ResultRegistry* registry) {
+ExecContext Database::MakeContext(SessionState& ss, Catalog* cat,
+                                  ResultRegistry* registry) {
   ExecContext ctx;
-  ctx.catalog = &catalog_;
+  ctx.catalog = cat;
   ctx.registry = registry;
-  ctx.options = &options_;
-  ctx.pool = GetPool();
-  ctx.faults = GetFaultInjector();
+  ctx.options = &ss.options;
+  ctx.pool = GetPool(ss);
+  ctx.faults = GetFaultInjector(ss);
+  ctx.cancel = ss.cancel;
   // Surface verifier findings counted (not enforced) during planning in the
   // execution stats of the statement they belong to.
-  ctx.stats.verify_violations = pending_verify_violations_;
-  pending_verify_violations_ = 0;
+  ctx.stats.verify_violations = ss.pending_verify_violations;
+  ss.pending_verify_violations = 0;
+  // Admission metadata set by the scheduler before this query started.
+  ctx.stats.queue_wait_us = ss.queue_wait_us;
+  ctx.stats.admission_waits = ss.queued ? 1 : 0;
+  ss.queue_wait_us = 0;
+  ss.queued = false;
   // Restart the schedule at hit 0 for every program execution: the fault
   // set a statement sees is a pure function of the config, independent of
   // what ran before it. Repro lines stay one statement long.
@@ -56,18 +68,28 @@ ExecContext Database::MakeContext(ResultRegistry* registry) {
 }
 
 Result<QueryResult> Database::Execute(const std::string& sql) {
-  DBSP_ASSIGN_OR_RETURN(StatementPtr stmt, ParseStatement(sql));
-  return ExecuteStatement(*stmt);
+  return ExecuteForSession(&default_session_, sql);
 }
 
 Result<QueryResult> Database::ExecuteScript(const std::string& sql) {
+  return ExecuteScriptForSession(&default_session_, sql);
+}
+
+Result<QueryResult> Database::ExecuteForSession(SessionState* session,
+                                                const std::string& sql) {
+  DBSP_ASSIGN_OR_RETURN(StatementPtr stmt, ParseStatement(sql));
+  return ExecuteStatement(*session, *stmt);
+}
+
+Result<QueryResult> Database::ExecuteScriptForSession(SessionState* session,
+                                                      const std::string& sql) {
   DBSP_ASSIGN_OR_RETURN(std::vector<StatementPtr> stmts, ParseScript(sql));
   if (stmts.empty()) {
     return Status::InvalidArgument("empty script");
   }
   QueryResult last;
   for (const auto& stmt : stmts) {
-    DBSP_ASSIGN_OR_RETURN(last, ExecuteStatement(*stmt));
+    DBSP_ASSIGN_OR_RETURN(last, ExecuteStatement(*session, *stmt));
   }
   return last;
 }
@@ -91,68 +113,101 @@ Result<Program> Database::Plan(const std::string& sql) {
   if (target->kind != StatementKind::kSelect) {
     return Status::InvalidArgument("Plan() supports SELECT statements only");
   }
-  return PrepareProgram(
-      [&](ProgramBuilder& builder) { return builder.BuildSelect(*target); });
+  Catalog snapshot = catalog_.PinSnapshot();
+  return PrepareProgram(default_session_, &snapshot, [&](ProgramBuilder& b) {
+    return b.BuildSelect(*target);
+  });
 }
 
-Status Database::VerifyStage(const std::string& phase, const Program& program,
+Status Database::VerifyStage(SessionState& ss, Catalog* cat,
+                             const std::string& phase, const Program& program,
                              bool require_physical) {
-  if (!options_.verify.verify_plans) return Status::OK();
+  if (!ss.options.verify.verify_plans) return Status::OK();
   verify::VerifyContext vctx;
-  vctx.catalog = &catalog_;
+  vctx.catalog = cat;
   vctx.require_physical = require_physical;
   verify::VerifyReport report = verify::VerifyProgram(program, vctx);
   report.phase = phase;
-  return verify::EnforceOrCount(report, options_.verify.enforce,
-                                &pending_verify_violations_);
+  return verify::EnforceOrCount(report, ss.options.verify.enforce,
+                                &ss.pending_verify_violations);
 }
 
 Result<Program> Database::PrepareProgram(
+    SessionState& ss, Catalog* cat,
     const std::function<Result<Program>(ProgramBuilder&)>& build) {
-  ProgramBuilder builder(&catalog_, options_.optimizer);
+  ProgramBuilder builder(cat, ss.options.optimizer);
   DBSP_ASSIGN_OR_RETURN(Program program, build(builder));
-  DBSP_RETURN_NOT_OK(
-      VerifyStage("after-binding", program, /*require_physical=*/false));
-  Optimizer optimizer(options_.optimizer, &catalog_);
-  if (options_.verify.verify_plans) {
-    optimizer.set_rule_hook([this](const char* rule, const Program& p) {
-      return VerifyStage(std::string("after-") + rule, p,
+  DBSP_RETURN_NOT_OK(VerifyStage(ss, cat, "after-binding", program,
+                                 /*require_physical=*/false));
+  Optimizer optimizer(ss.options.optimizer, cat);
+  if (ss.options.verify.verify_plans) {
+    optimizer.set_rule_hook([this, &ss, cat](const char* rule,
+                                             const Program& p) {
+      return VerifyStage(ss, cat, std::string("after-") + rule, p,
                          /*require_physical=*/false);
     });
   }
   DBSP_RETURN_NOT_OK(optimizer.OptimizeProgram(&program));
-  DBSP_RETURN_NOT_OK(
-      VerifyStage("after-optimize", program, /*require_physical=*/false));
+  DBSP_RETURN_NOT_OK(VerifyStage(ss, cat, "after-optimize", program,
+                                 /*require_physical=*/false));
   return program;
 }
 
-Result<QueryResult> Database::ExecuteStatement(const Statement& stmt) {
+Result<QueryResult> Database::ExecuteStatement(SessionState& ss,
+                                               const Statement& stmt) {
+  // Cancellation observed even before planning starts: a query killed
+  // while queued never touches the engine.
+  if (ss.cancel.live()) {
+    DBSP_RETURN_NOT_OK(ss.cancel.Check());
+  }
   switch (stmt.kind) {
     case StatementKind::kSelect:
-      return ExecuteSelect(stmt);
-    case StatementKind::kExplain:
-      return ExecuteExplain(stmt);
-    case StatementKind::kCreateTable:
-      return ExecuteCreateTable(stmt);
-    case StatementKind::kInsert:
-      return ExecuteInsert(stmt);
-    case StatementKind::kUpdate:
-      return ExecuteUpdate(stmt);
-    case StatementKind::kDelete:
-      return ExecuteDelete(stmt);
-    case StatementKind::kDropTable:
-      return ExecuteDrop(stmt);
+    case StatementKind::kExplain: {
+      // Reads pin the current catalog version and run entirely against it:
+      // no lock held, concurrent DDL/DML is invisible until the next
+      // statement.
+      Catalog snapshot = catalog_.PinSnapshot();
+      if (stmt.kind == StatementKind::kSelect) {
+        return ExecuteSelect(ss, &snapshot, stmt);
+      }
+      return ExecuteExplain(ss, &snapshot, stmt);
+    }
     case StatementKind::kBegin:
     case StatementKind::kCommit:
     case StatementKind::kRollback:
-      return ExecuteTransactionControl(stmt);
+      return ExecuteTransactionControl(ss, stmt);
+    default:
+      break;
+  }
+  // Write statements occupy the engine-wide writer slot for the duration of
+  // the statement, making their read-modify-write of the catalog atomic. A
+  // session with an open transaction already holds the slot via tx_lock.
+  std::unique_lock<std::mutex> commit_lock;
+  if (!ss.tx_lock.owns_lock()) {
+    commit_lock = std::unique_lock<std::mutex>(commit_mu_);
+  }
+  switch (stmt.kind) {
+    case StatementKind::kCreateTable:
+      return ExecuteCreateTable(ss, stmt);
+    case StatementKind::kInsert:
+      return ExecuteInsert(ss, stmt);
+    case StatementKind::kUpdate:
+      return ExecuteUpdate(ss, stmt);
+    case StatementKind::kDelete:
+      return ExecuteDelete(ss, stmt);
+    case StatementKind::kDropTable:
+      return ExecuteDrop(ss, stmt);
     case StatementKind::kCopy:
-      return ExecuteCopy(stmt);
+      return ExecuteCopy(ss, stmt);
+    default:
+      break;
   }
   return Status::Internal("unhandled statement kind");
 }
 
-Result<QueryResult> Database::ExecuteCopy(const Statement& stmt) {
+Result<QueryResult> Database::ExecuteCopy(SessionState& ss,
+                                          const Statement& stmt) {
+  (void)ss;
   DBSP_ASSIGN_OR_RETURN(CatalogEntry * entry, catalog_.Get(stmt.table_name));
   QueryResult result;
   result.table = Table::Make(Schema());
@@ -173,40 +228,48 @@ Result<QueryResult> Database::ExecuteCopy(const Statement& stmt) {
   return result;
 }
 
-Result<QueryResult> Database::ExecuteTransactionControl(const Statement& stmt) {
+Result<QueryResult> Database::ExecuteTransactionControl(SessionState& ss,
+                                                        const Statement& stmt) {
   QueryResult result;
   result.table = Table::Make(Schema());
   switch (stmt.kind) {
     case StatementKind::kBegin:
-      if (tx_snapshot_.has_value()) {
+      if (ss.InTransaction()) {
         return Status::InvalidArgument("a transaction is already in progress");
       }
-      tx_snapshot_ = catalog_.Snapshot();
+      // The transaction holds the writer slot until COMMIT/ROLLBACK, so its
+      // snapshot cannot go stale under it and its rollback target is exact.
+      ss.tx_lock = std::unique_lock<std::mutex>(commit_mu_);
+      ss.tx_snapshot = catalog_.Snapshot();
       return result;
     case StatementKind::kCommit:
-      if (!tx_snapshot_.has_value()) {
+      if (!ss.InTransaction()) {
         return Status::InvalidArgument("no transaction in progress");
       }
-      tx_snapshot_.reset();
+      ss.tx_snapshot.reset();
+      ss.tx_lock = std::unique_lock<std::mutex>();
       return result;
     case StatementKind::kRollback:
-      if (!tx_snapshot_.has_value()) {
+      if (!ss.InTransaction()) {
         return Status::InvalidArgument("no transaction in progress");
       }
-      catalog_.Restore(std::move(*tx_snapshot_));
-      tx_snapshot_.reset();
+      catalog_.Restore(std::move(*ss.tx_snapshot));
+      ss.tx_snapshot.reset();
+      ss.tx_lock = std::unique_lock<std::mutex>();
       return result;
     default:
       return Status::Internal("not a transaction-control statement");
   }
 }
 
-Result<QueryResult> Database::RunProgramToResult(Program program) {
+Result<QueryResult> Database::RunProgramToResult(SessionState& ss, Catalog* cat,
+                                                 Program program) {
   DBSP_RETURN_NOT_OK(PlanProgram(&program));
-  DBSP_RETURN_NOT_OK(
-      VerifyStage("after-compile", program, /*require_physical=*/true));
+  DBSP_RETURN_NOT_OK(VerifyStage(ss, cat, "after-compile", program,
+                                 /*require_physical=*/true));
   ResultRegistry registry;
-  ExecContext ctx = MakeContext(&registry);
+  registry.set_scope(ss.temp_scope);
+  ExecContext ctx = MakeContext(ss, cat, &registry);
   DBSP_ASSIGN_OR_RETURN(TablePtr table, RunProgram(program, &ctx));
   QueryResult result;
   result.table = std::move(table);
@@ -214,21 +277,23 @@ Result<QueryResult> Database::RunProgramToResult(Program program) {
   return result;
 }
 
-Result<QueryResult> Database::ExecuteSelect(const Statement& stmt) {
+Result<QueryResult> Database::ExecuteSelect(SessionState& ss, Catalog* cat,
+                                            const Statement& stmt) {
   DBSP_ASSIGN_OR_RETURN(
-      Program program, PrepareProgram([&](ProgramBuilder& builder) {
+      Program program, PrepareProgram(ss, cat, [&](ProgramBuilder& builder) {
         return builder.BuildSelect(stmt);
       }));
-  return RunProgramToResult(std::move(program));
+  return RunProgramToResult(ss, cat, std::move(program));
 }
 
-Result<QueryResult> Database::ExecuteExplain(const Statement& stmt) {
+Result<QueryResult> Database::ExecuteExplain(SessionState& ss, Catalog* cat,
+                                             const Statement& stmt) {
   const Statement& inner = *stmt.explained;
   if (inner.kind != StatementKind::kSelect) {
     return Status::NotImplemented("EXPLAIN supports SELECT statements only");
   }
   DBSP_ASSIGN_OR_RETURN(
-      Program program, PrepareProgram([&](ProgramBuilder& builder) {
+      Program program, PrepareProgram(ss, cat, [&](ProgramBuilder& builder) {
         return builder.BuildSelect(inner);
       }));
   QueryResult result;
@@ -236,24 +301,27 @@ Result<QueryResult> Database::ExecuteExplain(const Statement& stmt) {
     // EXPLAIN ANALYZE: actually run the program with per-step profiling
     // and annotate each step with executions / time / rows.
     DBSP_RETURN_NOT_OK(PlanProgram(&program));
-    DBSP_RETURN_NOT_OK(
-        VerifyStage("after-compile", program, /*require_physical=*/true));
+    DBSP_RETURN_NOT_OK(VerifyStage(ss, cat, "after-compile", program,
+                                   /*require_physical=*/true));
     ResultRegistry registry;
-    ExecContext ctx = MakeContext(&registry);
+    registry.set_scope(ss.temp_scope);
+    ExecContext ctx = MakeContext(ss, cat, &registry);
     ctx.profiling = true;
     DBSP_ASSIGN_OR_RETURN(TablePtr ignored, RunProgram(program, &ctx));
     (void)ignored;
     result.explain =
         ExplainProgramWithProfile(program, ctx.profile, /*verbose=*/false);
     // Execution counters (including the fault-tolerance ones:
-    // checkpoints_taken / restores / step_retries) render below the plan.
+    // checkpoints_taken / restores / step_retries, and the concurrent-
+    // serving ones: queue_wait_us / admission_waits / cancel_checks)
+    // render below the plan.
     result.explain += "\nStats: " + ctx.stats.ToString();
     result.stats = ctx.stats;
   } else {
     result.explain = ExplainProgram(program, /*verbose=*/true);
   }
   if (stmt.explain_cost) {
-    CostModel model(&catalog_);
+    CostModel model(cat);
     result.explain += "\n" + model.ExplainCost(program);
   }
   if (stmt.explain_verify) {
@@ -261,7 +329,7 @@ Result<QueryResult> Database::ExecuteExplain(const Statement& stmt) {
     // optimized (and, under ANALYZE, compiled) program, regardless of the
     // verify_plans option.
     verify::VerifyContext vctx;
-    vctx.catalog = &catalog_;
+    vctx.catalog = cat;
     vctx.require_physical = stmt.explain_analyze;
     verify::VerifyReport report = verify::VerifyProgram(program, vctx);
     report.phase = "final program";
@@ -275,18 +343,23 @@ Result<QueryResult> Database::ExecuteExplain(const Statement& stmt) {
   return result;
 }
 
-Result<QueryResult> Database::ExecuteCreateTable(const Statement& stmt) {
+Result<QueryResult> Database::ExecuteCreateTable(SessionState& ss,
+                                                 const Statement& stmt) {
   if (stmt.if_not_exists && catalog_.Exists(stmt.table_name)) {
     return QueryResult{};
   }
   if (stmt.ctas_query) {
-    // CREATE TABLE ... AS SELECT: the query's result seeds the table.
+    // CREATE TABLE ... AS SELECT: the query's result seeds the table. Runs
+    // against the live catalog — the writer slot we hold excludes any
+    // concurrent republish.
     DBSP_ASSIGN_OR_RETURN(
-        Program program, PrepareProgram([&](ProgramBuilder& builder) {
+        Program program,
+        PrepareProgram(ss, &catalog_, [&](ProgramBuilder& builder) {
           return builder.BuildQuery(stmt.ctes, *stmt.ctas_query);
         }));
-    DBSP_ASSIGN_OR_RETURN(QueryResult rows,
-                          RunProgramToResult(std::move(program)));
+    DBSP_ASSIGN_OR_RETURN(
+        QueryResult rows, RunProgramToResult(ss, &catalog_,
+                                             std::move(program)));
     DBSP_RETURN_NOT_OK(
         catalog_.CreateTable(stmt.table_name, rows.table->Clone()));
     QueryResult result;
@@ -314,7 +387,8 @@ Result<QueryResult> Database::ExecuteCreateTable(const Statement& stmt) {
   return result;
 }
 
-Result<QueryResult> Database::ExecuteInsert(const Statement& stmt) {
+Result<QueryResult> Database::ExecuteInsert(SessionState& ss,
+                                            const Statement& stmt) {
   DBSP_ASSIGN_OR_RETURN(CatalogEntry * entry, catalog_.Get(stmt.table_name));
   const Schema& schema = entry->table->schema();
 
@@ -366,10 +440,13 @@ Result<QueryResult> Database::ExecuteInsert(const Statement& stmt) {
     }
   } else if (stmt.insert_query) {
     DBSP_ASSIGN_OR_RETURN(
-        Program program, PrepareProgram([&](ProgramBuilder& builder) {
+        Program program,
+        PrepareProgram(ss, &catalog_, [&](ProgramBuilder& builder) {
           return builder.BuildQuery(stmt.ctes, *stmt.insert_query);
         }));
-    DBSP_ASSIGN_OR_RETURN(QueryResult rows, RunProgramToResult(std::move(program)));
+    DBSP_ASSIGN_OR_RETURN(
+        QueryResult rows, RunProgramToResult(ss, &catalog_,
+                                             std::move(program)));
     if (rows.table->num_columns() != targets.size()) {
       return Status::BindError(
           "INSERT source returns " +
@@ -396,7 +473,8 @@ Result<QueryResult> Database::ExecuteInsert(const Statement& stmt) {
   return result;
 }
 
-Result<QueryResult> Database::ExecuteUpdate(const Statement& stmt) {
+Result<QueryResult> Database::ExecuteUpdate(SessionState& ss,
+                                            const Statement& stmt) {
   DBSP_ASSIGN_OR_RETURN(CatalogEntry * entry, catalog_.Get(stmt.table_name));
   TablePtr target = entry->table;
   const Schema& schema = target->schema();
@@ -512,22 +590,23 @@ Result<QueryResult> Database::ExecuteUpdate(const Statement& stmt) {
     set_exprs.push_back(std::move(bound));
   }
 
-  Optimizer optimizer(options_.optimizer, &catalog_);
+  Optimizer optimizer(ss.options.optimizer, &catalog_);
   DBSP_RETURN_NOT_OK(optimizer.OptimizePlan(&plan));
-  if (options_.verify.verify_plans) {
+  if (ss.options.verify.verify_plans) {
     // Standalone-plan path (no Program): run just the plan checker.
     verify::VerifyContext vctx;
     vctx.catalog = &catalog_;
     verify::VerifyReport report = verify::VerifyPlan(*plan, vctx);
     report.phase = "update-from";
     DBSP_RETURN_NOT_OK(verify::EnforceOrCount(
-        report, options_.verify.enforce, &pending_verify_violations_));
+        report, ss.options.verify.enforce, &ss.pending_verify_violations));
   }
   DBSP_ASSIGN_OR_RETURN(PhysicalOpPtr physical, CreatePhysicalPlan(*plan));
 
   ResultRegistry registry;
+  registry.set_scope(ss.temp_scope);
   registry.Put("__update_target", ext);
-  ExecContext exec_ctx = MakeContext(&registry);
+  ExecContext exec_ctx = MakeContext(ss, &catalog_, &registry);
   DBSP_ASSIGN_OR_RETURN(TablePtr joined, physical->Execute(exec_ctx));
 
   // Apply the first match per row id.
@@ -567,7 +646,9 @@ Result<QueryResult> Database::ExecuteUpdate(const Statement& stmt) {
   return result;
 }
 
-Result<QueryResult> Database::ExecuteDelete(const Statement& stmt) {
+Result<QueryResult> Database::ExecuteDelete(SessionState& ss,
+                                            const Statement& stmt) {
+  (void)ss;
   DBSP_ASSIGN_OR_RETURN(CatalogEntry * entry, catalog_.Get(stmt.table_name));
   TablePtr target = entry->table;
   const Schema& schema = target->schema();
@@ -604,7 +685,9 @@ Result<QueryResult> Database::ExecuteDelete(const Statement& stmt) {
   return result;
 }
 
-Result<QueryResult> Database::ExecuteDrop(const Statement& stmt) {
+Result<QueryResult> Database::ExecuteDrop(SessionState& ss,
+                                          const Statement& stmt) {
+  (void)ss;
   DBSP_RETURN_NOT_OK(catalog_.DropTable(stmt.table_name, stmt.if_exists));
   QueryResult result;
   result.table = Table::Make(Schema());

@@ -12,8 +12,13 @@
 
 #include <functional>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <string>
+#include <unordered_map>
+#include <vector>
 
+#include "common/cancellation.h"
 #include "common/status.h"
 #include "engine/options.h"
 #include "exec/physical_plan.h"
@@ -32,18 +37,81 @@ struct QueryResult {
   std::string explain;        ///< EXPLAIN text (empty otherwise)
 };
 
+/// Per-session execution state. Database::Execute runs on a built-in default
+/// session; the concurrent server layer (src/server/session.h) owns one
+/// SessionState per client session and calls ExecuteForSession. A
+/// SessionState is single-flight: it must not execute two statements at
+/// once (server::Session serializes its own queries).
+struct SessionState {
+  SessionState() = default;
+  explicit SessionState(EngineOptions opts) : options(std::move(opts)) {}
+
+  /// Per-session engine configuration (optimizer toggles, MPP width,
+  /// verification, fault tolerance). Overriding it affects only this
+  /// session's statements.
+  EngineOptions options;
+
+  /// Cancellation token for the session's in-flight statement. Inert by
+  /// default; the server installs a live token per query.
+  CancellationToken cancel;
+
+  /// Scope prefix ("s<id>:") applied to every intermediate-result name the
+  /// session's programs bind in their ResultRegistry, so temp names are
+  /// session-scoped by construction.
+  std::string temp_scope;
+
+  /// Admission metadata for the current query, copied into ExecStats.
+  int64_t queue_wait_us = 0;
+  bool queued = false;
+
+  /// True while a BEGIN'd transaction is open on this session.
+  bool InTransaction() const { return tx_snapshot.has_value(); }
+
+  // --- engine-managed state below; callers should not touch ---------------
+
+  /// Catalog snapshot taken at BEGIN; restored on ROLLBACK. Copy-on-write
+  /// DML makes the snapshot a cheap shallow map copy (see Catalog).
+  std::optional<std::unordered_map<std::string, CatalogEntry>> tx_snapshot;
+
+  /// Held from BEGIN to COMMIT/ROLLBACK: an explicit transaction occupies
+  /// the engine's single writer slot, so other sessions' DML/DDL waits
+  /// until it finishes (reads never wait).
+  std::unique_lock<std::mutex> tx_lock;
+
+  /// Verifier diagnostics counted (not enforced) while planning the
+  /// session's current statement; transferred into ExecStats.
+  int64_t pending_verify_violations = 0;
+
+  /// Session-materialized fault injector (from options.fault_injection).
+  std::unique_ptr<FaultInjector> fault_injector;
+};
+
 /// An in-memory analytical SQL database with iterative CTE support.
-/// Thread-compatible: callers serialize access.
+///
+/// Concurrency model (DESIGN.md §10): the facade is safe for concurrent use
+/// through *distinct sessions* — each query plans and executes against a
+/// pinned catalog snapshot, so readers never block and never observe a
+/// half-applied DDL/DML. Write statements (CREATE/DROP/INSERT/UPDATE/
+/// DELETE/COPY FROM) serialize on a single engine-wide commit lock and
+/// publish a new catalog version on completion (versioned swap); explicit
+/// transactions hold that lock from BEGIN to COMMIT/ROLLBACK. All sessions
+/// multiplex one shared ThreadPool. What still serializes: writers against
+/// each other, and statements *within* one session (a SessionState is
+/// single-flight). The no-argument Execute() runs on a built-in default
+/// session and is therefore thread-compatible, exactly like the historical
+/// API.
 class Database {
  public:
   Database() = default;
-  explicit Database(EngineOptions options) : options_(std::move(options)) {}
+  explicit Database(EngineOptions options)
+      : default_session_(std::move(options)) {}
 
-  EngineOptions& options() { return options_; }
-  const EngineOptions& options() const { return options_; }
+  /// The default session's options (historical single-session API).
+  EngineOptions& options() { return default_session_.options; }
+  const EngineOptions& options() const { return default_session_.options; }
   Catalog& catalog() { return catalog_; }
 
-  /// Parses and executes a single SQL statement.
+  /// Parses and executes a single SQL statement on the default session.
   Result<QueryResult> Execute(const std::string& sql);
 
   /// Executes a ';'-separated script; returns the last statement's result.
@@ -52,70 +120,89 @@ class Database {
   /// Convenience: Execute and return just the table.
   Result<TablePtr> Query(const std::string& sql);
 
+  /// Session-scoped execution: the entry point used by server::Session.
+  /// Safe to call concurrently with other sessions' statements; `session`
+  /// itself must not be shared between concurrent calls.
+  Result<QueryResult> ExecuteForSession(SessionState* session,
+                                        const std::string& sql);
+  Result<QueryResult> ExecuteScriptForSession(SessionState* session,
+                                              const std::string& sql);
+
   /// Registers an externally built table (bulk loading path used by the
-  /// graph generators and benchmarks).
+  /// graph generators and benchmarks). Thread-safe.
   Status RegisterTable(const std::string& name, TablePtr table,
                        std::optional<size_t> primary_key_col = std::nullopt);
 
   /// Builds and optimizes the Program for a SELECT statement without
-  /// executing it (used by EXPLAIN, tests, and plan inspection).
+  /// executing it (used by EXPLAIN, tests, and plan inspection). Plans
+  /// against a pinned catalog snapshot.
   Result<Program> Plan(const std::string& sql);
 
-  /// True while a BEGIN'd transaction is open.
-  bool InTransaction() const { return tx_snapshot_.has_value(); }
+  /// True while a BEGIN'd transaction is open on the default session.
+  bool InTransaction() const { return default_session_.InTransaction(); }
 
  private:
-  Result<QueryResult> ExecuteStatement(const Statement& stmt);
-  Result<QueryResult> ExecuteSelect(const Statement& stmt);
-  Result<QueryResult> ExecuteExplain(const Statement& stmt);
-  Result<QueryResult> ExecuteCreateTable(const Statement& stmt);
-  Result<QueryResult> ExecuteInsert(const Statement& stmt);
-  Result<QueryResult> ExecuteUpdate(const Statement& stmt);
-  Result<QueryResult> ExecuteDelete(const Statement& stmt);
-  Result<QueryResult> ExecuteDrop(const Statement& stmt);
+  Result<QueryResult> ExecuteStatement(SessionState& ss,
+                                       const Statement& stmt);
+  Result<QueryResult> ExecuteSelect(SessionState& ss, Catalog* cat,
+                                    const Statement& stmt);
+  Result<QueryResult> ExecuteExplain(SessionState& ss, Catalog* cat,
+                                     const Statement& stmt);
+  Result<QueryResult> ExecuteCreateTable(SessionState& ss,
+                                         const Statement& stmt);
+  Result<QueryResult> ExecuteInsert(SessionState& ss, const Statement& stmt);
+  Result<QueryResult> ExecuteUpdate(SessionState& ss, const Statement& stmt);
+  Result<QueryResult> ExecuteDelete(SessionState& ss, const Statement& stmt);
+  Result<QueryResult> ExecuteDrop(SessionState& ss, const Statement& stmt);
 
   /// Runs a bound-and-optimized program and returns its final table.
-  Result<QueryResult> RunProgramToResult(Program program);
+  /// `cat` is the catalog view the program was planned against.
+  Result<QueryResult> RunProgramToResult(SessionState& ss, Catalog* cat,
+                                         Program program);
 
-  /// Builds + optimizes a Program via `build`, running the static verifier
-  /// (src/verify/) after binding, after each optimizer rule, and after the
-  /// whole optimization pipeline, per options_.verify. All query paths
-  /// (SELECT, EXPLAIN, CTAS, INSERT ... SELECT) funnel through here.
+  /// Builds + optimizes a Program via `build` against the catalog view
+  /// `cat`, running the static verifier (src/verify/) after binding, after
+  /// each optimizer rule, and after the whole optimization pipeline, per
+  /// the session's verify options. All query paths (SELECT, EXPLAIN, CTAS,
+  /// INSERT ... SELECT) funnel through here.
   Result<Program> PrepareProgram(
+      SessionState& ss, Catalog* cat,
       const std::function<Result<Program>(class ProgramBuilder&)>& build);
 
   /// Runs one verifier pass over `program` and applies the configured
   /// policy: enforce -> kInternal, otherwise log + count the diagnostics
-  /// into pending_verify_violations_ (surfaced via ExecStats).
-  Status VerifyStage(const std::string& phase, const Program& program,
-                     bool require_physical);
+  /// into the session's pending count (surfaced via ExecStats).
+  Status VerifyStage(SessionState& ss, Catalog* cat, const std::string& phase,
+                     const Program& program, bool require_physical);
 
-  ThreadPool* GetPool();
-  FaultInjector* GetFaultInjector();
-  ExecContext MakeContext(ResultRegistry* registry);
+  /// The engine-wide worker pool shared by all sessions (the scheduler
+  /// multiplexes queries onto it; no per-query pools). Grow-only: a width
+  /// increase retires the old pool without destroying it, so in-flight
+  /// queries keep a valid pointer.
+  ThreadPool* GetPool(SessionState& ss);
+  FaultInjector* GetFaultInjector(SessionState& ss);
+  ExecContext MakeContext(SessionState& ss, Catalog* cat,
+                          ResultRegistry* registry);
 
-  Result<QueryResult> ExecuteTransactionControl(const Statement& stmt);
-  Result<QueryResult> ExecuteCopy(const Statement& stmt);
+  Result<QueryResult> ExecuteTransactionControl(SessionState& ss,
+                                                const Statement& stmt);
+  Result<QueryResult> ExecuteCopy(SessionState& ss, const Statement& stmt);
 
   Catalog catalog_;
-  EngineOptions options_;
+
+  /// The built-in session behind the historical single-caller API.
+  SessionState default_session_;
+
+  /// Engine-wide writer slot: every DDL/DML statement (and every explicit
+  /// transaction, across its whole lifetime) holds this while it reads and
+  /// republishes the catalog, making read-modify-write statements atomic
+  /// against each other. Readers never take it.
+  std::mutex commit_mu_;
+
+  /// Shared worker pool (see GetPool).
+  std::mutex pool_mu_;
   std::unique_ptr<ThreadPool> pool_;
-  int pool_width_ = 0;
-
-  /// Lazily created from options_.fault_injection and recreated whenever
-  /// that config changes. The schedule restarts at hit 0 for every program
-  /// execution (see MakeContext), so each statement's fault set is a pure
-  /// function of the config.
-  std::unique_ptr<FaultInjector> fault_injector_;
-
-  /// Catalog snapshot taken at BEGIN; restored on ROLLBACK. Copy-on-write
-  /// DML makes the snapshot a cheap shallow map copy (see Catalog).
-  std::optional<std::unordered_map<std::string, CatalogEntry>> tx_snapshot_;
-
-  /// Verifier diagnostics counted (not enforced) while planning the current
-  /// statement; transferred into ExecStats::verify_violations by
-  /// MakeContext.
-  int64_t pending_verify_violations_ = 0;
+  std::vector<std::unique_ptr<ThreadPool>> retired_pools_;
 };
 
 }  // namespace dbspinner

@@ -12,17 +12,21 @@ Result<TablePtr> PhysicalFilter::Execute(ExecContext& ctx) const {
     size_t parts = ctx.NumPartitions();
     size_t chunk = (n + parts - 1) / parts;
     std::vector<std::vector<uint32_t>> sels(parts);
-    Status st = ctx.pool->ParallelForStatus(parts, [&](size_t p) -> Status {
-      size_t begin = p * chunk;
-      size_t end = std::min(n, begin + chunk);
-      for (size_t i = begin; i < end; ++i) {
-        DBSP_ASSIGN_OR_RETURN(Value v, EvaluateExpr(*predicate_, *input, i));
-        if (!v.is_null() && v.bool_value()) {
-          sels[p].push_back(static_cast<uint32_t>(i));
-        }
-      }
-      return Status::OK();
-    });
+    Status st = ctx.pool->ParallelForStatus(
+        parts,
+        [&](size_t p) -> Status {
+          size_t begin = p * chunk;
+          size_t end = std::min(n, begin + chunk);
+          for (size_t i = begin; i < end; ++i) {
+            DBSP_ASSIGN_OR_RETURN(Value v,
+                                  EvaluateExpr(*predicate_, *input, i));
+            if (!v.is_null() && v.bool_value()) {
+              sels[p].push_back(static_cast<uint32_t>(i));
+            }
+          }
+          return Status::OK();
+        },
+        /*faults=*/nullptr, /*site=*/nullptr, &ctx.cancel);
     DBSP_RETURN_NOT_OK(st);
     std::vector<uint32_t> sel;
     for (const auto& s : sels) sel.insert(sel.end(), s.begin(), s.end());

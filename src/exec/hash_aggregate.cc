@@ -181,7 +181,7 @@ Result<TablePtr> PhysicalHashAggregate::Execute(ExecContext& ctx) const {
                                 AggregatePartition(*parts_tables[p]));
           return Status::OK();
         },
-        ctx.faults, "mpp.dispatch");
+        ctx.faults, "mpp.dispatch", &ctx.cancel);
     DBSP_RETURN_NOT_OK(st);
     TablePtr out = Gather(results);
     ctx.stats.rows_materialized += static_cast<int64_t>(out->num_rows());

@@ -199,7 +199,7 @@ Result<TablePtr> PhysicalHashJoin::Execute(ExecContext& ctx) const {
               JoinPartition(ctx, *lparts[p], *(*rparts)[p], nullptr));
           return Status::OK();
         },
-        ctx.faults, "mpp.dispatch");
+        ctx.faults, "mpp.dispatch", &ctx.cancel);
     DBSP_RETURN_NOT_OK(st);
     TablePtr out = Gather(results);
     ctx.stats.rows_materialized += static_cast<int64_t>(out->num_rows());

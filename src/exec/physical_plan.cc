@@ -10,7 +10,8 @@ std::string ExecStats::ToString() const {
       "rows_shuffled=%lld, renames=%lld, merge_updates=%lld, "
       "delta_rows=%lld, delta_probe_rows=%lld, build_cache_hits=%lld, "
       "faults_seen=%lld, step_retries=%lld, checkpoints_taken=%lld, "
-      "restores=%lld, verify_violations=%lld}",
+      "restores=%lld, verify_violations=%lld, queue_wait_us=%lld, "
+      "admission_waits=%lld, cancel_checks=%lld}",
       static_cast<long long>(steps_executed),
       static_cast<long long>(loop_iterations),
       static_cast<long long>(rows_materialized),
@@ -23,7 +24,10 @@ std::string ExecStats::ToString() const {
       static_cast<long long>(step_retries),
       static_cast<long long>(checkpoints_taken),
       static_cast<long long>(restores),
-      static_cast<long long>(verify_violations));
+      static_cast<long long>(verify_violations),
+      static_cast<long long>(queue_wait_us),
+      static_cast<long long>(admission_waits),
+      static_cast<long long>(cancel_checks));
 }
 
 std::string PhysicalOp::ToString(int indent) const {

@@ -13,6 +13,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/fault_injection.h"
 #include "common/status.h"
 #include "engine/options.h"
@@ -56,6 +57,14 @@ struct ExecStats {
   /// see src/verify/verify.h). Always 0 on a healthy engine.
   int64_t verify_violations = 0;
 
+  // Concurrent-serving counters (src/server/, DESIGN.md §10).
+  int64_t queue_wait_us = 0;    ///< time this statement spent in the
+                                ///< scheduler's admission queue
+  int64_t admission_waits = 0;  ///< 1 if the statement had to queue before
+                                ///< being admitted, else 0
+  int64_t cancel_checks = 0;    ///< cancellation-token checks at executor
+                                ///< step boundaries (live tokens only)
+
   std::string ToString() const;
 };
 
@@ -88,6 +97,11 @@ struct ExecContext {
   const EngineOptions* options = nullptr;
   ThreadPool* pool = nullptr;   ///< null => serial
   FaultInjector* faults = nullptr;  ///< null => no fault injection
+
+  /// Cooperative cancellation for this statement. Inert (never fires) by
+  /// default; the server layer installs a live token per query. Checked at
+  /// executor step boundaries and before each parallel task dispatch.
+  CancellationToken cancel;
 
   ExecStats stats;
   std::map<int, LoopState> loops;

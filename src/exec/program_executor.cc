@@ -387,6 +387,16 @@ Result<TablePtr> RunProgram(const Program& program, ExecContext* ctx) {
   while (pc < program.steps.size()) {
     const Step& step = program.steps[pc];
 
+    // Cancellation point: one check per step boundary. Loop bodies contain
+    // several steps, so a cancel or expired deadline stops a runaway
+    // iterative query within (at most) one loop iteration. kCancelled is
+    // neither retryable nor recoverable — it bypasses the fault-tolerance
+    // machinery below by design.
+    if (ctx->cancel.live()) {
+      ++ctx->stats.cancel_checks;
+      DBSP_RETURN_NOT_OK(ctx->cancel.Check());
+    }
+
     // Checkpoints are taken *before* the step runs, so a later restore
     // re-executes the checkpointed step against exactly the state it saw
     // the first time: one at every loop entry (kInitLoop), one every K

@@ -35,13 +35,15 @@ Result<TablePtr> PhysicalProject::Execute(ExecContext& ctx) const {
   if (ctx.UseParallel(n)) {
     std::vector<TablePtr> slices = RangePartition(*input, ctx.NumPartitions());
     std::vector<TablePtr> results(slices.size());
-    Status st =
-        ctx.pool->ParallelForStatus(slices.size(), [&](size_t p) -> Status {
+    Status st = ctx.pool->ParallelForStatus(
+        slices.size(),
+        [&](size_t p) -> Status {
           DBSP_ASSIGN_OR_RETURN(results[p],
                                 ProjectTable(exprs_, output_schema_,
                                              *slices[p]));
           return Status::OK();
-        });
+        },
+        /*faults=*/nullptr, /*site=*/nullptr, &ctx.cancel);
     DBSP_RETURN_NOT_OK(st);
     out = Gather(results);
   } else {

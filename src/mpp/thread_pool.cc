@@ -81,10 +81,14 @@ Status ThreadPool::ParallelForStatus(size_t n,
 
 Status ThreadPool::ParallelForStatus(size_t n,
                                      const std::function<Status(size_t)>& fn,
-                                     FaultInjector* faults, const char* site) {
-  if (faults == nullptr) return ParallelForStatus(n, fn);
+                                     FaultInjector* faults, const char* site,
+                                     const CancellationToken* cancel) {
+  if (faults == nullptr && (cancel == nullptr || !cancel->live())) {
+    return ParallelForStatus(n, fn);
+  }
   return ParallelForStatus(n, [&](size_t i) -> Status {
-    DBSP_RETURN_NOT_OK(faults->MaybeInject(site));
+    if (cancel != nullptr) DBSP_RETURN_NOT_OK(cancel->Check());
+    if (faults != nullptr) DBSP_RETURN_NOT_OK(faults->MaybeInject(site));
     return fn(i);
   });
 }

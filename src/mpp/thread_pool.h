@@ -13,6 +13,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/status.h"
 
 namespace dbspinner {
@@ -41,12 +42,15 @@ class ThreadPool {
                            const std::function<Status(size_t)>& fn);
 
   /// As ParallelForStatus, but consults `faults` at injection point `site`
-  /// before dispatching each task — the "worker refused/abandoned the task"
-  /// failure mode of a real MPP scheduler. A fired fault fails that task
-  /// with the injected typed Status and skips `fn` for it; the remaining
-  /// tasks still run to completion (the pool drains, nothing leaks).
+  /// (when non-null) before dispatching each task — the "worker
+  /// refused/abandoned the task" failure mode of a real MPP scheduler — and
+  /// checks `cancel` (when non-null) so a cancelled query stops launching
+  /// work mid-operator. A fired fault or observed cancellation fails that
+  /// task with the typed Status and skips `fn` for it; the remaining tasks
+  /// still run to completion (the pool drains, nothing leaks).
   Status ParallelForStatus(size_t n, const std::function<Status(size_t)>& fn,
-                           FaultInjector* faults, const char* site);
+                           FaultInjector* faults, const char* site,
+                           const CancellationToken* cancel = nullptr);
 
  private:
   void WorkerLoop();

@@ -1,0 +1,142 @@
+#include "server/query_scheduler.h"
+
+#include <algorithm>
+
+namespace dbspinner {
+namespace server {
+
+namespace {
+int64_t NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+QueryScheduler::QueryScheduler(SchedulerOptions opts) : opts_([&] {
+  SchedulerOptions o = opts;
+  o.max_concurrent_queries = std::max(1, o.max_concurrent_queries);
+  o.max_queue_depth = std::max(0, o.max_queue_depth);
+  return o;
+}()) {}
+
+QueryScheduler::Slot& QueryScheduler::Slot::operator=(Slot&& other) noexcept {
+  if (this != &other) {
+    Release();
+    scheduler_ = other.scheduler_;
+    session_id_ = other.session_id_;
+    queue_wait_us_ = other.queue_wait_us_;
+    queued_ = other.queued_;
+    other.scheduler_ = nullptr;
+  }
+  return *this;
+}
+
+void QueryScheduler::Slot::Release() {
+  if (scheduler_ != nullptr) {
+    scheduler_->Release(session_id_);
+    scheduler_ = nullptr;
+  }
+}
+
+Result<QueryScheduler::Slot> QueryScheduler::Admit(
+    uint64_t session_id, const CancellationToken& cancel) {
+  std::unique_lock<std::mutex> lock(mu_);
+
+  auto make_slot = [&](bool queued, int64_t wait_us) {
+    Slot slot;
+    slot.scheduler_ = this;
+    slot.session_id_ = session_id;
+    slot.queued_ = queued;
+    slot.queue_wait_us_ = wait_us;
+    return slot;
+  };
+
+  // Fast path: a free slot and nobody ahead of us.
+  if (running_ < opts_.max_concurrent_queries && waiters_.empty()) {
+    ++running_;
+    ++running_per_session_[session_id];
+    ++stats_.admitted;
+    return make_slot(/*queued=*/false, /*wait_us=*/0);
+  }
+
+  if (static_cast<int>(waiters_.size()) >= opts_.max_queue_depth) {
+    ++stats_.rejected_queue_full;
+    return Status::Unavailable("admission queue full");
+  }
+
+  auto ticket = std::make_shared<Ticket>();
+  ticket->session_id = session_id;
+  ticket->seq = next_seq_++;
+  waiters_.push_back(ticket);
+  ++stats_.queued;
+  const int64_t enqueued_at = NowMicros();
+
+  // A slot may already be free (we queued only because others were ahead —
+  // can't happen today since PromoteLocked drains eagerly, but harmless).
+  PromoteLocked();
+
+  // Wake periodically to observe cancellation/deadline even though nobody
+  // notifies for it: a killed client must not occupy a queue position.
+  while (!ticket->granted) {
+    if (cancel.IsCancelled()) {
+      waiters_.erase(std::remove(waiters_.begin(), waiters_.end(), ticket),
+                     waiters_.end());
+      ++stats_.cancelled_while_queued;
+      return cancel.Check();
+    }
+    cv_.wait_for(lock, std::chrono::milliseconds(5));
+  }
+
+  const int64_t waited = NowMicros() - enqueued_at;
+  stats_.total_queue_wait_us += waited;
+  return make_slot(/*queued=*/true, waited);
+}
+
+void QueryScheduler::PromoteLocked() {
+  while (running_ < opts_.max_concurrent_queries && !waiters_.empty()) {
+    // Fair pick: fewest queries already running for the ticket's session;
+    // FIFO (lowest seq) breaks ties.
+    auto best = waiters_.begin();
+    for (auto it = std::next(waiters_.begin()); it != waiters_.end(); ++it) {
+      int best_load = running_per_session_[(*best)->session_id];
+      int load = running_per_session_[(*it)->session_id];
+      if (load < best_load ||
+          (load == best_load && (*it)->seq < (*best)->seq)) {
+        best = it;
+      }
+    }
+    std::shared_ptr<Ticket> ticket = *best;
+    waiters_.erase(best);
+    // Bookkeeping happens at grant time, so concurrent releases can't
+    // double-admit past the cap.
+    ++running_;
+    ++running_per_session_[ticket->session_id];
+    ++stats_.admitted;
+    ticket->granted = true;
+  }
+  cv_.notify_all();
+}
+
+void QueryScheduler::Release(uint64_t session_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  --running_;
+  auto it = running_per_session_.find(session_id);
+  if (it != running_per_session_.end() && --it->second <= 0) {
+    running_per_session_.erase(it);
+  }
+  PromoteLocked();
+}
+
+SchedulerStats QueryScheduler::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+int QueryScheduler::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_;
+}
+
+}  // namespace server
+}  // namespace dbspinner

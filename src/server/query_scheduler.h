@@ -1,0 +1,121 @@
+// QueryScheduler: admission control for concurrent query serving.
+//
+// The engine multiplexes every session's queries onto one shared worker
+// pool, so an unbounded burst of clients would convoy on the pool and blow
+// up memory with half-built hash tables. The scheduler caps how many
+// queries execute at once (max_concurrent_queries) and how many may wait
+// (max_queue_depth); anything beyond that is rejected immediately with
+// kUnavailable so clients get backpressure instead of unbounded latency.
+//
+// Fairness: when a slot frees up, it goes to the waiting query whose
+// session currently has the fewest queries running (FIFO order breaks
+// ties). A chatty session therefore cannot starve a quiet one: the quiet
+// session's first query always beats the chatty session's fifth.
+//
+// Queued queries keep observing their CancellationToken, so a client
+// cancel or deadline kills a query while it waits, before it ever touches
+// the engine.
+
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/cancellation.h"
+#include "common/status.h"
+
+namespace dbspinner {
+namespace server {
+
+struct SchedulerOptions {
+  /// Queries allowed to execute simultaneously (minimum 1).
+  int max_concurrent_queries = 4;
+  /// Queries allowed to wait for admission; further arrivals are rejected
+  /// with kUnavailable. 0 disables queueing (admit-or-reject).
+  int max_queue_depth = 32;
+};
+
+/// Monotonic counters, readable at any time (returned by value).
+struct SchedulerStats {
+  int64_t admitted = 0;            ///< queries that got a slot
+  int64_t queued = 0;              ///< of those, how many had to wait
+  int64_t rejected_queue_full = 0; ///< arrivals bounced off the full queue
+  int64_t cancelled_while_queued = 0;
+  int64_t total_queue_wait_us = 0; ///< summed wait of all queued queries
+};
+
+/// Thread-safe admission controller. One instance per SessionManager.
+class QueryScheduler {
+ public:
+  explicit QueryScheduler(SchedulerOptions opts = {});
+
+  /// RAII admission slot: releases its concurrency slot (and promotes the
+  /// next fair waiter) on destruction. Default-constructed slots hold
+  /// nothing.
+  class Slot {
+   public:
+    Slot() = default;
+    Slot(Slot&& other) noexcept { *this = std::move(other); }
+    Slot& operator=(Slot&& other) noexcept;
+    ~Slot() { Release(); }
+
+    Slot(const Slot&) = delete;
+    Slot& operator=(const Slot&) = delete;
+
+    bool admitted() const { return scheduler_ != nullptr; }
+    /// How long this query waited for admission (0 if admitted at once).
+    int64_t queue_wait_us() const { return queue_wait_us_; }
+    bool queued() const { return queued_; }
+
+   private:
+    friend class QueryScheduler;
+    QueryScheduler* scheduler_ = nullptr;
+    uint64_t session_id_ = 0;
+    int64_t queue_wait_us_ = 0;
+    bool queued_ = false;
+
+    void Release();
+  };
+
+  /// Blocks until the query is admitted, rejected, or cancelled.
+  /// Returns kUnavailable("admission queue full") when the wait queue is at
+  /// capacity, or kCancelled when `cancel` fires while queued.
+  Result<Slot> Admit(uint64_t session_id, const CancellationToken& cancel);
+
+  SchedulerStats stats() const;
+  int running() const;
+
+ private:
+  /// One queued query. Heap-allocated and shared between the waiting
+  /// thread and the queue so neither can dangle.
+  struct Ticket {
+    uint64_t session_id = 0;
+    uint64_t seq = 0;        ///< FIFO tie-break
+    bool granted = false;    ///< set by PromoteLocked with bookkeeping done
+  };
+
+  /// Called with mu_ held whenever a slot may have freed: picks the fair
+  /// winner among waiters (fewest running queries for its session, then
+  /// lowest seq), performs the admission bookkeeping, and wakes it.
+  void PromoteLocked();
+
+  void Release(uint64_t session_id);
+
+  const SchedulerOptions opts_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  int running_ = 0;
+  uint64_t next_seq_ = 0;
+  std::unordered_map<uint64_t, int> running_per_session_;
+  std::deque<std::shared_ptr<Ticket>> waiters_;
+  SchedulerStats stats_;
+};
+
+}  // namespace server
+}  // namespace dbspinner

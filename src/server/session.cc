@@ -1,0 +1,112 @@
+#include "server/session.h"
+
+namespace dbspinner {
+namespace server {
+
+Session::Session(SessionManager* manager, uint64_t id, EngineOptions options)
+    : manager_(manager), id_(id), state_(std::move(options)) {
+  // Session-scoped temp names: two sessions materializing "__working" in
+  // their programs land on distinct registry keys by construction.
+  state_.temp_scope = "s" + std::to_string(id) + ":";
+}
+
+Session::~Session() {
+  // A dropped connection must not leave the engine's writer slot held: roll
+  // back any open transaction (releases state_.tx_lock and restores the
+  // catalog snapshot).
+  if (state_.InTransaction()) {
+    (void)manager_->db()->ExecuteForSession(&state_, "ROLLBACK");
+  }
+  manager_->OnSessionDestroyed(id_);
+}
+
+void Session::SetInflight(const CancellationToken& token) {
+  std::lock_guard<std::mutex> lock(inflight_mu_);
+  inflight_ = token;
+}
+
+void Session::CancelCurrent() {
+  CancellationToken token;
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    token = inflight_;
+  }
+  token.RequestCancel();  // no-op on an inert (idle) token
+}
+
+Result<QueryResult> Session::RunAdmitted(
+    const CancellationToken& token,
+    const std::function<Result<QueryResult>()>& run) {
+  SetInflight(token);
+  state_.cancel = token;
+  Result<QueryResult> result = [&]() -> Result<QueryResult> {
+    DBSP_ASSIGN_OR_RETURN(QueryScheduler::Slot slot,
+                          manager_->scheduler().Admit(id_, token));
+    // Queue-wait metadata is surfaced in the statement's ExecStats
+    // (rendered by EXPLAIN ANALYZE as queue_wait_us / admission_waits).
+    state_.queue_wait_us = slot.queue_wait_us();
+    state_.queued = slot.queued();
+    return run();  // slot releases here, promoting the next fair waiter
+  }();
+  state_.cancel = CancellationToken();
+  SetInflight(CancellationToken());
+  return result;
+}
+
+Result<QueryResult> Session::Execute(const std::string& sql) {
+  return RunAdmitted(CancellationToken::Make(), [&] {
+    return manager_->db()->ExecuteForSession(&state_, sql);
+  });
+}
+
+Result<QueryResult> Session::ExecuteScript(const std::string& sql) {
+  return RunAdmitted(CancellationToken::Make(), [&] {
+    return manager_->db()->ExecuteScriptForSession(&state_, sql);
+  });
+}
+
+Result<QueryResult> Session::ExecuteWithDeadline(const std::string& sql,
+                                                 int64_t timeout_micros) {
+  CancellationToken token = CancellationToken::Make();
+  token.SetDeadlineAfterMicros(timeout_micros);
+  return RunAdmitted(token, [&] {
+    return manager_->db()->ExecuteForSession(&state_, sql);
+  });
+}
+
+SchedulerStats Session::scheduler_stats() const {
+  return manager_->scheduler().stats();
+}
+
+SessionManager::SessionManager(Database* db, SchedulerOptions sched)
+    : db_(db), scheduler_(sched) {}
+
+std::shared_ptr<Session> SessionManager::CreateSession() {
+  return CreateSession(db_->options());
+}
+
+std::shared_ptr<Session> SessionManager::CreateSession(EngineOptions options) {
+  uint64_t id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    id = next_id_++;
+    ++active_;
+  }
+  // Not make_shared: the constructor is private to force creation through
+  // the manager (ids must be unique per manager).
+  return std::shared_ptr<Session>(new Session(this, id, std::move(options)));
+}
+
+void SessionManager::OnSessionDestroyed(uint64_t id) {
+  (void)id;
+  std::lock_guard<std::mutex> lock(mu_);
+  --active_;
+}
+
+size_t SessionManager::active_sessions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return active_;
+}
+
+}  // namespace server
+}  // namespace dbspinner

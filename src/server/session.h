@@ -1,0 +1,128 @@
+// Session / SessionManager: the concurrent serving layer over Database.
+//
+// A Session is one client's connection: it owns a SessionState (per-session
+// EngineOptions overrides, transaction state, a session-scoped temp-name
+// prefix) and funnels every statement through the SessionManager's
+// QueryScheduler for admission. Statements from *different* sessions run
+// concurrently — reads against pinned catalog snapshots, writes serialized
+// on the engine's commit lock (see Database's class comment and
+// DESIGN.md §10).
+//
+//   Database db;
+//   server::SessionManager mgr(&db);
+//   auto s1 = mgr.CreateSession();
+//   auto s2 = mgr.CreateSession();
+//   // ... hand s1/s2 to different threads ...
+//   auto r = s1->Execute("SELECT ...");           // concurrent with s2
+//   s1->CancelCurrent();                          // from any thread
+//   auto t = s2->ExecuteWithDeadline("...", 50'000);  // 50ms budget
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "engine/database.h"
+#include "server/query_scheduler.h"
+
+namespace dbspinner {
+namespace server {
+
+class SessionManager;
+
+/// One client session. Statements on a single Session are serialized by the
+/// caller (a connection handler runs one statement at a time); distinct
+/// Sessions are safe to drive from distinct threads. CancelCurrent() is the
+/// one method safe to call concurrently with an in-flight Execute.
+class Session {
+ public:
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  uint64_t id() const { return id_; }
+
+  /// Per-session engine options; mutate between statements to override
+  /// behavior for this session only (the shell's \set does this).
+  EngineOptions& options() { return state_.options; }
+
+  /// Executes one statement: admission -> snapshot/commit-lock execution.
+  Result<QueryResult> Execute(const std::string& sql);
+
+  /// Executes a ';'-separated script (one admission for the whole script,
+  /// so a transaction block cannot be wedged open by admission rejection
+  /// in the middle).
+  Result<QueryResult> ExecuteScript(const std::string& sql);
+
+  /// As Execute, but the query is killed with kCancelled once
+  /// `timeout_micros` elapses — while queued or mid-loop in an iterative
+  /// program.
+  Result<QueryResult> ExecuteWithDeadline(const std::string& sql,
+                                          int64_t timeout_micros);
+
+  /// Requests cooperative cancellation of the in-flight statement (no-op if
+  /// idle). Safe from any thread / signal-handler-adjacent contexts (the
+  /// token is a pair of atomics).
+  void CancelCurrent();
+
+  bool InTransaction() const { return state_.InTransaction(); }
+
+  /// Stats of the session's most recent statement (queue wait etc. are in
+  /// QueryResult.stats; this exposes the scheduler-level view).
+  SchedulerStats scheduler_stats() const;
+
+ private:
+  friend class SessionManager;
+  Session(SessionManager* manager, uint64_t id, EngineOptions options);
+
+  Result<QueryResult> RunAdmitted(
+      const CancellationToken& token,
+      const std::function<Result<QueryResult>()>& run);
+
+  /// Installs `token` as the cancel target of the in-flight statement.
+  void SetInflight(const CancellationToken& token);
+
+  SessionManager* manager_;
+  uint64_t id_;
+  SessionState state_;
+
+  /// Guards the handoff of the in-flight token to CancelCurrent (shared_ptr
+  /// copy is not atomic; the token's own state is).
+  mutable std::mutex inflight_mu_;
+  CancellationToken inflight_;
+};
+
+/// Creates sessions over one Database and owns the admission scheduler they
+/// all share. Thread-safe.
+class SessionManager {
+ public:
+  explicit SessionManager(Database* db, SchedulerOptions sched = {});
+
+  /// New session whose options start as a copy of the database's defaults.
+  std::shared_ptr<Session> CreateSession();
+  std::shared_ptr<Session> CreateSession(EngineOptions options);
+
+  Database* db() { return db_; }
+  QueryScheduler& scheduler() { return scheduler_; }
+
+  /// Sessions created minus sessions destroyed.
+  size_t active_sessions() const;
+
+ private:
+  friend class Session;
+  void OnSessionDestroyed(uint64_t id);
+
+  Database* db_;
+  QueryScheduler scheduler_;
+
+  mutable std::mutex mu_;
+  uint64_t next_id_ = 1;
+  size_t active_ = 0;
+};
+
+}  // namespace server
+}  // namespace dbspinner

@@ -6,54 +6,113 @@
 
 namespace dbspinner {
 
+std::shared_ptr<const Catalog::Version> Catalog::View() const {
+  if (pinned_) return pinned_;
+  std::lock_guard<std::mutex> lock(store_->mu);
+  keepalive_ = store_->current;
+  return keepalive_;
+}
+
+Status Catalog::Mutate(
+    const std::function<Status(std::unordered_map<std::string, CatalogEntry>*)>&
+        mutate) {
+  if (pinned_) {
+    return Status::InvalidArgument("catalog snapshot is read-only");
+  }
+  std::lock_guard<std::mutex> lock(store_->mu);
+  auto next = std::make_shared<Version>();
+  next->id = store_->current->id + 1;
+  next->tables = store_->current->tables;  // shallow copy-on-write
+  DBSP_RETURN_NOT_OK(mutate(&next->tables));
+  store_->current = std::move(next);
+  return Status::OK();
+}
+
 Status Catalog::CreateTable(const std::string& name, TablePtr table,
                             std::optional<size_t> primary_key_col) {
   std::string key = ToLower(name);
-  if (tables_.count(key)) {
-    return Status::AlreadyExists("table '" + name + "' already exists");
-  }
-  tables_[key] = CatalogEntry{key, std::move(table), primary_key_col};
-  return Status::OK();
+  return Mutate([&](std::unordered_map<std::string, CatalogEntry>* tables) {
+    if (tables->count(key)) {
+      return Status::AlreadyExists("table '" + name + "' already exists");
+    }
+    (*tables)[key] = CatalogEntry{key, std::move(table), primary_key_col};
+    return Status::OK();
+  });
 }
 
 Status Catalog::DropTable(const std::string& name, bool if_exists) {
   std::string key = ToLower(name);
-  auto it = tables_.find(key);
-  if (it == tables_.end()) {
-    if (if_exists) return Status::OK();
-    return Status::NotFound("table '" + name + "' does not exist");
-  }
-  tables_.erase(it);
-  return Status::OK();
+  return Mutate([&](std::unordered_map<std::string, CatalogEntry>* tables) {
+    auto it = tables->find(key);
+    if (it == tables->end()) {
+      if (if_exists) return Status::OK();
+      return Status::NotFound("table '" + name + "' does not exist");
+    }
+    tables->erase(it);
+    return Status::OK();
+  });
 }
 
 Result<CatalogEntry*> Catalog::Get(const std::string& name) {
-  auto it = tables_.find(ToLower(name));
-  if (it == tables_.end()) {
+  std::shared_ptr<const Version> v = View();
+  auto it = v->tables.find(ToLower(name));
+  if (it == v->tables.end()) {
     return Status::NotFound("table '" + name + "' does not exist");
   }
-  return &it->second;
+  // Entries of a published version are immutable by contract (all content
+  // changes republish); the non-const pointer only matches the historical
+  // signature callers bind to.
+  return const_cast<CatalogEntry*>(&it->second);
 }
 
 bool Catalog::Exists(const std::string& name) const {
-  return tables_.count(ToLower(name)) > 0;
+  std::shared_ptr<const Version> v = View();
+  return v->tables.count(ToLower(name)) > 0;
 }
 
 Status Catalog::ReplaceContents(const std::string& name, TablePtr table) {
-  auto it = tables_.find(ToLower(name));
-  if (it == tables_.end()) {
-    return Status::NotFound("table '" + name + "' does not exist");
-  }
-  it->second.table = std::move(table);
-  return Status::OK();
+  std::string key = ToLower(name);
+  return Mutate([&](std::unordered_map<std::string, CatalogEntry>* tables) {
+    auto it = tables->find(key);
+    if (it == tables->end()) {
+      return Status::NotFound("table '" + name + "' does not exist");
+    }
+    it->second.table = std::move(table);
+    return Status::OK();
+  });
 }
 
 std::vector<std::string> Catalog::TableNames() const {
+  std::shared_ptr<const Version> v = View();
   std::vector<std::string> names;
-  names.reserve(tables_.size());
-  for (const auto& [k, v] : tables_) names.push_back(k);
+  names.reserve(v->tables.size());
+  for (const auto& [k, e] : v->tables) names.push_back(k);
   std::sort(names.begin(), names.end());
   return names;
+}
+
+Catalog Catalog::PinSnapshot() const {
+  Catalog snap;
+  snap.store_ = store_;
+  snap.pinned_ = View();
+  return snap;
+}
+
+uint64_t Catalog::version() const { return View()->id; }
+
+std::unordered_map<std::string, CatalogEntry> Catalog::Snapshot() const {
+  return View()->tables;
+}
+
+void Catalog::Restore(std::unordered_map<std::string, CatalogEntry> snapshot) {
+  // Publishing the old map as a *new* version keeps version ids monotone,
+  // so a pinned reader never confuses a rollback with its own pin.
+  Status st =
+      Mutate([&](std::unordered_map<std::string, CatalogEntry>* tables) {
+        *tables = std::move(snapshot);
+        return Status::OK();
+      });
+  (void)st;  // Mutate only fails on snapshot handles; Restore is never one.
 }
 
 }  // namespace dbspinner

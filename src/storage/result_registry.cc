@@ -4,12 +4,16 @@
 
 namespace dbspinner {
 
+std::string ResultRegistry::Key(const std::string& name) const {
+  return scope_.empty() ? ToLower(name) : scope_ + ToLower(name);
+}
+
 void ResultRegistry::Put(const std::string& name, TablePtr table) {
-  results_[ToLower(name)] = std::move(table);
+  results_[Key(name)] = std::move(table);
 }
 
 Result<TablePtr> ResultRegistry::Get(const std::string& name) const {
-  auto it = results_.find(ToLower(name));
+  auto it = results_.find(Key(name));
   if (it == results_.end()) {
     return Status::NotFound("intermediate result '" + name + "' is not bound");
   }
@@ -17,13 +21,13 @@ Result<TablePtr> ResultRegistry::Get(const std::string& name) const {
 }
 
 bool ResultRegistry::Exists(const std::string& name) const {
-  return results_.count(ToLower(name)) > 0;
+  return results_.count(Key(name)) > 0;
 }
 
 Status ResultRegistry::Rename(const std::string& old_name,
                               const std::string& new_name) {
-  std::string old_key = ToLower(old_name);
-  std::string new_key = ToLower(new_name);
+  std::string old_key = Key(old_name);
+  std::string new_key = Key(new_name);
   auto it = results_.find(old_key);
   if (it == results_.end()) {
     // Distinct from the NotFound a missing catalog table produces: a rename
@@ -42,7 +46,7 @@ Status ResultRegistry::Rename(const std::string& old_name,
 }
 
 void ResultRegistry::Remove(const std::string& name) {
-  results_.erase(ToLower(name));
+  results_.erase(Key(name));
 }
 
 void ResultRegistry::Clear() { results_.clear(); }

@@ -20,6 +20,15 @@ namespace dbspinner {
 /// Named intermediate results of one executing query.
 class ResultRegistry {
  public:
+  /// Installs a scope prefix prepended to every name on Put/Get/Exists/
+  /// Rename/Remove. The server layer sets a per-session scope ("s<id>:") so
+  /// two sessions executing programs with identical temp names ("__working",
+  /// "__delta", ...) can never collide, even if a future executor shares a
+  /// registry across queries. The prefix is invisible to callers — they keep
+  /// using unscoped names.
+  void set_scope(std::string scope) { scope_ = std::move(scope); }
+  const std::string& scope() const { return scope_; }
+
   /// Binds `name` to `table`, replacing (and releasing) any previous binding.
   void Put(const std::string& name, TablePtr table);
 
@@ -58,6 +67,10 @@ class ResultRegistry {
   size_t size() const { return results_.size(); }
 
  private:
+  /// The scoped, case-folded map key for `name`.
+  std::string Key(const std::string& name) const;
+
+  std::string scope_;
   std::unordered_map<std::string, TablePtr> results_;
 };
 

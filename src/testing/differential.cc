@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <thread>
 
 #include "common/string_util.h"
 #include "graph/reference_algorithms.h"
+#include "server/session.h"
 
 namespace dbspinner {
 namespace fuzz {
@@ -280,6 +282,103 @@ DiffReport RunDifferential(const FuzzCase& c,
     if (!diff.empty()) {
       report.ok = false;
       report.failure = "[baseline] vs [" + o.name + "]: " + diff;
+      return report;
+    }
+  }
+  return report;
+}
+
+DiffReport RunConcurrentSessions(const FuzzCase& c, int sessions,
+                                 const DifferentialOptions& opts) {
+  DiffReport report;
+  report.sql = RenderQuery(c.query);
+  sessions = std::max(1, sessions);
+  constexpr int kReps = 2;
+
+  Database db(BaseOptions(opts));
+  {
+    OracleOutcome load;
+    load.name = "load";
+    load.status = LoadCaseData(&db, c);
+    if (!load.status.ok()) {
+      // No data, nothing to race on; a load failure is its own outcome so
+      // Describe() shows why the case was skipped.
+      report.outcomes.push_back(std::move(load));
+      return report;
+    }
+  }
+
+  // Serial replay on the default session is the oracle.
+  OracleOutcome serial;
+  serial.name = "serial-replay";
+  {
+    Result<QueryResult> r = db.Execute(report.sql);
+    serial.status = r.status();
+    if (r.ok()) serial.table = r->table;
+  }
+  report.outcomes.push_back(serial);
+
+  // Concurrent runs: N sessions, each repeating the query, all racing on
+  // the same Database (shared catalog versions, shared scheduler, shared
+  // worker pool, session-scoped temp names).
+  server::SessionManager mgr(&db);
+  std::vector<OracleOutcome> concurrent(
+      static_cast<size_t>(sessions) * kReps);
+  std::vector<std::thread> threads;
+  threads.reserve(sessions);
+  for (int s = 0; s < sessions; ++s) {
+    threads.emplace_back([&, s] {
+      std::shared_ptr<server::Session> session = mgr.CreateSession();
+      for (int rep = 0; rep < kReps; ++rep) {
+        OracleOutcome& out = concurrent[static_cast<size_t>(s) * kReps + rep];
+        out.name = StringPrintf("session-%d-rep-%d", s, rep);
+        Result<QueryResult> r = session->Execute(report.sql);
+        out.status = r.status();
+        if (r.ok()) out.table = r->table;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (OracleOutcome& o : concurrent) {
+    report.outcomes.push_back(std::move(o));
+  }
+
+  // Classify exactly like the oracle matrix: kInternal anywhere is an
+  // engine bug; rejections must be unanimous; accepted rows must match the
+  // serial replay as multisets.
+  for (const OracleOutcome& o : report.outcomes) {
+    if (o.status.code() == StatusCode::kInternal) {
+      report.ok = false;
+      report.failure =
+          "[" + o.name + "] internal error: " + o.status.message();
+      return report;
+    }
+  }
+  if (!serial.status.ok()) {
+    for (const OracleOutcome& o : report.outcomes) {
+      if (o.status.ok()) {
+        report.ok = false;
+        report.failure = "status mismatch: serial replay rejected (" +
+                         serial.status.ToString() + ") but [" + o.name +
+                         "] succeeded";
+        return report;
+      }
+    }
+    return report;
+  }
+  std::vector<std::vector<Value>> expected = TableRows(*serial.table);
+  for (size_t i = 1; i < report.outcomes.size(); ++i) {
+    const OracleOutcome& o = report.outcomes[i];
+    if (!o.status.ok()) {
+      report.ok = false;
+      report.failure = "status mismatch: serial replay succeeded but [" +
+                       o.name + "] failed: " + o.status.ToString();
+      return report;
+    }
+    std::string diff = DiffRowSets(expected, TableRows(*o.table), opts.eps);
+    if (!diff.empty()) {
+      report.ok = false;
+      report.failure = "[serial-replay] vs [" + o.name + "]: " + diff;
       return report;
     }
   }

@@ -80,6 +80,16 @@ struct DiffReport {
 DiffReport RunDifferential(const FuzzCase& c,
                            const DifferentialOptions& opts = {});
 
+/// Concurrent-session differential mode (fuzz_sql --sessions=N): loads the
+/// case once into a shared Database, replays the query serially on the
+/// default session (the oracle), then runs it on `sessions` concurrent
+/// server sessions, a few repetitions each. Every concurrent run must agree
+/// with the serial replay — same accept/reject classification, identical
+/// row multisets on success, and no kInternal anywhere. Catches snapshot /
+/// registry-scoping / scheduler bugs that single-session sweeps cannot.
+DiffReport RunConcurrentSessions(const FuzzCase& c, int sessions,
+                                 const DifferentialOptions& opts = {});
+
 /// Compares two row multisets with numeric tolerance. Returns "" when
 /// equivalent, else a description of the first difference.
 std::string DiffRowSets(const std::vector<std::vector<Value>>& a,

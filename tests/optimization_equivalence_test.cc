@@ -45,9 +45,11 @@ class EquivalenceTest : public ::testing::TestWithParam<Config> {
     graph_ = graph::Generate(spec);
   }
 
-  Database MakeDb(EngineOptions options) {
-    Database db(options);
-    EXPECT_TRUE(graph::LoadIntoDatabase(&db, graph_, 0.75, 5).ok());
+  // Heap-allocated: Database is pinned in memory (sessions and pool point
+  // into it), so it is neither copyable nor movable.
+  std::unique_ptr<Database> MakeDb(EngineOptions options) {
+    auto db = std::make_unique<Database>(options);
+    EXPECT_TRUE(graph::LoadIntoDatabase(db.get(), graph_, 0.75, 5).ok());
     return db;
   }
 
@@ -56,12 +58,12 @@ class EquivalenceTest : public ::testing::TestWithParam<Config> {
   void CheckEquivalent(const std::string& sql,
                        const std::function<void(EngineOptions*)>& tweak) {
     EngineOptions base;
-    Database db_on = MakeDb(base);
+    std::unique_ptr<Database> db_on = MakeDb(base);
     EngineOptions off = base;
     tweak(&off);
-    Database db_off = MakeDb(off);
-    TablePtr expected = MustQuery(&db_on, sql);
-    TablePtr actual = MustQuery(&db_off, sql);
+    std::unique_ptr<Database> db_off = MakeDb(off);
+    TablePtr expected = MustQuery(db_on.get(), sql);
+    TablePtr actual = MustQuery(db_off.get(), sql);
     ExpectSameRows(expected, actual, 1e-9);
   }
 

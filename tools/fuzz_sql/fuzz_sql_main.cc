@@ -39,13 +39,17 @@ struct CliOptions {
   double fault_rate = 0.1;
   bool verify = true;  ///< enforce the static plan/program verifier
   bool verbose = false;
+  /// Concurrent differential mode: run each case on N server sessions
+  /// racing over one shared Database, checked against a serial replay.
+  /// 0 = off (classic single-session oracle matrix).
+  int64_t sessions = 0;
 };
 
 void Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--seed N] [--iterations N] [--time-budget SECONDS]"
                " [--break-rename] [--faults] [--fault-rate R]"
-               " [--verify|--no-verify] [--verbose]\n",
+               " [--sessions N] [--verify|--no-verify] [--verbose]\n",
                argv0);
 }
 
@@ -84,6 +88,9 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts) {
         return false;
       }
       opts->faults = true;
+    } else if (arg == "--sessions") {
+      if (!next_int(&v) || v < 1 || v > 64) return false;
+      opts->sessions = v;
     } else if (arg == "--verify") {
       opts->verify = true;
     } else if (arg == "--no-verify") {
@@ -130,6 +137,10 @@ int main(int argc, char** argv) {
               cli.break_rename ? " [break-rename fault injection]" : "",
               cli.faults ? " [recover-vs-clean fault oracles]" : "",
               cli.verify ? " [verifier enforced]" : " [verifier off]");
+  if (cli.sessions > 0) {
+    std::printf("concurrent mode: %lld sessions per case vs serial replay\n",
+                static_cast<long long>(cli.sessions));
+  }
 
   for (int64_t i = 0; i < cli.iterations && !out_of_time(); ++i) {
     FuzzCase c = generator.NextCase();
@@ -147,7 +158,11 @@ int main(int argc, char** argv) {
       std::printf("[%lld] %s\n", static_cast<long long>(i),
                   c.Label().c_str());
     }
-    DiffReport report = dbspinner::fuzz::RunDifferential(c, diff_opts);
+    DiffReport report =
+        cli.sessions > 0
+            ? dbspinner::fuzz::RunConcurrentSessions(
+                  c, static_cast<int>(cli.sessions), diff_opts)
+            : dbspinner::fuzz::RunDifferential(c, diff_opts);
     ++executed;
     if (report.ok) {
       if (!report.outcomes.empty() && !report.outcomes[0].status.ok()) {
@@ -158,6 +173,12 @@ int main(int argc, char** argv) {
 
     std::printf("\n=== ORACLE MISMATCH (case %lld) ===\n%s\n",
                 static_cast<long long>(i), report.Describe(c).c_str());
+    if (cli.sessions > 0) {
+      // Concurrent mismatches are schedule-dependent; the minimizer's
+      // shrink loop (built on the deterministic single-session matrix)
+      // does not apply. The case label + seed is the repro line.
+      return 1;
+    }
     std::printf("minimizing...\n");
     MinimizeResult m = dbspinner::fuzz::Minimize(c, diff_opts);
     std::printf(
