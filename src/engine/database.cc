@@ -101,7 +101,14 @@ Result<TablePtr> Database::Query(const std::string& sql) {
 
 Status Database::RegisterTable(const std::string& name, TablePtr table,
                                std::optional<size_t> primary_key_col) {
-  return catalog_.CreateTable(name, std::move(table), primary_key_col);
+  // Serialize with write statements: an in-flight DML holds CatalogEntry
+  // pointers into the pre-publish version, and publishing a new version
+  // under it would let a concurrent reader's snapshot pin drop that version
+  // mid-statement. The inert token makes the wait unconditional.
+  DBSP_RETURN_NOT_OK(commit_lock_.Acquire(CancellationToken()));
+  Status status = catalog_.CreateTable(name, std::move(table), primary_key_col);
+  commit_lock_.Release();
+  return status;
 }
 
 Result<Program> Database::Plan(const std::string& sql) {
@@ -181,28 +188,34 @@ Result<QueryResult> Database::ExecuteStatement(SessionState& ss,
   }
   // Write statements occupy the engine-wide writer slot for the duration of
   // the statement, making their read-modify-write of the catalog atomic. A
-  // session with an open transaction already holds the slot via tx_lock.
-  std::unique_lock<std::mutex> commit_lock;
-  if (!ss.tx_lock.owns_lock()) {
-    commit_lock = std::unique_lock<std::mutex>(commit_mu_);
+  // session with an open transaction already holds the slot; everyone else
+  // acquires it here with a cancellable wait, so a writer stuck behind a
+  // long transaction can still be killed or timed out.
+  const bool acquired_here = !ss.holds_commit_lock;
+  if (acquired_here) {
+    DBSP_RETURN_NOT_OK(commit_lock_.Acquire(ss.cancel));
   }
-  switch (stmt.kind) {
-    case StatementKind::kCreateTable:
-      return ExecuteCreateTable(ss, stmt);
-    case StatementKind::kInsert:
-      return ExecuteInsert(ss, stmt);
-    case StatementKind::kUpdate:
-      return ExecuteUpdate(ss, stmt);
-    case StatementKind::kDelete:
-      return ExecuteDelete(ss, stmt);
-    case StatementKind::kDropTable:
-      return ExecuteDrop(ss, stmt);
-    case StatementKind::kCopy:
-      return ExecuteCopy(ss, stmt);
-    default:
-      break;
-  }
-  return Status::Internal("unhandled statement kind");
+  Result<QueryResult> result = [&]() -> Result<QueryResult> {
+    switch (stmt.kind) {
+      case StatementKind::kCreateTable:
+        return ExecuteCreateTable(ss, stmt);
+      case StatementKind::kInsert:
+        return ExecuteInsert(ss, stmt);
+      case StatementKind::kUpdate:
+        return ExecuteUpdate(ss, stmt);
+      case StatementKind::kDelete:
+        return ExecuteDelete(ss, stmt);
+      case StatementKind::kDropTable:
+        return ExecuteDrop(ss, stmt);
+      case StatementKind::kCopy:
+        return ExecuteCopy(ss, stmt);
+      default:
+        break;
+    }
+    return Status::Internal("unhandled statement kind");
+  }();
+  if (acquired_here) commit_lock_.Release();
+  return result;
 }
 
 Result<QueryResult> Database::ExecuteCopy(SessionState& ss,
@@ -239,7 +252,8 @@ Result<QueryResult> Database::ExecuteTransactionControl(SessionState& ss,
       }
       // The transaction holds the writer slot until COMMIT/ROLLBACK, so its
       // snapshot cannot go stale under it and its rollback target is exact.
-      ss.tx_lock = std::unique_lock<std::mutex>(commit_mu_);
+      DBSP_RETURN_NOT_OK(commit_lock_.Acquire(ss.cancel));
+      ss.holds_commit_lock = true;
       ss.tx_snapshot = catalog_.Snapshot();
       return result;
     case StatementKind::kCommit:
@@ -247,7 +261,8 @@ Result<QueryResult> Database::ExecuteTransactionControl(SessionState& ss,
         return Status::InvalidArgument("no transaction in progress");
       }
       ss.tx_snapshot.reset();
-      ss.tx_lock = std::unique_lock<std::mutex>();
+      ss.holds_commit_lock = false;
+      commit_lock_.Release();
       return result;
     case StatementKind::kRollback:
       if (!ss.InTransaction()) {
@@ -255,7 +270,8 @@ Result<QueryResult> Database::ExecuteTransactionControl(SessionState& ss,
       }
       catalog_.Restore(std::move(*ss.tx_snapshot));
       ss.tx_snapshot.reset();
-      ss.tx_lock = std::unique_lock<std::mutex>();
+      ss.holds_commit_lock = false;
+      commit_lock_.Release();
       return result;
     default:
       return Status::Internal("not a transaction-control statement");

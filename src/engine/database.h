@@ -10,6 +10,8 @@
 
 #pragma once
 
+#include <chrono>
+#include <condition_variable>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -28,6 +30,42 @@
 #include "storage/catalog.h"
 
 namespace dbspinner {
+
+/// The engine-wide writer slot. Unlike a plain std::mutex it is
+/// thread-agnostic — an explicit transaction acquires it on the thread
+/// running BEGIN and releases it from whichever thread runs COMMIT/ROLLBACK
+/// (or destroys the Session) — and its wait is cancellable: Acquire polls
+/// the caller's CancellationToken, so a writer queued behind a long
+/// transaction can be killed or timed out instead of blocking
+/// uninterruptibly.
+class CommitLock {
+ public:
+  /// Blocks until the slot is free. Returns kCancelled (without acquiring)
+  /// if `cancel` fires first; an inert token waits unconditionally.
+  Status Acquire(const CancellationToken& cancel) {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (held_) {
+      if (cancel.IsCancelled()) return cancel.Check();
+      cv_.wait_for(lock, std::chrono::milliseconds(5));
+    }
+    held_ = true;
+    return Status::OK();
+  }
+
+  /// Releases the slot. Callable from any thread.
+  void Release() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      held_ = false;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool held_ = false;
+};
 
 /// Outcome of one statement.
 struct QueryResult {
@@ -73,10 +111,14 @@ struct SessionState {
   /// DML makes the snapshot a cheap shallow map copy (see Catalog).
   std::optional<std::unordered_map<std::string, CatalogEntry>> tx_snapshot;
 
-  /// Held from BEGIN to COMMIT/ROLLBACK: an explicit transaction occupies
-  /// the engine's single writer slot, so other sessions' DML/DDL waits
-  /// until it finishes (reads never wait).
-  std::unique_lock<std::mutex> tx_lock;
+  /// True from BEGIN to COMMIT/ROLLBACK: an explicit transaction occupies
+  /// the engine's single writer slot (Database::commit_lock_), so other
+  /// sessions' DML/DDL waits until it finishes (reads never wait). The slot
+  /// is thread-agnostic — COMMIT may run on a different thread than BEGIN —
+  /// and a session holding it bypasses scheduler admission, so the
+  /// releasing statement can never queue behind writers blocked on the
+  /// slot itself.
+  bool holds_commit_lock = false;
 
   /// Verifier diagnostics counted (not enforced) while planning the
   /// session's current statement; transferred into ExecStats.
@@ -92,9 +134,12 @@ struct SessionState {
 /// through *distinct sessions* — each query plans and executes against a
 /// pinned catalog snapshot, so readers never block and never observe a
 /// half-applied DDL/DML. Write statements (CREATE/DROP/INSERT/UPDATE/
-/// DELETE/COPY FROM) serialize on a single engine-wide commit lock and
-/// publish a new catalog version on completion (versioned swap); explicit
-/// transactions hold that lock from BEGIN to COMMIT/ROLLBACK. All sessions
+/// DELETE/COPY FROM, and RegisterTable) serialize on a single engine-wide
+/// commit lock and publish a new catalog version on completion (versioned
+/// swap); explicit transactions hold that lock from BEGIN to
+/// COMMIT/ROLLBACK. The lock wait is cancellable (it polls the session's
+/// CancellationToken) and release is thread-agnostic, so a transaction's
+/// statements need not share a thread. All sessions
 /// multiplex one shared ThreadPool. What still serializes: writers against
 /// each other, and statements *within* one session (a SessionState is
 /// single-flight). The no-argument Execute() runs on a built-in default
@@ -129,7 +174,9 @@ class Database {
                                               const std::string& sql);
 
   /// Registers an externally built table (bulk loading path used by the
-  /// graph generators and benchmarks). Thread-safe.
+  /// graph generators and benchmarks). Thread-safe: takes the engine's
+  /// commit lock so it serializes with write statements like every other
+  /// catalog mutation.
   Status RegisterTable(const std::string& name, TablePtr table,
                        std::optional<size_t> primary_key_col = std::nullopt);
 
@@ -196,8 +243,9 @@ class Database {
   /// Engine-wide writer slot: every DDL/DML statement (and every explicit
   /// transaction, across its whole lifetime) holds this while it reads and
   /// republishes the catalog, making read-modify-write statements atomic
-  /// against each other. Readers never take it.
-  std::mutex commit_mu_;
+  /// against each other. Readers never take it. Waits poll the acquiring
+  /// session's CancellationToken (see CommitLock).
+  CommitLock commit_lock_;
 
   /// Shared worker pool (see GetPool).
   std::mutex pool_mu_;

@@ -94,13 +94,20 @@ Result<QueryScheduler::Slot> QueryScheduler::Admit(
 }
 
 void QueryScheduler::PromoteLocked() {
+  // Read-only load lookup: operator[] would default-insert an entry for
+  // every queued-but-idle session and leak one per session id for the
+  // server's lifetime (Release only erases ids it finds).
+  auto load_of = [this](uint64_t session_id) {
+    auto it = running_per_session_.find(session_id);
+    return it == running_per_session_.end() ? 0 : it->second;
+  };
   while (running_ < opts_.max_concurrent_queries && !waiters_.empty()) {
     // Fair pick: fewest queries already running for the ticket's session;
     // FIFO (lowest seq) breaks ties.
     auto best = waiters_.begin();
     for (auto it = std::next(waiters_.begin()); it != waiters_.end(); ++it) {
-      int best_load = running_per_session_[(*best)->session_id];
-      int load = running_per_session_[(*it)->session_id];
+      int best_load = load_of((*best)->session_id);
+      int load = load_of((*it)->session_id);
       if (load < best_load ||
           (load == best_load && (*it)->seq < (*best)->seq)) {
         best = it;

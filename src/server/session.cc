@@ -12,8 +12,9 @@ Session::Session(SessionManager* manager, uint64_t id, EngineOptions options)
 
 Session::~Session() {
   // A dropped connection must not leave the engine's writer slot held: roll
-  // back any open transaction (releases state_.tx_lock and restores the
-  // catalog snapshot).
+  // back any open transaction (releases the commit lock — legal from this
+  // thread, the lock is thread-agnostic — and restores the catalog
+  // snapshot).
   if (state_.InTransaction()) {
     (void)manager_->db()->ExecuteForSession(&state_, "ROLLBACK");
   }
@@ -40,6 +41,14 @@ Result<QueryResult> Session::RunAdmitted(
   SetInflight(token);
   state_.cancel = token;
   Result<QueryResult> result = [&]() -> Result<QueryResult> {
+    // A session holding the engine's writer slot (open transaction) bypasses
+    // admission: every scheduler slot may be occupied by writers blocked on
+    // that very slot, so queueing the COMMIT/ROLLBACK that releases it would
+    // deadlock the engine. The transaction already serializes all other
+    // writers, so the bypass cannot oversubscribe the pool with writes.
+    if (state_.InTransaction()) {
+      return run();
+    }
     DBSP_ASSIGN_OR_RETURN(QueryScheduler::Slot slot,
                           manager_->scheduler().Admit(id_, token));
     // Queue-wait metadata is surfaced in the statement's ExecStats

@@ -154,6 +154,106 @@ TEST(ConcurrentSessions, TransactionBlocksOtherWritersUntilRollback) {
   EXPECT_EQ(rows->GetValue(0, 0).int64_value(), 2);
 }
 
+TEST(ConcurrentSessions, CommitRunsWhileAdmissionSlotsBlockOnCommitLock) {
+  // Regression: with one admission slot, a writer from another session is
+  // admitted and then blocks on the commit lock held by A's transaction. If
+  // A's COMMIT had to pass admission it would queue behind that writer
+  // forever — admission slots occupied by waiters only the queued COMMIT
+  // can unblock. The in-transaction admission bypass breaks the cycle.
+  Database db;
+  MustExecute(&db, "CREATE TABLE t (id BIGINT)");
+  SchedulerOptions sched;
+  sched.max_concurrent_queries = 1;
+  SessionManager mgr(&db, sched);
+
+  auto a = mgr.CreateSession();
+  auto b = mgr.CreateSession();
+  DBSP_ASSERT_OK(a->Execute("BEGIN").status());
+  DBSP_ASSERT_OK(a->Execute("INSERT INTO t VALUES (1)").status());
+
+  // B occupies the only admission slot, then blocks on the commit lock.
+  std::thread writer([&] { (void)b->Execute("INSERT INTO t VALUES (2)"); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+
+  DBSP_ASSERT_OK(a->Execute("COMMIT").status());
+  writer.join();
+
+  TablePtr rows = MustQuery(&db, "SELECT COUNT(*) FROM t");
+  EXPECT_EQ(rows->GetValue(0, 0).int64_value(), 2);
+}
+
+TEST(ConcurrentSessions, CommitOnDifferentThreadThanBegin) {
+  // The commit lock is thread-agnostic: BEGIN on one thread, COMMIT on
+  // another (a connection handler may hop threads between statements).
+  Database db;
+  MustExecute(&db, "CREATE TABLE t (id BIGINT)");
+  SessionManager mgr(&db);
+  auto s = mgr.CreateSession();
+
+  std::thread t1([&] {
+    DBSP_ASSERT_OK(s->Execute("BEGIN").status());
+    DBSP_ASSERT_OK(s->Execute("INSERT INTO t VALUES (7)").status());
+  });
+  t1.join();
+  std::thread t2([&] { DBSP_ASSERT_OK(s->Execute("COMMIT").status()); });
+  t2.join();
+
+  TablePtr rows = MustQuery(&db, "SELECT id FROM t");
+  ASSERT_EQ(rows->num_rows(), 1u);
+  EXPECT_EQ(rows->GetValue(0, 0).int64_value(), 7);
+}
+
+TEST(ConcurrentSessions, WriterBlockedOnTransactionIsCancellable) {
+  // A writer queued behind an open transaction must die with kCancelled
+  // when its deadline fires: the commit-lock wait polls the token instead
+  // of blocking uninterruptibly.
+  Database db;
+  MustExecute(&db, "CREATE TABLE t (id BIGINT)");
+  SessionManager mgr(&db);
+
+  auto a = mgr.CreateSession();
+  auto b = mgr.CreateSession();
+  DBSP_ASSERT_OK(a->Execute("BEGIN").status());
+
+  Result<QueryResult> blocked =
+      b->ExecuteWithDeadline("INSERT INTO t VALUES (1)", 30'000);
+  ASSERT_FALSE(blocked.ok());
+  EXPECT_EQ(blocked.status().code(), StatusCode::kCancelled);
+
+  DBSP_ASSERT_OK(a->Execute("ROLLBACK").status());
+  // The engine is healthy: the cancelled writer left no lock held.
+  DBSP_ASSERT_OK(b->Execute("INSERT INTO t VALUES (2)").status());
+  TablePtr rows = MustQuery(&db, "SELECT COUNT(*) FROM t");
+  EXPECT_EQ(rows->GetValue(0, 0).int64_value(), 1);
+}
+
+TEST(ConcurrentSessions, RegisterTableSerializesWithOpenTransaction) {
+  // RegisterTable takes the commit lock: it must wait out an open
+  // transaction instead of publishing a catalog version under it.
+  Database db;
+  MustExecute(&db, "CREATE TABLE t (id BIGINT)");
+  SessionManager mgr(&db);
+  auto a = mgr.CreateSession();
+  DBSP_ASSERT_OK(a->Execute("BEGIN").status());
+
+  std::atomic<bool> registered{false};
+  std::thread reg([&] {
+    Schema schema;
+    schema.AddColumn("x", TypeId::kInt64);
+    DBSP_ASSERT_OK(db.RegisterTable("ext", Table::Make(schema)));
+    registered = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(registered.load());
+
+  DBSP_ASSERT_OK(a->Execute("ROLLBACK").status());
+  reg.join();
+  EXPECT_TRUE(registered.load());
+  // ROLLBACK's catalog restore and the registration both survived.
+  EXPECT_TRUE(db.catalog().Exists("ext"));
+  EXPECT_TRUE(db.catalog().Exists("t"));
+}
+
 TEST(ConcurrentSessions, PerSessionOptionOverridesAreIsolated) {
   std::unique_ptr<Database> db = MakeGraphDb();
   SessionManager mgr(db.get());
