@@ -2,6 +2,7 @@
 
 #include "binder/binder.h"
 #include "exec/physical_planner.h"
+#include "exec/pipeline.h"
 #include "exec/program_executor.h"
 #include "optimizer/cost_model.h"
 #include "optimizer/optimizer.h"
@@ -623,7 +624,7 @@ Result<QueryResult> Database::ExecuteUpdate(SessionState& ss,
   registry.set_scope(ss.temp_scope);
   registry.Put("__update_target", ext);
   ExecContext exec_ctx = MakeContext(ss, &catalog_, &registry);
-  DBSP_ASSIGN_OR_RETURN(TablePtr joined, physical->Execute(exec_ctx));
+  DBSP_ASSIGN_OR_RETURN(TablePtr joined, ExecuteOp(*physical, exec_ctx));
 
   // Apply the first match per row id.
   size_t rowid_col = ncols;  // __rowid ordinal in the joined output

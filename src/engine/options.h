@@ -48,6 +48,12 @@ struct OptimizerOptions {
   /// input is the identical table version (pointer identity, sound under
   /// the engine's copy-on-write result discipline).
   bool enable_join_build_cache = true;
+
+  /// Morsel-driven vectorized execution (DESIGN.md §11): fuse
+  /// scan→filter→project→probe chains into chunk-at-a-time pipelines that
+  /// materialize only at pipeline breakers. Off = the original
+  /// operator-at-a-time executor, kept as the differential baseline.
+  bool vectorized_exec = true;
 };
 
 /// Programmatic access to every per-rule optimizer toggle. The differential
@@ -136,6 +142,11 @@ struct EngineOptions {
 
   /// Inputs smaller than this bypass parallel execution.
   size_t mpp_min_rows_per_task = 8192;
+
+  /// Rows per morsel for the vectorized pipeline executor. Small enough to
+  /// keep a chunk's working set cache-resident, large enough to amortize
+  /// per-chunk dispatch. Tests sweep 1/7/16/1024 to shake out boundary bugs.
+  size_t morsel_size = 1024;
 
   /// Fault injection for the fuzzing harness only: makes the rename step
   /// silently drop the last row of the renamed result, so a differential

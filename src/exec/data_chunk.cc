@@ -1,0 +1,51 @@
+#include "exec/data_chunk.h"
+
+#include <algorithm>
+
+namespace dbspinner {
+
+void DataChunk::Restrict(const std::vector<uint32_t>& positions) {
+  std::vector<uint32_t> next;
+  next.reserve(positions.size());
+  for (uint32_t p : positions) next.push_back(RowAt(p));
+  SetSelection(std::move(next));
+}
+
+TablePtr DataChunk::Materialize() const {
+  std::vector<ColumnVectorPtr> cols;
+  cols.reserve(base_->num_columns());
+  for (size_t c = 0; c < base_->num_columns(); ++c) {
+    auto col = std::make_shared<ColumnVector>(base_->column(c).type());
+    if (has_sel_) {
+      col->AppendGathered(base_->column(c), sel_);
+    } else {
+      col->AppendRange(base_->column(c), begin_, count_);
+    }
+    cols.push_back(std::move(col));
+  }
+  return Table::FromColumns(base_->schema(), std::move(cols));
+}
+
+void DataChunk::AppendTo(std::vector<ColumnVectorPtr>* out) const {
+  for (size_t c = 0; c < base_->num_columns(); ++c) {
+    if (has_sel_) {
+      (*out)[c]->AppendGathered(base_->column(c), sel_);
+    } else {
+      (*out)[c]->AppendRange(base_->column(c), begin_, count_);
+    }
+  }
+}
+
+std::vector<DataChunk> SplitIntoMorsels(const TablePtr& table,
+                                        size_t morsel_size) {
+  if (morsel_size == 0) morsel_size = 1;
+  std::vector<DataChunk> chunks;
+  size_t n = table->num_rows();
+  chunks.reserve((n + morsel_size - 1) / morsel_size);
+  for (size_t begin = 0; begin < n; begin += morsel_size) {
+    chunks.emplace_back(table, begin, std::min(morsel_size, n - begin));
+  }
+  return chunks;
+}
+
+}  // namespace dbspinner

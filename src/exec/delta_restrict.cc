@@ -8,12 +8,13 @@
 #include <unordered_map>
 
 #include "exec/physical_plan.h"
+#include "exec/pipeline.h"
 #include "mpp/partition.h"
 
 namespace dbspinner {
 
 Result<TablePtr> PhysicalDeltaRestrict::Execute(ExecContext& ctx) const {
-  DBSP_ASSIGN_OR_RETURN(TablePtr input, children_[0]->Execute(ctx));
+  DBSP_ASSIGN_OR_RETURN(TablePtr input, ExecuteOp(*children_[0], ctx));
   DBSP_ASSIGN_OR_RETURN(TablePtr keys, ctx.registry->Get(delta_source_));
   if (keys->num_columns() == 0) {
     return Status::Internal("DeltaRestrict key set '" + delta_source_ +

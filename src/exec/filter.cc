@@ -1,10 +1,11 @@
 #include "exec/physical_plan.h"
+#include "exec/pipeline.h"
 #include "mpp/partition.h"
 
 namespace dbspinner {
 
 Result<TablePtr> PhysicalFilter::Execute(ExecContext& ctx) const {
-  DBSP_ASSIGN_OR_RETURN(TablePtr input, children_[0]->Execute(ctx));
+  DBSP_ASSIGN_OR_RETURN(TablePtr input, ExecuteOp(*children_[0], ctx));
   size_t n = input->num_rows();
 
   if (ctx.UseParallel(n)) {

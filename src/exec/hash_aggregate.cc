@@ -1,6 +1,7 @@
 #include <unordered_map>
 
 #include "exec/physical_plan.h"
+#include "exec/pipeline.h"
 #include "mpp/partition.h"
 
 namespace dbspinner {
@@ -140,7 +141,7 @@ Result<TablePtr> PhysicalHashAggregate::AggregatePartition(
 }
 
 Result<TablePtr> PhysicalHashAggregate::Execute(ExecContext& ctx) const {
-  DBSP_ASSIGN_OR_RETURN(TablePtr input, children_[0]->Execute(ctx));
+  DBSP_ASSIGN_OR_RETURN(TablePtr input, ExecuteOp(*children_[0], ctx));
 
   if (!group_exprs_.empty() && ctx.UseParallel(input->num_rows())) {
     // Shuffle on the group key so each simulated node owns whole groups,

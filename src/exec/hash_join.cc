@@ -1,6 +1,7 @@
 #include <unordered_map>
 
 #include "exec/physical_plan.h"
+#include "exec/pipeline.h"
 #include "mpp/partition.h"
 
 namespace dbspinner {
@@ -146,9 +147,41 @@ Result<TablePtr> PhysicalHashJoin::JoinPartition(
   return matched_out;
 }
 
+std::shared_ptr<const std::unordered_multimap<size_t, uint32_t>>
+PhysicalHashJoin::GetOrBuildSerialHash(ExecContext& ctx,
+                                       const TablePtr& right) const {
+  const bool cache_enabled =
+      ctx.options != nullptr && ctx.options->optimizer.enable_join_build_cache;
+  if (cache_enabled) {
+    auto it = ctx.join_builds.find(this);
+    if (it != ctx.join_builds.end() && it->second.table == right &&
+        it->second.map != nullptr) {
+      ++ctx.stats.build_cache_hits;
+      return it->second.map;
+    }
+  }
+  auto fresh = std::make_shared<std::unordered_multimap<size_t, uint32_t>>();
+  fresh->reserve(right->num_rows());
+  for (size_t i = 0; i < right->num_rows(); ++i) {
+    if (RowHasNullKey(*right, right_keys_, i)) continue;
+    fresh->emplace(HashRowKeys(*right, right_keys_, i),
+                   static_cast<uint32_t>(i));
+  }
+  std::shared_ptr<const std::unordered_multimap<size_t, uint32_t>> build =
+      std::move(fresh);
+  if (cache_enabled) {
+    ExecContext::JoinBuildState& slot = ctx.join_builds[this];
+    slot.table = right;
+    slot.map = build;
+    slot.partitions = nullptr;
+    slot.num_partitions = 0;
+  }
+  return build;
+}
+
 Result<TablePtr> PhysicalHashJoin::Execute(ExecContext& ctx) const {
-  DBSP_ASSIGN_OR_RETURN(TablePtr left, children_[0]->Execute(ctx));
-  DBSP_ASSIGN_OR_RETURN(TablePtr right, children_[1]->Execute(ctx));
+  DBSP_ASSIGN_OR_RETURN(TablePtr left, ExecuteOp(*children_[0], ctx));
+  DBSP_ASSIGN_OR_RETURN(TablePtr right, ExecuteOp(*children_[1], ctx));
 
   // Loop-invariant build caching: when this operator re-executes (a loop
   // body) with the identical build-side table version, reuse the previous
@@ -206,32 +239,8 @@ Result<TablePtr> PhysicalHashJoin::Execute(ExecContext& ctx) const {
     return out;
   }
 
-  std::shared_ptr<const std::unordered_multimap<size_t, uint32_t>> build;
-  if (cache_enabled) {
-    auto it = ctx.join_builds.find(this);
-    if (it != ctx.join_builds.end() && it->second.table == right &&
-        it->second.map != nullptr) {
-      build = it->second.map;
-      ++ctx.stats.build_cache_hits;
-    }
-  }
-  if (build == nullptr) {
-    auto fresh = std::make_shared<std::unordered_multimap<size_t, uint32_t>>();
-    fresh->reserve(right->num_rows());
-    for (size_t i = 0; i < right->num_rows(); ++i) {
-      if (RowHasNullKey(*right, right_keys_, i)) continue;
-      fresh->emplace(HashRowKeys(*right, right_keys_, i),
-                     static_cast<uint32_t>(i));
-    }
-    build = std::move(fresh);
-    if (cache_enabled) {
-      ExecContext::JoinBuildState& slot = ctx.join_builds[this];
-      slot.table = right;
-      slot.map = build;
-      slot.partitions = nullptr;
-      slot.num_partitions = 0;
-    }
-  }
+  std::shared_ptr<const std::unordered_multimap<size_t, uint32_t>> build =
+      GetOrBuildSerialHash(ctx, right);
   DBSP_ASSIGN_OR_RETURN(TablePtr out,
                         JoinPartition(ctx, *left, *right, build.get()));
   ctx.stats.rows_materialized += static_cast<int64_t>(out->num_rows());
@@ -239,8 +248,8 @@ Result<TablePtr> PhysicalHashJoin::Execute(ExecContext& ctx) const {
 }
 
 Result<TablePtr> PhysicalNestedLoopJoin::Execute(ExecContext& ctx) const {
-  DBSP_ASSIGN_OR_RETURN(TablePtr left, children_[0]->Execute(ctx));
-  DBSP_ASSIGN_OR_RETURN(TablePtr right, children_[1]->Execute(ctx));
+  DBSP_ASSIGN_OR_RETURN(TablePtr left, ExecuteOp(*children_[0], ctx));
+  DBSP_ASSIGN_OR_RETURN(TablePtr right, ExecuteOp(*children_[1], ctx));
 
   size_t ln = left->num_columns();
   auto out = Table::Make(output_schema_);

@@ -11,7 +11,10 @@ std::string ExecStats::ToString() const {
       "delta_rows=%lld, delta_probe_rows=%lld, build_cache_hits=%lld, "
       "faults_seen=%lld, step_retries=%lld, checkpoints_taken=%lld, "
       "restores=%lld, verify_violations=%lld, queue_wait_us=%lld, "
-      "admission_waits=%lld, cancel_checks=%lld}",
+      "admission_waits=%lld, cancel_checks=%lld, pipelines=%lld, "
+      "morsels=%lld, pipe_rows_in=%lld, pipe_rows_out=%lld, "
+      "kernel_filter=%lld, kernel_project=%lld, kernel_probe=%lld, "
+      "pipeline_ms=%.3f}",
       static_cast<long long>(steps_executed),
       static_cast<long long>(loop_iterations),
       static_cast<long long>(rows_materialized),
@@ -27,7 +30,15 @@ std::string ExecStats::ToString() const {
       static_cast<long long>(verify_violations),
       static_cast<long long>(queue_wait_us),
       static_cast<long long>(admission_waits),
-      static_cast<long long>(cancel_checks));
+      static_cast<long long>(cancel_checks),
+      static_cast<long long>(pipelines_run),
+      static_cast<long long>(morsels_dispatched),
+      static_cast<long long>(pipeline_rows_in),
+      static_cast<long long>(pipeline_rows_out),
+      static_cast<long long>(kernel_rows_filter),
+      static_cast<long long>(kernel_rows_project),
+      static_cast<long long>(kernel_rows_probe),
+      static_cast<double>(pipeline_ns) / 1e6);
 }
 
 std::string PhysicalOp::ToString(int indent) const {

@@ -65,6 +65,18 @@ struct ExecStats {
   int64_t cancel_checks = 0;    ///< cancellation-token checks at executor
                                 ///< step boundaries (live tokens only)
 
+  // Vectorized-pipeline counters (exec/pipeline.cc, DESIGN.md §11).
+  int64_t pipelines_run = 0;       ///< fused pipelines driven to completion
+  int64_t morsels_dispatched = 0;  ///< morsels pulled through pipelines
+  int64_t pipeline_rows_in = 0;    ///< source rows entering fused pipelines
+  int64_t pipeline_rows_out = 0;   ///< rows surviving to the pipeline sink
+  int64_t kernel_rows_filter = 0;  ///< rows scanned by filter kernels
+  int64_t kernel_rows_project = 0; ///< rows produced by projection kernels
+  int64_t kernel_rows_probe = 0;   ///< probe-side rows through fused joins
+  int64_t pipeline_ns = 0;         ///< wall time inside pipeline drivers;
+                                   ///< with the kernel_rows_* counters this
+                                   ///< yields per-kernel rows/sec
+
   std::string ToString() const;
 };
 
@@ -136,6 +148,18 @@ struct ExecContext {
 
 using PhysicalOpPtr = std::unique_ptr<PhysicalOp>;
 
+/// How an operator participates in the vectorized pipeline executor
+/// (exec/pipeline.cc). Streaming roles can be fused into a morsel-at-a-time
+/// pipeline; breakers always materialize their full output.
+enum class PipelineRole {
+  kBreaker,        ///< materializes (aggregate, sort, union, limit, ...)
+  kSource,         ///< produces a table without children (scan, values)
+  kFilter,         ///< streaming selection refinement
+  kProject,        ///< streaming expression projection
+  kHashProbe,      ///< streaming probe against a materialized build side
+  kDeltaRestrict,  ///< streaming semi-join against a registry key set
+};
+
 /// Base physical operator. Execute() is const and reusable: all mutable
 /// state lives in ExecContext, so loop bodies re-execute the same operator
 /// tree each iteration.
@@ -148,6 +172,7 @@ class PhysicalOp {
   virtual const char* Name() const = 0;
   /// Extra per-operator detail for EXPLAIN.
   virtual std::string Describe() const { return ""; }
+  virtual PipelineRole pipeline_role() const { return PipelineRole::kBreaker; }
 
   const Schema& output_schema() const { return output_schema_; }
   const std::vector<PhysicalOpPtr>& children() const { return children_; }
@@ -175,6 +200,7 @@ class PhysicalScan final : public PhysicalOp {
     return (from_catalog_ ? "table:" : "result:") + name_;
   }
   const std::string& scan_name() const { return name_; }
+  PipelineRole pipeline_role() const override { return PipelineRole::kSource; }
 
  private:
   bool from_catalog_;
@@ -188,6 +214,7 @@ class PhysicalValues final : public PhysicalOp {
       : PhysicalOp(std::move(schema)), rows_(std::move(rows)) {}
   Result<TablePtr> Execute(ExecContext& ctx) const override;
   const char* Name() const override { return "Values"; }
+  PipelineRole pipeline_role() const override { return PipelineRole::kSource; }
 
  private:
   std::vector<std::vector<Value>> rows_;
@@ -201,6 +228,8 @@ class PhysicalFilter final : public PhysicalOp {
   Result<TablePtr> Execute(ExecContext& ctx) const override;
   const char* Name() const override { return "Filter"; }
   std::string Describe() const override { return predicate_->ToString(); }
+  PipelineRole pipeline_role() const override { return PipelineRole::kFilter; }
+  const BoundExpr& predicate() const { return *predicate_; }
 
  private:
   BoundExprPtr predicate_;
@@ -213,6 +242,8 @@ class PhysicalProject final : public PhysicalOp {
       : PhysicalOp(std::move(schema)), exprs_(std::move(exprs)) {}
   Result<TablePtr> Execute(ExecContext& ctx) const override;
   const char* Name() const override { return "Project"; }
+  PipelineRole pipeline_role() const override { return PipelineRole::kProject; }
+  const std::vector<BoundExprPtr>& exprs() const { return exprs_; }
 
  private:
   std::vector<BoundExprPtr> exprs_;
@@ -234,6 +265,23 @@ class PhysicalHashJoin final : public PhysicalOp {
   Result<TablePtr> Execute(ExecContext& ctx) const override;
   const char* Name() const override { return "HashJoin"; }
   std::string Describe() const override;
+  /// Only the serial path is fusible: the MPP path's hash shuffle must stay
+  /// a breaker so partitioned execution (and its shuffle accounting) is
+  /// unchanged by the vectorized executor.
+  PipelineRole pipeline_role() const override {
+    return PipelineRole::kHashProbe;
+  }
+
+  JoinType join_type() const { return type_; }
+  const std::vector<size_t>& left_keys() const { return left_keys_; }
+  const std::vector<size_t>& right_keys() const { return right_keys_; }
+  const BoundExpr* residual() const { return residual_.get(); }
+
+  /// Serial build side with the cross-iteration cache (pointer-identity
+  /// validated, counts build_cache_hits). Shared by Execute() and the
+  /// pipeline executor's fused probe stage.
+  std::shared_ptr<const std::unordered_multimap<size_t, uint32_t>>
+  GetOrBuildSerialHash(ExecContext& ctx, const TablePtr& right) const;
 
  private:
   /// Joins one co-partitioned pair. `prebuilt` (optional) is a cached build
@@ -348,6 +396,12 @@ class PhysicalDeltaRestrict final : public PhysicalOp {
     return "key:" + std::to_string(key_col_) +
            (keep_matching_ ? " IN " : " NOT IN ") + "result:" + delta_source_;
   }
+  PipelineRole pipeline_role() const override {
+    return PipelineRole::kDeltaRestrict;
+  }
+  const std::string& delta_source() const { return delta_source_; }
+  size_t key_col() const { return key_col_; }
+  bool keep_matching() const { return keep_matching_; }
 
  private:
   std::string delta_source_;

@@ -1,0 +1,427 @@
+#include "exec/pipeline.h"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <unordered_map>
+
+#include "exec/data_chunk.h"
+#include "exec/pipeline_kernels.h"
+#include "mpp/partition.h"
+
+namespace dbspinner {
+
+namespace {
+
+constexpr uint32_t kNoMatch = 0xffffffffu;
+
+bool RowHasNullKey(const Table& t, const std::vector<size_t>& keys,
+                   size_t row) {
+  for (size_t k : keys) {
+    if (t.column(k).IsNull(row)) return true;
+  }
+  return false;
+}
+
+bool KeysEqual(const Table& l, const std::vector<size_t>& lkeys, size_t lrow,
+               const Table& r, const std::vector<size_t>& rkeys, size_t rrow) {
+  for (size_t i = 0; i < lkeys.size(); ++i) {
+    if (!l.column(lkeys[i]).EqualsAt(lrow, r.column(rkeys[i]), rrow)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Per-morsel counters, accumulated thread-locally and merged by the driver
+// (ctx.stats must not be mutated from parallel morsel tasks).
+struct LocalStats {
+  KernelCounters kernels;
+  int64_t delta_probe_rows = 0;
+};
+
+/// One compiled streaming stage of a pipeline.
+struct Stage {
+  const PhysicalOp* op = nullptr;
+  PipelineRole role = PipelineRole::kBreaker;
+
+  std::unique_ptr<ChunkFilter> filter;        // kFilter
+  std::unique_ptr<ChunkProjector> projector;  // kProject
+
+  // kHashProbe: fully materialized build side + shared hash.
+  TablePtr right;
+  std::shared_ptr<const std::unordered_multimap<size_t, uint32_t>> build;
+
+  // kDeltaRestrict: the affected-key set snapshot for this pipeline run.
+  TablePtr keys;
+  std::unordered_multimap<size_t, uint32_t> set_index;
+};
+
+// Combined [left ++ right] columns for the given row pairs; a right index
+// of kNoMatch emits NULLs (left-outer padding). Mirrors the legacy join's
+// output assembly but gathers the left side in one batch.
+TablePtr BuildProbeOutput(const Schema& schema, const Table& left,
+                          const Table& right,
+                          const std::vector<uint32_t>& lrows,
+                          const std::vector<uint32_t>& rrows) {
+  size_t ln = left.num_columns();
+  std::vector<ColumnVectorPtr> cols;
+  cols.reserve(schema.num_columns());
+  for (size_t c = 0; c < ln; ++c) {
+    cols.push_back(left.column(c).Gather(lrows));
+  }
+  for (size_t c = 0; c < right.num_columns(); ++c) {
+    auto col = std::make_shared<ColumnVector>(schema.column(ln + c).type);
+    col->Reserve(rrows.size());
+    const ColumnVector& src = right.column(c);
+    for (uint32_t r : rrows) {
+      if (r == kNoMatch) {
+        col->AppendNull();
+      } else {
+        col->AppendFrom(src, r);
+      }
+    }
+    cols.push_back(std::move(col));
+  }
+  return Table::FromColumns(schema, std::move(cols));
+}
+
+Result<DataChunk> ApplyProbe(const Stage& s, const DataChunk& chunk,
+                             LocalStats* ls) {
+  const auto& join = *static_cast<const PhysicalHashJoin*>(s.op);
+  const Table& left = chunk.table();
+  const Table& right = *s.right;
+  const std::vector<size_t>& lkeys = join.left_keys();
+  const std::vector<size_t>& rkeys = join.right_keys();
+  size_t n = chunk.size();
+  ls->kernels.probe_rows += static_cast<int64_t>(n);
+
+  std::vector<uint32_t> lrows, rrows;
+  lrows.reserve(n);
+  rrows.reserve(n);
+  // For LEFT OUTER, track matches per chunk position; a left row lives in
+  // exactly one morsel, so morsel-local tracking equals the global scan.
+  std::vector<uint8_t> pos_matched;
+  std::vector<uint32_t> lpos;
+  if (join.join_type() == JoinType::kLeft) {
+    pos_matched.assign(n, 0);
+    lpos.reserve(n);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    uint32_t row = chunk.RowAt(i);
+    if (RowHasNullKey(left, lkeys, row)) continue;
+    size_t h = HashRowKeys(left, lkeys, row);
+    auto range = s.build->equal_range(h);
+    for (auto it = range.first; it != range.second; ++it) {
+      if (KeysEqual(left, lkeys, row, right, rkeys, it->second)) {
+        lrows.push_back(row);
+        rrows.push_back(it->second);
+        if (join.join_type() == JoinType::kLeft) {
+          lpos.push_back(static_cast<uint32_t>(i));
+        }
+      }
+    }
+  }
+
+  TablePtr candidates =
+      BuildProbeOutput(join.output_schema(), left, right, lrows, rrows);
+
+  std::vector<uint8_t> keep(lrows.size(), 1);
+  if (join.residual() != nullptr) {
+    DBSP_ASSIGN_OR_RETURN(std::vector<uint32_t> sel,
+                          EvaluatePredicate(*join.residual(), *candidates));
+    std::fill(keep.begin(), keep.end(), 0);
+    for (uint32_t p : sel) keep[p] = 1;
+  }
+
+  if (join.join_type() == JoinType::kInner) {
+    DataChunk out(candidates, 0, candidates->num_rows());
+    std::vector<uint32_t> sel;
+    sel.reserve(keep.size());
+    for (size_t i = 0; i < keep.size(); ++i) {
+      if (keep[i]) sel.push_back(static_cast<uint32_t>(i));
+    }
+    if (sel.size() != keep.size()) out.SetSelection(std::move(sel));
+    return out;
+  }
+
+  // LEFT OUTER: surviving candidates + NULL-padded unmatched left rows.
+  std::vector<uint32_t> sel;
+  sel.reserve(keep.size());
+  for (size_t i = 0; i < keep.size(); ++i) {
+    if (keep[i]) {
+      pos_matched[lpos[i]] = 1;
+      sel.push_back(static_cast<uint32_t>(i));
+    }
+  }
+  std::vector<uint32_t> unmatched_l;
+  for (size_t i = 0; i < n; ++i) {
+    if (!pos_matched[i]) unmatched_l.push_back(chunk.RowAt(i));
+  }
+  if (unmatched_l.empty()) {
+    DataChunk out(candidates, 0, candidates->num_rows());
+    if (sel.size() != keep.size()) out.SetSelection(std::move(sel));
+    return out;
+  }
+  TablePtr matched_out = candidates->Gather(sel);
+  std::vector<uint32_t> unmatched_r(unmatched_l.size(), kNoMatch);
+  TablePtr padded = BuildProbeOutput(join.output_schema(), left, right,
+                                     unmatched_l, unmatched_r);
+  matched_out->AppendAll(*padded);
+  return DataChunk(matched_out, 0, matched_out->num_rows());
+}
+
+Status ApplyDeltaRestrict(const Stage& s, DataChunk* chunk, LocalStats* ls) {
+  const auto& dr = *static_cast<const PhysicalDeltaRestrict*>(s.op);
+  const ColumnVector& set_keys = s.keys->column(0);
+  const ColumnVector& in_keys = chunk->table().column(dr.key_col());
+  size_t n = chunk->size();
+  std::vector<uint32_t> keep;
+  keep.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    uint32_t row = chunk->RowAt(i);
+    bool in_set = false;
+    auto range = s.set_index.equal_range(in_keys.HashAt(row));
+    for (auto it = range.first; it != range.second; ++it) {
+      if (in_keys.EqualsAt(row, set_keys, it->second)) {
+        in_set = true;
+        break;
+      }
+    }
+    if (in_set == dr.keep_matching()) keep.push_back(static_cast<uint32_t>(i));
+  }
+  if (dr.keep_matching()) {
+    ls->delta_probe_rows += static_cast<int64_t>(keep.size());
+  }
+  if (keep.size() != n) chunk->Restrict(keep);
+  return Status::OK();
+}
+
+/// True if `op` can be fused into a pipeline in this context. MPP-mode hash
+/// joins stay breakers so the partitioned shuffle path (and its
+/// rows_shuffled / partition-cache semantics) is untouched.
+bool Fusible(const PhysicalOp& op, const ExecContext& ctx) {
+  switch (op.pipeline_role()) {
+    case PipelineRole::kFilter:
+    case PipelineRole::kProject:
+    case PipelineRole::kDeltaRestrict:
+      return true;
+    case PipelineRole::kHashProbe:
+      return ctx.pool == nullptr || ctx.options->num_workers <= 1;
+    default:
+      return false;
+  }
+}
+
+// Dense copy of a chunk's rows under the pipeline's output schema.
+void AppendChunk(const DataChunk& chunk, std::vector<ColumnVectorPtr>* acc) {
+  chunk.AppendTo(acc);
+}
+
+std::vector<ColumnVectorPtr> MakeAccumulator(const Schema& schema) {
+  std::vector<ColumnVectorPtr> cols;
+  cols.reserve(schema.num_columns());
+  for (size_t c = 0; c < schema.num_columns(); ++c) {
+    cols.push_back(std::make_shared<ColumnVector>(schema.column(c).type));
+  }
+  return cols;
+}
+
+Result<TablePtr> RunPipeline(const PhysicalOp& top, ExecContext& ctx) {
+  // Collect the maximal streaming chain, top-down.
+  std::vector<const PhysicalOp*> chain;
+  const PhysicalOp* cur = &top;
+  while (Fusible(*cur, ctx)) {
+    chain.push_back(cur);
+    cur = cur->children()[0].get();
+  }
+  DBSP_ASSIGN_OR_RETURN(TablePtr source, ExecuteOp(*cur, ctx));
+
+  const auto t0 = std::chrono::steady_clock::now();
+
+  // Compile stages bottom→top. Build sides and key sets materialize here —
+  // these are the pipeline's breakers on the non-streaming inputs.
+  std::vector<Stage> stages(chain.size());
+  for (size_t i = 0; i < chain.size(); ++i) {
+    const PhysicalOp* op = chain[chain.size() - 1 - i];
+    Stage& s = stages[i];
+    s.op = op;
+    s.role = op->pipeline_role();
+    switch (s.role) {
+      case PipelineRole::kFilter:
+        s.filter = std::make_unique<ChunkFilter>(
+            &static_cast<const PhysicalFilter*>(op)->predicate());
+        break;
+      case PipelineRole::kProject: {
+        const auto* proj = static_cast<const PhysicalProject*>(op);
+        s.projector = std::make_unique<ChunkProjector>(&proj->exprs(),
+                                                       &proj->output_schema());
+        break;
+      }
+      case PipelineRole::kHashProbe: {
+        const auto* join = static_cast<const PhysicalHashJoin*>(op);
+        DBSP_ASSIGN_OR_RETURN(s.right,
+                              ExecuteOp(*join->children()[1], ctx));
+        s.build = join->GetOrBuildSerialHash(ctx, s.right);
+        break;
+      }
+      case PipelineRole::kDeltaRestrict: {
+        const auto* dr = static_cast<const PhysicalDeltaRestrict*>(op);
+        DBSP_ASSIGN_OR_RETURN(s.keys, ctx.registry->Get(dr->delta_source()));
+        if (s.keys->num_columns() == 0) {
+          return Status::Internal("DeltaRestrict key set '" +
+                                  dr->delta_source() + "' has no columns");
+        }
+        const ColumnVector& set_keys = s.keys->column(0);
+        s.set_index.reserve(s.keys->num_rows());
+        for (size_t r = 0; r < s.keys->num_rows(); ++r) {
+          s.set_index.emplace(set_keys.HashAt(r), static_cast<uint32_t>(r));
+        }
+        break;
+      }
+      default:
+        return Status::Internal("non-streaming op in pipeline chain");
+    }
+  }
+
+  auto run_chunk = [&stages](DataChunk chunk,
+                             LocalStats* ls) -> Result<DataChunk> {
+    for (const Stage& s : stages) {
+      if (chunk.empty()) break;
+      switch (s.role) {
+        case PipelineRole::kFilter: {
+          DBSP_RETURN_NOT_OK(s.filter->Apply(&chunk, &ls->kernels));
+          break;
+        }
+        case PipelineRole::kProject: {
+          DBSP_ASSIGN_OR_RETURN(chunk,
+                                s.projector->Apply(chunk, &ls->kernels));
+          break;
+        }
+        case PipelineRole::kHashProbe: {
+          DBSP_ASSIGN_OR_RETURN(chunk, ApplyProbe(s, chunk, ls));
+          break;
+        }
+        case PipelineRole::kDeltaRestrict: {
+          DBSP_RETURN_NOT_OK(ApplyDeltaRestrict(s, &chunk, ls));
+          break;
+        }
+        default:
+          break;
+      }
+    }
+    return chunk;
+  };
+
+  const Schema& out_schema = top.output_schema();
+  size_t n = source->num_rows();
+  std::vector<DataChunk> morsels =
+      SplitIntoMorsels(source, ctx.options->morsel_size);
+
+  TablePtr out;
+  LocalStats total;
+
+  if (ctx.UseParallel(n) && morsels.size() > 1) {
+    // Parallel morsels: each task runs the whole pipeline on one morsel and
+    // materializes a dense result; results concatenate in morsel order.
+    // Fault injection and cancellation ride on the per-task dispatch — the
+    // same "worker abandoned the task" failure mode mpp.dispatch models,
+    // fired once per morsel task. The serial path deliberately injects
+    // nothing, mirroring the legacy operators (whose fault sites live only
+    // on their parallel branches): a serial pipeline adds no scheduling
+    // step that could fail, and injecting per serial morsel would inflate
+    // the per-recovery-segment hit count until the executor's bounded
+    // checkpoint/restore loop could no longer finish.
+    std::vector<TablePtr> results(morsels.size());
+    std::vector<LocalStats> lstats(morsels.size());
+    Status st = ctx.pool->ParallelForStatus(
+        morsels.size(),
+        [&](size_t m) -> Status {
+          DBSP_ASSIGN_OR_RETURN(DataChunk chunk,
+                                run_chunk(morsels[m], &lstats[m]));
+          if (!chunk.empty()) {
+            auto acc = MakeAccumulator(out_schema);
+            AppendChunk(chunk, &acc);
+            results[m] = Table::FromColumns(out_schema, std::move(acc));
+          }
+          return Status::OK();
+        },
+        ctx.faults, "exec.pipeline.morsel", &ctx.cancel);
+    DBSP_RETURN_NOT_OK(st);
+    for (const LocalStats& ls : lstats) {
+      total.kernels.filter_rows += ls.kernels.filter_rows;
+      total.kernels.project_rows += ls.kernels.project_rows;
+      total.kernels.probe_rows += ls.kernels.probe_rows;
+      total.delta_probe_rows += ls.delta_probe_rows;
+    }
+    auto acc_table = Table::Make(out_schema);
+    for (const TablePtr& part : results) {
+      if (part != nullptr) acc_table->AppendAll(*part);
+    }
+    out = std::move(acc_table);
+  } else {
+    std::vector<ColumnVectorPtr> acc;
+    bool accumulating = morsels.size() != 1;
+    if (accumulating) acc = MakeAccumulator(out_schema);
+    for (DataChunk& morsel : morsels) {
+      // Cooperative cancellation at every morsel boundary: deadlines and
+      // cancels fire mid-pipeline without waiting for the sink.
+      if (ctx.cancel.live()) {
+        ++ctx.stats.cancel_checks;
+        DBSP_RETURN_NOT_OK(ctx.cancel.Check());
+      }
+      DBSP_ASSIGN_OR_RETURN(DataChunk chunk, run_chunk(std::move(morsel),
+                                                       &total));
+      if (!accumulating) {
+        // Single morsel: pass the result through without the sink copy.
+        // A chunk that still spans its whole base unchanged returns the
+        // base table itself (preserves the legacy zero-copy/pointer
+        // identity behavior of all-pass filters and delta restricts).
+        // An empty chunk may have short-circuited mid-pipeline, so its
+        // base can carry an intermediate schema — never pass it through.
+        if (chunk.empty()) {
+          out = Table::Make(out_schema);
+        } else if (chunk.contiguous() && chunk.begin() == 0 && chunk.base() &&
+                   chunk.size() == chunk.base()->num_rows()) {
+          out = chunk.base();
+        } else {
+          acc = MakeAccumulator(out_schema);
+          AppendChunk(chunk, &acc);
+          out = Table::FromColumns(out_schema, std::move(acc));
+        }
+        break;
+      }
+      if (!chunk.empty()) AppendChunk(chunk, &acc);
+    }
+    if (out == nullptr) {
+      if (!accumulating) acc = MakeAccumulator(out_schema);
+      out = Table::FromColumns(out_schema, std::move(acc));
+    }
+  }
+
+  ctx.stats.pipelines_run += 1;
+  ctx.stats.morsels_dispatched += static_cast<int64_t>(morsels.size());
+  ctx.stats.pipeline_rows_in += static_cast<int64_t>(n);
+  ctx.stats.pipeline_rows_out += static_cast<int64_t>(out->num_rows());
+  ctx.stats.rows_materialized += static_cast<int64_t>(out->num_rows());
+  ctx.stats.kernel_rows_filter += total.kernels.filter_rows;
+  ctx.stats.kernel_rows_project += total.kernels.project_rows;
+  ctx.stats.kernel_rows_probe += total.kernels.probe_rows;
+  ctx.stats.delta_probe_rows += total.delta_probe_rows;
+  ctx.stats.pipeline_ns += std::chrono::duration_cast<std::chrono::nanoseconds>(
+                               std::chrono::steady_clock::now() - t0)
+                               .count();
+  return out;
+}
+
+}  // namespace
+
+Result<TablePtr> ExecuteOp(const PhysicalOp& op, ExecContext& ctx) {
+  if (ctx.options == nullptr || !ctx.options->optimizer.vectorized_exec) {
+    return op.Execute(ctx);
+  }
+  if (!Fusible(op, ctx)) return op.Execute(ctx);
+  return RunPipeline(op, ctx);
+}
+
+}  // namespace dbspinner

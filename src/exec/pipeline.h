@@ -1,0 +1,24 @@
+// Morsel-driven vectorized pipeline executor (DESIGN.md §11).
+//
+// ExecuteOp is the single entry point for running any physical operator.
+// With OptimizerOptions::vectorized_exec on, maximal streaming chains
+// (scan→filter→project→probe→delta-restrict) are fused into one pipeline
+// that pulls fixed-size morsels from the source table through compiled
+// chunk kernels and materializes once, at the sink. Pipeline breakers
+// (aggregate, sort, set ops, limit, MPP hash joins, loop boundaries) run
+// their own Execute and recursively route their children back through
+// ExecuteOp, so every breaker input is itself pipelined.
+//
+// With the toggle off this degenerates to PhysicalOp::Execute everywhere —
+// the legacy operator-at-a-time executor, preserved as the differential
+// baseline swept by the fuzzer and tests.
+
+#pragma once
+
+#include "exec/physical_plan.h"
+
+namespace dbspinner {
+
+Result<TablePtr> ExecuteOp(const PhysicalOp& op, ExecContext& ctx);
+
+}  // namespace dbspinner

@@ -1,0 +1,356 @@
+#include "exec/pipeline_kernels.h"
+
+namespace dbspinner {
+
+namespace {
+
+// A numeric comparison operand bound at compile time to a column ordinal or
+// a constant; column pointers are re-resolved per chunk because every
+// projection/probe stage swaps in a new base table.
+struct KernelOperand {
+  bool Compile(const BoundExpr& e, bool allow_null_const) {
+    if (e.kind == BoundExprKind::kColumnRef) {
+      if (e.type != TypeId::kInt64 && e.type != TypeId::kDouble) return false;
+      col_index = e.column_index;
+      is_column = true;
+      is_int = e.type == TypeId::kInt64;
+      return true;
+    }
+    if (e.kind == BoundExprKind::kConstant) {
+      if (e.constant.is_null()) {
+        if (!allow_null_const) return false;
+        is_null_const = true;
+        return true;
+      }
+      if (!IsNumeric(e.constant.type())) return false;
+      is_int = e.constant.type() == TypeId::kInt64;
+      const_int = e.constant.AsInt64();
+      const_double = e.constant.AsDouble();
+      return true;
+    }
+    return false;
+  }
+
+  // Re-binds the column pointer against this chunk's base. False when the
+  // runtime column type disagrees with the compile-time type (never happens
+  // for well-formed tables; the caller then falls back row-wise).
+  bool Bind(const Table& base) {
+    if (!is_column) return true;
+    col = &base.column(col_index);
+    return col->type() == (is_int ? TypeId::kInt64 : TypeId::kDouble);
+  }
+
+  bool IsNullAt(uint32_t r) const {
+    return is_column ? col->IsNull(r) : is_null_const;
+  }
+  int64_t IntAt(uint32_t r) const {
+    return is_column ? col->Int64At(r) : const_int;
+  }
+  double DoubleAt(uint32_t r) const {
+    return is_column ? col->NumericAt(r) : const_double;
+  }
+
+  size_t col_index = 0;
+  const ColumnVector* col = nullptr;
+  bool is_column = false;
+  bool is_null_const = false;
+  bool is_int = true;
+  int64_t const_int = 0;
+  double const_double = 0;
+};
+
+bool IsComparison(BinaryOp op) {
+  return op == BinaryOp::kEq || op == BinaryOp::kNe || op == BinaryOp::kLt ||
+         op == BinaryOp::kLe || op == BinaryOp::kGt || op == BinaryOp::kGe;
+}
+
+bool IsKernelArith(BinaryOp op) {
+  return op == BinaryOp::kAdd || op == BinaryOp::kSub || op == BinaryOp::kMul;
+}
+
+inline bool CmpInt(BinaryOp op, int64_t a, int64_t b) {
+  switch (op) {
+    case BinaryOp::kEq: return a == b;
+    case BinaryOp::kNe: return a != b;
+    case BinaryOp::kLt: return a < b;
+    case BinaryOp::kLe: return a <= b;
+    case BinaryOp::kGt: return a > b;
+    default: return a >= b;
+  }
+}
+
+inline bool CmpDouble(BinaryOp op, double a, double b) {
+  switch (op) {
+    case BinaryOp::kEq: return a == b;
+    case BinaryOp::kNe: return a != b;
+    case BinaryOp::kLt: return a < b;
+    case BinaryOp::kLe: return a <= b;
+    case BinaryOp::kGt: return a > b;
+    default: return a >= b;
+  }
+}
+
+/// A bound comparison kernel over one chunk's base table.
+struct CmpKernel {
+  bool Bind(const BoundExpr& e, const Table& base) {
+    op = e.binary_op;
+    if (!l.Compile(*e.children[0], /*allow_null_const=*/false) ||
+        !r.Compile(*e.children[1], /*allow_null_const=*/false)) {
+      return false;
+    }
+    both_int = l.is_int && r.is_int;
+    return l.Bind(base) && r.Bind(base);
+  }
+
+  // Appends passing absolute row ids of the chunk view to `sel`. Returns
+  // false on the first NULL input (the caller must fall back row-wise: a
+  // NULL conjunct does not short-circuit AND).
+  bool FilterView(const DataChunk& chunk, std::vector<uint32_t>* sel) const {
+    size_t n = chunk.size();
+    if (both_int) {
+      for (size_t i = 0; i < n; ++i) {
+        uint32_t row = chunk.RowAt(i);
+        if (l.IsNullAt(row) || r.IsNullAt(row)) return false;
+        if (CmpInt(op, l.IntAt(row), r.IntAt(row))) sel->push_back(row);
+      }
+      return true;
+    }
+    for (size_t i = 0; i < n; ++i) {
+      uint32_t row = chunk.RowAt(i);
+      if (l.IsNullAt(row) || r.IsNullAt(row)) return false;
+      if (CmpDouble(op, l.DoubleAt(row), r.DoubleAt(row))) sel->push_back(row);
+    }
+    return true;
+  }
+
+  // In-place refinement of an absolute selection.
+  bool FilterSel(std::vector<uint32_t>* sel) const {
+    size_t out = 0;
+    for (size_t i = 0; i < sel->size(); ++i) {
+      uint32_t row = (*sel)[i];
+      if (l.IsNullAt(row) || r.IsNullAt(row)) return false;
+      bool pass = both_int ? CmpInt(op, l.IntAt(row), r.IntAt(row))
+                           : CmpDouble(op, l.DoubleAt(row), r.DoubleAt(row));
+      if (pass) (*sel)[out++] = row;
+    }
+    sel->resize(out);
+    return true;
+  }
+
+  BinaryOp op = BinaryOp::kEq;
+  KernelOperand l, r;
+  bool both_int = false;
+};
+
+bool KernelizableComparison(const BoundExpr& e) {
+  if (e.kind != BoundExprKind::kBinaryOp || !IsComparison(e.binary_op)) {
+    return false;
+  }
+  KernelOperand l, r;
+  return l.Compile(*e.children[0], /*allow_null_const=*/false) &&
+         r.Compile(*e.children[1], /*allow_null_const=*/false);
+}
+
+}  // namespace
+
+ChunkFilter::ChunkFilter(const BoundExpr* predicate) : predicate_(predicate) {
+  std::vector<BoundExprPtr> conjuncts;
+  SplitConjuncts(*predicate, &conjuncts);
+  // Longest kernelizable prefix: a row dropped by a FALSE prefix conjunct is
+  // one the row-wise AND short-circuits before any later conjunct, so error
+  // semantics are preserved. A kernelizable conjunct past the first
+  // non-kernel one must stay row-wise (it could mask an earlier error).
+  size_t split = 0;
+  while (split < conjuncts.size() && KernelizableComparison(*conjuncts[split])) {
+    ++split;
+  }
+  kernel_prefix_.assign(std::make_move_iterator(conjuncts.begin()),
+                        std::make_move_iterator(conjuncts.begin() + split));
+  if (split < conjuncts.size()) {
+    std::vector<BoundExprPtr> rest(
+        std::make_move_iterator(conjuncts.begin() + split),
+        std::make_move_iterator(conjuncts.end()));
+    rest_ = CombineConjuncts(std::move(rest));
+  }
+}
+
+Status ChunkFilter::ApplyRowWise(const BoundExpr& expr,
+                                 DataChunk* chunk) const {
+  const Table& base = chunk->table();
+  size_t n = chunk->size();
+  std::vector<uint32_t> keep;
+  keep.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    DBSP_ASSIGN_OR_RETURN(Value v, EvaluateExpr(expr, base, chunk->RowAt(i)));
+    if (!v.is_null() && v.bool_value()) {
+      keep.push_back(static_cast<uint32_t>(i));
+    }
+  }
+  chunk->Restrict(keep);
+  return Status::OK();
+}
+
+Status ChunkFilter::Apply(DataChunk* chunk, KernelCounters* counters) const {
+  if (chunk->empty()) {
+    chunk->SetSelection({});
+    return Status::OK();
+  }
+  if (kernel_prefix_.empty()) return ApplyRowWise(*predicate_, chunk);
+
+  const Table& base = chunk->table();
+  std::vector<uint32_t> sel;
+  sel.reserve(chunk->size());
+  for (size_t k = 0; k < kernel_prefix_.size(); ++k) {
+    CmpKernel kernel;
+    bool ok = kernel.Bind(*kernel_prefix_[k], base);
+    if (ok) {
+      if (k == 0) {
+        counters->filter_rows += static_cast<int64_t>(chunk->size());
+        ok = kernel.FilterView(*chunk, &sel);
+      } else {
+        counters->filter_rows += static_cast<int64_t>(sel.size());
+        ok = kernel.FilterSel(&sel);
+      }
+    }
+    // A NULL input (or a type surprise) voids the kernel pass for this
+    // chunk; the row-wise path reproduces the exact AND semantics.
+    if (!ok) return ApplyRowWise(*predicate_, chunk);
+  }
+  chunk->SetSelection(std::move(sel));
+  if (rest_ != nullptr && !chunk->empty()) {
+    return ApplyRowWise(*rest_, chunk);
+  }
+  return Status::OK();
+}
+
+namespace {
+
+// Batch projection kernel mirroring expr.cc's TryVectorizedBinary, but over
+// a chunk's row view. Returns nullptr when no kernel applies.
+ColumnVectorPtr TryChunkBinary(const BoundExpr& expr, const DataChunk& chunk) {
+  if (expr.kind != BoundExprKind::kBinaryOp) return nullptr;
+  BinaryOp op = expr.binary_op;
+  bool is_arith = IsKernelArith(op);
+  bool is_cmp = IsComparison(op);
+  if (!is_arith && !is_cmp) return nullptr;
+
+  KernelOperand l, r;
+  if (!l.Compile(*expr.children[0], /*allow_null_const=*/true) ||
+      !r.Compile(*expr.children[1], /*allow_null_const=*/true)) {
+    return nullptr;
+  }
+  const Table& base = chunk.table();
+  if (!l.Bind(base) || !r.Bind(base)) return nullptr;
+  size_t n = chunk.size();
+
+  auto out = std::make_shared<ColumnVector>(expr.type);
+  out->Reserve(n);
+  if (l.is_null_const || r.is_null_const) {
+    for (size_t i = 0; i < n; ++i) out->AppendNull();
+    return out;
+  }
+
+  bool both_int = l.is_int && r.is_int;
+  if (is_arith && both_int && expr.type == TypeId::kInt64) {
+    for (size_t i = 0; i < n; ++i) {
+      uint32_t row = chunk.RowAt(i);
+      if (l.IsNullAt(row) || r.IsNullAt(row)) {
+        out->AppendNull();
+        continue;
+      }
+      int64_t a = l.IntAt(row);
+      int64_t b = r.IntAt(row);
+      out->AppendInt64(op == BinaryOp::kAdd   ? a + b
+                       : op == BinaryOp::kSub ? a - b
+                                              : a * b);
+    }
+    return out;
+  }
+  if (is_arith && expr.type == TypeId::kDouble) {
+    for (size_t i = 0; i < n; ++i) {
+      uint32_t row = chunk.RowAt(i);
+      if (l.IsNullAt(row) || r.IsNullAt(row)) {
+        out->AppendNull();
+        continue;
+      }
+      double a = l.DoubleAt(row);
+      double b = r.DoubleAt(row);
+      out->AppendDouble(op == BinaryOp::kAdd   ? a + b
+                        : op == BinaryOp::kSub ? a - b
+                                               : a * b);
+    }
+    return out;
+  }
+  if (is_cmp) {
+    for (size_t i = 0; i < n; ++i) {
+      uint32_t row = chunk.RowAt(i);
+      if (l.IsNullAt(row) || r.IsNullAt(row)) {
+        out->AppendNull();
+        continue;
+      }
+      bool res = both_int ? CmpInt(op, l.IntAt(row), r.IntAt(row))
+                          : CmpDouble(op, l.DoubleAt(row), r.DoubleAt(row));
+      out->AppendBool(res);
+    }
+    return out;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+ChunkProjector::ChunkProjector(const std::vector<BoundExprPtr>* exprs,
+                               const Schema* output_schema)
+    : exprs_(exprs), output_schema_(output_schema) {}
+
+Result<DataChunk> ChunkProjector::Apply(const DataChunk& chunk,
+                                        KernelCounters* counters) const {
+  const Table& base = chunk.table();
+  size_t n = chunk.size();
+  bool whole_base = chunk.contiguous() && chunk.begin() == 0 &&
+                    n == base.num_rows();
+
+  std::vector<ColumnVectorPtr> cols;
+  cols.reserve(exprs_->size());
+  for (size_t c = 0; c < exprs_->size(); ++c) {
+    const BoundExpr& expr = *(*exprs_)[c];
+    ColumnVectorPtr col;
+    if (expr.kind == BoundExprKind::kColumnRef &&
+        base.column(expr.column_index).type() == expr.type) {
+      counters->project_rows += static_cast<int64_t>(n);
+      if (whole_base) {
+        // Zero copy: the chunk is the entire base table.
+        col = base.column_ptr(expr.column_index);
+      } else {
+        col = std::make_shared<ColumnVector>(expr.type);
+        if (chunk.contiguous()) {
+          col->AppendRange(base.column(expr.column_index), chunk.begin(), n);
+        } else {
+          col->AppendGathered(base.column(expr.column_index),
+                              chunk.selection());
+        }
+      }
+    } else if ((col = TryChunkBinary(expr, chunk)) != nullptr) {
+      counters->project_rows += static_cast<int64_t>(n);
+    } else {
+      col = std::make_shared<ColumnVector>(expr.type);
+      col->Reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        DBSP_ASSIGN_OR_RETURN(Value v,
+                              EvaluateExpr(expr, base, chunk.RowAt(i)));
+        col->Append(v);
+      }
+    }
+    if (col->type() != output_schema_->column(c).type) {
+      auto cast =
+          std::make_shared<ColumnVector>(output_schema_->column(c).type);
+      cast->AppendAll(*col);
+      col = std::move(cast);
+    }
+    cols.push_back(std::move(col));
+  }
+  TablePtr out = Table::FromColumns(*output_schema_, std::move(cols));
+  return DataChunk(out, 0, n);
+}
+
+}  // namespace dbspinner

@@ -1,0 +1,75 @@
+// Compiled chunk kernels for the vectorized pipeline executor.
+//
+// A ChunkFilter / ChunkProjector is compiled once per pipeline execution and
+// then applied to every morsel. Kernels are monomorphic loops over the raw
+// column arrays; anything a kernel cannot express falls back to the row-wise
+// evaluator over exactly the same rows, so results (including NULL and
+// error semantics) are identical to the legacy operator-at-a-time executor.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "exec/data_chunk.h"
+#include "expr/expr.h"
+
+namespace dbspinner {
+
+/// Per-morsel kernel-row counters, merged into ExecStats by the driver.
+struct KernelCounters {
+  int64_t filter_rows = 0;
+  int64_t project_rows = 0;
+  int64_t probe_rows = 0;
+};
+
+/// A compiled predicate. Splits the expression into conjuncts and finds the
+/// longest prefix of numeric-comparison conjuncts (column/constant operands
+/// only — exactly the forms the row engine's vectorized comparisons accept,
+/// all guaranteed error-free). Application runs the prefix as branch-free
+/// kernels and the remaining conjuncts row-wise on the survivors.
+///
+/// The prefix restriction is what keeps error/NULL ordering exact: a row
+/// dropped by a FALSE prefix conjunct is a row the row-wise AND would have
+/// short-circuited before reaching any later (possibly erroring) conjunct.
+/// If a prefix kernel produces NULL for any row of a chunk (a NULL column
+/// input), the whole chunk falls back to the full row-wise predicate, since
+/// NULL does not short-circuit AND.
+class ChunkFilter {
+ public:
+  /// `predicate` must outlive this object.
+  explicit ChunkFilter(const BoundExpr* predicate);
+
+  /// Refines `chunk` to the passing rows.
+  Status Apply(DataChunk* chunk, KernelCounters* counters) const;
+
+  /// True if at least one conjunct runs as a kernel.
+  bool has_kernels() const { return !kernel_prefix_.empty(); }
+
+ private:
+  Status ApplyRowWise(const BoundExpr& expr, DataChunk* chunk) const;
+
+  const BoundExpr* predicate_;
+  std::vector<BoundExprPtr> kernel_prefix_;
+  BoundExprPtr rest_;  ///< non-kernel conjuncts re-ANDed; null when none
+};
+
+/// A compiled projection list. Column references and two-operand numeric
+/// arithmetic/comparisons (column/constant operands) run as batch kernels;
+/// everything else evaluates row-wise into the output vector.
+class ChunkProjector {
+ public:
+  /// `exprs` and `output_schema` must outlive this object.
+  ChunkProjector(const std::vector<BoundExprPtr>* exprs,
+                 const Schema* output_schema);
+
+  /// Projects `chunk` into a new dense chunk over `output_schema` types.
+  Result<DataChunk> Apply(const DataChunk& chunk,
+                          KernelCounters* counters) const;
+
+ private:
+  const std::vector<BoundExprPtr>* exprs_;
+  const Schema* output_schema_;
+};
+
+}  // namespace dbspinner

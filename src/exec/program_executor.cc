@@ -1,5 +1,7 @@
 #include "exec/program_executor.h"
 
+#include "exec/pipeline.h"
+
 #include <chrono>
 #include <thread>
 #include <unordered_map>
@@ -188,7 +190,7 @@ Result<TablePtr> RunProgram(const Program& program, ExecContext* ctx) {
     };
     switch (step.kind) {
       case Step::Kind::kMaterialize: {
-        DBSP_ASSIGN_OR_RETURN(TablePtr table, step.physical->Execute(*ctx));
+        DBSP_ASSIGN_OR_RETURN(TablePtr table, ExecuteOp(*step.physical, *ctx));
         profile_rows = static_cast<int64_t>(table->num_rows());
         ctx->registry->Put(step.target, table);
         break;
@@ -374,7 +376,7 @@ Result<TablePtr> RunProgram(const Program& program, ExecContext* ctx) {
         break;
       }
       case Step::Kind::kFinal: {
-        DBSP_ASSIGN_OR_RETURN(final_result, step.physical->Execute(*ctx));
+        DBSP_ASSIGN_OR_RETURN(final_result, ExecuteOp(*step.physical, *ctx));
         profile_rows = static_cast<int64_t>(final_result->num_rows());
         break;
       }

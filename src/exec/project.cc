@@ -1,4 +1,5 @@
 #include "exec/physical_plan.h"
+#include "exec/pipeline.h"
 #include "mpp/partition.h"
 
 namespace dbspinner {
@@ -28,7 +29,7 @@ Result<TablePtr> ProjectTable(const std::vector<BoundExprPtr>& exprs,
 }  // namespace
 
 Result<TablePtr> PhysicalProject::Execute(ExecContext& ctx) const {
-  DBSP_ASSIGN_OR_RETURN(TablePtr input, children_[0]->Execute(ctx));
+  DBSP_ASSIGN_OR_RETURN(TablePtr input, ExecuteOp(*children_[0], ctx));
   size_t n = input->num_rows();
 
   TablePtr out;

@@ -3,6 +3,7 @@
 #include <unordered_map>
 
 #include "exec/physical_plan.h"
+#include "exec/pipeline.h"
 #include "mpp/partition.h"
 
 namespace dbspinner {
@@ -10,7 +11,7 @@ namespace dbspinner {
 Result<TablePtr> PhysicalUnionAll::Execute(ExecContext& ctx) const {
   auto out = Table::Make(output_schema_);
   for (const auto& child : children_) {
-    DBSP_ASSIGN_OR_RETURN(TablePtr t, child->Execute(ctx));
+    DBSP_ASSIGN_OR_RETURN(TablePtr t, ExecuteOp(*child, ctx));
     out->AppendAll(*t);
   }
   ctx.stats.rows_materialized += static_cast<int64_t>(out->num_rows());
@@ -60,8 +61,8 @@ TablePtr DedupeTable(const Table& input) {
 }  // namespace
 
 Result<TablePtr> PhysicalSetDifference::Execute(ExecContext& ctx) const {
-  DBSP_ASSIGN_OR_RETURN(TablePtr left, children_[0]->Execute(ctx));
-  DBSP_ASSIGN_OR_RETURN(TablePtr right, children_[1]->Execute(ctx));
+  DBSP_ASSIGN_OR_RETURN(TablePtr left, ExecuteOp(*children_[0], ctx));
+  DBSP_ASSIGN_OR_RETURN(TablePtr right, ExecuteOp(*children_[1], ctx));
 
   std::vector<size_t> all_cols;
   for (size_t c = 0; c < left->num_columns(); ++c) all_cols.push_back(c);
@@ -120,7 +121,7 @@ Result<TablePtr> PhysicalSetDifference::Execute(ExecContext& ctx) const {
 }
 
 Result<TablePtr> PhysicalDistinct::Execute(ExecContext& ctx) const {
-  DBSP_ASSIGN_OR_RETURN(TablePtr input, children_[0]->Execute(ctx));
+  DBSP_ASSIGN_OR_RETURN(TablePtr input, ExecuteOp(*children_[0], ctx));
 
   if (ctx.UseParallel(input->num_rows())) {
     // Shuffle on all columns: duplicates land on the same simulated node.

@@ -1,11 +1,12 @@
 #include <algorithm>
 
 #include "exec/physical_plan.h"
+#include "exec/pipeline.h"
 
 namespace dbspinner {
 
 Result<TablePtr> PhysicalSort::Execute(ExecContext& ctx) const {
-  DBSP_ASSIGN_OR_RETURN(TablePtr input, children_[0]->Execute(ctx));
+  DBSP_ASSIGN_OR_RETURN(TablePtr input, ExecuteOp(*children_[0], ctx));
   size_t n = input->num_rows();
 
   // Evaluate key expressions once, then argsort.
@@ -32,7 +33,7 @@ Result<TablePtr> PhysicalSort::Execute(ExecContext& ctx) const {
 }
 
 Result<TablePtr> PhysicalLimit::Execute(ExecContext& ctx) const {
-  DBSP_ASSIGN_OR_RETURN(TablePtr input, children_[0]->Execute(ctx));
+  DBSP_ASSIGN_OR_RETURN(TablePtr input, ExecuteOp(*children_[0], ctx));
   int64_t n = static_cast<int64_t>(input->num_rows());
   int64_t begin = std::min(offset_, n);
   int64_t end = limit_ < 0 ? n : std::min(n, begin + limit_);

@@ -133,14 +133,83 @@ void ColumnVector::AppendFrom(const ColumnVector& src, size_t i) {
 
 ColumnVectorPtr ColumnVector::Gather(const std::vector<uint32_t>& sel) const {
   auto out = std::make_shared<ColumnVector>(type_);
-  out->Reserve(sel.size());
-  for (uint32_t i : sel) out->AppendFrom(*this, i);
+  out->AppendGathered(*this, sel);
   return out;
 }
 
+void ColumnVector::AppendGathered(const ColumnVector& src,
+                                  const std::vector<uint32_t>& sel) {
+  if (src.type_ != type_) {
+    // Coercing path (e.g. INT64 source into DOUBLE column).
+    Reserve(size_ + sel.size());
+    for (uint32_t i : sel) AppendFrom(src, i);
+    return;
+  }
+  size_t base = size_;
+  size_t n = sel.size();
+  nulls_.resize(base + n);
+  for (size_t i = 0; i < n; ++i) nulls_[base + i] = src.nulls_[sel[i]];
+  switch (type_) {
+    case TypeId::kBool:
+    case TypeId::kInt64: {
+      size_t ibase = ints_.size();
+      ints_.resize(ibase + n);
+      const int64_t* in = src.ints_.data();
+      int64_t* out = ints_.data() + ibase;
+      for (size_t i = 0; i < n; ++i) out[i] = in[sel[i]];
+      break;
+    }
+    case TypeId::kDouble: {
+      size_t dbase = doubles_.size();
+      doubles_.resize(dbase + n);
+      const double* in = src.doubles_.data();
+      double* out = doubles_.data() + dbase;
+      for (size_t i = 0; i < n; ++i) out[i] = in[sel[i]];
+      break;
+    }
+    case TypeId::kString: {
+      strings_.reserve(strings_.size() + n);
+      for (size_t i = 0; i < n; ++i) strings_.push_back(src.strings_[sel[i]]);
+      break;
+    }
+    case TypeId::kNull:
+      break;
+  }
+  size_ = base + n;
+}
+
+void ColumnVector::AppendRange(const ColumnVector& src, size_t begin,
+                               size_t count) {
+  if (count == 0) return;
+  if (src.type_ != type_) {
+    Reserve(size_ + count);
+    for (size_t i = 0; i < count; ++i) AppendFrom(src, begin + i);
+    return;
+  }
+  nulls_.insert(nulls_.end(), src.nulls_.begin() + begin,
+                src.nulls_.begin() + begin + count);
+  switch (type_) {
+    case TypeId::kBool:
+    case TypeId::kInt64:
+      ints_.insert(ints_.end(), src.ints_.begin() + begin,
+                   src.ints_.begin() + begin + count);
+      break;
+    case TypeId::kDouble:
+      doubles_.insert(doubles_.end(), src.doubles_.begin() + begin,
+                      src.doubles_.begin() + begin + count);
+      break;
+    case TypeId::kString:
+      strings_.insert(strings_.end(), src.strings_.begin() + begin,
+                      src.strings_.begin() + begin + count);
+      break;
+    case TypeId::kNull:
+      break;
+  }
+  size_ += count;
+}
+
 void ColumnVector::AppendAll(const ColumnVector& src) {
-  Reserve(size_ + src.size_);
-  for (size_t i = 0; i < src.size_; ++i) AppendFrom(src, i);
+  AppendRange(src, 0, src.size_);
 }
 
 size_t ColumnVector::HashAt(size_t i) const {

@@ -59,11 +59,23 @@ class ColumnVector {
   /// Appends row `i` of `src` (must have an identical or coercible type).
   void AppendFrom(const ColumnVector& src, size_t i);
 
-  /// New vector containing rows selected by `sel` in order.
+  /// New vector containing rows selected by `sel` in order. Same-type copies
+  /// run as type-specialized batch loops (no per-row type dispatch); an
+  /// empty selection yields an empty vector of this vector's type.
   ColumnVectorPtr Gather(const std::vector<uint32_t>& sel) const;
 
   /// Appends every row of `src`.
   void AppendAll(const ColumnVector& src);
+
+  /// Appends the contiguous rows [begin, begin + count) of `src`. Same-type
+  /// appends are bulk range inserts; type-mismatched appends fall back to
+  /// the coercing per-row path.
+  void AppendRange(const ColumnVector& src, size_t begin, size_t count);
+
+  /// Appends rows of `src` selected by `sel` in order (batch-specialized
+  /// like Gather, but into an existing vector).
+  void AppendGathered(const ColumnVector& src,
+                      const std::vector<uint32_t>& sel);
 
   /// Direct access for monomorphic executor loops.
   const std::vector<int64_t>& ints() const { return ints_; }

@@ -209,6 +209,15 @@ DiffReport RunDifferential(const FuzzCase& c,
     report.outcomes.push_back(RunSqlOracle(
         c, StringPrintf("mpp-%d", workers), eo, report.sql));
   }
+  for (size_t morsel : opts.morsel_sizes) {
+    // Chunk-boundary equivalence: the vectorized pipeline must produce the
+    // same rows no matter where morsel boundaries fall (group runs, join
+    // matches, and NULL runs straddling chunks are the interesting cases).
+    EngineOptions eo = BaseOptions(opts);
+    eo.morsel_size = morsel;
+    report.outcomes.push_back(RunSqlOracle(
+        c, StringPrintf("morsel-%zu", morsel), eo, report.sql));
+  }
   if (opts.fault_rate > 0.0) {
     // Crash/recovery equivalence: the same query under an injected-fault
     // schedule, with retry + checkpoint/restore recovery, must match the
@@ -221,7 +230,17 @@ DiffReport RunDifferential(const FuzzCase& c,
       eo.fault_injection.enabled = true;
       eo.fault_injection.seed =
           opts.fault_seed * 2 + static_cast<uint64_t>(workers);
-      eo.fault_injection.rate = opts.fault_rate;
+      // Serial applies fault_rate to the executor's per-step sites only.
+      // At width 8 the same rate would hit every per-task dispatch of
+      // every parallel operator (8+ hits per op per loop iteration), so a
+      // long generated loop sees hundreds of hits per checkpoint segment
+      // and P(segment completes) ~ (1-rate)^hits collapses — bounded
+      // restore recovery then livelocks by construction, not because
+      // recovery is wrong. Normalize the per-task rate so per-segment
+      // fault mass stays comparable to the serial schedule (same caveat
+      // as the width-8 sweep in tests/fault_recovery_test.cc).
+      eo.fault_injection.rate =
+          workers > 1 ? opts.fault_rate / 10 : opts.fault_rate;
       eo.fault_injection.worker_lost_fraction = opts.worker_lost_fraction;
       eo.fault_tolerance.enable_recovery = true;
       eo.fault_tolerance.max_restores = 100000;

@@ -63,6 +63,13 @@ struct DifferentialOptions {
   /// Fraction of injected faults that simulate node death (kWorkerLost,
   /// checkpoint-restore path) instead of a transient retryable loss.
   double worker_lost_fraction = 0.0;
+
+  /// Chunk-level oracle dimension: one extra oracle ("morsel-N") per entry
+  /// runs the query with EngineOptions::morsel_size = N, so every chunk
+  /// boundary placement (including degenerate 1-row morsels) must agree
+  /// with the baseline and with the legacy row-at-a-time executor (which
+  /// the "no-vectorized_exec" toggle oracle already covers).
+  std::vector<size_t> morsel_sizes;
 };
 
 /// Outcome of the whole oracle matrix for one case.

@@ -306,6 +306,43 @@ TEST(ConcurrentSessions, CancelKillsIterativeQueryMidLoop) {
   ExpectSameRows(expected, after);
 }
 
+// Mid-morsel cancellation: with a 1-row morsel size the vectorized pipeline
+// checks the cancellation token between every pair of rows, so a cancel
+// lands inside a single operator's scan rather than only at step
+// boundaries. The query must still die with kCancelled and leak nothing.
+TEST(ConcurrentSessions, CancelLandsAtMorselBoundaryInsidePipeline) {
+  std::unique_ptr<Database> db = MakeGraphDb();
+  db->options().optimizer.vectorized_exec = true;
+  db->options().morsel_size = 1;
+  SessionManager mgr(db.get());
+  auto s = mgr.CreateSession();
+
+  const std::string long_query = workloads::PRQuery(100000);
+
+  std::atomic<bool> started{false};
+  Result<QueryResult> result = Status::Internal("query never ran");
+  std::thread runner([&] {
+    started = true;
+    result = s->Execute(long_query);
+  });
+  while (!started) std::this_thread::yield();
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  s->CancelCurrent();
+  runner.join();
+
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled)
+      << result.status().ToString();
+
+  // The session serves a correct query afterwards, and the extra per-morsel
+  // checks were really taken (far more than the per-step count alone).
+  TablePtr expected = MustQuery(db.get(), workloads::PRQuery(3));
+  auto after = Unwrap(s->Execute(workloads::PRQuery(3)));
+  ExpectSameRows(expected, after.table);
+  EXPECT_GT(after.stats.cancel_checks, 0);
+  EXPECT_GT(after.stats.morsels_dispatched, after.stats.pipelines_run);
+}
+
 TEST(ConcurrentSessions, DeadlineExpiresIterativeQuery) {
   std::unique_ptr<Database> db = MakeGraphDb();
   SessionManager mgr(db.get());

@@ -203,5 +203,47 @@ TEST_F(FaultRecoveryTest, SsspMppWidth8TenPercentRate200Cases) {
   EXPECT_GT(total_faults, 200);
 }
 
+// Recovery sweep through the vectorized pipeline's own fault site: a small
+// morsel size under MPP width 8 forces multi-morsel parallel dispatch, so
+// the per-task "exec.pipeline.morsel" injection point actually fires, and
+// every injected loss must recover to the fault-free result — with both
+// the vectorized executor (explicitly on) and the legacy baseline agreeing.
+TEST_F(FaultRecoveryTest, MorselTaskFaultsRecoverAtSmallMorselSize) {
+  std::string sql = workloads::PRQuery(6);
+
+  clean_db_.options().optimizer.vectorized_exec = true;
+  clean_db_.options().morsel_size = 16;
+  SetMpp(&clean_db_, 8);
+  TablePtr expected = MustQuery(&clean_db_, sql);
+
+  clean_db_.options().optimizer.vectorized_exec = false;
+  TablePtr legacy = MustQuery(&clean_db_, sql);
+  ExpectSameRows(legacy, expected, 1e-6);
+
+  faulty_db_.options().optimizer.vectorized_exec = true;
+  faulty_db_.options().morsel_size = 16;
+  SetMpp(&faulty_db_, 8);
+  int64_t total_faults = 0;
+  for (uint64_t seed = 300; seed < 310; ++seed) {
+    // The per-task rate compounds across every morsel of a pipeline
+    // (~13 tasks at 200 rows / morsel 16), so it must stay small for the
+    // per-pipeline fault probability to be a rate the bounded
+    // retry/restore recovery can absorb — exactly the mpp.dispatch
+    // per-task-rate caveat from the 200-case sweep above.
+    FaultSchedule s{"morsel-task-failure", "exec.pipeline.morsel",
+                    /*rate=*/0.02,
+                    /*worker_lost_fraction=*/seed % 2 == 0 ? 0.2 : 0.0,
+                    /*checkpoint_interval=*/4};
+    ConfigureFaults(&faulty_db_, s, seed);
+    auto result = faulty_db_.Execute(sql);
+    ASSERT_TRUE(result.ok())
+        << "seed " << seed << ": " << result.status().ToString();
+    ExpectSameRows(result->table, expected, 1e-6);
+    total_faults += result->stats.faults_seen;
+  }
+  // The site-filtered schedule must really have hit the morsel tasks.
+  EXPECT_GT(total_faults, 0);
+}
+
 }  // namespace
 }  // namespace dbspinner

@@ -130,7 +130,7 @@ TEST(DiffRowSetsTest, ReportsCardinalityAndNullMismatches) {
 
 TEST(OptimizerTogglesTest, RegistryCoversEveryRule) {
   const auto& all = OptimizerToggles::All();
-  EXPECT_EQ(all.size(), 8u);
+  EXPECT_EQ(all.size(), 9u);
 
   // Every toggle flips exactly the field it names.
   for (const auto& t : all) {

@@ -18,6 +18,7 @@
 #include <cstring>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "testing/differential.h"
 #include "testing/minimizer.h"
@@ -37,6 +38,8 @@ struct CliOptions {
   bool break_rename = false;
   bool faults = false;  ///< add recover-vs-clean oracles per case
   double fault_rate = 0.1;
+  /// Extra morsel-size oracles per case (--morsel-sizes 1,16,1024).
+  std::vector<size_t> morsel_sizes;
   bool verify = true;  ///< enforce the static plan/program verifier
   bool verbose = false;
   /// Concurrent differential mode: run each case on N server sessions
@@ -49,7 +52,8 @@ void Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--seed N] [--iterations N] [--time-budget SECONDS]"
                " [--break-rename] [--faults] [--fault-rate R]"
-               " [--sessions N] [--verify|--no-verify] [--verbose]\n",
+               " [--morsel-sizes N,N,...] [--sessions N]"
+               " [--verify|--no-verify] [--verbose]\n",
                argv0);
 }
 
@@ -88,6 +92,19 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts) {
         return false;
       }
       opts->faults = true;
+    } else if (arg == "--morsel-sizes") {
+      if (i + 1 >= argc) return false;
+      const char* list = argv[++i];
+      opts->morsel_sizes.clear();
+      for (const char* pos = list; *pos != '\0';) {
+        char* end = nullptr;
+        long long n = std::strtoll(pos, &end, 10);
+        if (end == pos || n < 1) return false;
+        opts->morsel_sizes.push_back(static_cast<size_t>(n));
+        pos = (*end == ',') ? end + 1 : end;
+        if (*end != ',' && *end != '\0') return false;
+      }
+      if (opts->morsel_sizes.empty()) return false;
     } else if (arg == "--sessions") {
       if (!next_int(&v) || v < 1 || v > 64) return false;
       opts->sessions = v;
@@ -117,6 +134,7 @@ int main(int argc, char** argv) {
   DifferentialOptions diff_opts;
   diff_opts.break_rename = cli.break_rename;
   diff_opts.verify = cli.verify;
+  diff_opts.morsel_sizes = cli.morsel_sizes;
 
   dbspinner::fuzz::QueryGenerator generator(cli.seed);
   std::map<std::string, int64_t> family_counts;
