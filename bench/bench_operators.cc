@@ -166,6 +166,61 @@ void BM_MixedFilter_Legacy(benchmark::State& state) {
 }
 BENCHMARK(BM_MixedFilter_Legacy)->Unit(benchmark::kMillisecond);
 
+// --- broadcast-fused probe vs breaker at MPP width 8 (DESIGN.md §11) --------
+//
+// scan→filter→probe with a small (20k-row) build side at 8 workers. The
+// fused series broadcasts the build (one shared hash table, probes run
+// inside the stealing morsel dispatcher); the breaker series forces the
+// legacy repartitioned join by setting broadcast_build_rows = 0. Compare
+// the two rows_per_sec counters in a JSON run — the acceptance bar is
+// fused >= 1.5x breaker.
+
+constexpr const char* kScanFilterProbeSql =
+    "SELECT e.src, e.dst, v.status FROM edges e "
+    "JOIN vertexstatus v ON e.dst = v.node WHERE e.weight > 0.05";
+
+void RunSqlMppProbe(benchmark::State& state, bool fuse) {
+  Database* db = SetupDb(20000, kEdgeRows);
+  db->options().num_workers = 8;
+  db->options().mpp_min_rows_per_task = 1;
+  db->options().broadcast_build_rows = fuse ? (size_t{1} << 20) : 0;
+  int64_t runs = 0, probe_rows = 0, stolen = 0, shuffled = 0;
+  for (auto _ : state) {
+    auto result = db->Execute(kScanFilterProbeSql);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      break;
+    }
+    benchmark::DoNotOptimize(result->table);
+    ++runs;
+    probe_rows += result->stats.kernel_rows_probe;
+    stolen += result->stats.morsels_stolen;
+    shuffled += result->stats.rows_shuffled;
+  }
+  db->options().num_workers = 1;
+  db->options().mpp_min_rows_per_task = 8192;
+  db->options().broadcast_build_rows = size_t{1} << 20;
+  state.counters["rows_per_sec"] =
+      benchmark::Counter(static_cast<double>(runs * kEdgeRows),
+                         benchmark::Counter::kIsRate);
+  state.counters["kernel_rows_probe"] =
+      benchmark::Counter(static_cast<double>(probe_rows));
+  state.counters["morsels_stolen"] =
+      benchmark::Counter(static_cast<double>(stolen));
+  state.counters["rows_shuffled"] =
+      benchmark::Counter(static_cast<double>(shuffled));
+}
+
+void BM_ScanFilterProbeMpp8_Fused(benchmark::State& state) {
+  RunSqlMppProbe(state, /*fuse=*/true);
+}
+BENCHMARK(BM_ScanFilterProbeMpp8_Fused)->Unit(benchmark::kMillisecond);
+
+void BM_ScanFilterProbeMpp8_Breaker(benchmark::State& state) {
+  RunSqlMppProbe(state, /*fuse=*/false);
+}
+BENCHMARK(BM_ScanFilterProbeMpp8_Breaker)->Unit(benchmark::kMillisecond);
+
 // --- ColumnVector batch gather microbench -----------------------------------
 //
 // The type-specialized AppendGathered path must beat (and exactly match)

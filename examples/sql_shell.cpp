@@ -133,6 +133,8 @@ void HandleSet(server::Session* session, ShellSettings* settings,
   EngineOptions& opts = session->options();
   if (name.empty()) {
     std::cout << "workers         " << opts.num_workers << "\n"
+              << "morsel_size     " << opts.morsel_size << "\n"
+              << "min_task_rows   " << opts.mpp_min_rows_per_task << "\n"
               << "max_iterations  " << opts.max_iterations_guard << "\n"
               << "verify          "
               << (opts.verify.verify_plans ? "on" : "off") << "\n"
@@ -150,6 +152,10 @@ void HandleSet(server::Session* session, ShellSettings* settings,
   bool is_int = !value.empty() && end != nullptr && *end == '\0';
   if (name == "workers" && is_int && n >= 1 && n <= 64) {
     opts.num_workers = static_cast<int>(n);
+  } else if (name == "morsel_size" && is_int && n >= 1) {
+    opts.morsel_size = static_cast<size_t>(n);
+  } else if (name == "min_task_rows" && is_int && n >= 1) {
+    opts.mpp_min_rows_per_task = n;
   } else if (name == "max_iterations" && is_int && n >= 1) {
     opts.max_iterations_guard = n;
   } else if (name == "deadline_ms" && is_int && n >= 0) {
@@ -159,7 +165,8 @@ void HandleSet(server::Session* session, ShellSettings* settings,
   } else if (name == "rename" && ParseOnOff(value, &flag)) {
     opts.optimizer.enable_rename_optimization = flag;
   } else {
-    std::cout << "usage: \\set [workers N | max_iterations N | "
+    std::cout << "usage: \\set [workers N | morsel_size N | "
+                 "min_task_rows N | max_iterations N | "
                  "deadline_ms N | verify on|off | rename on|off]\n";
     return;
   }

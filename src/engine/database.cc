@@ -168,6 +168,9 @@ Result<QueryResult> Database::ExecuteStatement(SessionState& ss,
   if (ss.cancel.live()) {
     DBSP_RETURN_NOT_OK(ss.cancel.Check());
   }
+  // Session options may have been \set to nonsense since the last
+  // statement; reject them here, once, before any engine state is touched.
+  DBSP_RETURN_NOT_OK(ss.options.Validate());
   switch (stmt.kind) {
     case StatementKind::kSelect:
     case StatementKind::kExplain: {
@@ -281,7 +284,7 @@ Result<QueryResult> Database::ExecuteTransactionControl(SessionState& ss,
 
 Result<QueryResult> Database::RunProgramToResult(SessionState& ss, Catalog* cat,
                                                  Program program) {
-  DBSP_RETURN_NOT_OK(PlanProgram(&program));
+  DBSP_RETURN_NOT_OK(PlanProgram(&program, cat));
   DBSP_RETURN_NOT_OK(VerifyStage(ss, cat, "after-compile", program,
                                  /*require_physical=*/true));
   ResultRegistry registry;
@@ -317,7 +320,7 @@ Result<QueryResult> Database::ExecuteExplain(SessionState& ss, Catalog* cat,
   if (stmt.explain_analyze) {
     // EXPLAIN ANALYZE: actually run the program with per-step profiling
     // and annotate each step with executions / time / rows.
-    DBSP_RETURN_NOT_OK(PlanProgram(&program));
+    DBSP_RETURN_NOT_OK(PlanProgram(&program, cat));
     DBSP_RETURN_NOT_OK(VerifyStage(ss, cat, "after-compile", program,
                                    /*require_physical=*/true));
     ResultRegistry registry;
@@ -618,7 +621,9 @@ Result<QueryResult> Database::ExecuteUpdate(SessionState& ss,
     DBSP_RETURN_NOT_OK(verify::EnforceOrCount(
         report, ss.options.verify.enforce, &ss.pending_verify_violations));
   }
-  DBSP_ASSIGN_OR_RETURN(PhysicalOpPtr physical, CreatePhysicalPlan(*plan));
+  CostModel cost(&catalog_);
+  DBSP_ASSIGN_OR_RETURN(PhysicalOpPtr physical,
+                        CreatePhysicalPlan(*plan, &cost));
 
   ResultRegistry registry;
   registry.set_scope(ss.temp_scope);

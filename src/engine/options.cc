@@ -39,11 +39,28 @@ OptimizerOptions OptimizerToggles::AllSetTo(bool value) {
   return options;
 }
 
+Status EngineOptions::Validate() const {
+  if (morsel_size < 1) {
+    return Status::InvalidArgument("morsel_size must be >= 1");
+  }
+  if (mpp_min_rows_per_task < 1) {
+    return Status::InvalidArgument("mpp_min_rows_per_task must be >= 1");
+  }
+  if (num_workers < 1) {
+    return Status::InvalidArgument("num_workers must be >= 1");
+  }
+  if (max_iterations_guard < 1) {
+    return Status::InvalidArgument("max_iterations_guard must be >= 1");
+  }
+  return Status::OK();
+}
+
 std::string EngineOptions::ToString() const {
   return StringPrintf(
       "EngineOptions{workers=%d, fold=%d, join_simplify=%d, pushdown=%d, "
       "cte_pushdown=%d, common_result=%d, rename=%d, delta=%d, "
-      "build_cache=%d, vectorized=%d(morsel=%zu), faults=%d(seed=%llu, "
+      "build_cache=%d, vectorized=%d(morsel=%zu, broadcast=%zu), "
+      "faults=%d(seed=%llu, "
       "rate=%.3f), recovery=%d(k=%lld, "
       "retries=%d), verify=%d(enforce=%d)}",
       num_workers, optimizer.enable_constant_folding ? 1 : 0,
@@ -54,7 +71,7 @@ std::string EngineOptions::ToString() const {
       optimizer.enable_rename_optimization ? 1 : 0,
       optimizer.enable_delta_iteration ? 1 : 0,
       optimizer.enable_join_build_cache ? 1 : 0,
-      optimizer.vectorized_exec ? 1 : 0, morsel_size,
+      optimizer.vectorized_exec ? 1 : 0, morsel_size, broadcast_build_rows,
       fault_injection.enabled ? 1 : 0,
       static_cast<unsigned long long>(fault_injection.seed),
       fault_injection.rate, fault_tolerance.enable_recovery ? 1 : 0,

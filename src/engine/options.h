@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/fault_injection.h"
+#include "common/status.h"
 
 namespace dbspinner {
 
@@ -148,11 +149,25 @@ struct EngineOptions {
   /// per-chunk dispatch. Tests sweep 1/7/16/1024 to shake out boundary bugs.
   size_t morsel_size = 1024;
 
+  /// Build sides at or below this many rows are broadcast to every pipeline
+  /// worker, which makes the hash-probe stage fusible under MPP (every
+  /// worker probes the same shared hash, no shuffle). Larger build sides
+  /// keep the partitioned-shuffle breaker join and its rows_shuffled
+  /// accounting. 0 forces the breaker path for every parallel join (the
+  /// benches use this to measure fused vs. breaker probes).
+  size_t broadcast_build_rows = 1u << 20;
+
   /// Fault injection for the fuzzing harness only: makes the rename step
   /// silently drop the last row of the renamed result, so a differential
   /// run must flag the rename-enabled plan against the merge baseline.
   /// Never enable outside tests.
   bool dev_break_rename_for_testing = false;
+
+  /// Rejects configurations the executor cannot run (zero-sized morsels,
+  /// non-positive worker counts or task thresholds) with kInvalidArgument.
+  /// Called at statement entry so a bad session override fails the
+  /// statement instead of reaching the morsel split loop.
+  Status Validate() const;
 
   std::string ToString() const;
 };

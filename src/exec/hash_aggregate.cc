@@ -1,3 +1,5 @@
+#include "exec/hash_aggregate.h"
+
 #include <unordered_map>
 
 #include "exec/physical_plan.h"
@@ -6,123 +8,174 @@
 
 namespace dbspinner {
 
-Result<TablePtr> PhysicalHashAggregate::AggregatePartition(
-    const Table& input) const {
-  size_t n = input.num_rows();
-  size_t ng = group_exprs_.size();
-  size_t na = aggregates_.size();
+namespace {
 
-  // Evaluate group-key and aggregate-argument expressions as columns.
+size_t MixKeyHash(const std::vector<ColumnVectorPtr>& cols, size_t row) {
+  size_t h = 0x9e3779b97f4a7c15ULL;
+  for (const auto& col : cols) {
+    size_t hc = col->HashAt(row);
+    h ^= hc + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+bool KeysEqualAt(const std::vector<ColumnVectorPtr>& a, size_t arow,
+                 const std::vector<ColumnVectorPtr>& b, size_t brow) {
+  for (size_t k = 0; k < a.size(); ++k) {
+    if (!a[k]->EqualsAt(arow, *b[k], brow)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+GroupedAggregator::Group GroupedAggregator::MakeGroup() const {
+  Group g;
+  g.states.reserve(aggregates_->size());
+  for (const AggregateSpec& spec : *aggregates_) {
+    g.states.emplace_back(spec.kind);
+  }
+  g.distincts.resize(aggregates_->size());
+  return g;
+}
+
+void GroupedAggregator::UpdateGroup(
+    Group* g, const std::vector<ColumnVectorPtr>& arg_cols, size_t row) {
+  const std::vector<AggregateSpec>& aggs = *aggregates_;
+  for (size_t a = 0; a < aggs.size(); ++a) {
+    Value v = aggs[a].arg ? arg_cols[a]->GetValue(row) : Value();
+    if (aggs[a].distinct) {
+      // Distinct aggregates fold at Finalize, after partials merge: the
+      // state update is deferred and only the seen-set grows here. NULLs
+      // are dropped outright — Update(NULL) is a no-op for every kind that
+      // can carry DISTINCT, so this matches the legacy row loop.
+      if (!v.is_null()) g->distincts[a].Insert(v);
+      continue;
+    }
+    g->states[a].Update(v);
+  }
+}
+
+void GroupedAggregator::EnsureKeyStore(
+    const std::vector<ColumnVectorPtr>& key_cols) {
+  if (!key_store_.empty() || key_cols.empty()) return;
+  key_store_.reserve(key_cols.size());
+  for (const auto& col : key_cols) {
+    key_store_.push_back(std::make_shared<ColumnVector>(col->type()));
+  }
+}
+
+size_t GroupedAggregator::FindOrCreateGroup(
+    size_t h, const std::vector<ColumnVectorPtr>& cols, size_t row) {
+  auto range = index_.equal_range(h);
+  for (auto it = range.first; it != range.second; ++it) {
+    if (KeysEqualAt(cols, row, key_store_, it->second)) return it->second;
+  }
+  size_t gid = groups_.size();
+  groups_.push_back(MakeGroup());
+  for (size_t k = 0; k < key_store_.size(); ++k) {
+    key_store_[k]->AppendFrom(*cols[k], row);
+  }
+  index_.emplace(h, static_cast<uint32_t>(gid));
+  return gid;
+}
+
+Status GroupedAggregator::Consume(const Table& input) {
+  size_t n = input.num_rows();
+  size_t ng = group_exprs_->size();
+  size_t na = aggregates_->size();
+  rows_consumed_ += static_cast<int64_t>(n);
+
+  if (ng == 0 && groups_.empty()) {
+    groups_.push_back(MakeGroup());  // global aggregate: exactly one group
+  }
+  if (n == 0) return Status::OK();
+
   std::vector<ColumnVectorPtr> key_cols;
   key_cols.reserve(ng);
-  for (const auto& g : group_exprs_) {
+  for (const auto& g : *group_exprs_) {
     DBSP_ASSIGN_OR_RETURN(ColumnVectorPtr col, EvaluateExprBatch(*g, input));
     key_cols.push_back(std::move(col));
   }
   std::vector<ColumnVectorPtr> arg_cols(na);
   for (size_t a = 0; a < na; ++a) {
-    if (aggregates_[a].arg) {
-      DBSP_ASSIGN_OR_RETURN(arg_cols[a],
-                            EvaluateExprBatch(*aggregates_[a].arg, input));
+    if ((*aggregates_)[a].arg) {
+      DBSP_ASSIGN_OR_RETURN(
+          arg_cols[a], EvaluateExprBatch(*(*aggregates_)[a].arg, input));
     }
   }
-
-  auto hash_key = [&](size_t row) {
-    size_t h = 0x9e3779b97f4a7c15ULL;
-    for (const auto& col : key_cols) {
-      size_t hc = col->HashAt(row);
-      h ^= hc + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
-    }
-    return h;
-  };
-  auto keys_equal = [&](size_t a, size_t b) {
-    for (const auto& col : key_cols) {
-      if (!col->EqualsAt(a, *col, b)) return false;
-    }
-    return true;
-  };
-
-  struct Group {
-    uint32_t first_row;
-    std::vector<AggState> states;
-    std::vector<DistinctFilter> distincts;
-  };
-  std::vector<Group> groups;
-  std::unordered_multimap<size_t, uint32_t> index;  // hash -> group ordinal
-  index.reserve(n);
-
-  auto make_group = [&](size_t row) {
-    Group g;
-    g.first_row = static_cast<uint32_t>(row);
-    g.states.reserve(na);
-    for (const auto& spec : aggregates_) {
-      g.states.emplace_back(spec.kind);
-      (void)spec;
-    }
-    g.distincts.resize(na);
-    return g;
-  };
 
   if (ng == 0) {
-    // Global aggregation: exactly one output row, even for empty input.
-    Group g = make_group(0);
-    for (size_t i = 0; i < n; ++i) {
-      for (size_t a = 0; a < na; ++a) {
-        Value v = aggregates_[a].arg ? arg_cols[a]->GetValue(i) : Value();
-        if (aggregates_[a].distinct && !v.is_null() &&
-            !g.distincts[a].Insert(v)) {
-          continue;
-        }
-        g.states[a].Update(v);
-      }
-    }
-    auto out = Table::Make(output_schema_);
-    std::vector<Value> row;
-    for (size_t a = 0; a < na; ++a) {
-      row.push_back(g.states[a].Finalize(aggregates_[a].result_type));
-    }
-    out->AppendRow(row);
-    return out;
+    for (size_t i = 0; i < n; ++i) UpdateGroup(&groups_[0], arg_cols, i);
+    return Status::OK();
   }
 
+  EnsureKeyStore(key_cols);
   for (size_t i = 0; i < n; ++i) {
-    size_t h = hash_key(i);
-    uint32_t gid = 0xffffffffu;
-    auto range = index.equal_range(h);
-    for (auto it = range.first; it != range.second; ++it) {
-      if (keys_equal(i, groups[it->second].first_row)) {
-        gid = it->second;
-        break;
-      }
-    }
-    if (gid == 0xffffffffu) {
-      gid = static_cast<uint32_t>(groups.size());
-      groups.push_back(make_group(i));
-      index.emplace(h, gid);
-    }
-    Group& g = groups[gid];
+    size_t gid = FindOrCreateGroup(MixKeyHash(key_cols, i), key_cols, i);
+    UpdateGroup(&groups_[gid], arg_cols, i);
+  }
+  return Status::OK();
+}
+
+Status GroupedAggregator::MergeFrom(const GroupedAggregator& other) {
+  size_t na = aggregates_->size();
+  rows_consumed_ += other.rows_consumed_;
+
+  auto merge_group = [na](Group* into, const Group& from) {
     for (size_t a = 0; a < na; ++a) {
-      Value v = aggregates_[a].arg ? arg_cols[a]->GetValue(i) : Value();
-      if (aggregates_[a].distinct && !v.is_null() &&
-          !g.distincts[a].Insert(v)) {
-        continue;
-      }
-      g.states[a].Update(v);
+      into->states[a].MergeFrom(from.states[a]);
+      into->distincts[a].MergeFrom(from.distincts[a]);
     }
+  };
+
+  if (group_exprs_->empty()) {
+    if (other.groups_.empty()) return Status::OK();
+    if (groups_.empty()) groups_.push_back(MakeGroup());
+    merge_group(&groups_[0], other.groups_[0]);
+    return Status::OK();
   }
 
-  // Assemble output: group key columns (first-occurrence values) then
-  // finalized aggregates.
-  std::vector<uint32_t> first_rows;
-  first_rows.reserve(groups.size());
-  for (const auto& g : groups) first_rows.push_back(g.first_row);
+  EnsureKeyStore(other.key_store_);
+  for (size_t o = 0; o < other.groups_.size(); ++o) {
+    size_t gid =
+        FindOrCreateGroup(MixKeyHash(other.key_store_, o), other.key_store_, o);
+    merge_group(&groups_[gid], other.groups_[o]);
+  }
+  return Status::OK();
+}
+
+Result<TablePtr> GroupedAggregator::Finalize() {
+  size_t ng = group_exprs_->size();
+  size_t na = aggregates_->size();
+  const std::vector<AggregateSpec>& aggs = *aggregates_;
+
+  // A zero-input global aggregate still emits its single row.
+  if (ng == 0 && groups_.empty()) groups_.push_back(MakeGroup());
+
+  auto finalize_agg = [&](const Group& g, size_t a) {
+    if (aggs[a].distinct) {
+      // Fold the merged distinct set exactly once, now that every partial
+      // has contributed its values.
+      AggState s(aggs[a].kind);
+      g.distincts[a].ForEach([&s](const Value& v) { s.Update(v); });
+      return s.Finalize(aggs[a].result_type);
+    }
+    return g.states[a].Finalize(aggs[a].result_type);
+  };
 
   std::vector<ColumnVectorPtr> out_cols;
   out_cols.reserve(ng + na);
   for (size_t k = 0; k < ng; ++k) {
-    ColumnVectorPtr col = key_cols[k]->Gather(first_rows);
-    if (col->type() != output_schema_.column(k).type) {
-      auto cast = std::make_shared<ColumnVector>(output_schema_.column(k).type);
+    // A grouped aggregate that never consumed a row has no key store;
+    // it emits zero groups through empty columns of the output types.
+    ColumnVectorPtr col =
+        k < key_store_.size()
+            ? key_store_[k]
+            : std::make_shared<ColumnVector>(output_schema_->column(k).type);
+    if (col->type() != output_schema_->column(k).type) {
+      auto cast =
+          std::make_shared<ColumnVector>(output_schema_->column(k).type);
       cast->AppendAll(*col);
       col = std::move(cast);
     }
@@ -130,14 +183,19 @@ Result<TablePtr> PhysicalHashAggregate::AggregatePartition(
   }
   for (size_t a = 0; a < na; ++a) {
     auto col =
-        std::make_shared<ColumnVector>(output_schema_.column(ng + a).type);
-    col->Reserve(groups.size());
-    for (const auto& g : groups) {
-      col->Append(g.states[a].Finalize(aggregates_[a].result_type));
-    }
+        std::make_shared<ColumnVector>(output_schema_->column(ng + a).type);
+    col->Reserve(groups_.size());
+    for (const Group& g : groups_) col->Append(finalize_agg(g, a));
     out_cols.push_back(std::move(col));
   }
-  return Table::FromColumns(output_schema_, std::move(out_cols));
+  return Table::FromColumns(*output_schema_, std::move(out_cols));
+}
+
+Result<TablePtr> PhysicalHashAggregate::AggregatePartition(
+    const Table& input) const {
+  GroupedAggregator agg(&group_exprs_, &aggregates_, &output_schema_);
+  DBSP_RETURN_NOT_OK(agg.Consume(input));
+  return agg.Finalize();
 }
 
 Result<TablePtr> PhysicalHashAggregate::Execute(ExecContext& ctx) const {

@@ -4,6 +4,29 @@
 
 namespace dbspinner {
 
+void ExecStats::RewindWorkCountersTo(const ExecStats& base) {
+  steps_executed = base.steps_executed;
+  loop_iterations = base.loop_iterations;
+  rows_materialized = base.rows_materialized;
+  rows_shuffled = base.rows_shuffled;
+  renames = base.renames;
+  merge_updates = base.merge_updates;
+  delta_rows = base.delta_rows;
+  delta_probe_rows = base.delta_probe_rows;
+  build_cache_hits = base.build_cache_hits;
+  pipelines_run = base.pipelines_run;
+  morsels_dispatched = base.morsels_dispatched;
+  pipeline_rows_in = base.pipeline_rows_in;
+  pipeline_rows_out = base.pipeline_rows_out;
+  kernel_rows_filter = base.kernel_rows_filter;
+  kernel_rows_project = base.kernel_rows_project;
+  kernel_rows_probe = base.kernel_rows_probe;
+  pipeline_ns = base.pipeline_ns;
+  morsels_stolen = base.morsels_stolen;
+  agg_partials_merged = base.agg_partials_merged;
+  agg_rows_preaggregated = base.agg_rows_preaggregated;
+}
+
 std::string ExecStats::ToString() const {
   return StringPrintf(
       "ExecStats{steps=%lld, iterations=%lld, rows_materialized=%lld, "
@@ -14,7 +37,8 @@ std::string ExecStats::ToString() const {
       "admission_waits=%lld, cancel_checks=%lld, pipelines=%lld, "
       "morsels=%lld, pipe_rows_in=%lld, pipe_rows_out=%lld, "
       "kernel_filter=%lld, kernel_project=%lld, kernel_probe=%lld, "
-      "pipeline_ms=%.3f}",
+      "morsels_stolen=%lld, agg_partials_merged=%lld, "
+      "agg_rows_preaggregated=%lld, pipeline_ms=%.3f}",
       static_cast<long long>(steps_executed),
       static_cast<long long>(loop_iterations),
       static_cast<long long>(rows_materialized),
@@ -38,6 +62,9 @@ std::string ExecStats::ToString() const {
       static_cast<long long>(kernel_rows_filter),
       static_cast<long long>(kernel_rows_project),
       static_cast<long long>(kernel_rows_probe),
+      static_cast<long long>(morsels_stolen),
+      static_cast<long long>(agg_partials_merged),
+      static_cast<long long>(agg_rows_preaggregated),
       static_cast<double>(pipeline_ns) / 1e6);
 }
 

@@ -76,6 +76,22 @@ struct ExecStats {
   int64_t pipeline_ns = 0;         ///< wall time inside pipeline drivers;
                                    ///< with the kernel_rows_* counters this
                                    ///< yields per-kernel rows/sec
+  int64_t morsels_stolen = 0;      ///< morsels executed by a worker other
+                                   ///< than the owner of their queue range
+  int64_t agg_partials_merged = 0; ///< per-worker partial aggregate hash
+                                   ///< tables merged at pipeline breakers
+  int64_t agg_rows_preaggregated = 0;  ///< rows consumed directly by fused
+                                       ///< pre-aggregation sinks (rows the
+                                       ///< breaker never materialized)
+
+  /// Rolls the work-proportional counters back to their values in `base`,
+  /// preserving the monotonic bookkeeping counters (faults_seen,
+  /// step_retries, checkpoints_taken, restores, verify_violations,
+  /// queue_wait_us, admission_waits, cancel_checks). The fault-tolerant
+  /// executor calls this before re-running a step and on checkpoint
+  /// restore, so replayed work is not double-counted and a recovered run
+  /// reports exactly the counters of a fault-free one (DESIGN.md §8, §11).
+  void RewindWorkCountersTo(const ExecStats& base);
 
   std::string ToString() const;
 };
@@ -152,12 +168,15 @@ using PhysicalOpPtr = std::unique_ptr<PhysicalOp>;
 /// (exec/pipeline.cc). Streaming roles can be fused into a morsel-at-a-time
 /// pipeline; breakers always materialize their full output.
 enum class PipelineRole {
-  kBreaker,        ///< materializes (aggregate, sort, union, limit, ...)
+  kBreaker,        ///< materializes (sort, union, limit, ...)
   kSource,         ///< produces a table without children (scan, values)
   kFilter,         ///< streaming selection refinement
   kProject,        ///< streaming expression projection
   kHashProbe,      ///< streaming probe against a materialized build side
   kDeltaRestrict,  ///< streaming semi-join against a registry key set
+  kPreAggregate,   ///< pipeline *sink*: consumes chunks into per-worker
+                   ///< partial hash tables merged once at the breaker
+                   ///< (never a mid-pipeline stage)
 };
 
 /// Base physical operator. Execute() is const and reusable: all mutable
@@ -265,9 +284,6 @@ class PhysicalHashJoin final : public PhysicalOp {
   Result<TablePtr> Execute(ExecContext& ctx) const override;
   const char* Name() const override { return "HashJoin"; }
   std::string Describe() const override;
-  /// Only the serial path is fusible: the MPP path's hash shuffle must stay
-  /// a breaker so partitioned execution (and its shuffle accounting) is
-  /// unchanged by the vectorized executor.
   PipelineRole pipeline_role() const override {
     return PipelineRole::kHashProbe;
   }
@@ -276,6 +292,16 @@ class PhysicalHashJoin final : public PhysicalOp {
   const std::vector<size_t>& left_keys() const { return left_keys_; }
   const std::vector<size_t>& right_keys() const { return right_keys_; }
   const BoundExpr* residual() const { return residual_.get(); }
+
+  /// Planner-estimated build-side cardinality (exec/physical_planner.cc,
+  /// from the cost model). Negative when the plan was compiled without a
+  /// catalog — the probe then stays a breaker under MPP (conservative).
+  /// The pipeline executor fuses this probe in parallel pipelines only
+  /// when the estimate fits EngineOptions::broadcast_build_rows; larger
+  /// builds keep the partitioned shuffle path and its rows_shuffled /
+  /// partition-cache semantics.
+  double build_rows_estimate() const { return build_rows_estimate_; }
+  void set_build_rows_estimate(double rows) { build_rows_estimate_ = rows; }
 
   /// Serial build side with the cross-iteration cache (pointer-identity
   /// validated, counts build_cache_hits). Shared by Execute() and the
@@ -294,6 +320,7 @@ class PhysicalHashJoin final : public PhysicalOp {
   std::vector<size_t> left_keys_;
   std::vector<size_t> right_keys_;
   BoundExprPtr residual_;  ///< over [left ++ right]; may be null
+  double build_rows_estimate_ = -1.0;
 };
 
 /// Fallback join for non-equi or missing conditions (cross join).
@@ -322,6 +349,15 @@ class PhysicalHashAggregate final : public PhysicalOp {
         aggregates_(std::move(aggregates)) {}
   Result<TablePtr> Execute(ExecContext& ctx) const override;
   const char* Name() const override { return "HashAggregate"; }
+  /// The vectorized executor runs this operator as a pipeline sink with
+  /// per-worker partial aggregation (exec/pipeline.cc); the legacy path
+  /// keeps the shuffle-then-aggregate breaker below.
+  PipelineRole pipeline_role() const override {
+    return PipelineRole::kPreAggregate;
+  }
+
+  const std::vector<BoundExprPtr>& group_exprs() const { return group_exprs_; }
+  const std::vector<AggregateSpec>& aggregates() const { return aggregates_; }
 
  private:
   Result<TablePtr> AggregatePartition(const Table& input) const;

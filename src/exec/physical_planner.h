@@ -4,6 +4,7 @@
 
 #include "common/status.h"
 #include "exec/physical_plan.h"
+#include "optimizer/cost_model.h"
 #include "plan/logical_plan.h"
 #include "plan/program.h"
 
@@ -12,9 +13,17 @@ namespace dbspinner {
 /// Converts one logical plan to a physical operator tree. Join conditions are
 /// analyzed for equi-key conjuncts: hash join when at least one exists,
 /// nested-loop otherwise.
-Result<PhysicalOpPtr> CreatePhysicalPlan(const LogicalOp& logical);
+///
+/// When `cost` is non-null, each hash join is annotated with the estimated
+/// cardinality of its build side; the pipeline executor uses the annotation
+/// to decide broadcast fusibility under MPP (exec/pipeline.cc). Plans
+/// compiled without a cost model carry no estimate and their joins
+/// conservatively stay pipeline breakers in parallel mode.
+Result<PhysicalOpPtr> CreatePhysicalPlan(const LogicalOp& logical,
+                                         const CostModel* cost = nullptr);
 
-/// Plans every step of a Program in place (fills Step::physical).
-Status PlanProgram(Program* program);
+/// Plans every step of a Program in place (fills Step::physical). `catalog`
+/// (when non-null) feeds the cost model used for join-build annotations.
+Status PlanProgram(Program* program, Catalog* catalog = nullptr);
 
 }  // namespace dbspinner

@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "exec/data_chunk.h"
+#include "exec/hash_aggregate.h"
 #include "exec/pipeline_kernels.h"
 #include "mpp/partition.h"
 
@@ -197,17 +198,29 @@ Status ApplyDeltaRestrict(const Stage& s, DataChunk* chunk, LocalStats* ls) {
   return Status::OK();
 }
 
-/// True if `op` can be fused into a pipeline in this context. MPP-mode hash
-/// joins stay breakers so the partitioned shuffle path (and its
-/// rows_shuffled / partition-cache semantics) is untouched.
+/// True if `op` can be fused into a pipeline in this context.
+///
+/// Hash-probe fusibility is a per-join legality fact, not a global mode
+/// switch: a probe fuses under MPP when its build side is small enough to
+/// broadcast (one shared read-only hash table probed by every worker).
+/// The planner annotates each join with the build side's estimated
+/// cardinality; joins compiled without a catalog carry no estimate and
+/// conservatively stay breakers, as do builds above
+/// EngineOptions::broadcast_build_rows — those keep the partitioned
+/// shuffle path and its rows_shuffled / partition-cache semantics.
 bool Fusible(const PhysicalOp& op, const ExecContext& ctx) {
   switch (op.pipeline_role()) {
     case PipelineRole::kFilter:
     case PipelineRole::kProject:
     case PipelineRole::kDeltaRestrict:
       return true;
-    case PipelineRole::kHashProbe:
-      return ctx.pool == nullptr || ctx.options->num_workers <= 1;
+    case PipelineRole::kHashProbe: {
+      if (ctx.pool == nullptr || ctx.options->num_workers <= 1) return true;
+      const auto* join = static_cast<const PhysicalHashJoin*>(&op);
+      double est = join->build_rows_estimate();
+      return est >= 0.0 && ctx.options->broadcast_build_rows > 0 &&
+             est <= static_cast<double>(ctx.options->broadcast_build_rows);
+    }
     default:
       return false;
   }
@@ -227,20 +240,24 @@ std::vector<ColumnVectorPtr> MakeAccumulator(const Schema& schema) {
   return cols;
 }
 
-Result<TablePtr> RunPipeline(const PhysicalOp& top, ExecContext& ctx) {
-  // Collect the maximal streaming chain, top-down.
-  std::vector<const PhysicalOp*> chain;
-  const PhysicalOp* cur = &top;
+// Collects the maximal streaming chain starting at `start` (top-down) and
+// executes the breaker below it, returning the materialized source.
+Result<TablePtr> CollectChain(const PhysicalOp& start, ExecContext& ctx,
+                              std::vector<const PhysicalOp*>* chain) {
+  const PhysicalOp* cur = &start;
   while (Fusible(*cur, ctx)) {
-    chain.push_back(cur);
+    chain->push_back(cur);
     cur = cur->children()[0].get();
   }
-  DBSP_ASSIGN_OR_RETURN(TablePtr source, ExecuteOp(*cur, ctx));
+  return ExecuteOp(*cur, ctx);
+}
 
-  const auto t0 = std::chrono::steady_clock::now();
-
-  // Compile stages bottom→top. Build sides and key sets materialize here —
-  // these are the pipeline's breakers on the non-streaming inputs.
+// Compiles stages bottom→top. Build sides and key sets materialize here —
+// these are the pipeline's breakers on the non-streaming inputs. All stage
+// state is read-only during execution, so one compiled stage vector is
+// shared by every morsel worker.
+Result<std::vector<Stage>> CompileStages(
+    const std::vector<const PhysicalOp*>& chain, ExecContext& ctx) {
   std::vector<Stage> stages(chain.size());
   for (size_t i = 0; i < chain.size(); ++i) {
     const PhysicalOp* op = chain[chain.size() - 1 - i];
@@ -283,35 +300,59 @@ Result<TablePtr> RunPipeline(const PhysicalOp& top, ExecContext& ctx) {
         return Status::Internal("non-streaming op in pipeline chain");
     }
   }
+  return stages;
+}
 
-  auto run_chunk = [&stages](DataChunk chunk,
-                             LocalStats* ls) -> Result<DataChunk> {
-    for (const Stage& s : stages) {
-      if (chunk.empty()) break;
-      switch (s.role) {
-        case PipelineRole::kFilter: {
-          DBSP_RETURN_NOT_OK(s.filter->Apply(&chunk, &ls->kernels));
-          break;
-        }
-        case PipelineRole::kProject: {
-          DBSP_ASSIGN_OR_RETURN(chunk,
-                                s.projector->Apply(chunk, &ls->kernels));
-          break;
-        }
-        case PipelineRole::kHashProbe: {
-          DBSP_ASSIGN_OR_RETURN(chunk, ApplyProbe(s, chunk, ls));
-          break;
-        }
-        case PipelineRole::kDeltaRestrict: {
-          DBSP_RETURN_NOT_OK(ApplyDeltaRestrict(s, &chunk, ls));
-          break;
-        }
-        default:
-          break;
+// Streams one chunk through every compiled stage.
+Result<DataChunk> RunChunk(const std::vector<Stage>& stages, DataChunk chunk,
+                           LocalStats* ls) {
+  for (const Stage& s : stages) {
+    if (chunk.empty()) break;
+    switch (s.role) {
+      case PipelineRole::kFilter: {
+        DBSP_RETURN_NOT_OK(s.filter->Apply(&chunk, &ls->kernels));
+        break;
       }
+      case PipelineRole::kProject: {
+        DBSP_ASSIGN_OR_RETURN(chunk, s.projector->Apply(chunk, &ls->kernels));
+        break;
+      }
+      case PipelineRole::kHashProbe: {
+        DBSP_ASSIGN_OR_RETURN(chunk, ApplyProbe(s, chunk, ls));
+        break;
+      }
+      case PipelineRole::kDeltaRestrict: {
+        DBSP_RETURN_NOT_OK(ApplyDeltaRestrict(s, &chunk, ls));
+        break;
+      }
+      default:
+        break;
     }
-    return chunk;
-  };
+  }
+  return chunk;
+}
+
+void MergeLocalStats(const LocalStats& ls, LocalStats* total) {
+  total->kernels.filter_rows += ls.kernels.filter_rows;
+  total->kernels.project_rows += ls.kernels.project_rows;
+  total->kernels.probe_rows += ls.kernels.probe_rows;
+  total->delta_probe_rows += ls.delta_probe_rows;
+}
+
+void FlushLocalStats(const LocalStats& total, ExecContext& ctx) {
+  ctx.stats.kernel_rows_filter += total.kernels.filter_rows;
+  ctx.stats.kernel_rows_project += total.kernels.project_rows;
+  ctx.stats.kernel_rows_probe += total.kernels.probe_rows;
+  ctx.stats.delta_probe_rows += total.delta_probe_rows;
+}
+
+Result<TablePtr> RunPipeline(const PhysicalOp& top, ExecContext& ctx) {
+  std::vector<const PhysicalOp*> chain;
+  DBSP_ASSIGN_OR_RETURN(TablePtr source, CollectChain(top, ctx, &chain));
+
+  const auto t0 = std::chrono::steady_clock::now();
+
+  DBSP_ASSIGN_OR_RETURN(std::vector<Stage> stages, CompileStages(chain, ctx));
 
   const Schema& out_schema = top.output_schema();
   size_t n = source->num_rows();
@@ -322,23 +363,27 @@ Result<TablePtr> RunPipeline(const PhysicalOp& top, ExecContext& ctx) {
   LocalStats total;
 
   if (ctx.UseParallel(n) && morsels.size() > 1) {
-    // Parallel morsels: each task runs the whole pipeline on one morsel and
-    // materializes a dense result; results concatenate in morsel order.
-    // Fault injection and cancellation ride on the per-task dispatch — the
-    // same "worker abandoned the task" failure mode mpp.dispatch models,
-    // fired once per morsel task. The serial path deliberately injects
-    // nothing, mirroring the legacy operators (whose fault sites live only
-    // on their parallel branches): a serial pipeline adds no scheduling
-    // step that could fail, and injecting per serial morsel would inflate
-    // the per-recovery-segment hit count until the executor's bounded
-    // checkpoint/restore loop could no longer finish.
+    // Parallel morsels: a shared MorselQueue drained by num_workers worker
+    // slots with stealing, each claimed morsel running the whole pipeline
+    // and materializing a dense result; results concatenate in morsel
+    // order regardless of claim order. Fault injection and cancellation
+    // ride on the per-morsel claim — the same "worker abandoned the task"
+    // failure mode mpp.dispatch models, fired once per morsel. The serial
+    // path deliberately injects nothing, mirroring the legacy operators
+    // (whose fault sites live only on their parallel branches): a serial
+    // pipeline adds no scheduling step that could fail, and injecting per
+    // serial morsel would inflate the per-recovery-segment hit count until
+    // the executor's bounded checkpoint/restore loop could no longer
+    // finish.
+    size_t width = std::min<size_t>(
+        static_cast<size_t>(ctx.options->num_workers), morsels.size());
     std::vector<TablePtr> results(morsels.size());
-    std::vector<LocalStats> lstats(morsels.size());
-    Status st = ctx.pool->ParallelForStatus(
-        morsels.size(),
-        [&](size_t m) -> Status {
+    std::vector<LocalStats> lstats(width);
+    Status st = ctx.pool->ParallelForMorsels(
+        morsels.size(), width,
+        [&](size_t m, size_t slot) -> Status {
           DBSP_ASSIGN_OR_RETURN(DataChunk chunk,
-                                run_chunk(morsels[m], &lstats[m]));
+                                RunChunk(stages, morsels[m], &lstats[slot]));
           if (!chunk.empty()) {
             auto acc = MakeAccumulator(out_schema);
             AppendChunk(chunk, &acc);
@@ -346,14 +391,10 @@ Result<TablePtr> RunPipeline(const PhysicalOp& top, ExecContext& ctx) {
           }
           return Status::OK();
         },
-        ctx.faults, "exec.pipeline.morsel", &ctx.cancel);
+        ctx.faults, "exec.pipeline.morsel", &ctx.cancel,
+        &ctx.stats.morsels_stolen);
     DBSP_RETURN_NOT_OK(st);
-    for (const LocalStats& ls : lstats) {
-      total.kernels.filter_rows += ls.kernels.filter_rows;
-      total.kernels.project_rows += ls.kernels.project_rows;
-      total.kernels.probe_rows += ls.kernels.probe_rows;
-      total.delta_probe_rows += ls.delta_probe_rows;
-    }
+    for (const LocalStats& ls : lstats) MergeLocalStats(ls, &total);
     auto acc_table = Table::Make(out_schema);
     for (const TablePtr& part : results) {
       if (part != nullptr) acc_table->AppendAll(*part);
@@ -370,8 +411,8 @@ Result<TablePtr> RunPipeline(const PhysicalOp& top, ExecContext& ctx) {
         ++ctx.stats.cancel_checks;
         DBSP_RETURN_NOT_OK(ctx.cancel.Check());
       }
-      DBSP_ASSIGN_OR_RETURN(DataChunk chunk, run_chunk(std::move(morsel),
-                                                       &total));
+      DBSP_ASSIGN_OR_RETURN(DataChunk chunk,
+                            RunChunk(stages, std::move(morsel), &total));
       if (!accumulating) {
         // Single morsel: pass the result through without the sink copy.
         // A chunk that still spans its whole base unchanged returns the
@@ -404,10 +445,100 @@ Result<TablePtr> RunPipeline(const PhysicalOp& top, ExecContext& ctx) {
   ctx.stats.pipeline_rows_in += static_cast<int64_t>(n);
   ctx.stats.pipeline_rows_out += static_cast<int64_t>(out->num_rows());
   ctx.stats.rows_materialized += static_cast<int64_t>(out->num_rows());
-  ctx.stats.kernel_rows_filter += total.kernels.filter_rows;
-  ctx.stats.kernel_rows_project += total.kernels.project_rows;
-  ctx.stats.kernel_rows_probe += total.kernels.probe_rows;
-  ctx.stats.delta_probe_rows += total.delta_probe_rows;
+  FlushLocalStats(total, ctx);
+  ctx.stats.pipeline_ns += std::chrono::duration_cast<std::chrono::nanoseconds>(
+                               std::chrono::steady_clock::now() - t0)
+                               .count();
+  return out;
+}
+
+// Pipeline whose sink is a grouped aggregation (DESIGN.md §11): the
+// aggregate never sees a materialized input table. Each morsel streams
+// through the compiled stages and folds directly into a GroupedAggregator —
+// one private partial per worker slot under MPP, merged once at the breaker
+// (exact: AggState is a commutative monoid and DISTINCT defers to Finalize).
+// This replaces both the input materialization AND the legacy
+// shuffle-then-aggregate MPP path whenever vectorized execution is on; the
+// shuffle path (exec.aggregate.shuffle, rows_shuffled) remains reachable
+// with vectorized_exec off.
+Result<TablePtr> RunAggregatePipeline(const PhysicalOp& top,
+                                      ExecContext& ctx) {
+  const auto& agg = static_cast<const PhysicalHashAggregate&>(top);
+  std::vector<const PhysicalOp*> chain;
+  DBSP_ASSIGN_OR_RETURN(TablePtr source,
+                        CollectChain(*top.children()[0], ctx, &chain));
+
+  const auto t0 = std::chrono::steady_clock::now();
+
+  DBSP_ASSIGN_OR_RETURN(std::vector<Stage> stages, CompileStages(chain, ctx));
+
+  size_t n = source->num_rows();
+  std::vector<DataChunk> morsels =
+      SplitIntoMorsels(source, ctx.options->morsel_size);
+
+  LocalStats total;
+  auto consume = [](GroupedAggregator* into, const DataChunk& chunk) {
+    // Feed the sink a dense table; a chunk that still spans its whole base
+    // unchanged is consumed in place (the zero-copy analogue of the
+    // streaming sink's passthrough).
+    if (chunk.contiguous() && chunk.begin() == 0 && chunk.base() &&
+        chunk.size() == chunk.base()->num_rows()) {
+      return into->Consume(*chunk.base());
+    }
+    return into->Consume(*chunk.Materialize());
+  };
+
+  GroupedAggregator merged(&agg.group_exprs(), &agg.aggregates(),
+                           &agg.output_schema());
+
+  if (ctx.UseParallel(n) && morsels.size() > 1) {
+    size_t width = std::min<size_t>(
+        static_cast<size_t>(ctx.options->num_workers), morsels.size());
+    std::vector<LocalStats> lstats(width);
+    std::vector<GroupedAggregator> partials;
+    partials.reserve(width);
+    for (size_t w = 0; w < width; ++w) {
+      partials.emplace_back(&agg.group_exprs(), &agg.aggregates(),
+                            &agg.output_schema());
+    }
+    Status st = ctx.pool->ParallelForMorsels(
+        morsels.size(), width,
+        [&](size_t m, size_t slot) -> Status {
+          DBSP_ASSIGN_OR_RETURN(DataChunk chunk,
+                                RunChunk(stages, morsels[m], &lstats[slot]));
+          if (chunk.empty()) return Status::OK();
+          return consume(&partials[slot], chunk);
+        },
+        ctx.faults, "exec.pipeline.morsel", &ctx.cancel,
+        &ctx.stats.morsels_stolen);
+    DBSP_RETURN_NOT_OK(st);
+    for (const LocalStats& ls : lstats) MergeLocalStats(ls, &total);
+    for (const GroupedAggregator& p : partials) {
+      DBSP_RETURN_NOT_OK(merged.MergeFrom(p));
+      ++ctx.stats.agg_partials_merged;
+    }
+  } else {
+    for (DataChunk& morsel : morsels) {
+      if (ctx.cancel.live()) {
+        ++ctx.stats.cancel_checks;
+        DBSP_RETURN_NOT_OK(ctx.cancel.Check());
+      }
+      DBSP_ASSIGN_OR_RETURN(DataChunk chunk,
+                            RunChunk(stages, std::move(morsel), &total));
+      if (chunk.empty()) continue;
+      DBSP_RETURN_NOT_OK(consume(&merged, chunk));
+    }
+  }
+
+  ctx.stats.agg_rows_preaggregated += merged.rows_consumed();
+  DBSP_ASSIGN_OR_RETURN(TablePtr out, merged.Finalize());
+
+  ctx.stats.pipelines_run += 1;
+  ctx.stats.morsels_dispatched += static_cast<int64_t>(morsels.size());
+  ctx.stats.pipeline_rows_in += static_cast<int64_t>(n);
+  ctx.stats.pipeline_rows_out += static_cast<int64_t>(out->num_rows());
+  ctx.stats.rows_materialized += static_cast<int64_t>(out->num_rows());
+  FlushLocalStats(total, ctx);
   ctx.stats.pipeline_ns += std::chrono::duration_cast<std::chrono::nanoseconds>(
                                std::chrono::steady_clock::now() - t0)
                                .count();
@@ -419,6 +550,9 @@ Result<TablePtr> RunPipeline(const PhysicalOp& top, ExecContext& ctx) {
 Result<TablePtr> ExecuteOp(const PhysicalOp& op, ExecContext& ctx) {
   if (ctx.options == nullptr || !ctx.options->optimizer.vectorized_exec) {
     return op.Execute(ctx);
+  }
+  if (op.pipeline_role() == PipelineRole::kPreAggregate) {
+    return RunAggregatePipeline(op, ctx);
   }
   if (!Fusible(op, ctx)) return op.Execute(ctx);
   return RunPipeline(op, ctx);

@@ -140,6 +140,12 @@ struct ExecutorCheckpoint {
   size_t pc = 0;  ///< step index to resume from (the step is re-run)
   std::map<int, LoopState> loops;
   std::unordered_map<std::string, TablePtr> registry;
+  /// Stats at checkpoint time. Restore rewinds the work-proportional
+  /// counters to these values so the replayed steps re-accumulate them
+  /// exactly once — a recovered run reports the same work as a fault-free
+  /// one, with only the bookkeeping counters (faults_seen, restores, ...)
+  /// recording that recovery happened.
+  ExecStats stats;
 };
 
 }  // namespace
@@ -158,7 +164,10 @@ Result<TablePtr> RunProgram(const Program& program, ExecContext* ctx) {
   // RunProgram returns (CTAS / INSERT ... SELECT consume the result). This
   // makes even pre-loop failures recoverable.
   ExecutorCheckpoint checkpoint;
-  if (recovery) checkpoint.registry = ctx->registry->Snapshot();
+  if (recovery) {
+    checkpoint.registry = ctx->registry->Snapshot();
+    checkpoint.stats = ctx->stats;
+  }
   int64_t restores_used = 0;
 
   // Runs one step. On success *next_pc holds the step index to continue
@@ -414,14 +423,22 @@ Result<TablePtr> RunProgram(const Program& program, ExecContext* ctx) {
         checkpoint.pc = pc;
         checkpoint.loops = ctx->loops;
         checkpoint.registry = ctx->registry->Snapshot();
+        checkpoint.stats = ctx->stats;
         ++ctx->stats.checkpoints_taken;
       }
     }
+
+    // Snapshot before the attempt: a failed step's partial work (rows it
+    // pushed through pipelines before the fault fired) is rewound so only
+    // the attempt that completes contributes to the work counters.
+    ExecStats attempt_base;
+    if (recovery) attempt_base = ctx->stats;
 
     size_t next_pc = pc + 1;
     Status st = run_step(step, pc, &next_pc);
     if (!st.ok()) {
       if (!recovery || !st.IsRecoverable()) return st;
+      ctx->stats.RewindWorkCountersTo(attempt_base);
       ++ctx->stats.faults_seen;
 
       // Transient faults on idempotent steps: bounded in-place retry.
@@ -435,7 +452,10 @@ Result<TablePtr> RunProgram(const Program& program, ExecContext* ctx) {
           }
           ++ctx->stats.step_retries;
           st = run_step(step, pc, &next_pc);
-          if (!st.ok() && st.IsRecoverable()) ++ctx->stats.faults_seen;
+          if (!st.ok()) {
+            ctx->stats.RewindWorkCountersTo(attempt_base);
+            if (st.IsRecoverable()) ++ctx->stats.faults_seen;
+          }
         }
       }
 
@@ -450,6 +470,7 @@ Result<TablePtr> RunProgram(const Program& program, ExecContext* ctx) {
         ++ctx->stats.restores;
         ctx->registry->Restore(checkpoint.registry);
         ctx->loops = checkpoint.loops;
+        ctx->stats.RewindWorkCountersTo(checkpoint.stats);
         pc = checkpoint.pc;
         continue;
       }

@@ -153,6 +153,34 @@ Value AggState::Finalize(TypeId result_type) const {
   return Value::Null();
 }
 
+void AggState::MergeFrom(const AggState& other) {
+  switch (kind_) {
+    case AggKind::kCountStar:
+    case AggKind::kCount:
+      count_ += other.count_;
+      return;
+    case AggKind::kSum:
+    case AggKind::kAvg:
+    case AggKind::kStdDev:
+    case AggKind::kVariance:
+      count_ += other.count_;
+      sum_ += other.sum_;
+      sum_squares_ += other.sum_squares_;
+      isum_ += other.isum_;
+      all_int_ = all_int_ && other.all_int_;
+      has_value_ = has_value_ || other.has_value_;
+      return;
+    case AggKind::kMin:
+    case AggKind::kMax:
+      if (other.has_value_) Update(other.extreme_);
+      return;
+  }
+}
+
 bool DistinctFilter::Insert(const Value& v) { return seen_.insert(v).second; }
+
+void DistinctFilter::MergeFrom(const DistinctFilter& other) {
+  seen_.insert(other.seen_.begin(), other.seen_.end());
+}
 
 }  // namespace dbspinner

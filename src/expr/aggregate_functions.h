@@ -53,6 +53,13 @@ class AggState {
   /// Folds one input value (already NULL-filtered for kCountStar).
   void Update(const Value& v);
 
+  /// Folds another partial state of the same kind into this one, as if every
+  /// value `other` saw had been fed to Update() here. Every kind's state is
+  /// a commutative monoid (counts and sums add, extremes compare, variance
+  /// merges via sum-of-squares), which is what makes per-worker partial
+  /// aggregation with a single merge at the breaker exact.
+  void MergeFrom(const AggState& other);
+
   /// Produces the aggregate result. SUM/MIN/MAX/AVG of zero non-NULL inputs
   /// is NULL; COUNT is 0.
   Value Finalize(TypeId result_type) const;
@@ -73,6 +80,21 @@ class DistinctFilter {
  public:
   /// Returns true the first time a value is seen.
   bool Insert(const Value& v);
+
+  /// Unions another filter's seen set into this one (partial-aggregate
+  /// merge). Values already present are dropped, so folding this filter's
+  /// contents after the merge still counts each distinct value once.
+  void MergeFrom(const DistinctFilter& other);
+
+  size_t size() const { return seen_.size(); }
+
+  /// Iterates the distinct values seen so far. Partial DISTINCT aggregation
+  /// defers AggState updates until all partials are merged, then folds the
+  /// merged set exactly once via this visitor.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const Value& v : seen_) fn(v);
+  }
 
  private:
   struct ValueHash {

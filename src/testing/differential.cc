@@ -1,6 +1,7 @@
 #include "testing/differential.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <thread>
 
@@ -32,7 +33,10 @@ OracleOutcome RunSqlOracle(const FuzzCase& c, std::string name,
   if (!out.status.ok()) return out;
   Result<QueryResult> r = db.Execute(sql);
   out.status = r.status();
-  if (r.ok()) out.table = r->table;
+  if (r.ok()) {
+    out.table = r->table;
+    out.stats = r->stats;
+  }
   return out;
 }
 
@@ -213,10 +217,19 @@ DiffReport RunDifferential(const FuzzCase& c,
     // Chunk-boundary equivalence: the vectorized pipeline must produce the
     // same rows no matter where morsel boundaries fall (group runs, join
     // matches, and NULL runs straddling chunks are the interesting cases).
-    EngineOptions eo = BaseOptions(opts);
-    eo.morsel_size = morsel;
-    report.outcomes.push_back(RunSqlOracle(
-        c, StringPrintf("morsel-%zu", morsel), eo, report.sql));
+    // Crossed with worker widths, the same sweep also covers the stealing
+    // dispatcher, broadcast-fused probes, and partial pre-aggregation.
+    for (int workers : opts.morsel_workers) {
+      EngineOptions eo = BaseOptions(opts);
+      eo.morsel_size = morsel;
+      eo.num_workers = workers;
+      if (workers > 1) eo.mpp_min_rows_per_task = 1;
+      report.outcomes.push_back(RunSqlOracle(
+          c,
+          workers > 1 ? StringPrintf("morsel-%zu-w%d", morsel, workers)
+                      : StringPrintf("morsel-%zu", morsel),
+          eo, report.sql));
+    }
   }
   if (opts.fault_rate > 0.0) {
     // Crash/recovery equivalence: the same query under an injected-fault
@@ -301,6 +314,44 @@ DiffReport RunDifferential(const FuzzCase& c,
     if (!diff.empty()) {
       report.ok = false;
       report.failure = "[baseline] vs [" + o.name + "]: " + diff;
+      return report;
+    }
+  }
+
+  // Work-accounting equivalence: oracles that run the identical program
+  // serially (only the execution engine or chunk boundaries differ) must
+  // also agree on the iteration-semantic counters — same loop trips, same
+  // delta sizes, same rows surviving the fused vs. legacy DeltaRestrict.
+  // Parallel oracles are excluded: reordered floating-point accumulation
+  // can legitimately shift convergence by an iteration.
+  auto delta_counters = [](const ExecStats& s) {
+    return std::array<int64_t, 5>{s.loop_iterations, s.renames,
+                                  s.merge_updates, s.delta_rows,
+                                  s.delta_probe_rows};
+  };
+  for (const OracleOutcome& o : report.outcomes) {
+    bool serial_same_plan =
+        o.name == "no-vectorized_exec" ||
+        (o.name.rfind("morsel-", 0) == 0 &&
+         o.name.find("-w") == std::string::npos);
+    if (!serial_same_plan || !o.status.ok()) continue;
+    if (delta_counters(o.stats) != delta_counters(baseline.stats)) {
+      report.ok = false;
+      report.failure = StringPrintf(
+          "[baseline] vs [%s]: delta-stats mismatch "
+          "(iters/renames/merges/delta/probe %lld/%lld/%lld/%lld/%lld vs "
+          "%lld/%lld/%lld/%lld/%lld)",
+          o.name.c_str(),
+          static_cast<long long>(baseline.stats.loop_iterations),
+          static_cast<long long>(baseline.stats.renames),
+          static_cast<long long>(baseline.stats.merge_updates),
+          static_cast<long long>(baseline.stats.delta_rows),
+          static_cast<long long>(baseline.stats.delta_probe_rows),
+          static_cast<long long>(o.stats.loop_iterations),
+          static_cast<long long>(o.stats.renames),
+          static_cast<long long>(o.stats.merge_updates),
+          static_cast<long long>(o.stats.delta_rows),
+          static_cast<long long>(o.stats.delta_probe_rows));
       return report;
     }
   }

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "exec/physical_plan.h"
 #include "testing/query_generator.h"
 
 namespace dbspinner {
@@ -32,6 +33,7 @@ struct OracleOutcome {
   std::string name;
   Status status;   ///< ok() implies `table` is the query result
   TablePtr table;
+  ExecStats stats;  ///< execution counters (valid when status.ok())
 };
 
 struct DifferentialOptions {
@@ -70,6 +72,13 @@ struct DifferentialOptions {
   /// with the baseline and with the legacy row-at-a-time executor (which
   /// the "no-vectorized_exec" toggle oracle already covers).
   std::vector<size_t> morsel_sizes;
+
+  /// Worker widths crossed with `morsel_sizes` (oracle "morsel-N-wW" for
+  /// W > 1; plain "morsel-N" for W == 1). Widths above 1 run each morsel
+  /// sweep through the stealing dispatcher with mpp_min_rows_per_task
+  /// forced to 1, so morsel-boundary placement is exercised under every
+  /// fused-parallel code path, not just serially.
+  std::vector<int> morsel_workers = {1};
 };
 
 /// Outcome of the whole oracle matrix for one case.

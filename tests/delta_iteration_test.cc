@@ -107,11 +107,15 @@ TEST_F(DeltaEquivalenceTest, ExplainShowsComputeDeltaOnlyWhenEnabled) {
 
 TEST_F(DeltaEquivalenceTest, MppDeltaAgreesAndShufflesLess) {
   // Width-8 cluster: deltas are shuffled instead of full partitions, so the
-  // delta engine must move strictly fewer rows on a converging SSSP.
+  // delta engine must move strictly fewer rows on a converging SSSP. The
+  // fused pre-aggregation path shuffles nothing at all, so pin the legacy
+  // executor on both sides to keep the shuffle-volume comparison meaningful.
   delta_db_.options().num_workers = 8;
   delta_db_.options().mpp_min_rows_per_task = 1;
+  delta_db_.options().optimizer.vectorized_exec = false;
   naive_db_.options().num_workers = 8;
   naive_db_.options().mpp_min_rows_per_task = 1;
+  naive_db_.options().optimizer.vectorized_exec = false;
 
   std::string sql = workloads::SSSPQuery(12, 1, 2);
   auto with_delta = delta_db_.Execute(sql);
@@ -120,6 +124,34 @@ TEST_F(DeltaEquivalenceTest, MppDeltaAgreesAndShufflesLess) {
   ASSERT_TRUE(naive.ok()) << naive.status().ToString();
   ExpectSameRows(with_delta->table, naive->table, 1e-6);
   EXPECT_LT(with_delta->stats.rows_shuffled, naive->stats.rows_shuffled);
+}
+
+// The fused DeltaRestrict kernel and the legacy operator must account
+// delta work identically: delta_probe_rows counts driving rows kept by the
+// restrict, wherever it executes. A toggle of the vectorized executor must
+// not move any of the semi-naive bookkeeping, and the loop must converge in
+// the same number of iterations.
+TEST_F(DeltaEquivalenceTest, VectorizedTogglePreservesDeltaStats) {
+  std::string sql = workloads::SSSPQuery(12, 1, 2);
+
+  delta_db_.options().optimizer.vectorized_exec = true;
+  auto vec = delta_db_.Execute(sql);
+  ASSERT_TRUE(vec.ok()) << vec.status().ToString();
+
+  delta_db_.options().optimizer.vectorized_exec = false;
+  auto legacy = delta_db_.Execute(sql);
+  ASSERT_TRUE(legacy.ok()) << legacy.status().ToString();
+
+  ExpectSameRows(vec->table, legacy->table, 1e-6);
+  EXPECT_EQ(vec->stats.loop_iterations, legacy->stats.loop_iterations);
+  EXPECT_EQ(vec->stats.renames, legacy->stats.renames);
+  EXPECT_EQ(vec->stats.merge_updates, legacy->stats.merge_updates);
+  EXPECT_EQ(vec->stats.delta_rows, legacy->stats.delta_rows);
+  EXPECT_EQ(vec->stats.delta_probe_rows, legacy->stats.delta_probe_rows);
+  EXPECT_GT(vec->stats.delta_probe_rows, 0);
+  // Only the vectorized run drives fused pipelines.
+  EXPECT_GT(vec->stats.pipelines_run, 0);
+  EXPECT_EQ(legacy->stats.pipelines_run, 0);
 }
 
 // Pairwise differential: delta-on vs delta-off over a stream of generated

@@ -245,5 +245,55 @@ TEST_F(FaultRecoveryTest, MorselTaskFaultsRecoverAtSmallMorselSize) {
   EXPECT_GT(total_faults, 0);
 }
 
+// Replayed work must not double-count. After any mix of in-place retries and
+// checkpoint restores, every work-proportional counter must be exactly what
+// the fault-free run reports — not merely the same rows. The executor
+// snapshots ExecStats into each checkpoint and rewinds on every failed
+// attempt and restore (DESIGN.md §8, §11). Excluded from the comparison:
+// pipeline_ns (wall time), build_cache_hits (a restore replays probes
+// against builds cached by the failed attempt), and morsels_stolen
+// (scheduling-dependent).
+TEST_F(FaultRecoveryTest, WorkCountersExactAfterRetriesAndRestores) {
+  std::string sql = workloads::SSSPQuery(12, 1, 2);
+  auto work_counters = [](const ExecStats& s) {
+    return std::vector<int64_t>{
+        s.steps_executed,     s.loop_iterations,
+        s.rows_materialized,  s.rows_shuffled,
+        s.renames,            s.merge_updates,
+        s.delta_rows,         s.delta_probe_rows,
+        s.pipelines_run,      s.morsels_dispatched,
+        s.pipeline_rows_in,   s.pipeline_rows_out,
+        s.kernel_rows_filter, s.kernel_rows_project,
+        s.kernel_rows_probe,  s.agg_partials_merged,
+        s.agg_rows_preaggregated};
+  };
+  for (int workers : {1, 8}) {
+    SetMpp(&clean_db_, workers);
+    SetMpp(&faulty_db_, workers);
+    // Fault-free baseline with recovery on so the checkpoint cadence (and
+    // therefore any cadence-coupled work) matches the recovered runs.
+    ConfigureFaults(&clean_db_, kSchedules[2], /*seed=*/1);
+    clean_db_.options().fault_injection.enabled = false;
+    auto clean = clean_db_.Execute(sql);
+    ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+
+    // kSchedules[1] exercises the retry path (plus some restores),
+    // kSchedules[2] the pure checkpoint-restore path.
+    for (size_t i : {size_t{1}, size_t{2}}) {
+      SCOPED_TRACE(std::string(kSchedules[i].label) +
+                   " workers=" + std::to_string(workers));
+      ConfigureFaults(&faulty_db_, kSchedules[i],
+                      /*seed=*/40 + static_cast<uint64_t>(i));
+      auto faulty = faulty_db_.Execute(sql);
+      ASSERT_TRUE(faulty.ok()) << faulty.status().ToString();
+      ASSERT_GT(faulty->stats.faults_seen, 0);
+      ExpectSameRows(faulty->table, clean->table, 1e-6);
+      EXPECT_EQ(work_counters(faulty->stats), work_counters(clean->stats))
+          << "recovered: " << faulty->stats.ToString()
+          << "\nfault-free: " << clean->stats.ToString();
+    }
+  }
+}
+
 }  // namespace
 }  // namespace dbspinner

@@ -204,6 +204,9 @@ TEST(MppSqlTest, ShuffleStatsReported) {
   Database db;
   db.options().num_workers = 4;
   db.options().mpp_min_rows_per_task = 8;
+  // The legacy repartitioned aggregate is only reachable with the fused
+  // pre-aggregation pipeline off; the default path never shuffles.
+  db.options().optimizer.vectorized_exec = false;
   testing::MustExecute(&db, "CREATE TABLE t (k BIGINT)");
   std::string insert = "INSERT INTO t VALUES (0)";
   for (int i = 1; i < 400; ++i) insert += ", (" + std::to_string(i % 5) + ")";
@@ -211,6 +214,35 @@ TEST(MppSqlTest, ShuffleStatsReported) {
   auto result = db.Execute("SELECT k, COUNT(*) FROM t GROUP BY k");
   ASSERT_TRUE(result.ok());
   EXPECT_GT(result->stats.rows_shuffled, 0);
+}
+
+// With the vectorized executor on (default), a parallel GROUP BY is served
+// by fused pre-aggregation: per-worker partial hash tables merged once at
+// the breaker, no key repartitioning. The shuffle counter must stay zero,
+// the new pre-aggregation counters must engage, and the rows must equal the
+// serial (and legacy shuffled) answer exactly.
+TEST(MppSqlTest, FusedPreAggregationSkipsShuffle) {
+  Database db;
+  db.options().num_workers = 4;
+  db.options().mpp_min_rows_per_task = 8;
+  db.options().morsel_size = 64;  // 400 rows -> several morsels per worker
+  testing::MustExecute(&db, "CREATE TABLE t (k BIGINT)");
+  std::string insert = "INSERT INTO t VALUES (0)";
+  for (int i = 1; i < 400; ++i) insert += ", (" + std::to_string(i % 5) + ")";
+  testing::MustExecute(&db, insert);
+
+  const std::string q = "SELECT k, COUNT(*), SUM(k) FROM t GROUP BY k";
+  auto fused = db.Execute(q);
+  ASSERT_TRUE(fused.ok()) << fused.status().ToString();
+  EXPECT_EQ(fused->stats.rows_shuffled, 0);
+  EXPECT_GT(fused->stats.agg_partials_merged, 0);
+  EXPECT_EQ(fused->stats.agg_rows_preaggregated, 400);
+
+  db.options().optimizer.vectorized_exec = false;
+  auto legacy = db.Execute(q);
+  ASSERT_TRUE(legacy.ok()) << legacy.status().ToString();
+  EXPECT_GT(legacy->stats.rows_shuffled, 0);
+  EXPECT_TRUE(Table::SameRows(*fused->table, *legacy->table));
 }
 
 }  // namespace

@@ -130,6 +130,11 @@ TEST_F(PlanPrinterTest, ExplainAnalyzeRendersExecutionStats) {
   EXPECT_NE(text.find("restores=0"), std::string::npos) << text;
   EXPECT_NE(text.find("step_retries=0"), std::string::npos) << text;
   EXPECT_NE(text.find("faults_seen=0"), std::string::npos) << text;
+  // The parallel-pipeline counters are always present too (zero on this
+  // serial run for the stealing/merge counters).
+  EXPECT_NE(text.find("morsels_stolen=0"), std::string::npos) << text;
+  EXPECT_NE(text.find("agg_partials_merged="), std::string::npos) << text;
+  EXPECT_NE(text.find("agg_rows_preaggregated="), std::string::npos) << text;
   // StepProfile splicing still renders alongside the stats block.
   EXPECT_NE(text.find("(actual: "), std::string::npos) << text;
 }

@@ -40,6 +40,10 @@ struct CliOptions {
   double fault_rate = 0.1;
   /// Extra morsel-size oracles per case (--morsel-sizes 1,16,1024).
   std::vector<size_t> morsel_sizes;
+  /// Worker widths crossed with the morsel sweep (--morsel-workers 1,2,8):
+  /// widths above 1 run the morsel oracles through the fused-parallel
+  /// stealing dispatcher.
+  std::vector<int> morsel_workers = {1};
   bool verify = true;  ///< enforce the static plan/program verifier
   bool verbose = false;
   /// Concurrent differential mode: run each case on N server sessions
@@ -52,7 +56,8 @@ void Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--seed N] [--iterations N] [--time-budget SECONDS]"
                " [--break-rename] [--faults] [--fault-rate R]"
-               " [--morsel-sizes N,N,...] [--sessions N]"
+               " [--morsel-sizes N,N,...] [--morsel-workers N,N,...]"
+               " [--sessions N]"
                " [--verify|--no-verify] [--verbose]\n",
                argv0);
 }
@@ -105,6 +110,19 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts) {
         if (*end != ',' && *end != '\0') return false;
       }
       if (opts->morsel_sizes.empty()) return false;
+    } else if (arg == "--morsel-workers") {
+      if (i + 1 >= argc) return false;
+      const char* list = argv[++i];
+      opts->morsel_workers.clear();
+      for (const char* pos = list; *pos != '\0';) {
+        char* end = nullptr;
+        long long n = std::strtoll(pos, &end, 10);
+        if (end == pos || n < 1 || n > 64) return false;
+        opts->morsel_workers.push_back(static_cast<int>(n));
+        pos = (*end == ',') ? end + 1 : end;
+        if (*end != ',' && *end != '\0') return false;
+      }
+      if (opts->morsel_workers.empty()) return false;
     } else if (arg == "--sessions") {
       if (!next_int(&v) || v < 1 || v > 64) return false;
       opts->sessions = v;
@@ -135,11 +153,13 @@ int main(int argc, char** argv) {
   diff_opts.break_rename = cli.break_rename;
   diff_opts.verify = cli.verify;
   diff_opts.morsel_sizes = cli.morsel_sizes;
+  diff_opts.morsel_workers = cli.morsel_workers;
 
   dbspinner::fuzz::QueryGenerator generator(cli.seed);
   std::map<std::string, int64_t> family_counts;
   int64_t executed = 0;
   int64_t rejected = 0;  // user-level rejections (consistent across oracles)
+  int64_t morsels_stolen = 0;  // across all oracles, sanity-checks stealing
 
   const auto start = std::chrono::steady_clock::now();
   auto out_of_time = [&] {
@@ -182,6 +202,9 @@ int main(int argc, char** argv) {
                   c, static_cast<int>(cli.sessions), diff_opts)
             : dbspinner::fuzz::RunDifferential(c, diff_opts);
     ++executed;
+    for (const auto& o : report.outcomes) {
+      morsels_stolen += o.stats.morsels_stolen;
+    }
     if (report.ok) {
       if (!report.outcomes.empty() && !report.outcomes[0].status.ok()) {
         ++rejected;
@@ -213,9 +236,10 @@ int main(int argc, char** argv) {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
   std::printf("ran %lld cases in %.1fs (%lld user-level rejections), "
-              "0 oracle mismatches\n",
+              "0 oracle mismatches, %lld morsels stolen\n",
               static_cast<long long>(executed), elapsed,
-              static_cast<long long>(rejected));
+              static_cast<long long>(rejected),
+              static_cast<long long>(morsels_stolen));
   for (const auto& [family, count] : family_counts) {
     std::printf("  %-16s %lld\n", family.c_str(),
                 static_cast<long long>(count));
