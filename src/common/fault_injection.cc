@@ -1,6 +1,13 @@
 #include "common/fault_injection.h"
 
+#include <csignal>
+#include <cstdlib>
+
 #include <algorithm>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
 
 namespace dbspinner {
 
@@ -65,6 +72,16 @@ Status FaultInjector::MaybeInject(const char* site) {
     SiteState& state = sites_[name];
     hit = state.hits++;
     ++total_hits_;
+    if (!config_.abort_site.empty() && name == config_.abort_site &&
+        hit >= config_.abort_after_hits) {
+      // Die hard: the durability harness wants a crash the process cannot
+      // observe or clean up after, exactly as if the machine lost power
+      // between this storage operation and the previous one.
+#ifndef _WIN32
+      ::kill(::getpid(), SIGKILL);
+#endif
+      std::abort();  // unreachable on POSIX; fallback elsewhere
+    }
     if (config_.max_faults >= 0 && total_faults_ >= config_.max_faults) {
       return Status::OK();
     }

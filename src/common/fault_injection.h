@@ -41,10 +41,20 @@ struct FaultInjectionConfig {
   /// retryable kUnavailable (decided deterministically per fault).
   double worker_lost_fraction = 0.0;
 
+  /// When non-empty, the process SIGKILLs itself on arrival at this exact
+  /// site — a genuine crash, not a recoverable Status. Used by the
+  /// out-of-process durability harness to kill a child at WAL-append /
+  /// extent-flush / manifest-swap boundaries. `abort_after_hits` selects
+  /// which arrival dies: N means the site completes N times and the process
+  /// dies entering arrival N+1 (0 = die on the first arrival).
+  std::string abort_site;
+  int64_t abort_after_hits = 0;
+
   bool operator==(const FaultInjectionConfig& o) const {
     return enabled == o.enabled && seed == o.seed && rate == o.rate &&
            max_faults == o.max_faults && site_filter == o.site_filter &&
-           worker_lost_fraction == o.worker_lost_fraction;
+           worker_lost_fraction == o.worker_lost_fraction &&
+           abort_site == o.abort_site && abort_after_hits == o.abort_after_hits;
   }
   bool operator!=(const FaultInjectionConfig& o) const {
     return !(*this == o);

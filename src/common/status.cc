@@ -32,6 +32,8 @@ const char* StatusCodeName(StatusCode code) {
       return "WorkerLost";
     case StatusCode::kCancelled:
       return "Cancelled";
+    case StatusCode::kCorruption:
+      return "Corruption";
   }
   return "Unknown";
 }

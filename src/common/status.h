@@ -35,6 +35,10 @@ enum class StatusCode {
                       ///< an expired deadline observed at a cancellation
                       ///< point. Never retried or recovered — the caller
                       ///< asked for the query to stop.
+  kCorruption,        ///< On-disk data failed validation: bad magic, checksum
+                      ///< mismatch, truncated extent, or a codec payload that
+                      ///< decodes out of bounds. Never retried or recovered —
+                      ///< retrying re-reads the same bad bytes.
 };
 
 /// Human-readable name of a StatusCode ("ParseError", ...).
@@ -87,6 +91,9 @@ class Status {
   }
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,5 +1,7 @@
 #include "engine/database.h"
 
+#include <unordered_set>
+
 #include "binder/binder.h"
 #include "exec/physical_planner.h"
 #include "exec/pipeline.h"
@@ -9,10 +11,138 @@
 #include "parser/parser.h"
 #include "plan/plan_printer.h"
 #include "rewrite/iterative_rewrite.h"
+#include "storage/codec.h"
 #include "storage/csv.h"
 #include "verify/verify.h"
 
 namespace dbspinner {
+
+namespace {
+
+/// Shape hash of a compiled program, stored in durable checkpoints so a
+/// resume against a program that compiled differently (other build, other
+/// optimizer toggles) is rejected: the checkpointed step indices would be
+/// meaningless in it.
+uint64_t ProgramFingerprint(const Program& program) {
+  uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+  auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  mix(program.steps.size());
+  for (const auto& step : program.steps) {
+    mix(static_cast<uint64_t>(step.kind) + 0x9e3779b97f4a7c15ull);
+    mix(static_cast<uint64_t>(step.loop_id) + 1);
+  }
+  return h;
+}
+
+/// Engine-side DurableCheckpointSink: turns an executor checkpoint into a
+/// CheckpointImage (writing table extents) and commits it via one WAL
+/// frame. The extent cache exploits the engine's copy-on-write discipline:
+/// a Table reachable from consecutive checkpoints is the *same object*, so
+/// its extents are written once and re-referenced. Cached entries hold a
+/// TablePtr keepalive, which both keeps pointer identity from being
+/// recycled and is pruned to the latest checkpoint's tables so dropped
+/// versions release their memory (and their extents become GC-able).
+class DurableProgramSink : public DurableCheckpointSink {
+ public:
+  DurableProgramSink(StorageManager* store, uint64_t tag, uint64_t fingerprint)
+      : store_(store), tag_(tag), fingerprint_(fingerprint) {}
+
+  Status Persist(
+      size_t pc, const std::map<int, LoopState>& loops,
+      const std::unordered_map<std::string, TablePtr>& registry) override {
+    CheckpointImage image;
+    image.fingerprint = fingerprint_;
+    image.pc = pc;
+    std::unordered_set<const Table*> live;
+    for (const auto& [id, state] : loops) {
+      LoopImage li;
+      li.id = id;
+      li.iteration = state.iteration;
+      li.last_update_count = state.last_update_count;
+      li.cumulative_updates = state.cumulative_updates;
+      if (state.previous) {
+        DBSP_ASSIGN_OR_RETURN(TableImage img, ImageFor(state.previous));
+        li.previous = std::move(img);
+        live.insert(state.previous.get());
+      }
+      if (state.delta_snapshot) {
+        DBSP_ASSIGN_OR_RETURN(TableImage img, ImageFor(state.delta_snapshot));
+        li.delta_snapshot = std::move(img);
+        live.insert(state.delta_snapshot.get());
+      }
+      image.loops.push_back(std::move(li));
+    }
+    for (const auto& [name, table] : registry) {
+      DBSP_ASSIGN_OR_RETURN(TableImage img, ImageFor(table));
+      image.registry.emplace_back(name, std::move(img));
+      live.insert(table.get());
+    }
+    DBSP_RETURN_NOT_OK(store_->SaveCheckpoint(tag_, image));
+    for (auto it = cache_.begin(); it != cache_.end();) {
+      if (live.count(it->first) == 0) {
+        it = cache_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    return Status::OK();
+  }
+
+ private:
+  struct Entry {
+    TablePtr keepalive;
+    TableImage image;
+  };
+
+  Result<TableImage> ImageFor(const TablePtr& table) {
+    auto it = cache_.find(table.get());
+    if (it != cache_.end()) return it->second.image;
+    DBSP_ASSIGN_OR_RETURN(TableImage image, store_->WriteTableExtents(*table));
+    cache_.emplace(table.get(), Entry{table, image});
+    return image;
+  }
+
+  StorageManager* store_;
+  uint64_t tag_;
+  uint64_t fingerprint_;
+  std::unordered_map<const Table*, Entry> cache_;
+};
+
+/// Rehydrates a recovered CheckpointImage into executor seed state by
+/// streaming its extents back through the buffer manager.
+Result<ProgramResume> MaterializeResume(StorageManager* store,
+                                        const CheckpointImage& cp) {
+  ProgramResume resume;
+  resume.pc = static_cast<size_t>(cp.pc);
+  for (const auto& li : cp.loops) {
+    LoopState state;
+    state.iteration = li.iteration;
+    state.last_update_count = li.last_update_count;
+    state.cumulative_updates = li.cumulative_updates;
+    if (li.previous.has_value()) {
+      DBSP_ASSIGN_OR_RETURN(state.previous, store->ReadTable(*li.previous));
+    }
+    if (li.delta_snapshot.has_value()) {
+      DBSP_ASSIGN_OR_RETURN(state.delta_snapshot,
+                            store->ReadTable(*li.delta_snapshot));
+    }
+    resume.loops[li.id] = std::move(state);
+  }
+  for (const auto& [name, img] : cp.registry) {
+    DBSP_ASSIGN_OR_RETURN(TablePtr table, store->ReadTable(img));
+    resume.registry[name] = std::move(table);
+  }
+  return resume;
+}
+
+uint64_t HashSql(const std::string& sql) {
+  return BlockChecksum(sql.data(), sql.size());
+}
+
+}  // namespace
 
 ThreadPool* Database::GetPool(SessionState& ss) {
   if (ss.options.num_workers <= 1) return nullptr;
@@ -68,6 +198,55 @@ ExecContext Database::MakeContext(SessionState& ss, Catalog* cat,
   return ctx;
 }
 
+Status Database::EnsureStorageOpen() {
+  std::lock_guard<std::mutex> lock(storage_mu_);
+  if (storage_init_done_) return storage_status_;
+  storage_init_done_ = true;
+  const PersistenceOptions& p = default_session_.options.persistence;
+  if (!p.enabled) return Status::OK();
+  if (default_session_.options.fault_injection.enabled) {
+    storage_faults_ =
+        std::make_unique<FaultInjector>(default_session_.options.fault_injection);
+  }
+  auto opened = StorageManager::Open(p, storage_faults_.get());
+  if (!opened.ok()) {
+    storage_status_ = opened.status();
+    return storage_status_;
+  }
+  storage_ = std::move(opened).value();
+  // Materialize every recovered table into the in-memory catalog. The
+  // catalog is still empty here (first statement), so name clashes are
+  // impossible.
+  for (const auto& [name, image] : storage_->tables()) {
+    auto table = storage_->ReadTable(image);
+    if (!table.ok()) {
+      storage_status_ = table.status();
+      storage_.reset();
+      return storage_status_;
+    }
+    Status st = catalog_.CreateTable(name, std::move(table).value(),
+                                     image.primary_key_col);
+    if (!st.ok()) {
+      storage_status_ = st;
+      storage_.reset();
+      return storage_status_;
+    }
+  }
+  return Status::OK();
+}
+
+Status Database::PersistUpsert(const std::string& name,
+                               std::optional<size_t> pk,
+                               const TablePtr& table) {
+  if (storage_ == nullptr) return Status::OK();
+  return storage_->LogUpsertTable(name, pk, *table);
+}
+
+Status Database::PersistDrop(const std::string& name) {
+  if (storage_ == nullptr) return Status::OK();
+  return storage_->LogDropTable(name);
+}
+
 Result<QueryResult> Database::Execute(const std::string& sql) {
   return ExecuteForSession(&default_session_, sql);
 }
@@ -79,6 +258,9 @@ Result<QueryResult> Database::ExecuteScript(const std::string& sql) {
 Result<QueryResult> Database::ExecuteForSession(SessionState* session,
                                                 const std::string& sql) {
   DBSP_ASSIGN_OR_RETURN(StatementPtr stmt, ParseStatement(sql));
+  // The statement's durable identity: re-running the same text after a
+  // crash finds the durable checkpoint saved under this tag.
+  session->durable_program_tag = HashSql(sql);
   return ExecuteStatement(*session, *stmt);
 }
 
@@ -89,8 +271,12 @@ Result<QueryResult> Database::ExecuteScriptForSession(SessionState* session,
     return Status::InvalidArgument("empty script");
   }
   QueryResult last;
-  for (const auto& stmt : stmts) {
-    DBSP_ASSIGN_OR_RETURN(last, ExecuteStatement(*session, *stmt));
+  for (size_t i = 0; i < stmts.size(); ++i) {
+    // Tag = script hash mixed with the statement's position, so identical
+    // statements at different script offsets checkpoint independently.
+    session->durable_program_tag =
+        HashSql(sql) ^ (0x9e3779b97f4a7c15ull * (i + 1));
+    DBSP_ASSIGN_OR_RETURN(last, ExecuteStatement(*session, *stmts[i]));
   }
   return last;
 }
@@ -107,7 +293,16 @@ Status Database::RegisterTable(const std::string& name, TablePtr table,
   // under it would let a concurrent reader's snapshot pin drop that version
   // mid-statement. The inert token makes the wait unconditional.
   DBSP_RETURN_NOT_OK(commit_lock_.Acquire(CancellationToken()));
-  Status status = catalog_.CreateTable(name, std::move(table), primary_key_col);
+  Status status = EnsureStorageOpen();
+  if (status.ok() && storage_ != nullptr && catalog_.Exists(name)) {
+    // Pre-check so the WAL never logs an upsert the in-memory publish then
+    // rejects (same message the catalog would produce).
+    status = Status::AlreadyExists("table '" + name + "' already exists");
+  }
+  if (status.ok()) status = PersistUpsert(name, primary_key_col, table);
+  if (status.ok()) {
+    status = catalog_.CreateTable(name, std::move(table), primary_key_col);
+  }
   commit_lock_.Release();
   return status;
 }
@@ -171,6 +366,10 @@ Result<QueryResult> Database::ExecuteStatement(SessionState& ss,
   // Session options may have been \set to nonsense since the last
   // statement; reject them here, once, before any engine state is touched.
   DBSP_RETURN_NOT_OK(ss.options.Validate());
+  // Open (and recover) the durable storage layer before the first statement
+  // touches the catalog. A sticky open failure (corrupt directory) fails
+  // every statement rather than silently degrading to in-memory.
+  DBSP_RETURN_NOT_OK(EnsureStorageOpen());
   switch (stmt.kind) {
     case StatementKind::kSelect:
     case StatementKind::kExplain: {
@@ -240,6 +439,8 @@ Result<QueryResult> Database::ExecuteCopy(SessionState& ss,
   // Append to a COW clone, like INSERT.
   TablePtr updated = entry->table->Clone();
   updated->AppendAll(*imported);
+  DBSP_RETURN_NOT_OK(
+      PersistUpsert(stmt.table_name, entry->primary_key_col, updated));
   DBSP_RETURN_NOT_OK(catalog_.ReplaceContents(stmt.table_name, updated));
   result.rows_affected = static_cast<int64_t>(imported->num_rows());
   return result;
@@ -260,23 +461,53 @@ Result<QueryResult> Database::ExecuteTransactionControl(SessionState& ss,
       ss.holds_commit_lock = true;
       ss.tx_snapshot = catalog_.Snapshot();
       return result;
-    case StatementKind::kCommit:
+    case StatementKind::kCommit: {
       if (!ss.InTransaction()) {
         return Status::InvalidArgument("no transaction in progress");
       }
+      // Fold the transaction's WAL frames into one manifest swap, making
+      // the whole transaction durable as a unit. The lock is released
+      // either way — a fold failure must not strand the writer slot.
+      Status durable = Status::OK();
+      if (storage_ != nullptr) durable = storage_->WriteManifestNow();
       ss.tx_snapshot.reset();
       ss.holds_commit_lock = false;
       commit_lock_.Release();
+      DBSP_RETURN_NOT_OK(durable);
       return result;
-    case StatementKind::kRollback:
+    }
+    case StatementKind::kRollback: {
       if (!ss.InTransaction()) {
         return Status::InvalidArgument("no transaction in progress");
+      }
+      // Durably undo what the transaction logged: drop tables it created,
+      // re-log the snapshot version of tables it replaced. Runs before the
+      // in-memory restore so the WAL order matches the publish order.
+      Status durable = Status::OK();
+      if (storage_ != nullptr) {
+        auto current = catalog_.Snapshot();
+        for (const auto& [name, entry] : current) {
+          if (ss.tx_snapshot->find(name) == ss.tx_snapshot->end()) {
+            if (durable.ok()) durable = PersistDrop(name);
+          }
+        }
+        for (const auto& [name, entry] : *ss.tx_snapshot) {
+          auto it = current.find(name);
+          if (it == current.end() || it->second.table != entry.table) {
+            if (durable.ok()) {
+              durable =
+                  PersistUpsert(name, entry.primary_key_col, entry.table);
+            }
+          }
+        }
       }
       catalog_.Restore(std::move(*ss.tx_snapshot));
       ss.tx_snapshot.reset();
       ss.holds_commit_lock = false;
       commit_lock_.Release();
+      DBSP_RETURN_NOT_OK(durable);
       return result;
+    }
     default:
       return Status::Internal("not a transaction-control statement");
   }
@@ -290,7 +521,35 @@ Result<QueryResult> Database::RunProgramToResult(SessionState& ss, Catalog* cat,
   ResultRegistry registry;
   registry.set_scope(ss.temp_scope);
   ExecContext ctx = MakeContext(ss, cat, &registry);
-  DBSP_ASSIGN_OR_RETURN(TablePtr table, RunProgram(program, &ctx));
+
+  // Durable executor checkpoints (DESIGN.md §12): when persistence and
+  // recovery are both on, each in-memory checkpoint is also committed to
+  // the storage layer, and a prior run's durable checkpoint — same
+  // statement tag, same program shape, same registry scope — seeds a
+  // resume instead of restarting the program from scratch.
+  std::unique_ptr<DurableProgramSink> sink;
+  ProgramResume resume;
+  const ProgramResume* resume_ptr = nullptr;
+  const uint64_t tag = ss.durable_program_tag;
+  if (storage_ != nullptr && storage_->options().durable_checkpoints &&
+      ss.options.fault_tolerance.enable_recovery && tag != 0) {
+    uint64_t fp = ProgramFingerprint(program) ^
+                  BlockChecksum(ss.temp_scope.data(), ss.temp_scope.size());
+    if (auto cp = storage_->FindCheckpoint(tag);
+        cp.has_value() && cp->fingerprint == fp) {
+      DBSP_ASSIGN_OR_RETURN(resume, MaterializeResume(storage_.get(), *cp));
+      resume_ptr = &resume;
+    }
+    sink = std::make_unique<DurableProgramSink>(storage_.get(), tag, fp);
+    ctx.durable = sink.get();
+  }
+
+  DBSP_ASSIGN_OR_RETURN(TablePtr table, RunProgram(program, &ctx, resume_ptr));
+  if (sink != nullptr) {
+    // The program finished; its checkpoint is obsolete. (On failure we keep
+    // it: the re-issued statement resumes.)
+    DBSP_RETURN_NOT_OK(storage_->ClearCheckpoint(tag));
+  }
   QueryResult result;
   result.table = std::move(table);
   result.stats = ctx.stats;
@@ -380,8 +639,13 @@ Result<QueryResult> Database::ExecuteCreateTable(SessionState& ss,
     DBSP_ASSIGN_OR_RETURN(
         QueryResult rows, RunProgramToResult(ss, &catalog_,
                                              std::move(program)));
-    DBSP_RETURN_NOT_OK(
-        catalog_.CreateTable(stmt.table_name, rows.table->Clone()));
+    TablePtr created = rows.table->Clone();
+    if (storage_ != nullptr && catalog_.Exists(stmt.table_name)) {
+      return Status::AlreadyExists("table '" + stmt.table_name +
+                                   "' already exists");
+    }
+    DBSP_RETURN_NOT_OK(PersistUpsert(stmt.table_name, std::nullopt, created));
+    DBSP_RETURN_NOT_OK(catalog_.CreateTable(stmt.table_name, created));
     QueryResult result;
     result.table = Table::Make(Schema());
     result.rows_affected = static_cast<int64_t>(rows.table->num_rows());
@@ -400,8 +664,13 @@ Result<QueryResult> Database::ExecuteCreateTable(SessionState& ss,
       pk = i;
     }
   }
-  DBSP_RETURN_NOT_OK(
-      catalog_.CreateTable(stmt.table_name, Table::Make(schema), pk));
+  if (storage_ != nullptr && catalog_.Exists(stmt.table_name)) {
+    return Status::AlreadyExists("table '" + stmt.table_name +
+                                 "' already exists");
+  }
+  TablePtr empty = Table::Make(schema);
+  DBSP_RETURN_NOT_OK(PersistUpsert(stmt.table_name, pk, empty));
+  DBSP_RETURN_NOT_OK(catalog_.CreateTable(stmt.table_name, empty, pk));
   QueryResult result;
   result.table = Table::Make(Schema());
   return result;
@@ -486,6 +755,8 @@ Result<QueryResult> Database::ExecuteInsert(SessionState& ss,
     }
   }
 
+  DBSP_RETURN_NOT_OK(
+      PersistUpsert(stmt.table_name, entry->primary_key_col, updated));
   DBSP_RETURN_NOT_OK(catalog_.ReplaceContents(stmt.table_name, updated));
   QueryResult result;
   result.table = Table::Make(Schema());
@@ -552,6 +823,8 @@ Result<QueryResult> Database::ExecuteUpdate(SessionState& ss,
       updated->AppendRow(row);
       ++affected;
     }
+    DBSP_RETURN_NOT_OK(
+        PersistUpsert(stmt.table_name, entry->primary_key_col, updated));
     DBSP_RETURN_NOT_OK(catalog_.ReplaceContents(stmt.table_name, updated));
     QueryResult result;
     result.table = Table::Make(Schema());
@@ -660,6 +933,8 @@ Result<QueryResult> Database::ExecuteUpdate(SessionState& ss,
     updated->AppendRow(row);
     ++affected;
   }
+  DBSP_RETURN_NOT_OK(
+      PersistUpsert(stmt.table_name, entry->primary_key_col, updated));
   DBSP_RETURN_NOT_OK(catalog_.ReplaceContents(stmt.table_name, updated));
   QueryResult result;
   result.table = Table::Make(Schema());
@@ -699,8 +974,10 @@ Result<QueryResult> Database::ExecuteDelete(SessionState& ss,
       keep.push_back(static_cast<uint32_t>(r));
     }
   }
+  TablePtr remaining = target->Gather(keep);
   DBSP_RETURN_NOT_OK(
-      catalog_.ReplaceContents(stmt.table_name, target->Gather(keep)));
+      PersistUpsert(stmt.table_name, entry->primary_key_col, remaining));
+  DBSP_RETURN_NOT_OK(catalog_.ReplaceContents(stmt.table_name, remaining));
   QueryResult result;
   result.table = Table::Make(Schema());
   result.rows_affected = deleted;
@@ -710,6 +987,9 @@ Result<QueryResult> Database::ExecuteDelete(SessionState& ss,
 Result<QueryResult> Database::ExecuteDrop(SessionState& ss,
                                           const Statement& stmt) {
   (void)ss;
+  if (storage_ != nullptr && catalog_.Exists(stmt.table_name)) {
+    DBSP_RETURN_NOT_OK(PersistDrop(stmt.table_name));
+  }
   DBSP_RETURN_NOT_OK(catalog_.DropTable(stmt.table_name, stmt.if_exists));
   QueryResult result;
   result.table = Table::Make(Schema());

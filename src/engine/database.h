@@ -28,6 +28,7 @@
 #include "parser/ast.h"
 #include "plan/program.h"
 #include "storage/catalog.h"
+#include "storage/persistent_store.h"
 
 namespace dbspinner {
 
@@ -101,6 +102,12 @@ struct SessionState {
   /// Admission metadata for the current query, copied into ExecStats.
   int64_t queue_wait_us = 0;
   bool queued = false;
+
+  /// Identity of the statement being executed, for durable executor
+  /// checkpoints (DESIGN.md §12): a hash of the SQL text (and script
+  /// position), set by ExecuteForSession. A killed iterative query re-issued
+  /// with the same text resumes from its last durable checkpoint.
+  uint64_t durable_program_tag = 0;
 
   /// True while a BEGIN'd transaction is open on this session.
   bool InTransaction() const { return tx_snapshot.has_value(); }
@@ -188,6 +195,11 @@ class Database {
   /// True while a BEGIN'd transaction is open on the default session.
   bool InTransaction() const { return default_session_.InTransaction(); }
 
+  /// The durable storage layer, or nullptr when persistence is off (or not
+  /// yet opened — it opens lazily at the first statement). Exposed for
+  /// tests and benchmarks that assert on storage counters.
+  StorageManager* storage_manager() { return storage_.get(); }
+
  private:
   Result<QueryResult> ExecuteStatement(SessionState& ss,
                                        const Statement& stmt);
@@ -235,6 +247,20 @@ class Database {
                                                 const Statement& stmt);
   Result<QueryResult> ExecuteCopy(SessionState& ss, const Statement& stmt);
 
+  /// Opens the storage layer on first use (per the *constructor* session's
+  /// persistence options — persistence is engine-level, per-session
+  /// overrides of it are ignored) and materializes recovered tables into
+  /// the catalog. Returns the sticky open/recovery failure afterwards, so a
+  /// corrupt database directory fails every statement with the same typed
+  /// error instead of silently running in-memory.
+  Status EnsureStorageOpen();
+
+  /// Durable-commit helpers: WAL-log the operation (the commit point)
+  /// before the in-memory catalog publish. No-ops when persistence is off.
+  Status PersistUpsert(const std::string& name, std::optional<size_t> pk,
+                       const TablePtr& table);
+  Status PersistDrop(const std::string& name);
+
   Catalog catalog_;
 
   /// The built-in session behind the historical single-caller API.
@@ -251,6 +277,16 @@ class Database {
   std::mutex pool_mu_;
   std::unique_ptr<ThreadPool> pool_;
   std::vector<std::unique_ptr<ThreadPool>> retired_pools_;
+
+  /// Durable storage (DESIGN.md §12). Opened lazily by EnsureStorageOpen;
+  /// `storage_faults_` is the engine-owned injector feeding the storage
+  /// abort/injection sites (its hit counts span the whole process, unlike
+  /// the per-statement session injectors).
+  std::mutex storage_mu_;
+  bool storage_init_done_ = false;
+  Status storage_status_ = Status::OK();
+  std::unique_ptr<FaultInjector> storage_faults_;
+  std::unique_ptr<StorageManager> storage_;
 };
 
 }  // namespace dbspinner

@@ -52,6 +52,22 @@ Status EngineOptions::Validate() const {
   if (max_iterations_guard < 1) {
     return Status::InvalidArgument("max_iterations_guard must be >= 1");
   }
+  if (persistence.enabled) {
+    if (persistence.path.empty()) {
+      return Status::InvalidArgument(
+          "persistence.enabled requires a non-empty persistence.path");
+    }
+    if (persistence.block_rows < 1) {
+      return Status::InvalidArgument("persistence.block_rows must be >= 1");
+    }
+    if (persistence.buffer_pool_blocks < 1) {
+      return Status::InvalidArgument(
+          "persistence.buffer_pool_blocks must be >= 1");
+    }
+    if (persistence.manifest_every < 1) {
+      return Status::InvalidArgument("persistence.manifest_every must be >= 1");
+    }
+  }
   return Status::OK();
 }
 
@@ -62,7 +78,7 @@ std::string EngineOptions::ToString() const {
       "build_cache=%d, vectorized=%d(morsel=%zu, broadcast=%zu), "
       "faults=%d(seed=%llu, "
       "rate=%.3f), recovery=%d(k=%lld, "
-      "retries=%d), verify=%d(enforce=%d)}",
+      "retries=%d), verify=%d(enforce=%d), persist=%d}",
       num_workers, optimizer.enable_constant_folding ? 1 : 0,
       optimizer.enable_join_simplification ? 1 : 0,
       optimizer.enable_predicate_pushdown ? 1 : 0,
@@ -77,7 +93,7 @@ std::string EngineOptions::ToString() const {
       fault_injection.rate, fault_tolerance.enable_recovery ? 1 : 0,
       static_cast<long long>(fault_tolerance.checkpoint_interval),
       fault_tolerance.max_step_retries, verify.verify_plans ? 1 : 0,
-      verify.enforce ? 1 : 0);
+      verify.enforce ? 1 : 0, persistence.enabled ? 1 : 0);
 }
 
 }  // namespace dbspinner

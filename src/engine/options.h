@@ -8,6 +8,7 @@
 
 #include "common/fault_injection.h"
 #include "common/status.h"
+#include "storage/storage_options.h"
 
 namespace dbspinner {
 
@@ -133,6 +134,10 @@ struct EngineOptions {
   /// Recovery policy applied by RunProgram when steps fail with a
   /// retryable/recoverable status.
   FaultToleranceOptions fault_tolerance;
+
+  /// Durable storage: WAL + compressed columnar extents + buffer-managed
+  /// scans. Off by default (pure in-memory engine).
+  PersistenceOptions persistence;
 
   /// Simulated shared-nothing width: number of worker "nodes" used by
   /// partitioned joins/aggregations/filters. 1 = serial.

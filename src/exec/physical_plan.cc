@@ -33,7 +33,8 @@ std::string ExecStats::ToString() const {
       "rows_shuffled=%lld, renames=%lld, merge_updates=%lld, "
       "delta_rows=%lld, delta_probe_rows=%lld, build_cache_hits=%lld, "
       "faults_seen=%lld, step_retries=%lld, checkpoints_taken=%lld, "
-      "restores=%lld, verify_violations=%lld, queue_wait_us=%lld, "
+      "restores=%lld, durable_checkpoints=%lld, verify_violations=%lld, "
+      "queue_wait_us=%lld, "
       "admission_waits=%lld, cancel_checks=%lld, pipelines=%lld, "
       "morsels=%lld, pipe_rows_in=%lld, pipe_rows_out=%lld, "
       "kernel_filter=%lld, kernel_project=%lld, kernel_probe=%lld, "
@@ -51,6 +52,7 @@ std::string ExecStats::ToString() const {
       static_cast<long long>(step_retries),
       static_cast<long long>(checkpoints_taken),
       static_cast<long long>(restores),
+      static_cast<long long>(durable_checkpoints),
       static_cast<long long>(verify_violations),
       static_cast<long long>(queue_wait_us),
       static_cast<long long>(admission_waits),

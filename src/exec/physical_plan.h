@@ -50,7 +50,11 @@ struct ExecStats {
   int64_t checkpoints_taken = 0;  ///< loop-state snapshots (every K
                                   ///< iterations + one per kInitLoop)
   int64_t restores = 0;           ///< rollbacks to the last checkpoint (or to
-                                  ///< program start when none exists yet)
+                                  ///< program start when none exists yet);
+                                  ///< also counts a cross-process resume from
+                                  ///< a durable checkpoint (DESIGN.md §12)
+  int64_t durable_checkpoints = 0;  ///< checkpoints additionally serialized
+                                    ///< to the storage layer (WAL + extents)
 
   /// Verifier diagnostics observed while planning this statement with
   /// EngineOptions::verify.enforce off (the release-build escape hatch;
@@ -118,6 +122,19 @@ struct LoopState {
 
 class PhysicalOp;
 
+/// Destination for durable executor checkpoints (DESIGN.md §12). Implemented
+/// by the engine layer over the StorageManager; the executor only knows that
+/// a checkpoint it just took can additionally be made crash-durable. Persist
+/// is called after the in-memory checkpoint is captured, with the same
+/// snapshot the in-process restore path would use.
+class DurableCheckpointSink {
+ public:
+  virtual ~DurableCheckpointSink() = default;
+  virtual Status Persist(
+      size_t pc, const std::map<int, LoopState>& loops,
+      const std::unordered_map<std::string, TablePtr>& registry) = 0;
+};
+
 /// Everything an executing plan needs. One per statement execution.
 struct ExecContext {
   Catalog* catalog = nullptr;
@@ -133,6 +150,11 @@ struct ExecContext {
 
   ExecStats stats;
   std::map<int, LoopState> loops;
+
+  /// When set (persistence on + recovery on), every in-memory executor
+  /// checkpoint is also persisted through this sink, making kill-9 resume
+  /// possible (exec/program_executor.cc, DESIGN.md §12).
+  DurableCheckpointSink* durable = nullptr;
 
   /// EXPLAIN ANALYZE instrumentation.
   bool profiling = false;

@@ -151,6 +151,11 @@ struct ExecutorCheckpoint {
 }  // namespace
 
 Result<TablePtr> RunProgram(const Program& program, ExecContext* ctx) {
+  return RunProgram(program, ctx, nullptr);
+}
+
+Result<TablePtr> RunProgram(const Program& program, ExecContext* ctx,
+                            const ProgramResume* resume) {
   TablePtr final_result;
 
   static const FaultToleranceOptions kNoRecovery;
@@ -169,6 +174,27 @@ Result<TablePtr> RunProgram(const Program& program, ExecContext* ctx) {
     checkpoint.stats = ctx->stats;
   }
   int64_t restores_used = 0;
+
+  size_t start_pc = 0;
+  if (resume != nullptr) {
+    // Cross-process resume from a durable checkpoint: seed the executor
+    // exactly as the in-process restore path does, then continue from the
+    // checkpointed step. The restored step indices were validated against
+    // this program's fingerprint by the caller.
+    if (resume->pc >= program.steps.size()) {
+      return Status::Internal("resume pc out of range");
+    }
+    ctx->registry->Restore(resume->registry);
+    ctx->loops = resume->loops;
+    ++ctx->stats.restores;
+    start_pc = resume->pc;
+    if (recovery) {
+      checkpoint.pc = resume->pc;
+      checkpoint.loops = ctx->loops;
+      checkpoint.registry = ctx->registry->Snapshot();
+      checkpoint.stats = ctx->stats;
+    }
+  }
 
   // Runs one step. On success *next_pc holds the step index to continue
   // from. All mutation of executor state (registry, loop states, stats)
@@ -394,7 +420,7 @@ Result<TablePtr> RunProgram(const Program& program, ExecContext* ctx) {
     return Status::OK();
   };
 
-  size_t pc = 0;
+  size_t pc = start_pc;
   while (pc < program.steps.size()) {
     const Step& step = program.steps[pc];
 
@@ -425,6 +451,14 @@ Result<TablePtr> RunProgram(const Program& program, ExecContext* ctx) {
         checkpoint.registry = ctx->registry->Snapshot();
         checkpoint.stats = ctx->stats;
         ++ctx->stats.checkpoints_taken;
+        if (ctx->durable != nullptr) {
+          // Make the checkpoint crash-durable. A persist failure is a hard
+          // error: continuing would let a later crash resume from a stale
+          // durable checkpoint even though this run had moved past it.
+          DBSP_RETURN_NOT_OK(ctx->durable->Persist(pc, checkpoint.loops,
+                                                   checkpoint.registry));
+          ++ctx->stats.durable_checkpoints;
+        }
       }
     }
 

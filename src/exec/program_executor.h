@@ -3,16 +3,35 @@
 
 #pragma once
 
+#include <cstddef>
+#include <map>
+#include <unordered_map>
+
 #include "common/status.h"
 #include "exec/physical_plan.h"
 #include "plan/program.h"
 
 namespace dbspinner {
 
+/// Seed state for resuming a program from a durable checkpoint recovered
+/// after a crash (DESIGN.md §12). The executor starts at `pc` — the step the
+/// checkpoint was taken before — with the given loop states and registry
+/// contents, exactly as the in-process restore path would.
+struct ProgramResume {
+  size_t pc = 0;
+  std::map<int, LoopState> loops;
+  std::unordered_map<std::string, TablePtr> registry;
+};
+
 /// Runs a planned Program (PlanProgram must have been called). Returns the
 /// output of the kFinal step, or an empty 0-column table if the program has
 /// none (DDL-ish programs).
 Result<TablePtr> RunProgram(const Program& program, ExecContext* ctx);
+
+/// As above, but when `resume` is non-null the program continues from the
+/// recovered checkpoint instead of step 0 (counted in ExecStats::restores).
+Result<TablePtr> RunProgram(const Program& program, ExecContext* ctx,
+                            const ProgramResume* resume);
 
 /// The fault-tolerance retry whitelist: step kinds whose failed execution
 /// may be re-run in place because every fallible sub-operation precedes the

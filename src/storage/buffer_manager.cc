@@ -1,0 +1,113 @@
+#include "storage/buffer_manager.h"
+
+#include <algorithm>
+
+namespace dbspinner {
+
+PinnedBlock& PinnedBlock::operator=(PinnedBlock&& o) noexcept {
+  if (this != &o) {
+    if (bm_ != nullptr) bm_->Unpin(frame_id_);
+    bm_ = o.bm_;
+    frame_id_ = o.frame_id_;
+    data_ = std::move(o.data_);
+    o.bm_ = nullptr;
+    o.frame_id_ = 0;
+  }
+  return *this;
+}
+
+PinnedBlock::~PinnedBlock() {
+  if (bm_ != nullptr) bm_->Unpin(frame_id_);
+}
+
+BufferManager::BufferManager(size_t capacity)
+    : capacity_(std::max<size_t>(1, capacity)) {}
+
+Result<PinnedBlock> BufferManager::Pin(const BlockKey& key,
+                                       const Loader& loader) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = frames_.find(key);
+  if (it != frames_.end()) {
+    Frame* f = it->second.get();
+    ++f->pins;
+    f->referenced = true;
+    ++stats_.hits;
+    return PinnedBlock(this, f->id, f->data);
+  }
+  ++stats_.misses;
+  while (frames_.size() >= capacity_) {
+    if (!MaybeEvictLocked()) {
+      ++stats_.overcommits;  // every frame pinned: admit over capacity
+      break;
+    }
+  }
+  // Load while holding the pool lock: see class comment.
+  auto loaded = loader();
+  if (!loaded.ok()) return loaded.status();
+
+  auto frame = std::make_unique<Frame>();
+  frame->id = next_frame_id_++;
+  frame->key = key;
+  frame->data = std::move(loaded).value();
+  frame->pins = 1;
+  frame->referenced = true;
+  Frame* f = frame.get();
+  frames_.emplace(key, std::move(frame));
+  by_id_.emplace(f->id, f);
+  clock_.push_back(f->id);
+  return PinnedBlock(this, f->id, f->data);
+}
+
+bool BufferManager::MaybeEvictLocked() {
+  if (clock_.empty()) return false;
+  // Two full sweeps: the first may only clear second-chance bits, the second
+  // then finds a victim unless every frame is pinned.
+  for (size_t step = 0; step < 2 * clock_.size(); ++step) {
+    if (hand_ >= clock_.size()) hand_ = 0;
+    uint64_t id = clock_[hand_];
+    auto idit = by_id_.find(id);
+    if (idit == by_id_.end()) {
+      // Stale slot left by a previous eviction; drop it in place.
+      clock_.erase(clock_.begin() + static_cast<ptrdiff_t>(hand_));
+      continue;
+    }
+    Frame* f = idit->second;
+    if (f->pins > 0) {
+      ++hand_;
+      continue;
+    }
+    if (f->referenced) {
+      f->referenced = false;
+      ++hand_;
+      continue;
+    }
+    clock_.erase(clock_.begin() + static_cast<ptrdiff_t>(hand_));
+    by_id_.erase(id);
+    BlockKey victim = f->key;  // copy: erase destroys the frame owning f->key
+    frames_.erase(victim);
+    ++stats_.evictions;
+    return true;
+  }
+  return false;
+}
+
+void BufferManager::Unpin(uint64_t frame_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_id_.find(frame_id);
+  if (it == by_id_.end()) return;  // frame already gone (shutdown ordering)
+  Frame* f = it->second;
+  if (f->pins > 0) --f->pins;
+  f->referenced = true;
+}
+
+BufferManager::Stats BufferManager::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+size_t BufferManager::resident() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return frames_.size();
+}
+
+}  // namespace dbspinner

@@ -1,0 +1,123 @@
+// BufferManager: fixed-capacity cache of decoded column blocks with pin/unpin
+// and clock (second-chance) eviction (DESIGN.md §12).
+//
+// Scans over extents larger than the pool stream: each block is pinned,
+// consumed, and unpinned, and the clock hand reclaims cold frames as new
+// blocks fault in. Pinned frames are never evicted. When every frame is
+// pinned and the pool is full, Pin admits the block anyway over capacity
+// (counted in `overcommits`) instead of deadlocking or failing — callers
+// bound their own pin footprint (one block per active scan column).
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/column_vector.h"
+
+namespace dbspinner {
+
+/// Identity of one decoded block: (extent, block ordinal).
+struct BlockKey {
+  uint64_t extent_id = 0;
+  uint32_t block_index = 0;
+
+  bool operator==(const BlockKey& o) const {
+    return extent_id == o.extent_id && block_index == o.block_index;
+  }
+};
+
+struct BlockKeyHash {
+  size_t operator()(const BlockKey& k) const {
+    uint64_t x = k.extent_id * 0x9e3779b97f4a7c15ull ^
+                 (static_cast<uint64_t>(k.block_index) << 1);
+    x ^= x >> 29;
+    return static_cast<size_t>(x);
+  }
+};
+
+class BufferManager;
+
+/// RAII pin on one cached block. While alive, the frame cannot be evicted;
+/// destruction unpins. Movable, not copyable.
+class PinnedBlock {
+ public:
+  PinnedBlock() = default;
+  PinnedBlock(PinnedBlock&& o) noexcept { *this = std::move(o); }
+  PinnedBlock& operator=(PinnedBlock&& o) noexcept;
+  PinnedBlock(const PinnedBlock&) = delete;
+  PinnedBlock& operator=(const PinnedBlock&) = delete;
+  ~PinnedBlock();
+
+  /// The decoded column rows of this block. Valid while the pin is held (and
+  /// beyond: the shared_ptr keeps data alive even if the frame is evicted
+  /// after release — eviction only drops the cache's reference).
+  const ColumnVectorPtr& data() const { return data_; }
+
+ private:
+  friend class BufferManager;
+  PinnedBlock(BufferManager* bm, uint64_t frame_id, ColumnVectorPtr data)
+      : bm_(bm), frame_id_(frame_id), data_(std::move(data)) {}
+
+  BufferManager* bm_ = nullptr;
+  uint64_t frame_id_ = 0;
+  ColumnVectorPtr data_;
+};
+
+/// Thread-safe block cache. One mutex guards the frame table; loaders run
+/// under it, so concurrent Pin calls serialize on a miss (acceptable: decode
+/// cost dominates and correctness under TSan stays simple).
+class BufferManager {
+ public:
+  /// `capacity` = frames (decoded blocks) held resident.
+  explicit BufferManager(size_t capacity);
+
+  using Loader = std::function<Result<ColumnVectorPtr>()>;
+
+  /// Returns the cached block for `key`, loading it with `loader` on a miss
+  /// (evicting an unpinned frame first when at capacity).
+  Result<PinnedBlock> Pin(const BlockKey& key, const Loader& loader);
+
+  struct Stats {
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t evictions = 0;
+    int64_t overcommits = 0;  ///< admissions past capacity (all frames pinned)
+  };
+  Stats stats() const;
+
+  size_t capacity() const { return capacity_; }
+  size_t resident() const;
+
+ private:
+  friend class PinnedBlock;
+
+  struct Frame {
+    uint64_t id = 0;
+    BlockKey key;
+    ColumnVectorPtr data;
+    int64_t pins = 0;
+    bool referenced = true;  ///< clock second-chance bit
+  };
+
+  void Unpin(uint64_t frame_id);
+  /// Evicts one unpinned frame if the pool is at/over capacity. Returns
+  /// false when every frame is pinned (caller overcommits).
+  bool MaybeEvictLocked();
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  uint64_t next_frame_id_ = 1;
+  std::unordered_map<BlockKey, std::unique_ptr<Frame>, BlockKeyHash> frames_;
+  std::unordered_map<uint64_t, Frame*> by_id_;
+  std::vector<uint64_t> clock_;  ///< frame ids in admission order
+  size_t hand_ = 0;
+  Stats stats_;
+};
+
+}  // namespace dbspinner

@@ -1,0 +1,623 @@
+#include "storage/codec.h"
+
+#include <cstring>
+#include <unordered_map>
+
+namespace dbspinner {
+
+const char* BlockCodecName(BlockCodec codec) {
+  switch (codec) {
+    case BlockCodec::kRaw:
+      return "raw";
+    case BlockCodec::kRle:
+      return "rle";
+    case BlockCodec::kDict:
+      return "dict";
+    case BlockCodec::kBitPack:
+      return "bitpack";
+  }
+  return "unknown";
+}
+
+uint64_t BlockChecksum(const void* data, size_t size) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (size_t i = 0; i < size; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+Status ByteReader::ReadFixed(void* out, size_t n) {
+  if (n > remaining()) {
+    return Status::Corruption("block payload truncated: need " +
+                              std::to_string(n) + " bytes, have " +
+                              std::to_string(remaining()));
+  }
+  std::memcpy(out, data_ + pos_, n);
+  pos_ += n;
+  return Status::OK();
+}
+
+Status ByteReader::ReadBytes(void* out, size_t n) { return ReadFixed(out, n); }
+
+Status ByteReader::ReadSpan(const uint8_t** out, size_t n) {
+  if (n > remaining()) {
+    return Status::Corruption("block payload truncated: need " +
+                              std::to_string(n) + " bytes, have " +
+                              std::to_string(remaining()));
+  }
+  *out = data_ + pos_;
+  pos_ += n;
+  return Status::OK();
+}
+
+Status ByteReader::ReadString(std::string* out) {
+  uint32_t len = 0;
+  DBSP_RETURN_NOT_OK(ReadU32(&len));
+  if (len > remaining()) {
+    return Status::Corruption("string length " + std::to_string(len) +
+                              " exceeds remaining payload " +
+                              std::to_string(remaining()));
+  }
+  out->assign(reinterpret_cast<const char*>(data_ + pos_), len);
+  pos_ += len;
+  return Status::OK();
+}
+
+namespace {
+
+// --- null bytemap ----------------------------------------------------------
+
+// Writes `u8 has_nulls [+ count bytes]`; null rows store zero values in the
+// value streams so codecs never special-case them.
+void WriteNulls(const ColumnVector& col, size_t begin, size_t count,
+                ByteWriter* w) {
+  bool any = false;
+  for (size_t i = 0; i < count && !any; ++i) any = col.IsNull(begin + i);
+  w->PutU8(any ? 1 : 0);
+  if (!any) return;
+  for (size_t i = 0; i < count; ++i) {
+    w->PutU8(col.IsNull(begin + i) ? 1 : 0);
+  }
+}
+
+Status ReadNulls(ByteReader* r, uint32_t rows, std::vector<uint8_t>* nulls) {
+  uint8_t any = 0;
+  DBSP_RETURN_NOT_OK(r->ReadU8(&any));
+  nulls->clear();
+  if (any == 0) return Status::OK();
+  nulls->resize(rows);
+  return r->ReadBytes(nulls->data(), rows);
+}
+
+// --- bit packing -----------------------------------------------------------
+
+int BitsFor(uint64_t range) {
+  int bits = 0;
+  while (range != 0) {
+    ++bits;
+    range >>= 1;
+  }
+  return bits;
+}
+
+size_t PackedBytes(size_t count, int width) {
+  return (count * static_cast<size_t>(width) + 7) / 8;
+}
+
+// Widths are capped at kMaxPackWidth so a value never straddles the 64-bit
+// accumulator: at value entry fewer than 8 bits are buffered, and
+// 7 + 56 <= 63 keeps every shift in range. Wider data takes the raw codec.
+constexpr int kMaxPackWidth = 56;
+
+// LSB-first packing into a little-endian bit stream: value i occupies bits
+// [i*width, (i+1)*width).
+void PackBits(const std::vector<uint64_t>& vals, int width, ByteWriter* w) {
+  if (width == 0) return;
+  uint64_t acc = 0;
+  int used = 0;
+  for (uint64_t v : vals) {
+    acc |= v << used;
+    used += width;
+    while (used >= 8) {
+      w->PutU8(static_cast<uint8_t>(acc & 0xff));
+      acc >>= 8;
+      used -= 8;
+    }
+  }
+  if (used > 0) w->PutU8(static_cast<uint8_t>(acc & 0xff));
+}
+
+Status UnpackBits(ByteReader* r, size_t count, int width,
+                  std::vector<uint64_t>* out) {
+  out->clear();
+  out->reserve(count);
+  if (width == 0) {
+    out->assign(count, 0);
+    return Status::OK();
+  }
+  const uint8_t* bytes = nullptr;
+  size_t nbytes = PackedBytes(count, width);
+  DBSP_RETURN_NOT_OK(r->ReadSpan(&bytes, nbytes));
+  uint64_t acc = 0;
+  int avail = 0;
+  size_t next = 0;
+  const uint64_t mask = (1ull << width) - 1;
+  for (size_t i = 0; i < count; ++i) {
+    while (avail < width) {
+      acc |= static_cast<uint64_t>(bytes[next++]) << avail;
+      avail += 8;
+    }
+    out->push_back(acc & mask);
+    acc >>= width;
+    avail -= width;
+  }
+  return Status::OK();
+}
+
+// --- INT64 / BOOL ----------------------------------------------------------
+
+struct IntPlan {
+  BlockCodec codec;
+  size_t encoded_size;
+  // rle
+  std::vector<std::pair<int64_t, uint32_t>> runs;
+  // bitpack
+  int64_t base = 0;
+  int width = 0;
+  // dict
+  std::vector<int64_t> dict;
+  std::vector<uint32_t> indices;
+  int index_width = 0;
+};
+
+IntPlan PlanInts(const std::vector<int64_t>& vals) {
+  IntPlan plan;
+  const size_t n = vals.size();
+
+  // raw
+  plan.codec = BlockCodec::kRaw;
+  plan.encoded_size = 8 * n;
+
+  // rle
+  std::vector<std::pair<int64_t, uint32_t>> runs;
+  for (size_t i = 0; i < n;) {
+    size_t j = i + 1;
+    while (j < n && vals[j] == vals[i]) ++j;
+    runs.emplace_back(vals[i], static_cast<uint32_t>(j - i));
+    i = j;
+  }
+  size_t rle_size = 12 * runs.size();
+  if (rle_size < plan.encoded_size) {
+    plan.codec = BlockCodec::kRle;
+    plan.encoded_size = rle_size;
+    plan.runs = runs;
+  }
+
+  if (n == 0) return plan;
+
+  // bitpack: frame-of-reference deltas in uint64 space. INT64_MIN..INT64_MAX
+  // ranges wrap to width 64, which disqualifies the codec (raw wins anyway).
+  int64_t lo = vals[0], hi = vals[0];
+  for (int64_t v : vals) {
+    if (v < lo) lo = v;
+    if (v > hi) hi = v;
+  }
+  uint64_t range = static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo);
+  int width = BitsFor(range);
+  if (width <= kMaxPackWidth) {
+    size_t bp_size = 8 + 1 + PackedBytes(n, width);
+    if (bp_size < plan.encoded_size) {
+      plan.codec = BlockCodec::kBitPack;
+      plan.encoded_size = bp_size;
+      plan.base = lo;
+      plan.width = width;
+    }
+  }
+
+  // dict: worth considering only when far fewer distinct values than rows.
+  std::unordered_map<int64_t, uint32_t> ids;
+  std::vector<int64_t> dict;
+  std::vector<uint32_t> indices;
+  indices.reserve(n);
+  bool viable = true;
+  for (int64_t v : vals) {
+    auto [it, inserted] = ids.try_emplace(v, static_cast<uint32_t>(dict.size()));
+    if (inserted) {
+      dict.push_back(v);
+      if (dict.size() > n / 2 + 1) {
+        viable = false;  // mostly-distinct data: dict can't beat raw/bitpack
+        break;
+      }
+    }
+    indices.push_back(it->second);
+  }
+  if (viable) {
+    int iw = dict.size() <= 1 ? 0 : BitsFor(dict.size() - 1);
+    size_t dict_size = 4 + 8 * dict.size() + 1 + PackedBytes(n, iw);
+    if (dict_size < plan.encoded_size) {
+      plan.codec = BlockCodec::kDict;
+      plan.encoded_size = dict_size;
+      plan.dict = std::move(dict);
+      plan.indices = std::move(indices);
+      plan.index_width = iw;
+    }
+  }
+  return plan;
+}
+
+EncodedBlock EncodeInts(const ColumnVector& col, size_t begin, size_t count) {
+  std::vector<int64_t> vals(count);
+  for (size_t i = 0; i < count; ++i) {
+    vals[i] = col.IsNull(begin + i) ? 0 : col.Int64At(begin + i);
+  }
+  IntPlan plan = PlanInts(vals);
+
+  EncodedBlock block;
+  block.codec = plan.codec;
+  block.rows = static_cast<uint32_t>(count);
+  ByteWriter w;
+  WriteNulls(col, begin, count, &w);
+  switch (plan.codec) {
+    case BlockCodec::kRaw:
+      for (int64_t v : vals) w.PutI64(v);
+      break;
+    case BlockCodec::kRle:
+      for (const auto& [v, run] : plan.runs) {
+        w.PutI64(v);
+        w.PutU32(run);
+      }
+      break;
+    case BlockCodec::kBitPack: {
+      w.PutI64(plan.base);
+      w.PutU8(static_cast<uint8_t>(plan.width));
+      std::vector<uint64_t> deltas(count);
+      for (size_t i = 0; i < count; ++i) {
+        deltas[i] = static_cast<uint64_t>(vals[i]) -
+                    static_cast<uint64_t>(plan.base);
+      }
+      PackBits(deltas, plan.width, &w);
+      break;
+    }
+    case BlockCodec::kDict: {
+      w.PutU32(static_cast<uint32_t>(plan.dict.size()));
+      for (int64_t v : plan.dict) w.PutI64(v);
+      w.PutU8(static_cast<uint8_t>(plan.index_width));
+      std::vector<uint64_t> idx(plan.indices.begin(), plan.indices.end());
+      PackBits(idx, plan.index_width, &w);
+      break;
+    }
+  }
+  block.payload = w.Take();
+  return block;
+}
+
+// --- DOUBLE ----------------------------------------------------------------
+
+EncodedBlock EncodeDoubles(const ColumnVector& col, size_t begin,
+                           size_t count) {
+  std::vector<double> vals(count);
+  for (size_t i = 0; i < count; ++i) {
+    vals[i] = col.IsNull(begin + i) ? 0.0 : col.DoubleAt(begin + i);
+  }
+  // Runs compare bit patterns so NaN-runs compress and -0.0 != 0.0 survives.
+  std::vector<std::pair<double, uint32_t>> runs;
+  for (size_t i = 0; i < count;) {
+    size_t j = i + 1;
+    while (j < count &&
+           std::memcmp(&vals[j], &vals[i], sizeof(double)) == 0) {
+      ++j;
+    }
+    runs.emplace_back(vals[i], static_cast<uint32_t>(j - i));
+    i = j;
+  }
+
+  EncodedBlock block;
+  block.rows = static_cast<uint32_t>(count);
+  ByteWriter w;
+  WriteNulls(col, begin, count, &w);
+  if (12 * runs.size() < 8 * count) {
+    block.codec = BlockCodec::kRle;
+    for (const auto& [v, run] : runs) {
+      w.PutDouble(v);
+      w.PutU32(run);
+    }
+  } else {
+    block.codec = BlockCodec::kRaw;
+    for (double v : vals) w.PutDouble(v);
+  }
+  block.payload = w.Take();
+  return block;
+}
+
+// --- STRING ----------------------------------------------------------------
+
+EncodedBlock EncodeStrings(const ColumnVector& col, size_t begin,
+                           size_t count) {
+  static const std::string kEmpty;
+  size_t raw_size = 0;
+  std::unordered_map<std::string, uint32_t> ids;
+  std::vector<const std::string*> dict;
+  std::vector<uint32_t> indices;
+  indices.reserve(count);
+  size_t dict_bytes = 0;
+  for (size_t i = 0; i < count; ++i) {
+    const std::string& s =
+        col.IsNull(begin + i) ? kEmpty : col.StringAt(begin + i);
+    raw_size += 4 + s.size();
+    auto [it, inserted] = ids.try_emplace(s, static_cast<uint32_t>(dict.size()));
+    if (inserted) {
+      dict.push_back(&it->first);
+      dict_bytes += 4 + s.size();
+    }
+    indices.push_back(it->second);
+  }
+  int iw = dict.size() <= 1 ? 0 : BitsFor(dict.size() - 1);
+  size_t dict_size = 4 + dict_bytes + 1 + PackedBytes(count, iw);
+
+  EncodedBlock block;
+  block.rows = static_cast<uint32_t>(count);
+  ByteWriter w;
+  WriteNulls(col, begin, count, &w);
+  if (dict_size < raw_size) {
+    block.codec = BlockCodec::kDict;
+    w.PutU32(static_cast<uint32_t>(dict.size()));
+    for (const std::string* s : dict) w.PutString(*s);
+    w.PutU8(static_cast<uint8_t>(iw));
+    std::vector<uint64_t> idx(indices.begin(), indices.end());
+    PackBits(idx, iw, &w);
+  } else {
+    block.codec = BlockCodec::kRaw;
+    for (size_t i = 0; i < count; ++i) {
+      const std::string& s =
+          col.IsNull(begin + i) ? kEmpty : col.StringAt(begin + i);
+      w.PutString(s);
+    }
+  }
+  block.payload = w.Take();
+  return block;
+}
+
+// --- decode helpers --------------------------------------------------------
+
+bool RowIsNull(const std::vector<uint8_t>& nulls, size_t i) {
+  return !nulls.empty() && nulls[i] != 0;
+}
+
+void AppendInt(ColumnVector* out, const std::vector<uint8_t>& nulls, size_t i,
+               int64_t v) {
+  if (RowIsNull(nulls, i)) {
+    out->AppendNull();
+  } else if (out->type() == TypeId::kBool) {
+    out->AppendBool(v != 0);
+  } else {
+    out->AppendInt64(v);
+  }
+}
+
+Status DecodeInts(BlockCodec codec, uint32_t rows, ByteReader* r,
+                  ColumnVector* out) {
+  std::vector<uint8_t> nulls;
+  DBSP_RETURN_NOT_OK(ReadNulls(r, rows, &nulls));
+  switch (codec) {
+    case BlockCodec::kRaw: {
+      for (uint32_t i = 0; i < rows; ++i) {
+        int64_t v = 0;
+        DBSP_RETURN_NOT_OK(r->ReadI64(&v));
+        AppendInt(out, nulls, i, v);
+      }
+      return Status::OK();
+    }
+    case BlockCodec::kRle: {
+      uint64_t produced = 0;
+      while (produced < rows) {
+        int64_t v = 0;
+        uint32_t run = 0;
+        DBSP_RETURN_NOT_OK(r->ReadI64(&v));
+        DBSP_RETURN_NOT_OK(r->ReadU32(&run));
+        if (run == 0 || produced + run > rows) {
+          return Status::Corruption("rle run overflows block: run " +
+                                    std::to_string(run) + " at row " +
+                                    std::to_string(produced) + " of " +
+                                    std::to_string(rows));
+        }
+        for (uint32_t k = 0; k < run; ++k) {
+          AppendInt(out, nulls, produced + k, v);
+        }
+        produced += run;
+      }
+      return Status::OK();
+    }
+    case BlockCodec::kBitPack: {
+      int64_t base = 0;
+      uint8_t width = 0;
+      DBSP_RETURN_NOT_OK(r->ReadI64(&base));
+      DBSP_RETURN_NOT_OK(r->ReadU8(&width));
+      if (width > kMaxPackWidth) {
+        return Status::Corruption("bitpack width " + std::to_string(width) +
+                                  " out of range");
+      }
+      std::vector<uint64_t> deltas;
+      DBSP_RETURN_NOT_OK(UnpackBits(r, rows, width, &deltas));
+      for (uint32_t i = 0; i < rows; ++i) {
+        int64_t v = static_cast<int64_t>(static_cast<uint64_t>(base) +
+                                         deltas[i]);
+        AppendInt(out, nulls, i, v);
+      }
+      return Status::OK();
+    }
+    case BlockCodec::kDict: {
+      uint32_t dict_size = 0;
+      DBSP_RETURN_NOT_OK(r->ReadU32(&dict_size));
+      if (dict_size == 0 && rows > 0) {
+        return Status::Corruption("empty int dictionary for non-empty block");
+      }
+      if (dict_size > rows) {
+        return Status::Corruption("int dictionary larger than block: " +
+                                  std::to_string(dict_size) + " > " +
+                                  std::to_string(rows));
+      }
+      std::vector<int64_t> dict(dict_size);
+      for (uint32_t i = 0; i < dict_size; ++i) {
+        DBSP_RETURN_NOT_OK(r->ReadI64(&dict[i]));
+      }
+      uint8_t iw = 0;
+      DBSP_RETURN_NOT_OK(r->ReadU8(&iw));
+      if (iw > kMaxPackWidth) {
+        return Status::Corruption("dict index width out of range");
+      }
+      std::vector<uint64_t> idx;
+      DBSP_RETURN_NOT_OK(UnpackBits(r, rows, iw, &idx));
+      for (uint32_t i = 0; i < rows; ++i) {
+        if (idx[i] >= dict_size) {
+          return Status::Corruption("dict index " + std::to_string(idx[i]) +
+                                    " out of range (dict size " +
+                                    std::to_string(dict_size) + ")");
+        }
+        AppendInt(out, nulls, i, dict[idx[i]]);
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Corruption("unknown int codec");
+}
+
+Status DecodeDoubles(BlockCodec codec, uint32_t rows, ByteReader* r,
+                     ColumnVector* out) {
+  std::vector<uint8_t> nulls;
+  DBSP_RETURN_NOT_OK(ReadNulls(r, rows, &nulls));
+  auto append = [&](uint32_t i, double v) {
+    if (RowIsNull(nulls, i)) {
+      out->AppendNull();
+    } else {
+      out->AppendDouble(v);
+    }
+  };
+  switch (codec) {
+    case BlockCodec::kRaw: {
+      for (uint32_t i = 0; i < rows; ++i) {
+        double v = 0;
+        DBSP_RETURN_NOT_OK(r->ReadDouble(&v));
+        append(i, v);
+      }
+      return Status::OK();
+    }
+    case BlockCodec::kRle: {
+      uint64_t produced = 0;
+      while (produced < rows) {
+        double v = 0;
+        uint32_t run = 0;
+        DBSP_RETURN_NOT_OK(r->ReadDouble(&v));
+        DBSP_RETURN_NOT_OK(r->ReadU32(&run));
+        if (run == 0 || produced + run > rows) {
+          return Status::Corruption("rle run overflows double block");
+        }
+        for (uint32_t k = 0; k < run; ++k) {
+          append(static_cast<uint32_t>(produced + k), v);
+        }
+        produced += run;
+      }
+      return Status::OK();
+    }
+    default:
+      return Status::Corruption(std::string("codec ") + BlockCodecName(codec) +
+                                " not valid for DOUBLE");
+  }
+}
+
+Status DecodeStrings(BlockCodec codec, uint32_t rows, ByteReader* r,
+                     ColumnVector* out) {
+  std::vector<uint8_t> nulls;
+  DBSP_RETURN_NOT_OK(ReadNulls(r, rows, &nulls));
+  auto append = [&](uint32_t i, std::string v) {
+    if (RowIsNull(nulls, i)) {
+      out->AppendNull();
+    } else {
+      out->AppendString(std::move(v));
+    }
+  };
+  switch (codec) {
+    case BlockCodec::kRaw: {
+      for (uint32_t i = 0; i < rows; ++i) {
+        std::string s;
+        DBSP_RETURN_NOT_OK(r->ReadString(&s));
+        append(i, std::move(s));
+      }
+      return Status::OK();
+    }
+    case BlockCodec::kDict: {
+      uint32_t dict_size = 0;
+      DBSP_RETURN_NOT_OK(r->ReadU32(&dict_size));
+      if (dict_size == 0 && rows > 0) {
+        return Status::Corruption(
+            "empty string dictionary for non-empty block");
+      }
+      if (dict_size > rows) {
+        return Status::Corruption("string dictionary larger than block");
+      }
+      std::vector<std::string> dict(dict_size);
+      for (uint32_t i = 0; i < dict_size; ++i) {
+        DBSP_RETURN_NOT_OK(r->ReadString(&dict[i]));
+      }
+      uint8_t iw = 0;
+      DBSP_RETURN_NOT_OK(r->ReadU8(&iw));
+      if (iw > kMaxPackWidth) {
+        return Status::Corruption("dict index width out of range");
+      }
+      std::vector<uint64_t> idx;
+      DBSP_RETURN_NOT_OK(UnpackBits(r, rows, iw, &idx));
+      for (uint32_t i = 0; i < rows; ++i) {
+        if (idx[i] >= dict_size) {
+          return Status::Corruption("string dict index out of range");
+        }
+        append(i, dict[idx[i]]);
+      }
+      return Status::OK();
+    }
+    default:
+      return Status::Corruption(std::string("codec ") + BlockCodecName(codec) +
+                                " not valid for STRING");
+  }
+}
+
+}  // namespace
+
+EncodedBlock EncodeBlock(const ColumnVector& col, size_t begin, size_t count) {
+  switch (col.type()) {
+    case TypeId::kDouble:
+      return EncodeDoubles(col, begin, count);
+    case TypeId::kString:
+      return EncodeStrings(col, begin, count);
+    default:
+      // kBool / kInt64 / kNull all live in the int storage lane.
+      return EncodeInts(col, begin, count);
+  }
+}
+
+Status DecodeBlock(BlockCodec codec, TypeId type, uint32_t rows,
+                   const uint8_t* data, size_t size, ColumnVector* out) {
+  ByteReader r(data, size);
+  Status st;
+  switch (type) {
+    case TypeId::kDouble:
+      st = DecodeDoubles(codec, rows, &r, out);
+      break;
+    case TypeId::kString:
+      st = DecodeStrings(codec, rows, &r, out);
+      break;
+    default:
+      st = DecodeInts(codec, rows, &r, out);
+      break;
+  }
+  DBSP_RETURN_NOT_OK(st);
+  if (!r.exhausted()) {
+    return Status::Corruption("block payload has " +
+                              std::to_string(r.remaining()) +
+                              " trailing bytes");
+  }
+  return Status::OK();
+}
+
+}  // namespace dbspinner

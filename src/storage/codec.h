@@ -1,0 +1,116 @@
+// Block codecs for the on-disk columnar format (DESIGN.md §12).
+//
+// A column extent is a sequence of compressed blocks of `block_rows` rows
+// each. EncodeBlock picks the cheapest of four codecs per block by exact
+// encoded size: raw, run-length, dictionary, or frame-of-reference
+// bit-packing (ints). Decoding is fully bounds-checked: any payload that
+// would read out of range, sum runs past the row count, or index outside its
+// dictionary surfaces a typed kCorruption status — never UB — so corrupted
+// or truncated extents are an error class, not a crash class.
+//
+// NULLs ride in an optional leading bytemap (values of null rows are stored
+// as zero/empty so every codec stays oblivious to them). All integers are
+// little-endian fixed-width; the format is a storage format, not a wire
+// format, and is only read by the build that wrote it plus its successors.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/column_vector.h"
+
+namespace dbspinner {
+
+/// Identifies how one block's payload is encoded. Values are stable: they
+/// are written to disk.
+enum class BlockCodec : uint8_t {
+  kRaw = 0,      ///< fixed-width values / length-prefixed strings
+  kRle = 1,      ///< (value, run-length) pairs
+  kDict = 2,     ///< distinct-value table + bit-packed indices
+  kBitPack = 3,  ///< frame-of-reference minimum + bit-packed deltas (ints)
+};
+
+const char* BlockCodecName(BlockCodec codec);
+
+/// One encoded block: `rows` rows of one column compressed into `payload`.
+struct EncodedBlock {
+  BlockCodec codec = BlockCodec::kRaw;
+  uint32_t rows = 0;
+  std::string payload;
+};
+
+/// Encodes rows [begin, begin + count) of `col`, choosing the smallest
+/// applicable codec for the data distribution. `count` must fit uint32.
+EncodedBlock EncodeBlock(const ColumnVector& col, size_t begin, size_t count);
+
+/// Appends exactly `rows` decoded rows to `out` (which must have the
+/// column's type). Every read is bounds-checked; malformed payloads return
+/// kCorruption and leave `out` in an unspecified but valid state.
+Status DecodeBlock(BlockCodec codec, TypeId type, uint32_t rows,
+                   const uint8_t* data, size_t size, ColumnVector* out);
+
+/// FNV-1a 64-bit over a byte range — the block / footer checksum. Only needs
+/// to catch torn writes and bit rot deterministically, not adversaries.
+uint64_t BlockChecksum(const void* data, size_t size);
+
+/// Append-only little-endian byte buffer used by the codec, WAL and extent
+/// writers.
+class ByteWriter {
+ public:
+  void PutU8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void PutU32(uint32_t v) { PutFixed(&v, sizeof(v)); }
+  void PutU64(uint64_t v) { PutFixed(&v, sizeof(v)); }
+  void PutI64(int64_t v) { PutFixed(&v, sizeof(v)); }
+  void PutDouble(double v) { PutFixed(&v, sizeof(v)); }
+  void PutBytes(const void* data, size_t size) {
+    buf_.append(static_cast<const char*>(data), size);
+  }
+  /// u32 length prefix + bytes.
+  void PutString(const std::string& s) {
+    PutU32(static_cast<uint32_t>(s.size()));
+    PutBytes(s.data(), s.size());
+  }
+
+  size_t size() const { return buf_.size(); }
+  const std::string& buffer() const { return buf_; }
+  std::string Take() { return std::move(buf_); }
+
+ private:
+  void PutFixed(const void* v, size_t n) {
+    buf_.append(static_cast<const char*>(v), n);
+  }
+  std::string buf_;
+};
+
+/// Bounds-checked little-endian reader over a borrowed byte range. Every
+/// accessor fails with kCorruption instead of reading past the end.
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  Status ReadU8(uint8_t* v) { return ReadFixed(v, sizeof(*v)); }
+  Status ReadU32(uint32_t* v) { return ReadFixed(v, sizeof(*v)); }
+  Status ReadU64(uint64_t* v) { return ReadFixed(v, sizeof(*v)); }
+  Status ReadI64(int64_t* v) { return ReadFixed(v, sizeof(*v)); }
+  Status ReadDouble(double* v) { return ReadFixed(v, sizeof(*v)); }
+  Status ReadBytes(void* out, size_t n);
+  /// u32 length prefix + bytes.
+  Status ReadString(std::string* out);
+  /// Borrowed view of the next `n` bytes (no copy).
+  Status ReadSpan(const uint8_t** out, size_t n);
+
+  size_t remaining() const { return size_ - pos_; }
+  bool exhausted() const { return pos_ == size_; }
+
+ private:
+  Status ReadFixed(void* out, size_t n);
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace dbspinner

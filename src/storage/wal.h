@@ -1,0 +1,79 @@
+// Write-ahead log (DESIGN.md §12).
+//
+// An append-only file of framed records. A commit's extents are written and
+// fsynced first, then the describing WAL frame is appended and fsynced — the
+// frame hitting disk is the commit point. Replay is torn-tail tolerant: a
+// frame that is truncated, fails its checksum, or claims an absurd size ends
+// replay cleanly at the previous frame (the tail was an in-flight append the
+// crash interrupted; everything before it was acknowledged and must load).
+//
+// Frame layout (little-endian):
+//   u32 payload_size | u32 type | u64 lsn | u64 fnv1a64(payload) | payload
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "common/status.h"
+
+namespace dbspinner {
+
+/// Stable on-disk record tags.
+enum class WalRecordType : uint32_t {
+  kUpsertTable = 1,      ///< create/replace one table's contents
+  kDropTable = 2,        ///< remove one table
+  kCheckpoint = 3,       ///< durable executor checkpoint for one program tag
+  kCheckpointClear = 4,  ///< program completed; its checkpoint is obsolete
+};
+
+struct WalRecord {
+  WalRecordType type = WalRecordType::kUpsertTable;
+  uint64_t lsn = 0;
+  std::string payload;
+};
+
+/// Appender over one WAL file. Not thread-safe; the StorageManager serializes
+/// all durable operations under its own mutex.
+class WriteAheadLog {
+ public:
+  /// Opens (creating if absent) the log for appending.
+  static Result<std::unique_ptr<WriteAheadLog>> Open(const std::string& path,
+                                                     bool sync);
+  ~WriteAheadLog();
+
+  WriteAheadLog(const WriteAheadLog&) = delete;
+  WriteAheadLog& operator=(const WriteAheadLog&) = delete;
+
+  /// Appends one frame; with `sync` the frame is fsynced before returning.
+  /// Consults `faults` at "storage.wal.append" on entry (abort sites kill the
+  /// process here — before any byte is written, so the record never becomes
+  /// durable).
+  Status Append(WalRecordType type, uint64_t lsn, const std::string& payload,
+                FaultInjector* faults);
+
+  /// Discards all frames (after their effects were folded into a manifest).
+  Status Reset();
+
+  int64_t frames_appended() const { return frames_appended_; }
+  int64_t bytes_appended() const { return bytes_appended_; }
+
+  /// Reads every well-formed frame from `path`, stopping at the first torn /
+  /// corrupt frame. A missing file yields an empty record list.
+  static Status Replay(const std::string& path, std::vector<WalRecord>* out);
+
+ private:
+  WriteAheadLog(int fd, std::string path, bool sync)
+      : fd_(fd), path_(std::move(path)), sync_(sync) {}
+
+  int fd_;
+  std::string path_;
+  bool sync_;
+  int64_t frames_appended_ = 0;
+  int64_t bytes_appended_ = 0;
+};
+
+}  // namespace dbspinner

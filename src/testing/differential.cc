@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
+#include <filesystem>
 #include <thread>
 
 #include "common/string_util.h"
@@ -37,6 +38,38 @@ OracleOutcome RunSqlOracle(const FuzzCase& c, std::string name,
     out.table = r->table;
     out.stats = r->stats;
   }
+  return out;
+}
+
+// Disk round-trip oracle: load into a persistent database, close, reopen
+// (recovery materializes every table from compressed extents), query.
+OracleOutcome RunPersistenceOracle(const FuzzCase& c, std::string name,
+                                   EngineOptions eo, const std::string& sql,
+                                   const std::string& dir) {
+  OracleOutcome out;
+  out.name = std::move(name);
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  eo.persistence.enabled = true;
+  eo.persistence.path = dir;
+  eo.persistence.sync = false;  // format round-trip only; no crash here
+  eo.persistence.block_rows = 64;        // multi-block extents on small data
+  eo.persistence.buffer_pool_blocks = 8; // scans must evict under pressure
+  eo.persistence.manifest_every = 4;     // folds + extent GC mid-load
+  {
+    Database db(eo);
+    out.status = LoadCaseData(&db, c);
+    if (!out.status.ok()) return out;
+  }
+  // Reopen: the query below runs entirely against recovered state.
+  Database db(eo);
+  Result<QueryResult> r = db.Execute(sql);
+  out.status = r.status();
+  if (r.ok()) {
+    out.table = r->table;
+    out.stats = r->stats;
+  }
+  std::filesystem::remove_all(dir, ec);
   return out;
 }
 
@@ -229,6 +262,16 @@ DiffReport RunDifferential(const FuzzCase& c,
           workers > 1 ? StringPrintf("morsel-%zu-w%d", morsel, workers)
                       : StringPrintf("morsel-%zu", morsel),
           eo, report.sql));
+    }
+  }
+  if (!opts.persistence_dir.empty()) {
+    for (int workers : opts.persistence_workers) {
+      EngineOptions eo = BaseOptions(opts);
+      eo.num_workers = workers;
+      if (workers > 1) eo.mpp_min_rows_per_task = 1;
+      report.outcomes.push_back(RunPersistenceOracle(
+          c, StringPrintf("persist-w%d", workers), eo, report.sql,
+          opts.persistence_dir + StringPrintf("/w%d", workers)));
     }
   }
   if (opts.fault_rate > 0.0) {

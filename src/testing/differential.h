@@ -79,6 +79,18 @@ struct DifferentialOptions {
   /// forced to 1, so morsel-boundary placement is exercised under every
   /// fused-parallel code path, not just serially.
   std::vector<int> morsel_workers = {1};
+
+  /// Disk-backed oracle dimension (fuzz_sql --persistence): when non-empty,
+  /// one oracle per width in `persistence_workers` loads the case into a
+  /// persistent database under this directory, closes it, reopens it —
+  /// recovery replays the manifest + WAL and decompresses every extent —
+  /// and runs the query against the recovered tables. Small block and
+  /// buffer-pool settings force multi-block extents and clock eviction, so
+  /// the whole codec/buffer-manager/recovery stack must reproduce the
+  /// in-memory baseline exactly. sync is off: no crash is simulated here
+  /// (the durability harness owns kill testing), only format round-trips.
+  std::string persistence_dir;
+  std::vector<int> persistence_workers = {1, 2, 8};
 };
 
 /// Outcome of the whole oracle matrix for one case.

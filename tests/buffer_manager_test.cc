@@ -1,0 +1,193 @@
+// BufferManager unit tests (DESIGN.md §12): clock eviction under memory
+// pressure, pin-count protection, overcommit instead of deadlock, and
+// race-free concurrent access (this file is in the TSan job's filter).
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+#include "storage/buffer_manager.h"
+#include "storage/column_vector.h"
+
+namespace dbspinner {
+namespace {
+
+// A loader that fabricates a one-row block carrying its key, so tests can
+// verify the cache returns the *right* block after any eviction churn.
+BufferManager::Loader MakeLoader(const BlockKey& key,
+                                 std::atomic<int64_t>* loads = nullptr) {
+  return [key, loads]() -> Result<ColumnVectorPtr> {
+    if (loads != nullptr) loads->fetch_add(1, std::memory_order_relaxed);
+    auto col = std::make_shared<ColumnVector>(TypeId::kInt64);
+    col->AppendInt64(static_cast<int64_t>(key.extent_id * 1000 +
+                                          key.block_index));
+    return col;
+  };
+}
+
+int64_t BlockValue(const PinnedBlock& b) { return b.data()->Int64At(0); }
+
+TEST(BufferManagerTest, HitReturnsCachedBlockWithoutReload) {
+  BufferManager bm(4);
+  std::atomic<int64_t> loads{0};
+  BlockKey key{7, 3};
+  {
+    auto p = bm.Pin(key, MakeLoader(key, &loads));
+    ASSERT_TRUE(p.ok());
+    EXPECT_EQ(BlockValue(p.value()), 7003);
+  }
+  {
+    auto p = bm.Pin(key, MakeLoader(key, &loads));
+    ASSERT_TRUE(p.ok());
+    EXPECT_EQ(BlockValue(p.value()), 7003);
+  }
+  EXPECT_EQ(loads.load(), 1);
+  auto stats = bm.stats();
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.evictions, 0);
+}
+
+TEST(BufferManagerTest, EvictionUnderPressure) {
+  // Capacity 2, stream 100 distinct blocks: the pool must stay at 2
+  // resident frames and every block must still come back with its own
+  // payload (no stale frame reuse).
+  BufferManager bm(2);
+  for (uint32_t i = 0; i < 100; ++i) {
+    BlockKey key{1, i};
+    auto p = bm.Pin(key, MakeLoader(key));
+    ASSERT_TRUE(p.ok());
+    EXPECT_EQ(BlockValue(p.value()), 1000 + i);
+    EXPECT_LE(bm.resident(), 2u);
+  }
+  auto stats = bm.stats();
+  EXPECT_EQ(stats.misses, 100);
+  EXPECT_EQ(stats.evictions, 98);  // 100 admitted, 2 still resident
+  EXPECT_EQ(stats.overcommits, 0);
+  EXPECT_EQ(bm.resident(), 2u);
+}
+
+TEST(BufferManagerTest, SecondChanceKeepsHotBlock) {
+  // Re-referencing block A between faults should keep A resident while the
+  // cold blocks cycle through the other frames. Capacity 4: the clock needs
+  // at least one frame that was NOT referenced since the last sweep (an old
+  // cold block) to absorb the eviction — at capacity 2 every frame is
+  // re-referenced each round and second chance degenerates to FIFO.
+  BufferManager bm(4);
+  std::atomic<int64_t> a_loads{0};
+  BlockKey a{9, 0};
+  for (uint32_t i = 1; i <= 20; ++i) {
+    { auto p = bm.Pin(a, MakeLoader(a, &a_loads)); ASSERT_TRUE(p.ok()); }
+    BlockKey cold{9, i};
+    auto p = bm.Pin(cold, MakeLoader(cold));
+    ASSERT_TRUE(p.ok());
+  }
+  // The second-chance bit must spare the hot block most rounds; a FIFO
+  // would reload it every iteration (20 loads).
+  EXPECT_LT(a_loads.load(), 10);
+}
+
+TEST(BufferManagerTest, PinnedFramesAreNeverEvicted) {
+  BufferManager bm(2);
+  BlockKey a{1, 0}, b{1, 1};
+  auto pa = bm.Pin(a, MakeLoader(a));
+  auto pb = bm.Pin(b, MakeLoader(b));
+  ASSERT_TRUE(pa.ok());
+  ASSERT_TRUE(pb.ok());
+
+  // Pool full, both pinned: new blocks must overcommit, not evict a or b.
+  for (uint32_t i = 2; i < 12; ++i) {
+    BlockKey key{1, i};
+    auto p = bm.Pin(key, MakeLoader(key));
+    ASSERT_TRUE(p.ok());
+    EXPECT_EQ(BlockValue(p.value()), 1000 + i);
+  }
+  EXPECT_GT(bm.stats().overcommits, 0);
+
+  // The pinned blocks are still served from cache.
+  std::atomic<int64_t> reloads{0};
+  { auto p = bm.Pin(a, MakeLoader(a, &reloads)); ASSERT_TRUE(p.ok()); }
+  { auto p = bm.Pin(b, MakeLoader(b, &reloads)); ASSERT_TRUE(p.ok()); }
+  EXPECT_EQ(reloads.load(), 0);
+
+  // After unpinning, pressure may evict them again and the pool drains back
+  // to capacity.
+  pa = Result<PinnedBlock>(PinnedBlock());
+  pb = Result<PinnedBlock>(PinnedBlock());
+  for (uint32_t i = 20; i < 40; ++i) {
+    BlockKey key{1, i};
+    ASSERT_TRUE(bm.Pin(key, MakeLoader(key)).ok());
+  }
+  EXPECT_LE(bm.resident(), 2u);
+}
+
+TEST(BufferManagerTest, DataOutlivesEviction) {
+  // A released PinnedBlock's shared_ptr keeps the decoded rows alive even
+  // after the frame is evicted and replaced.
+  BufferManager bm(1);
+  BlockKey a{3, 0};
+  auto pa = bm.Pin(a, MakeLoader(a));
+  ASSERT_TRUE(pa.ok());
+  ColumnVectorPtr held = pa.value().data();
+  pa = Result<PinnedBlock>(PinnedBlock());  // unpin
+  BlockKey b{3, 1};
+  auto pb = bm.Pin(b, MakeLoader(b));  // evicts a
+  ASSERT_TRUE(pb.ok());
+  EXPECT_EQ(held->Int64At(0), 3000);  // still valid
+}
+
+TEST(BufferManagerTest, LoaderFailurePropagatesAndCachesNothing) {
+  BufferManager bm(2);
+  BlockKey key{5, 5};
+  auto failing = []() -> Result<ColumnVectorPtr> {
+    return Status::Corruption("bad block");
+  };
+  auto p = bm.Pin(key, failing);
+  ASSERT_FALSE(p.ok());
+  EXPECT_EQ(p.status().code(), StatusCode::kCorruption);
+  EXPECT_EQ(bm.resident(), 0u);
+  // A subsequent good load succeeds — the failure was not negatively cached.
+  auto p2 = bm.Pin(key, MakeLoader(key));
+  ASSERT_TRUE(p2.ok());
+  EXPECT_EQ(BlockValue(p2.value()), 5005);
+}
+
+TEST(BufferManagerTest, ConcurrentReadersAreRaceFree) {
+  // 8 threads hammer a 64-block working set through a 8-frame pool: heavy
+  // miss/evict churn with overlapping pins. Run under TSan in CI; the
+  // assertions here check only payload integrity and counter sanity.
+  BufferManager bm(8);
+  constexpr int kThreads = 8;
+  constexpr uint32_t kBlocks = 64;
+  constexpr int kIters = 400;
+  std::atomic<int64_t> errors{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&bm, &errors, t] {
+      uint64_t state = 0x9e3779b97f4a7c15ull * (t + 1);
+      for (int i = 0; i < kIters; ++i) {
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        BlockKey key{2, static_cast<uint32_t>((state >> 33) % kBlocks)};
+        auto p = bm.Pin(key, MakeLoader(key));
+        if (!p.ok() ||
+            BlockValue(p.value()) != 2000 + key.block_index) {
+          errors.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(errors.load(), 0);
+  auto stats = bm.stats();
+  EXPECT_EQ(stats.hits + stats.misses, kThreads * kIters);
+  EXPECT_GT(stats.evictions, 0);
+}
+
+}  // namespace
+}  // namespace dbspinner

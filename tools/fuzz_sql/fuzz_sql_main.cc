@@ -50,6 +50,10 @@ struct CliOptions {
   /// racing over one shared Database, checked against a serial replay.
   /// 0 = off (classic single-session oracle matrix).
   int64_t sessions = 0;
+  /// Disk-backed oracles: per case, load into a persistent database under
+  /// a scratch directory, reopen it (recovery path) and diff the query run
+  /// on recovered tables against the in-memory baseline, at widths 1/2/8.
+  bool persistence = false;
 };
 
 void Usage(const char* argv0) {
@@ -57,7 +61,7 @@ void Usage(const char* argv0) {
                "usage: %s [--seed N] [--iterations N] [--time-budget SECONDS]"
                " [--break-rename] [--faults] [--fault-rate R]"
                " [--morsel-sizes N,N,...] [--morsel-workers N,N,...]"
-               " [--sessions N]"
+               " [--sessions N] [--persistence]"
                " [--verify|--no-verify] [--verbose]\n",
                argv0);
 }
@@ -126,6 +130,8 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts) {
     } else if (arg == "--sessions") {
       if (!next_int(&v) || v < 1 || v > 64) return false;
       opts->sessions = v;
+    } else if (arg == "--persistence") {
+      opts->persistence = true;
     } else if (arg == "--verify") {
       opts->verify = true;
     } else if (arg == "--no-verify") {
@@ -154,6 +160,12 @@ int main(int argc, char** argv) {
   diff_opts.verify = cli.verify;
   diff_opts.morsel_sizes = cli.morsel_sizes;
   diff_opts.morsel_workers = cli.morsel_workers;
+  if (cli.persistence) {
+    // Per-process scratch directory so parallel ctest invocations of this
+    // binary never share a database path.
+    diff_opts.persistence_dir =
+        "fuzz_sql_persist_" + std::to_string(static_cast<long long>(cli.seed));
+  }
 
   dbspinner::fuzz::QueryGenerator generator(cli.seed);
   std::map<std::string, int64_t> family_counts;
@@ -175,6 +187,10 @@ int main(int argc, char** argv) {
               cli.break_rename ? " [break-rename fault injection]" : "",
               cli.faults ? " [recover-vs-clean fault oracles]" : "",
               cli.verify ? " [verifier enforced]" : " [verifier off]");
+  if (cli.persistence) {
+    std::printf("persistence mode: disk-backed reopen oracles at widths "
+                "1/2/8 (dir %s)\n", diff_opts.persistence_dir.c_str());
+  }
   if (cli.sessions > 0) {
     std::printf("concurrent mode: %lld sessions per case vs serial replay\n",
                 static_cast<long long>(cli.sessions));
