@@ -146,7 +146,7 @@ uint64_t HashSql(const std::string& sql) {
 
 ThreadPool* Database::GetPool(SessionState& ss) {
   if (ss.options.num_workers <= 1) return nullptr;
-  std::lock_guard<std::mutex> lock(pool_mu_);
+  MutexLock lock(pool_mu_);
   if (!pool_ || pool_->num_threads() < ss.options.num_workers) {
     // Grow-only: never destroy a pool another session's query may still be
     // dispatching onto. The retired pool stays alive (idle) until the
@@ -199,7 +199,7 @@ ExecContext Database::MakeContext(SessionState& ss, Catalog* cat,
 }
 
 Status Database::EnsureStorageOpen() {
-  std::lock_guard<std::mutex> lock(storage_mu_);
+  MutexLock lock(storage_mu_);
   if (storage_init_done_) return storage_status_;
   storage_init_done_ = true;
   const PersistenceOptions& p = default_session_.options.persistence;
@@ -329,6 +329,9 @@ Status Database::VerifyStage(SessionState& ss, Catalog* cat,
   verify::VerifyContext vctx;
   vctx.catalog = cat;
   vctx.require_physical = require_physical;
+  // The pipeline checker (V2xx) re-derives broadcast-fusion and morsel
+  // legality against the options this statement will execute under.
+  vctx.options = &ss.options;
   verify::VerifyReport report = verify::VerifyProgram(program, vctx);
   report.phase = phase;
   return verify::EnforceOrCount(report, ss.options.verify.enforce,
@@ -610,9 +613,24 @@ Result<QueryResult> Database::ExecuteExplain(SessionState& ss, Catalog* cat,
     verify::VerifyContext vctx;
     vctx.catalog = cat;
     vctx.require_physical = stmt.explain_analyze;
+    vctx.options = &ss.options;
     verify::VerifyReport report = verify::VerifyProgram(program, vctx);
     report.phase = "final program";
     result.explain += "\n" + report.ToString();
+    if (!stmt.explain_analyze) {
+      // Plain EXPLAIN never executes, so the steps carry no physical plans
+      // yet. Compile them here purely for verification, so the
+      // post-physical-compilation stage (the V2xx pipeline checker) renders
+      // alongside the bind/optimize-stage report above — EXPLAIN (VERIFY)
+      // covers all three IRs without running the query. Under ANALYZE the
+      // program was compiled before this block, so the report above already
+      // includes the physical analysis.
+      DBSP_RETURN_NOT_OK(PlanProgram(&program, cat));
+      vctx.require_physical = true;
+      verify::VerifyReport compiled = verify::VerifyProgram(program, vctx);
+      compiled.phase = "after-compile";
+      result.explain += compiled.ToString();
+    }
   }
   // EXPLAIN also returns its text as a one-column table for convenience.
   Schema schema;

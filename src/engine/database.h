@@ -22,6 +22,7 @@
 
 #include "common/cancellation.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "engine/options.h"
 #include "exec/physical_plan.h"
 #include "mpp/thread_pool.h"
@@ -39,15 +40,25 @@ namespace dbspinner {
 /// the caller's CancellationToken, so a writer queued behind a long
 /// transaction can be killed or timed out instead of blocking
 /// uninterruptibly.
-class CommitLock {
+/// Declared a CAPABILITY so the commit slot participates in the engine's
+/// lock-ordering table (DESIGN.md §13: commit lock -> catalog publish ->
+/// WAL append -> buffer latch — it is the OUTERMOST lock; nothing may be
+/// held when acquiring it). Acquire/Release deliberately carry no
+/// ACQUIRE/RELEASE attributes: clang's analysis is function-scoped and
+/// same-thread, while this slot's hold is Status-conditional (a cancelled
+/// Acquire returns without the slot) and spans statements and threads
+/// (BEGIN..COMMIT). The cross-statement discipline is tracked dynamically
+/// by SessionState::holds_commit_lock and TSan instead; the slot's own
+/// internals remain statically checked through mu_.
+class DBSP_CAPABILITY("commit_lock") CommitLock {
  public:
   /// Blocks until the slot is free. Returns kCancelled (without acquiring)
   /// if `cancel` fires first; an inert token waits unconditionally.
   Status Acquire(const CancellationToken& cancel) {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     while (held_) {
       if (cancel.IsCancelled()) return cancel.Check();
-      cv_.wait_for(lock, std::chrono::milliseconds(5));
+      cv_.wait_for(mu_, std::chrono::milliseconds(5));
     }
     held_ = true;
     return Status::OK();
@@ -56,16 +67,16 @@ class CommitLock {
   /// Releases the slot. Callable from any thread.
   void Release() {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       held_ = false;
     }
     cv_.notify_all();
   }
 
  private:
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool held_ = false;
+  Mutex mu_;
+  std::condition_variable_any cv_;  ///< waits directly on mu_
+  bool held_ DBSP_GUARDED_BY(mu_) = false;
 };
 
 /// Outcome of one statement.
@@ -273,18 +284,23 @@ class Database {
   /// session's CancellationToken (see CommitLock).
   CommitLock commit_lock_;
 
-  /// Shared worker pool (see GetPool).
-  std::mutex pool_mu_;
-  std::unique_ptr<ThreadPool> pool_;
-  std::vector<std::unique_ptr<ThreadPool>> retired_pools_;
+  /// Shared worker pool (see GetPool). Leaf lock: held only for the pool
+  /// lookup/grow, never while acquiring any other engine lock.
+  Mutex pool_mu_;
+  std::unique_ptr<ThreadPool> pool_ DBSP_GUARDED_BY(pool_mu_);
+  std::vector<std::unique_ptr<ThreadPool>> retired_pools_
+      DBSP_GUARDED_BY(pool_mu_);
 
   /// Durable storage (DESIGN.md §12). Opened lazily by EnsureStorageOpen;
   /// `storage_faults_` is the engine-owned injector feeding the storage
   /// abort/injection sites (its hit counts span the whole process, unlike
-  /// the per-statement session injectors).
-  std::mutex storage_mu_;
-  bool storage_init_done_ = false;
-  Status storage_status_ = Status::OK();
+  /// the per-statement session injectors). `storage_` itself is not
+  /// GUARDED_BY: it is written exactly once under storage_mu_ and read
+  /// lock-free afterwards — every statement path passes through
+  /// EnsureStorageOpen's lock first, which publishes the pointer.
+  Mutex storage_mu_;
+  bool storage_init_done_ DBSP_GUARDED_BY(storage_mu_) = false;
+  Status storage_status_ DBSP_GUARDED_BY(storage_mu_) = Status::OK();
   std::unique_ptr<FaultInjector> storage_faults_;
   std::unique_ptr<StorageManager> storage_;
 };

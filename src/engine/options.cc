@@ -1,6 +1,7 @@
 #include "engine/options.h"
 
 #include "common/string_util.h"
+#include "exec/physical_planner.h"
 
 namespace dbspinner {
 
@@ -51,6 +52,19 @@ Status EngineOptions::Validate() const {
   }
   if (max_iterations_guard < 1) {
     return Status::InvalidArgument("max_iterations_guard must be >= 1");
+  }
+  // The broadcast-fusion predicate (BroadcastFusionLegal, shared by the
+  // pipeline executor and the V205 verifier check) compares the planner's
+  // double build estimate against this budget; past 2^53 the size_t→double
+  // conversion stops being exact and the boundary decision would depend on
+  // rounding. Reject budgets the predicate cannot decide exactly.
+  if (broadcast_build_rows > (size_t{1} << 53) ||
+      (broadcast_build_rows > 0 &&
+       !BroadcastFusionLegal(static_cast<double>(broadcast_build_rows),
+                             broadcast_build_rows))) {
+    return Status::InvalidArgument(
+        "broadcast_build_rows must be exactly representable as a double "
+        "(<= 2^53)");
   }
   if (persistence.enabled) {
     if (persistence.path.empty()) {

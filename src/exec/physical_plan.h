@@ -241,6 +241,7 @@ class PhysicalScan final : public PhysicalOp {
     return (from_catalog_ ? "table:" : "result:") + name_;
   }
   const std::string& scan_name() const { return name_; }
+  bool from_catalog() const { return from_catalog_; }
   PipelineRole pipeline_role() const override { return PipelineRole::kSource; }
 
  private:

@@ -10,6 +10,20 @@
 
 namespace dbspinner {
 
+/// Single source of truth for broadcast-probe fusion legality (DESIGN.md
+/// §11, §13). Under parallel vectorized execution a hash probe fuses into a
+/// morsel pipeline — one shared read-only build hash probed by every worker
+/// — iff its build-side estimate is known (negative is the "compiled without
+/// a catalog" sentinel; such joins conservatively stay breakers) and fits
+/// the broadcast budget. Shared by the pipeline executor (exec/pipeline.cc),
+/// the physical-plan verifier (verify/pipeline_checker.cc, V205) and
+/// EngineOptions::Validate so planner and checker cannot drift.
+inline bool BroadcastFusionLegal(double build_rows_estimate,
+                                 size_t broadcast_build_rows) {
+  return build_rows_estimate >= 0.0 && broadcast_build_rows > 0 &&
+         build_rows_estimate <= static_cast<double>(broadcast_build_rows);
+}
+
 /// Converts one logical plan to a physical operator tree. Join conditions are
 /// analyzed for equi-key conjuncts: hash join when at least one exists,
 /// nested-loop otherwise.

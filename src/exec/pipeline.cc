@@ -7,6 +7,7 @@
 
 #include "exec/data_chunk.h"
 #include "exec/hash_aggregate.h"
+#include "exec/physical_planner.h"
 #include "exec/pipeline_kernels.h"
 #include "mpp/partition.h"
 
@@ -217,9 +218,8 @@ bool Fusible(const PhysicalOp& op, const ExecContext& ctx) {
     case PipelineRole::kHashProbe: {
       if (ctx.pool == nullptr || ctx.options->num_workers <= 1) return true;
       const auto* join = static_cast<const PhysicalHashJoin*>(&op);
-      double est = join->build_rows_estimate();
-      return est >= 0.0 && ctx.options->broadcast_build_rows > 0 &&
-             est <= static_cast<double>(ctx.options->broadcast_build_rows);
+      return BroadcastFusionLegal(join->build_rows_estimate(),
+                                  ctx.options->broadcast_build_rows);
     }
     default:
       return false;

@@ -103,7 +103,7 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
   cv_.notify_all();
@@ -114,8 +114,8 @@ void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return shutdown_ || !tasks_.empty(); });
+      MutexLock lock(mu_);
+      cv_.wait(mu_, [this] { return shutdown_ || !tasks_.empty(); });
       if (shutdown_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();
@@ -134,7 +134,7 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   std::mutex done_mu;
   std::condition_variable done_cv;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (size_t i = 0; i < n; ++i) {
       tasks_.push([&, i] {
         fn(i);

@@ -17,6 +17,7 @@
 
 #include "common/cancellation.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace dbspinner {
 
@@ -109,10 +110,10 @@ class ThreadPool {
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::queue<std::function<void()>> tasks_;
-  bool shutdown_ = false;
+  Mutex mu_;
+  std::condition_variable_any cv_;  ///< waits directly on mu_
+  std::queue<std::function<void()>> tasks_ DBSP_GUARDED_BY(mu_);
+  bool shutdown_ DBSP_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace dbspinner

@@ -41,7 +41,7 @@ void QueryScheduler::Slot::Release() {
 
 Result<QueryScheduler::Slot> QueryScheduler::Admit(
     uint64_t session_id, const CancellationToken& cancel) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
 
   auto make_slot = [&](bool queued, int64_t wait_us) {
     Slot slot;
@@ -85,7 +85,7 @@ Result<QueryScheduler::Slot> QueryScheduler::Admit(
       ++stats_.cancelled_while_queued;
       return cancel.Check();
     }
-    cv_.wait_for(lock, std::chrono::milliseconds(5));
+    cv_.wait_for(mu_, std::chrono::milliseconds(5));
   }
 
   const int64_t waited = NowMicros() - enqueued_at;
@@ -126,7 +126,7 @@ void QueryScheduler::PromoteLocked() {
 }
 
 void QueryScheduler::Release(uint64_t session_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   --running_;
   auto it = running_per_session_.find(session_id);
   if (it != running_per_session_.end() && --it->second <= 0) {
@@ -136,12 +136,12 @@ void QueryScheduler::Release(uint64_t session_id) {
 }
 
 SchedulerStats QueryScheduler::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 
 int QueryScheduler::running() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return running_;
 }
 

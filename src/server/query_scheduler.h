@@ -28,6 +28,7 @@
 
 #include "common/cancellation.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace dbspinner {
 namespace server {
@@ -102,19 +103,19 @@ class QueryScheduler {
   /// Called with mu_ held whenever a slot may have freed: picks the fair
   /// winner among waiters (fewest running queries for its session, then
   /// lowest seq), performs the admission bookkeeping, and wakes it.
-  void PromoteLocked();
+  void PromoteLocked() DBSP_REQUIRES(mu_);
 
   void Release(uint64_t session_id);
 
   const SchedulerOptions opts_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  int running_ = 0;
-  uint64_t next_seq_ = 0;
-  std::unordered_map<uint64_t, int> running_per_session_;
-  std::deque<std::shared_ptr<Ticket>> waiters_;
-  SchedulerStats stats_;
+  mutable Mutex mu_;
+  std::condition_variable_any cv_;  ///< waits directly on mu_
+  int running_ DBSP_GUARDED_BY(mu_) = 0;
+  uint64_t next_seq_ DBSP_GUARDED_BY(mu_) = 0;
+  std::unordered_map<uint64_t, int> running_per_session_ DBSP_GUARDED_BY(mu_);
+  std::deque<std::shared_ptr<Ticket>> waiters_ DBSP_GUARDED_BY(mu_);
+  SchedulerStats stats_ DBSP_GUARDED_BY(mu_);
 };
 
 }  // namespace server

@@ -22,14 +22,14 @@ Session::~Session() {
 }
 
 void Session::SetInflight(const CancellationToken& token) {
-  std::lock_guard<std::mutex> lock(inflight_mu_);
+  MutexLock lock(inflight_mu_);
   inflight_ = token;
 }
 
 void Session::CancelCurrent() {
   CancellationToken token;
   {
-    std::lock_guard<std::mutex> lock(inflight_mu_);
+    MutexLock lock(inflight_mu_);
     token = inflight_;
   }
   token.RequestCancel();  // no-op on an inert (idle) token
@@ -97,7 +97,7 @@ std::shared_ptr<Session> SessionManager::CreateSession() {
 std::shared_ptr<Session> SessionManager::CreateSession(EngineOptions options) {
   uint64_t id;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     id = next_id_++;
     ++active_;
   }
@@ -108,12 +108,12 @@ std::shared_ptr<Session> SessionManager::CreateSession(EngineOptions options) {
 
 void SessionManager::OnSessionDestroyed(uint64_t id) {
   (void)id;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   --active_;
 }
 
 size_t SessionManager::active_sessions() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return active_;
 }
 

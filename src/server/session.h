@@ -25,6 +25,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "common/thread_annotations.h"
 #include "engine/database.h"
 #include "server/query_scheduler.h"
 
@@ -92,8 +93,8 @@ class Session {
 
   /// Guards the handoff of the in-flight token to CancelCurrent (shared_ptr
   /// copy is not atomic; the token's own state is).
-  mutable std::mutex inflight_mu_;
-  CancellationToken inflight_;
+  mutable Mutex inflight_mu_;
+  CancellationToken inflight_ DBSP_GUARDED_BY(inflight_mu_);
 };
 
 /// Creates sessions over one Database and owns the admission scheduler they
@@ -119,9 +120,9 @@ class SessionManager {
   Database* db_;
   QueryScheduler scheduler_;
 
-  mutable std::mutex mu_;
-  uint64_t next_id_ = 1;
-  size_t active_ = 0;
+  mutable Mutex mu_;
+  uint64_t next_id_ DBSP_GUARDED_BY(mu_) = 1;
+  size_t active_ DBSP_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace server

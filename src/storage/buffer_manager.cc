@@ -25,7 +25,7 @@ BufferManager::BufferManager(size_t capacity)
 
 Result<PinnedBlock> BufferManager::Pin(const BlockKey& key,
                                        const Loader& loader) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = frames_.find(key);
   if (it != frames_.end()) {
     Frame* f = it->second.get();
@@ -92,7 +92,7 @@ bool BufferManager::MaybeEvictLocked() {
 }
 
 void BufferManager::Unpin(uint64_t frame_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = by_id_.find(frame_id);
   if (it == by_id_.end()) return;  // frame already gone (shutdown ordering)
   Frame* f = it->second;
@@ -101,12 +101,12 @@ void BufferManager::Unpin(uint64_t frame_id) {
 }
 
 BufferManager::Stats BufferManager::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 
 size_t BufferManager::resident() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return frames_.size();
 }
 

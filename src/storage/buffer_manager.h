@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "storage/column_vector.h"
 
 namespace dbspinner {
@@ -108,16 +109,20 @@ class BufferManager {
   void Unpin(uint64_t frame_id);
   /// Evicts one unpinned frame if the pool is at/over capacity. Returns
   /// false when every frame is pinned (caller overcommits).
-  bool MaybeEvictLocked();
+  bool MaybeEvictLocked() DBSP_REQUIRES(mu_);
 
+  /// The buffer-manager latch: the innermost lock of the engine's ordering
+  /// (commit lock -> catalog publish -> WAL append -> buffer latch,
+  /// DESIGN.md §13) — nothing else may be acquired while holding it.
   const size_t capacity_;
-  mutable std::mutex mu_;
-  uint64_t next_frame_id_ = 1;
-  std::unordered_map<BlockKey, std::unique_ptr<Frame>, BlockKeyHash> frames_;
-  std::unordered_map<uint64_t, Frame*> by_id_;
-  std::vector<uint64_t> clock_;  ///< frame ids in admission order
-  size_t hand_ = 0;
-  Stats stats_;
+  mutable Mutex mu_;
+  uint64_t next_frame_id_ DBSP_GUARDED_BY(mu_) = 1;
+  std::unordered_map<BlockKey, std::unique_ptr<Frame>, BlockKeyHash> frames_
+      DBSP_GUARDED_BY(mu_);
+  std::unordered_map<uint64_t, Frame*> by_id_ DBSP_GUARDED_BY(mu_);
+  std::vector<uint64_t> clock_ DBSP_GUARDED_BY(mu_);  ///< admission order
+  size_t hand_ DBSP_GUARDED_BY(mu_) = 0;
+  Stats stats_ DBSP_GUARDED_BY(mu_);
 };
 
 }  // namespace dbspinner

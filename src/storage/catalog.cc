@@ -8,7 +8,7 @@ namespace dbspinner {
 
 std::shared_ptr<const Catalog::Version> Catalog::View() const {
   if (pinned_) return pinned_;
-  std::lock_guard<std::mutex> lock(store_->mu);
+  MutexLock lock(store_->mu);
   keepalive_ = store_->current;
   return keepalive_;
 }
@@ -19,7 +19,7 @@ Status Catalog::Mutate(
   if (pinned_) {
     return Status::InvalidArgument("catalog snapshot is read-only");
   }
-  std::lock_guard<std::mutex> lock(store_->mu);
+  MutexLock lock(store_->mu);
   auto next = std::make_shared<Version>();
   next->id = store_->current->id + 1;
   next->tables = store_->current->tables;  // shallow copy-on-write

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "storage/table.h"
 
 namespace dbspinner {
@@ -89,9 +90,13 @@ class Catalog {
     std::unordered_map<std::string, CatalogEntry> tables;
   };
 
+  /// The catalog-publish lock: second in the engine's ordering (commit lock
+  /// -> catalog publish -> WAL append -> buffer latch, DESIGN.md §13).
+  /// Held only for the pointer swap / shallow map copy — never across I/O.
   struct Store {
-    mutable std::mutex mu;  ///< guards `current` load/store and RMW updates
-    std::shared_ptr<const Version> current = std::make_shared<Version>();
+    mutable Mutex mu;
+    std::shared_ptr<const Version> current DBSP_GUARDED_BY(mu) =
+        std::make_shared<Version>();
   };
 
   /// The version this handle reads: the pin, or the store's current one.

@@ -39,6 +39,7 @@
 
 #include "common/fault_injection.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "storage/buffer_manager.h"
 #include "storage/codec.h"
 #include "storage/storage_options.h"
@@ -199,41 +200,51 @@ class StorageManager {
  private:
   StorageManager(PersistenceOptions options, FaultInjector* faults);
 
-  Status Recover();
-  Status ApplyWalRecord(const WalRecord& rec);
+  /// Runs at Open before the manager is shared; Open takes mu_ anyway so
+  /// the analysis sees the guarded recovery writes as locked.
+  Status Recover() DBSP_REQUIRES(mu_);
+  Status ApplyWalRecord(const WalRecord& rec) DBSP_REQUIRES(mu_);
 
   std::string ExtentPath(uint64_t extent_id) const;
   Result<TableImage> WriteTableExtentsLocked(
-      const Table& table, std::optional<size_t> pk);
-  Status AppendWalLocked(WalRecordType type, const std::string& payload);
-  Status WriteManifestLocked();
-  void CollectGarbageLocked();
+      const Table& table, std::optional<size_t> pk) DBSP_REQUIRES(mu_);
+  Status AppendWalLocked(WalRecordType type, const std::string& payload)
+      DBSP_REQUIRES(mu_);
+  Status WriteManifestLocked() DBSP_REQUIRES(mu_);
+  void CollectGarbageLocked() DBSP_REQUIRES(mu_);
 
   const PersistenceOptions options_;
   FaultInjector* faults_;
   BufferManager buffer_;
 
-  mutable std::mutex mu_;
-  std::unique_ptr<WriteAheadLog> wal_;
-  std::map<std::string, TableImage> tables_;
-  std::map<uint64_t, CheckpointImage> checkpoints_;
+  /// The WAL-append lock: third in the engine's ordering (commit lock ->
+  /// catalog publish -> WAL append -> buffer latch, DESIGN.md §13). All
+  /// durable mutations serialize on it; the WAL appender itself is
+  /// lock-free because wal_ is only reachable under mu_.
+  mutable Mutex mu_;
+  std::unique_ptr<WriteAheadLog> wal_ DBSP_GUARDED_BY(mu_)
+      DBSP_PT_GUARDED_BY(mu_);
+  std::map<std::string, TableImage> tables_ DBSP_GUARDED_BY(mu_);
+  std::map<uint64_t, CheckpointImage> checkpoints_ DBSP_GUARDED_BY(mu_);
   /// Extents handed out by WriteTableExtents that no WAL-visible image
   /// references yet. A manifest fold between the write and the
   /// SaveCheckpoint that adopts them must not GC them; ids leave the set
   /// when a checkpoint image referencing them commits. (Ids stranded by an
   /// abandoned persist are reclaimed by the GC of the next process — the
   /// set is empty at recovery.)
-  std::vector<uint64_t> inflight_extents_;
+  std::vector<uint64_t> inflight_extents_ DBSP_GUARDED_BY(mu_);
 
-  uint64_t next_extent_id_ = 1;
-  uint64_t next_lsn_ = 1;
-  uint64_t manifest_lsn_ = 0;  ///< last lsn folded into the manifest
-  int64_t appends_since_manifest_ = 0;
-  Counters counters_;
+  uint64_t next_extent_id_ DBSP_GUARDED_BY(mu_) = 1;
+  uint64_t next_lsn_ DBSP_GUARDED_BY(mu_) = 1;
+  uint64_t manifest_lsn_ DBSP_GUARDED_BY(mu_) = 0;  ///< last folded lsn
+  int64_t appends_since_manifest_ DBSP_GUARDED_BY(mu_) = 0;
+  Counters counters_ DBSP_GUARDED_BY(mu_);
 
-  mutable std::mutex extent_cache_mu_;
+  /// Leaf lock for the parsed-block-directory cache; never held together
+  /// with mu_ (GetExtentInfo drops it across the file read).
+  mutable Mutex extent_cache_mu_;
   std::unordered_map<uint64_t, std::shared_ptr<const ExtentInfo>>
-      extent_cache_;
+      extent_cache_ DBSP_GUARDED_BY(extent_cache_mu_);
 };
 
 }  // namespace dbspinner

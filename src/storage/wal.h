@@ -36,8 +36,12 @@ struct WalRecord {
   std::string payload;
 };
 
-/// Appender over one WAL file. Not thread-safe; the StorageManager serializes
-/// all durable operations under its own mutex.
+/// Appender over one WAL file. Not thread-safe by itself: the StorageManager
+/// serializes all durable operations under its own mutex, and its `wal_`
+/// member is declared DBSP_PT_GUARDED_BY that mutex (see
+/// common/thread_annotations.h), so the clang thread-safety build rejects
+/// any append reached without holding the WAL-append lock — third in the
+/// engine's lock ordering (DESIGN.md §13).
 class WriteAheadLog {
  public:
   /// Opens (creating if absent) the log for appending.

@@ -53,6 +53,20 @@ constexpr DefectInfo kDefects[] = {
      "step aliasing or retry-idempotency model violation"},
     {DefectCode::kV110, "V110", "malformed step payload"},
     {DefectCode::kV111, "V111", "final step misplaced"},
+    {DefectCode::kV201, "V201",
+     "physical operator has the wrong number of children"},
+    {DefectCode::kV202, "V202",
+     "physical plan disagrees with the step's logical plan"},
+    {DefectCode::kV203, "V203", "pipeline shape violation"},
+    {DefectCode::kV204, "V204",
+     "chunk schema inconsistency across a fused kernel chain"},
+    {DefectCode::kV205, "V205",
+     "broadcast-probe fusion legality violation"},
+    {DefectCode::kV206, "V206", "unsound fused pre-aggregation"},
+    {DefectCode::kV207, "V207",
+     "morsel-safety violation: pipeline role disagrees with operator type"},
+    {DefectCode::kV208, "V208",
+     "physical scan disagrees with the catalog table"},
 };
 
 const DefectInfo& InfoFor(DefectCode code) {
@@ -134,11 +148,26 @@ VerifyReport VerifyPlan(const LogicalOp& plan, const VerifyContext& ctx) {
   return report;
 }
 
+VerifyReport VerifyPhysicalPlan(const PhysicalOp& plan,
+                                const LogicalOp* logical,
+                                const VerifyContext& ctx) {
+  VerifyReport report;
+  internal::CheckPhysicalPlan(plan, logical, ctx, -1, &report);
+  return report;
+}
+
 VerifyReport VerifyProgram(const Program& program, const VerifyContext& ctx) {
   VerifyReport report;
   for (const Step& step : program.steps) {
     if (step.plan != nullptr) {
       internal::CheckPlan(*step.plan, ctx, step.id, &report);
+    }
+    // The physical/pipeline analysis (V2xx) runs on every step that already
+    // carries a compiled plan, independent of require_physical — so the
+    // pre-compilation stages stay V0xx/V1xx-only and the post-compilation
+    // stage (plus EXPLAIN and the fuzz oracle) covers all three IRs.
+    if (step.physical != nullptr) {
+      internal::CheckPhysicalStep(step, ctx, &report);
     }
   }
   internal::CheckProgram(program, ctx, &report);

@@ -9,7 +9,7 @@
 // pass, so an illegal rewrite fails at plan time with a stable defect code
 // instead of diverging (or silently corrupting a fixpoint) at run time.
 //
-// Two analyses:
+// Three analyses:
 //   1. Plan checker  (plan_checker.cc): structural + type/schema validation
 //      of every LogicalOp node — arity, output-schema consistency with
 //      children, column-ordinal bounds, predicate typing, join key type
@@ -22,6 +22,24 @@
 //      statically non-terminating loops, loop-invariant hoist soundness,
 //      re-derivation of the Fig 10 pushdown legality fact, and the
 //      fault-tolerance idempotency classification cross-check.
+//   3. Pipeline checker (pipeline_checker.cc): physical-plan and fused-
+//      pipeline validation of every compiled Step::physical tree (V2xx),
+//      run once physical plans exist ("after-compile", EXPLAIN (VERIFY),
+//      and the fuzz verify-oracle) — operator arity, physical↔logical
+//      schema agreement per operator, pipeline well-formedness (leaf
+//      sources, streaming-role interior, breaker-or-sink terminal), chunk
+//      schema/type consistency across fused kernel chains, broadcast-probe
+//      fusion legality re-derived through the planner's shared predicate
+//      (exec/physical_planner.h), fused pre-aggregation soundness
+//      (commutative partial merge per AggState::MergeFrom, deferred
+//      DISTINCT only where legal), and morsel-safety (pipeline-role /
+//      operator-type agreement, so fused stages hold no cross-morsel
+//      mutable state outside per-worker LocalStats).
+//
+// A fourth, compile-time analysis lives outside this directory: the clang
+// thread-safety annotations (common/thread_annotations.h, DESIGN.md §13)
+// that turn the engine's lock-ordering discipline into -Werror=thread-safety
+// build failures.
 //
 // Diagnostics never throw and never mutate the plan; callers decide whether
 // a non-empty report is fatal (EngineOptions::verify.enforce) or is logged
@@ -33,15 +51,19 @@
 #include <vector>
 
 #include "common/status.h"
+#include "engine/options.h"
 #include "plan/program.h"
 #include "storage/catalog.h"
 
 namespace dbspinner {
+
+class PhysicalOp;
+
 namespace verify {
 
 /// Stable defect codes. V0xx: logical-plan defects; V1xx: program-dataflow
-/// defects. Codes are append-only: tests and suppression comments reference
-/// them by name.
+/// defects; V2xx: physical-plan / fused-pipeline defects. Codes are
+/// append-only: tests and suppression comments reference them by name.
 enum class DefectCode {
   kV001,  ///< operator arity: wrong child count for the node kind
   kV002,  ///< output schema inconsistent with children / expressions
@@ -66,6 +88,19 @@ enum class DefectCode {
   kV109,  ///< step aliasing / retry-idempotency model violation
   kV110,  ///< malformed step payload (plan/physical/name fields, ids)
   kV111,  ///< final step misplaced (not unique or not last)
+  kV201,  ///< physical operator arity: wrong child count for the node kind
+  kV202,  ///< physical plan disagrees with the step's logical plan
+          ///< (operator mapping or per-node output schema)
+  kV203,  ///< pipeline shape violation (source is not a leaf, or a
+          ///< streaming stage has no upstream input to stream from)
+  kV204,  ///< chunk schema/type inconsistency across a fused kernel chain
+  kV205,  ///< broadcast-probe fusion legality violation (unusable
+          ///< build-side estimate annotation)
+  kV206,  ///< unsound fused pre-aggregation (unknown merge kind, illegal
+          ///< DISTINCT deferral, or malformed aggregate inputs)
+  kV207,  ///< morsel-safety violation: pipeline role disagrees with the
+          ///< operator type the chunk kernels compile against
+  kV208,  ///< physical scan disagrees with the catalog table
 };
 
 /// "V001", "V108", ...
@@ -107,11 +142,16 @@ struct VerifyReport {
 
 /// Verification inputs beyond the IR itself.
 struct VerifyContext {
-  /// Enables catalog-scan schema checks (V008) when set.
+  /// Enables catalog-scan schema checks (V008, V208) when set.
   const Catalog* catalog = nullptr;
   /// Post-compilation mode: every Materialize/Final step must carry a
   /// physical plan (V110).
   bool require_physical = false;
+  /// Engine options the pipeline checker re-derives context-dependent
+  /// legality facts against (broadcast fusion under MPP, vectorized
+  /// execution). Null skips the option-dependent V2xx checks; the
+  /// structural ones always run on steps that carry a physical plan.
+  const EngineOptions* options = nullptr;
 };
 
 /// Checks one logical plan tree, appending diagnostics to `report`.
@@ -123,8 +163,16 @@ void VerifyPlanInto(const LogicalOp& plan, const VerifyContext& ctx,
 /// unit tests).
 VerifyReport VerifyPlan(const LogicalOp& plan, const VerifyContext& ctx = {});
 
-/// Checks a whole program: step payloads, every step plan, and the dataflow
-/// abstract interpretation.
+/// Checks one compiled physical tree (V2xx) outside a program (unit tests,
+/// standalone artifacts). `logical` (optional) additionally runs the
+/// physical↔logical agreement walk (V202) against the tree it was compiled
+/// from.
+VerifyReport VerifyPhysicalPlan(const PhysicalOp& plan,
+                                const LogicalOp* logical = nullptr,
+                                const VerifyContext& ctx = {});
+
+/// Checks a whole program: step payloads, every step plan, every compiled
+/// step physical plan, and the dataflow abstract interpretation.
 VerifyReport VerifyProgram(const Program& program,
                            const VerifyContext& ctx = {});
 

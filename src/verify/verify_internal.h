@@ -1,11 +1,15 @@
 // Internal interface between the verifier's entry points (verify.cc) and
-// the two analyses (plan_checker.cc, program_checker.cc).
+// the three analyses (plan_checker.cc, program_checker.cc,
+// pipeline_checker.cc).
 
 #pragma once
 
 #include "verify/verify.h"
 
 namespace dbspinner {
+
+class PhysicalOp;
+
 namespace verify {
 namespace internal {
 
@@ -18,6 +22,21 @@ void CheckPlan(const LogicalOp& plan, const VerifyContext& ctx, int step_id,
 /// state).
 void CheckProgram(const Program& program, const VerifyContext& ctx,
                   VerifyReport* report);
+
+/// Physical-plan & fused-pipeline validation (V2xx) of one compiled step.
+/// Requires step.physical != nullptr; step.plan (when present) drives the
+/// physical↔logical agreement walk.
+void CheckPhysicalStep(const Step& step, const VerifyContext& ctx,
+                       VerifyReport* report);
+
+/// Physical-plan variant of CheckPhysicalStep for standalone trees (unit
+/// tests build broken physical artifacts without a surrounding Step).
+void CheckPhysicalPlan(const PhysicalOp& plan, const LogicalOp* logical,
+                       const VerifyContext& ctx, int step_id,
+                       VerifyReport* report);
+
+/// Truncated single-node physical-plan excerpt for diagnostics.
+std::string PhysicalExcerpt(const PhysicalOp& op);
 
 /// Truncated single-node plan excerpt for diagnostics.
 std::string PlanExcerpt(const LogicalOp& op);

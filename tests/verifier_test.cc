@@ -11,8 +11,13 @@
 #include <string>
 #include <vector>
 
+#include <cmath>
+#include <limits>
+
 #include "engine/database.h"
 #include "engine/workloads.h"
+#include "exec/physical_plan.h"
+#include "exec/physical_planner.h"
 #include "expr/expr.h"
 #include "graph/generator.h"
 #include "plan/logical_plan.h"
@@ -29,6 +34,7 @@ using verify::DefectCode;
 using verify::DefectCodeName;
 using verify::EnforceOrCount;
 using verify::VerifyContext;
+using verify::VerifyPhysicalPlan;
 using verify::VerifyPlan;
 using verify::VerifyProgram;
 using verify::VerifyReport;
@@ -108,6 +114,35 @@ Program MakeProgram(std::vector<Step> steps,
   p.next_id = max_id + 1;
   return p;
 }
+
+PhysicalOpPtr PhysValues(Schema schema) {
+  return std::make_unique<PhysicalValues>(std::move(schema),
+                                          std::vector<std::vector<Value>>{});
+}
+
+/// A custom operator claiming the source role without being a leaf
+/// materializer — the V203 pipeline-shape artifact.
+class FakeSourceOp final : public PhysicalOp {
+ public:
+  explicit FakeSourceOp(Schema s) : PhysicalOp(std::move(s)) {}
+  Result<TablePtr> Execute(ExecContext&) const override {
+    return Status::Internal("verifier artifact, never executed");
+  }
+  const char* Name() const override { return "FakeSource"; }
+  PipelineRole pipeline_role() const override { return PipelineRole::kSource; }
+};
+
+/// A custom operator claiming a fused streaming role the chunk kernels
+/// would static_cast to PhysicalFilter — the V207 morsel-safety artifact.
+class RogueStreamingOp final : public PhysicalOp {
+ public:
+  explicit RogueStreamingOp(Schema s) : PhysicalOp(std::move(s)) {}
+  Result<TablePtr> Execute(ExecContext&) const override {
+    return Status::Internal("verifier artifact, never executed");
+  }
+  const char* Name() const override { return "RogueStage"; }
+  PipelineRole pipeline_role() const override { return PipelineRole::kFilter; }
+};
 
 bool HasCode(const VerifyReport& report, DefectCode code) {
   for (const auto& d : report.diagnostics) {
@@ -328,6 +363,56 @@ VerifyReport BrokenReport(DefectCode code) {
       steps.push_back(Mat(2, "x", Values(OneInt())));
       return VerifyProgram(MakeProgram(std::move(steps)));
     }
+    case DefectCode::kV201: {  // physical filter with no child
+      PhysicalFilter op(OneInt(), MakeBoundConstant(Value::Bool(true)));
+      return VerifyPhysicalPlan(op);
+    }
+    case DefectCode::kV202: {  // physical schema disagrees with logical node
+      LogicalOpPtr logical = Values(OneInt());
+      PhysicalOpPtr phys = PhysValues(OneString());
+      return VerifyPhysicalPlan(*phys, logical.get());
+    }
+    case DefectCode::kV203: {  // source-role operator that is not a leaf
+      FakeSourceOp op(OneInt());
+      op.AddChild(PhysValues(OneInt()));
+      return VerifyPhysicalPlan(op);
+    }
+    case DefectCode::kV204: {  // filter kernel reads column 5 of a 1-col chunk
+      PhysicalFilter op(OneInt(), MakeBoundColumnRef(5, TypeId::kBool, "ghost"));
+      op.AddChild(PhysValues(OneInt()));
+      return VerifyPhysicalPlan(op);
+    }
+    case DefectCode::kV205: {  // NaN build estimate: fusion undecidable
+      PhysicalHashJoin op(Schema({{"x", TypeId::kInt64}, {"y", TypeId::kInt64}}),
+                          JoinType::kInner, {0}, {0}, nullptr);
+      op.set_build_rows_estimate(std::numeric_limits<double>::quiet_NaN());
+      op.AddChild(PhysValues(Schema({{"x", TypeId::kInt64}})));
+      op.AddChild(PhysValues(Schema({{"y", TypeId::kInt64}})));
+      return VerifyPhysicalPlan(op);
+    }
+    case DefectCode::kV206: {  // COUNT(DISTINCT *): no deferral path
+      AggregateSpec spec;
+      spec.kind = AggKind::kCountStar;
+      spec.distinct = true;
+      std::vector<AggregateSpec> specs;
+      specs.push_back(std::move(spec));
+      PhysicalHashAggregate op(Schema({{"n", TypeId::kInt64}}), {},
+                               std::move(specs));
+      op.AddChild(PhysValues(OneInt()));
+      return VerifyPhysicalPlan(op);
+    }
+    case DefectCode::kV207: {  // streaming role on a type the kernels can't cast
+      RogueStreamingOp op(OneInt());
+      op.AddChild(PhysValues(OneInt()));
+      return VerifyPhysicalPlan(op);
+    }
+    case DefectCode::kV208: {  // physical scan of a table the catalog lacks
+      Database db;
+      VerifyContext ctx;
+      ctx.catalog = &db.catalog();
+      PhysicalScan op(OneInt(), /*from_catalog=*/true, "no_such_table");
+      return VerifyPhysicalPlan(op, nullptr, ctx);
+    }
   }
   return VerifyReport();
 }
@@ -348,7 +433,7 @@ TEST(VerifierDefects, EveryDefectCodeHasAFailingCase) {
 
 TEST(VerifierDefects, DefectTableIsWellFormed) {
   const std::vector<DefectCode>& codes = AllDefectCodes();
-  EXPECT_EQ(codes.size(), 22u);
+  EXPECT_EQ(codes.size(), 30u);
   std::vector<std::string> names;
   for (DefectCode code : codes) {
     names.push_back(DefectCodeName(code));
@@ -380,6 +465,28 @@ TEST(VerifierDefects, CleanPlanAndProgramProduceEmptyReports) {
   steps.push_back(Mat(1, "a", Values(OneInt())));
   steps.push_back(Final(2, ScanResult("a", OneInt())));
   VerifyReport report = VerifyProgram(MakeProgram(std::move(steps)));
+  EXPECT_TRUE(report.ok()) << report.ToString();
+}
+
+// The physical checker must stay silent on trees the planner actually
+// produces: compile a filter-over-values plan and verify it against its own
+// logical source, with the MPP options that arm every option-dependent
+// V2xx check.
+TEST(VerifierDefects, CleanCompiledPhysicalPlanProducesEmptyReport) {
+  LogicalOpPtr child = Values(OneInt());
+  LogicalOpPtr plan =
+      MakeFilter(MakeBoundBinary(BinaryOp::kEq,
+                                 MakeBoundColumnRef(0, TypeId::kInt64, "x"),
+                                 MakeBoundConstant(Value::Int64(1)),
+                                 TypeId::kBool),
+                 std::move(child));
+  Result<PhysicalOpPtr> phys = CreatePhysicalPlan(*plan);
+  ASSERT_TRUE(phys.ok()) << phys.status().ToString();
+  EngineOptions eo;
+  eo.num_workers = 8;
+  VerifyContext ctx;
+  ctx.options = &eo;
+  VerifyReport report = VerifyPhysicalPlan(**phys, plan.get(), ctx);
   EXPECT_TRUE(report.ok()) << report.ToString();
 }
 
@@ -439,6 +546,11 @@ TEST(VerifierPipeline, ExplainVerifyAppendsReport) {
   Result<QueryResult> r = db.Execute("EXPLAIN (VERIFY) SELECT * FROM t");
   ASSERT_TRUE(r.ok()) << r.status().ToString();
   EXPECT_NE(r->explain.find("verify (final program): ok"), std::string::npos)
+      << r->explain;
+  // Plain EXPLAIN (VERIFY) also compiles the program (without running it)
+  // so the post-physical-compilation V2xx stage renders alongside the
+  // logical report.
+  EXPECT_NE(r->explain.find("verify (after-compile): ok"), std::string::npos)
       << r->explain;
 }
 
@@ -536,6 +648,54 @@ TEST_F(VerifierCleanCorpusTest, AllWorkloadsAllToggleCombinations) {
                           << r.status().ToString() << "\nSQL: " << sql;
       EXPECT_EQ(r->stats.verify_violations, 0)
           << "toggles=" << mask << "\nSQL: " << sql;
+    }
+  }
+}
+
+// The V2xx clean corpus: the same workloads swept across vectorized
+// execution on/off and MPP widths 1/2/8, verifier enforcing, with the
+// thresholds lowered so parallel fused pipelines (broadcast probes, fused
+// pre-aggregation, morsel stealing) actually engage on the small test
+// graph. The "after-compile" stage runs the pipeline checker on every
+// step's physical plan, so any V2xx diagnostic fails the query with
+// kInternal.
+TEST_F(VerifierCleanCorpusTest, VectorizedAndWidthSweepIsV2xxClean) {
+  const std::vector<std::string> queries = {
+      workloads::PRQuery(2),
+      workloads::PRVSQuery(2),
+      workloads::SSSPQuery(3, 1, 2),
+      workloads::SSSPVSQuery(3, 1, 2),
+      workloads::FFQuery(2, 2, 1000000),
+      workloads::FFDeltaQuery(1, 2),
+      workloads::SSSPDataConditionQuery(1, 2),
+      "WITH RECURSIVE reach (node) AS (SELECT src FROM edges WHERE src = 1 "
+      "UNION SELECT e.dst FROM edges e JOIN reach r ON e.src = r.node) "
+      "SELECT COUNT(*) FROM reach",
+      "SELECT src, COUNT(*) AS deg FROM edges GROUP BY src "
+      "ORDER BY deg DESC LIMIT 5",
+  };
+
+  for (bool vectorized : {false, true}) {
+    for (int width : {1, 2, 8}) {
+      EngineOptions eo;
+      eo.verify.verify_plans = true;
+      eo.verify.enforce = true;
+      eo.optimizer.vectorized_exec = vectorized;
+      eo.num_workers = width;
+      eo.mpp_min_rows_per_task = 1;
+      eo.morsel_size = 16;
+
+      Database db(eo);
+      ASSERT_TRUE(graph::LoadIntoDatabase(&db, graph_, 0.8, 99).ok());
+      for (const std::string& sql : queries) {
+        Result<QueryResult> r = db.Execute(sql);
+        ASSERT_TRUE(r.ok())
+            << "vectorized=" << vectorized << " width=" << width << "\n"
+            << r.status().ToString() << "\nSQL: " << sql;
+        EXPECT_EQ(r->stats.verify_violations, 0)
+            << "vectorized=" << vectorized << " width=" << width
+            << "\nSQL: " << sql;
+      }
     }
   }
 }
