@@ -5,6 +5,7 @@
 //
 // Statements end with ';'. Meta-commands: \q quit, \timing toggle per-
 // statement timing, \stats toggle executor statistics, \tables list tables,
+// \views list materialized views (plan shape, version, queued deltas),
 // \demo load a small demo graph (tables `edges` and `vertexstatus`),
 // \set [name value] show or override per-session engine options.
 //
@@ -227,6 +228,12 @@ int main(int argc, char** argv) {
       } else if (trimmed == "\\tables") {
         for (const auto& name : db.catalog().TableNames()) {
           std::cout << name << "\n";
+        }
+      } else if (trimmed == "\\views") {
+        for (const auto& v : db.ListViews()) {
+          std::cout << v.name << " [" << v.plan << "] version=" << v.version
+                    << " pending=" << v.pending << "  AS " << v.definition
+                    << "\n";
         }
       } else if (trimmed == "\\demo") {
         LoadDemo(&db);

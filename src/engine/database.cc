@@ -3,9 +3,11 @@
 #include <unordered_set>
 
 #include "binder/binder.h"
+#include "common/string_util.h"
 #include "exec/physical_planner.h"
 #include "exec/pipeline.h"
 #include "exec/program_executor.h"
+#include "ivm/sql_render.h"
 #include "optimizer/cost_model.h"
 #include "optimizer/optimizer.h"
 #include "parser/parser.h"
@@ -142,6 +144,24 @@ uint64_t HashSql(const std::string& sql) {
   return BlockChecksum(sql.data(), sql.size());
 }
 
+/// Registry name a materialized view's contents (or a maintenance seed) are
+/// bound under when overlaid as a CTE; the ':' keeps it out of the SQL
+/// identifier space so it cannot collide with program temp names.
+std::string ViewSeedName(const std::string& name) { return "__ivm:" + name; }
+
+/// Names starting with "__ivm" are reserved for the view subsystem (the
+/// __ivm_views storage table and the maintenance seed namespace).
+bool IsReservedIvmName(const std::string& name) {
+  return name.size() >= 5 && EqualsIgnoreCase(name.substr(0, 5), "__ivm");
+}
+
+void MergeIvmCounters(const ivm::IvmCounters& from, ExecStats* stats) {
+  stats->ivm_deltas_applied += from.deltas_applied;
+  stats->ivm_rows_maintained += from.rows_maintained;
+  stats->ivm_full_refreshes += from.full_refreshes;
+  stats->ivm_fallbacks += from.fallbacks;
+}
+
 }  // namespace
 
 ThreadPool* Database::GetPool(SessionState& ss) {
@@ -186,6 +206,13 @@ ExecContext Database::MakeContext(SessionState& ss, Catalog* cat,
   // execution stats of the statement they belong to.
   ctx.stats.verify_violations = ss.pending_verify_violations;
   ss.pending_verify_violations = 0;
+  // Likewise the view-maintenance work done while syncing the views this
+  // statement reads (CollectViewBindings stashes it here).
+  ctx.stats.ivm_deltas_applied = ss.pending_ivm.deltas_applied;
+  ctx.stats.ivm_rows_maintained = ss.pending_ivm.rows_maintained;
+  ctx.stats.ivm_full_refreshes = ss.pending_ivm.full_refreshes;
+  ctx.stats.ivm_fallbacks = ss.pending_ivm.fallbacks;
+  ss.pending_ivm = ivm::IvmCounters{};
   // Admission metadata set by the scheduler before this query started.
   ctx.stats.queue_wait_us = ss.queue_wait_us;
   ctx.stats.admission_waits = ss.queued ? 1 : 0;
@@ -217,7 +244,15 @@ Status Database::EnsureStorageOpen() {
   // Materialize every recovered table into the in-memory catalog. The
   // catalog is still empty here (first statement), so name clashes are
   // impossible.
-  for (const auto& [name, image] : storage_->tables()) {
+  const std::map<std::string, TableImage> recovered = storage_->tables();
+  const TableImage* views_image = nullptr;
+  for (const auto& [name, image] : recovered) {
+    if (name == ivm::ViewRegistry::kViewsTable) {
+      // Reserved view-catalog table: re-registered into the view registry
+      // below, never into the SQL catalog.
+      views_image = &image;
+      continue;
+    }
     auto table = storage_->ReadTable(image);
     if (!table.ok()) {
       storage_status_ = table.status();
@@ -226,6 +261,34 @@ Status Database::EnsureStorageOpen() {
     }
     Status st = catalog_.CreateTable(name, std::move(table).value(),
                                      image.primary_key_col);
+    if (!st.ok()) {
+      storage_status_ = st;
+      storage_.reset();
+      return storage_status_;
+    }
+  }
+  if (views_image != nullptr) {
+    // Re-register persisted materialized views from their definition SQL.
+    // No query runs here: a recovered view starts stale and fully
+    // refreshes on first read or maintenance.
+    auto table = storage_->ReadTable(*views_image);
+    Status st = table.ok() ? Status::OK() : table.status();
+    for (size_t r = 0; st.ok() && r < table.value()->num_rows(); ++r) {
+      const std::string name = table.value()->GetValue(r, 0).string_value();
+      const std::string defsql = table.value()->GetValue(r, 1).string_value();
+      auto parsed = ParseStatement(defsql);
+      if (!parsed.ok()) {
+        st = Status::Corruption("persisted view '" + name +
+                                "' has an unparseable definition: " +
+                                parsed.status().message());
+      } else if (parsed.value()->query == nullptr) {
+        st = Status::Corruption("persisted view '" + name +
+                                "' definition is not a query");
+      } else {
+        st = views_.CreateRecovered(name, std::move(parsed.value()->query),
+                                    defsql);
+      }
+    }
     if (!st.ok()) {
       storage_status_ = st;
       storage_.reset();
@@ -294,6 +357,14 @@ Status Database::RegisterTable(const std::string& name, TablePtr table,
   // mid-statement. The inert token makes the wait unconditional.
   DBSP_RETURN_NOT_OK(commit_lock_.Acquire(CancellationToken()));
   Status status = EnsureStorageOpen();
+  if (status.ok() && IsReservedIvmName(name)) {
+    status = Status::InvalidArgument(
+        "table names starting with '__ivm' are reserved");
+  }
+  if (status.ok() && views_.Has(name)) {
+    status = Status::AlreadyExists("a materialized view named '" + name +
+                                   "' already exists");
+  }
   if (status.ok() && storage_ != nullptr && catalog_.Exists(name)) {
     // Pre-check so the WAL never logs an upsert the in-memory publish then
     // rejects (same message the catalog would produce).
@@ -317,9 +388,13 @@ Result<Program> Database::Plan(const std::string& sql) {
     return Status::InvalidArgument("Plan() supports SELECT statements only");
   }
   Catalog snapshot = catalog_.PinSnapshot();
-  return PrepareProgram(default_session_, &snapshot, [&](ProgramBuilder& b) {
-    return b.BuildSelect(*target);
-  });
+  ViewBindings views;
+  DBSP_RETURN_NOT_OK(
+      CollectViewBindings(default_session_, snapshot, *target, &views));
+  return PrepareProgramWithViews(default_session_, &snapshot, views,
+                                 [&](ProgramBuilder& b) {
+                                   return b.BuildSelect(*target);
+                                 });
 }
 
 Status Database::VerifyStage(SessionState& ss, Catalog* cat,
@@ -415,18 +490,30 @@ Result<QueryResult> Database::ExecuteStatement(SessionState& ss,
         return ExecuteDrop(ss, stmt);
       case StatementKind::kCopy:
         return ExecuteCopy(ss, stmt);
+      case StatementKind::kCreateView:
+        return ExecuteCreateView(ss, stmt);
+      case StatementKind::kDropView:
+        return ExecuteDropView(ss, stmt);
+      case StatementKind::kRefreshView:
+        return ExecuteRefreshView(ss, stmt);
       default:
         break;
     }
     return Status::Internal("unhandled statement kind");
   }();
   if (acquired_here) commit_lock_.Release();
+  // Post-commit view maintenance runs outside the writer slot: every
+  // queued delta carries its own pinned snapshot, so folding needs no
+  // engine lock. Inside an explicit transaction deltas stay queued until
+  // COMMIT drains them (or ROLLBACK invalidates them).
+  if (result.ok() && !ss.InTransaction()) {
+    MaintainViews(ss, &result->stats);
+  }
   return result;
 }
 
 Result<QueryResult> Database::ExecuteCopy(SessionState& ss,
                                           const Statement& stmt) {
-  (void)ss;
   DBSP_ASSIGN_OR_RETURN(CatalogEntry * entry, catalog_.Get(stmt.table_name));
   QueryResult result;
   result.table = Table::Make(Schema());
@@ -445,6 +532,9 @@ Result<QueryResult> Database::ExecuteCopy(SessionState& ss,
   DBSP_RETURN_NOT_OK(
       PersistUpsert(stmt.table_name, entry->primary_key_col, updated));
   DBSP_RETURN_NOT_OK(catalog_.ReplaceContents(stmt.table_name, updated));
+  if (views_.DependsOn(stmt.table_name)) {
+    CaptureDelta(ss, stmt.table_name, imported, nullptr);
+  }
   result.rows_affected = static_cast<int64_t>(imported->num_rows());
   return result;
 }
@@ -477,6 +567,9 @@ Result<QueryResult> Database::ExecuteTransactionControl(SessionState& ss,
       ss.holds_commit_lock = false;
       commit_lock_.Release();
       DBSP_RETURN_NOT_OK(durable);
+      // Deltas the transaction's statements queued are safe to fold now
+      // that the writer slot is free.
+      MaintainViews(ss, &result.stats);
       return result;
     }
     case StatementKind::kRollback: {
@@ -505,6 +598,11 @@ Result<QueryResult> Database::ExecuteTransactionControl(SessionState& ss,
         }
       }
       catalog_.Restore(std::move(*ss.tx_snapshot));
+      if (!views_.empty()) {
+        // The restore rewrote base tables underneath any queued deltas;
+        // invalidate so every view recomputes from the restored catalog.
+        views_.MarkAllStale(catalog_.version(), catalog_.PinSnapshot());
+      }
       ss.tx_snapshot.reset();
       ss.holds_commit_lock = false;
       commit_lock_.Release();
@@ -517,12 +615,18 @@ Result<QueryResult> Database::ExecuteTransactionControl(SessionState& ss,
 }
 
 Result<QueryResult> Database::RunProgramToResult(SessionState& ss, Catalog* cat,
-                                                 Program program) {
+                                                 Program program,
+                                                 const ViewBindings& seeds) {
   DBSP_RETURN_NOT_OK(PlanProgram(&program, cat));
   DBSP_RETURN_NOT_OK(VerifyStage(ss, cat, "after-compile", program,
                                  /*require_physical=*/true));
   ResultRegistry registry;
   registry.set_scope(ss.temp_scope);
+  // Pre-bind the overlaid view (or maintenance-seed) contents under the
+  // names the binder's CTE overlays resolve to.
+  for (const auto& [name, table] : seeds) {
+    registry.Put(ViewSeedName(name), table);
+  }
   ExecContext ctx = MakeContext(ss, cat, &registry);
 
   // Durable executor checkpoints (DESIGN.md §12): when persistence and
@@ -561,11 +665,14 @@ Result<QueryResult> Database::RunProgramToResult(SessionState& ss, Catalog* cat,
 
 Result<QueryResult> Database::ExecuteSelect(SessionState& ss, Catalog* cat,
                                             const Statement& stmt) {
+  ViewBindings views;
+  DBSP_RETURN_NOT_OK(CollectViewBindings(ss, *cat, stmt, &views));
   DBSP_ASSIGN_OR_RETURN(
-      Program program, PrepareProgram(ss, cat, [&](ProgramBuilder& builder) {
+      Program program,
+      PrepareProgramWithViews(ss, cat, views, [&](ProgramBuilder& builder) {
         return builder.BuildSelect(stmt);
       }));
-  return RunProgramToResult(ss, cat, std::move(program));
+  return RunProgramToResult(ss, cat, std::move(program), views);
 }
 
 Result<QueryResult> Database::ExecuteExplain(SessionState& ss, Catalog* cat,
@@ -574,8 +681,11 @@ Result<QueryResult> Database::ExecuteExplain(SessionState& ss, Catalog* cat,
   if (inner.kind != StatementKind::kSelect) {
     return Status::NotImplemented("EXPLAIN supports SELECT statements only");
   }
+  ViewBindings views;
+  DBSP_RETURN_NOT_OK(CollectViewBindings(ss, *cat, inner, &views));
   DBSP_ASSIGN_OR_RETURN(
-      Program program, PrepareProgram(ss, cat, [&](ProgramBuilder& builder) {
+      Program program,
+      PrepareProgramWithViews(ss, cat, views, [&](ProgramBuilder& builder) {
         return builder.BuildSelect(inner);
       }));
   QueryResult result;
@@ -587,6 +697,9 @@ Result<QueryResult> Database::ExecuteExplain(SessionState& ss, Catalog* cat,
                                    /*require_physical=*/true));
     ResultRegistry registry;
     registry.set_scope(ss.temp_scope);
+    for (const auto& [name, table] : views) {
+      registry.Put(ViewSeedName(name), table);
+    }
     ExecContext ctx = MakeContext(ss, cat, &registry);
     ctx.profiling = true;
     DBSP_ASSIGN_OR_RETURN(TablePtr ignored, RunProgram(program, &ctx));
@@ -642,21 +755,35 @@ Result<QueryResult> Database::ExecuteExplain(SessionState& ss, Catalog* cat,
 
 Result<QueryResult> Database::ExecuteCreateTable(SessionState& ss,
                                                  const Statement& stmt) {
-  if (stmt.if_not_exists && catalog_.Exists(stmt.table_name)) {
+  if (stmt.if_not_exists &&
+      (catalog_.Exists(stmt.table_name) || views_.Has(stmt.table_name))) {
     return QueryResult{};
+  }
+  if (IsReservedIvmName(stmt.table_name)) {
+    return Status::InvalidArgument(
+        "table names starting with '__ivm' are reserved");
+  }
+  if (views_.Has(stmt.table_name)) {
+    return Status::AlreadyExists("a materialized view named '" +
+                                 stmt.table_name + "' already exists");
   }
   if (stmt.ctas_query) {
     // CREATE TABLE ... AS SELECT: the query's result seeds the table. Runs
     // against the live catalog — the writer slot we hold excludes any
     // concurrent republish.
+    Catalog snapshot = catalog_.PinSnapshot();
+    ViewBindings views;
+    DBSP_RETURN_NOT_OK(CollectViewBindings(ss, snapshot, stmt, &views));
     DBSP_ASSIGN_OR_RETURN(
         Program program,
-        PrepareProgram(ss, &catalog_, [&](ProgramBuilder& builder) {
-          return builder.BuildQuery(stmt.ctes, *stmt.ctas_query);
-        }));
+        PrepareProgramWithViews(ss, &catalog_, views,
+                                [&](ProgramBuilder& builder) {
+                                  return builder.BuildQuery(stmt.ctes,
+                                                            *stmt.ctas_query);
+                                }));
     DBSP_ASSIGN_OR_RETURN(
-        QueryResult rows, RunProgramToResult(ss, &catalog_,
-                                             std::move(program)));
+        QueryResult rows,
+        RunProgramToResult(ss, &catalog_, std::move(program), views));
     TablePtr created = rows.table->Clone();
     if (storage_ != nullptr && catalog_.Exists(stmt.table_name)) {
       return Status::AlreadyExists("table '" + stmt.table_name +
@@ -746,14 +873,19 @@ Result<QueryResult> Database::ExecuteInsert(SessionState& ss,
       ++inserted;
     }
   } else if (stmt.insert_query) {
+    Catalog snapshot = catalog_.PinSnapshot();
+    ViewBindings views;
+    DBSP_RETURN_NOT_OK(CollectViewBindings(ss, snapshot, stmt, &views));
     DBSP_ASSIGN_OR_RETURN(
         Program program,
-        PrepareProgram(ss, &catalog_, [&](ProgramBuilder& builder) {
-          return builder.BuildQuery(stmt.ctes, *stmt.insert_query);
-        }));
+        PrepareProgramWithViews(ss, &catalog_, views,
+                                [&](ProgramBuilder& builder) {
+                                  return builder.BuildQuery(
+                                      stmt.ctes, *stmt.insert_query);
+                                }));
     DBSP_ASSIGN_OR_RETURN(
-        QueryResult rows, RunProgramToResult(ss, &catalog_,
-                                             std::move(program)));
+        QueryResult rows,
+        RunProgramToResult(ss, &catalog_, std::move(program), views));
     if (rows.table->num_columns() != targets.size()) {
       return Status::BindError(
           "INSERT source returns " +
@@ -776,6 +908,16 @@ Result<QueryResult> Database::ExecuteInsert(SessionState& ss,
   DBSP_RETURN_NOT_OK(
       PersistUpsert(stmt.table_name, entry->primary_key_col, updated));
   DBSP_RETURN_NOT_OK(catalog_.ReplaceContents(stmt.table_name, updated));
+  if (inserted > 0 && views_.DependsOn(stmt.table_name)) {
+    // The appended suffix of the COW clone is exactly the inserted set.
+    const size_t old_n = updated->num_rows() - static_cast<size_t>(inserted);
+    auto ins = Table::Make(schema);
+    ins->Reserve(static_cast<size_t>(inserted));
+    for (size_t r = old_n; r < updated->num_rows(); ++r) {
+      ins->AppendRowFrom(*updated, r);
+    }
+    CaptureDelta(ss, stmt.table_name, std::move(ins), nullptr);
+  }
   QueryResult result;
   result.table = Table::Make(Schema());
   result.rows_affected = inserted;
@@ -821,6 +963,14 @@ Result<QueryResult> Database::ExecuteUpdate(SessionState& ss,
     }
     auto updated = Table::Make(schema);
     updated->Reserve(target->num_rows());
+    // An UPDATE is a (delete old row, insert new row) pair per hit for view
+    // maintenance; only built when a view depends on this table.
+    const bool track = views_.DependsOn(stmt.table_name);
+    TablePtr delta_old, delta_new;
+    if (track) {
+      delta_old = Table::Make(schema);
+      delta_new = Table::Make(schema);
+    }
     int64_t affected = 0;
     for (size_t r = 0; r < target->num_rows(); ++r) {
       bool hit = true;
@@ -838,12 +988,20 @@ Result<QueryResult> Database::ExecuteUpdate(SessionState& ss,
         DBSP_ASSIGN_OR_RETURN(row[set_cols[i]],
                               v.CastTo(schema.column(set_cols[i]).type));
       }
+      if (track) {
+        delta_old->AppendRowFrom(*target, r);
+        delta_new->AppendRow(row);
+      }
       updated->AppendRow(row);
       ++affected;
     }
     DBSP_RETURN_NOT_OK(
         PersistUpsert(stmt.table_name, entry->primary_key_col, updated));
     DBSP_RETURN_NOT_OK(catalog_.ReplaceContents(stmt.table_name, updated));
+    if (track && affected > 0) {
+      CaptureDelta(ss, stmt.table_name, std::move(delta_new),
+                   std::move(delta_old));
+    }
     QueryResult result;
     result.table = Table::Make(Schema());
     result.rows_affected = affected;
@@ -933,6 +1091,12 @@ Result<QueryResult> Database::ExecuteUpdate(SessionState& ss,
   }
   auto updated = Table::Make(schema);
   updated->Reserve(target->num_rows());
+  const bool track = views_.DependsOn(stmt.table_name);
+  TablePtr delta_old, delta_new;
+  if (track) {
+    delta_old = Table::Make(schema);
+    delta_new = Table::Make(schema);
+  }
   int64_t affected = 0;
   for (size_t r = 0; r < target->num_rows(); ++r) {
     int64_t m = match_of[r];
@@ -948,12 +1112,20 @@ Result<QueryResult> Database::ExecuteUpdate(SessionState& ss,
       DBSP_ASSIGN_OR_RETURN(row[set_cols[i]],
                             v.CastTo(schema.column(set_cols[i]).type));
     }
+    if (track) {
+      delta_old->AppendRowFrom(*target, r);
+      delta_new->AppendRow(row);
+    }
     updated->AppendRow(row);
     ++affected;
   }
   DBSP_RETURN_NOT_OK(
       PersistUpsert(stmt.table_name, entry->primary_key_col, updated));
   DBSP_RETURN_NOT_OK(catalog_.ReplaceContents(stmt.table_name, updated));
+  if (track && affected > 0) {
+    CaptureDelta(ss, stmt.table_name, std::move(delta_new),
+                 std::move(delta_old));
+  }
   QueryResult result;
   result.table = Table::Make(Schema());
   result.rows_affected = affected;
@@ -963,7 +1135,6 @@ Result<QueryResult> Database::ExecuteUpdate(SessionState& ss,
 
 Result<QueryResult> Database::ExecuteDelete(SessionState& ss,
                                             const Statement& stmt) {
-  (void)ss;
   DBSP_ASSIGN_OR_RETURN(CatalogEntry * entry, catalog_.Get(stmt.table_name));
   TablePtr target = entry->table;
   const Schema& schema = target->schema();
@@ -978,6 +1149,9 @@ Result<QueryResult> Database::ExecuteDelete(SessionState& ss,
     DBSP_ASSIGN_OR_RETURN(where, binder.BindScalarExpr(*stmt.where, ctx));
   }
 
+  const bool track = views_.DependsOn(stmt.table_name);
+  TablePtr removed;
+  if (track) removed = Table::Make(schema);
   std::vector<uint32_t> keep;
   int64_t deleted = 0;
   for (size_t r = 0; r < target->num_rows(); ++r) {
@@ -987,6 +1161,7 @@ Result<QueryResult> Database::ExecuteDelete(SessionState& ss,
       hit = !v.is_null() && v.bool_value();
     }
     if (hit) {
+      if (track) removed->AppendRowFrom(*target, r);
       ++deleted;
     } else {
       keep.push_back(static_cast<uint32_t>(r));
@@ -996,6 +1171,9 @@ Result<QueryResult> Database::ExecuteDelete(SessionState& ss,
   DBSP_RETURN_NOT_OK(
       PersistUpsert(stmt.table_name, entry->primary_key_col, remaining));
   DBSP_RETURN_NOT_OK(catalog_.ReplaceContents(stmt.table_name, remaining));
+  if (track && deleted > 0) {
+    CaptureDelta(ss, stmt.table_name, nullptr, std::move(removed));
+  }
   QueryResult result;
   result.table = Table::Make(Schema());
   result.rows_affected = deleted;
@@ -1005,6 +1183,15 @@ Result<QueryResult> Database::ExecuteDelete(SessionState& ss,
 Result<QueryResult> Database::ExecuteDrop(SessionState& ss,
                                           const Statement& stmt) {
   (void)ss;
+  if (views_.Has(stmt.table_name)) {
+    return Status::InvalidArgument("'" + stmt.table_name +
+                                   "' is a materialized view; use DROP "
+                                   "MATERIALIZED VIEW");
+  }
+  if (views_.DependsOn(stmt.table_name)) {
+    return Status::InvalidArgument("cannot drop table '" + stmt.table_name +
+                                   "': a materialized view depends on it");
+  }
   if (storage_ != nullptr && catalog_.Exists(stmt.table_name)) {
     DBSP_RETURN_NOT_OK(PersistDrop(stmt.table_name));
   }
@@ -1012,6 +1199,222 @@ Result<QueryResult> Database::ExecuteDrop(SessionState& ss,
   QueryResult result;
   result.table = Table::Make(Schema());
   return result;
+}
+
+// --- incremental view maintenance (src/ivm/, DESIGN.md §14) ---------------
+
+Result<QueryResult> Database::ExecuteCreateView(SessionState& ss,
+                                                const Statement& stmt) {
+  if (ss.InTransaction()) {
+    return Status::InvalidArgument(
+        "materialized view statements are not allowed inside a transaction");
+  }
+  const std::string& name = stmt.table_name;
+  if (IsReservedIvmName(name)) {
+    return Status::InvalidArgument(
+        "view names starting with '__ivm' are reserved");
+  }
+  if (stmt.if_not_exists && views_.Has(name)) {
+    QueryResult result;
+    result.table = Table::Make(Schema());
+    return result;
+  }
+  if (catalog_.Exists(name)) {
+    return Status::AlreadyExists("a table named '" + name +
+                                 "' already exists");
+  }
+  Catalog snapshot = catalog_.PinSnapshot();
+  ivm::IvmCounters local;
+  DBSP_ASSIGN_OR_RETURN(
+      TablePtr contents,
+      views_.Create(name, *stmt.ctas_query,
+                    ivm::RenderQueryNode(*stmt.ctas_query), snapshot,
+                    MakeViewRunner(ss), &local));
+  (void)contents;
+  Status persisted = PersistViewCatalog();
+  if (!persisted.ok()) {
+    // Durable registration failed; back out the in-memory view so the two
+    // catalogs agree.
+    (void)views_.Drop(name, /*if_exists=*/true);
+    return persisted;
+  }
+  QueryResult result;
+  result.table = Table::Make(Schema());
+  MergeIvmCounters(local, &result.stats);
+  return result;
+}
+
+Result<QueryResult> Database::ExecuteDropView(SessionState& ss,
+                                              const Statement& stmt) {
+  if (ss.InTransaction()) {
+    return Status::InvalidArgument(
+        "materialized view statements are not allowed inside a transaction");
+  }
+  DBSP_RETURN_NOT_OK(views_.Drop(stmt.table_name, stmt.if_exists));
+  DBSP_RETURN_NOT_OK(PersistViewCatalog());
+  QueryResult result;
+  result.table = Table::Make(Schema());
+  return result;
+}
+
+Result<QueryResult> Database::ExecuteRefreshView(SessionState& ss,
+                                                 const Statement& stmt) {
+  if (ss.InTransaction()) {
+    return Status::InvalidArgument(
+        "materialized view statements are not allowed inside a transaction");
+  }
+  Catalog snapshot = catalog_.PinSnapshot();
+  ivm::IvmCounters local;
+  DBSP_RETURN_NOT_OK(views_.Refresh(stmt.table_name, snapshot,
+                                    MakeViewRunner(ss), &local));
+  QueryResult result;
+  result.table = Table::Make(Schema());
+  MergeIvmCounters(local, &result.stats);
+  return result;
+}
+
+ivm::QueryRunner Database::MakeViewRunner(SessionState& ss) {
+  return [this, &ss](const QueryNode& query, const Catalog& snapshot,
+                     const std::vector<std::pair<std::string, TablePtr>>&
+                         seeds) -> Result<TablePtr> {
+    // Maintenance work is re-derivable from the pending queue: never
+    // durable-checkpoint it under the triggering statement's tag.
+    const uint64_t saved_tag = ss.durable_program_tag;
+    ss.durable_program_tag = 0;
+    Catalog snap = snapshot;  // snapshot handles share the store; cheap copy
+    auto run = [&]() -> Result<TablePtr> {
+      DBSP_ASSIGN_OR_RETURN(
+          Program program,
+          PrepareProgramWithViews(ss, &snap, seeds, [&](ProgramBuilder& b) {
+            return b.BuildQuery({}, query);
+          }));
+      DBSP_ASSIGN_OR_RETURN(
+          QueryResult result,
+          RunProgramToResult(ss, &snap, std::move(program), seeds));
+      return result.table;
+    };
+    Result<TablePtr> table = run();
+    ss.durable_program_tag = saved_tag;
+    return table;
+  };
+}
+
+Result<Program> Database::PrepareProgramWithViews(
+    SessionState& ss, Catalog* cat, const ViewBindings& views,
+    const std::function<Result<Program>(ProgramBuilder&)>& build) {
+  return PrepareProgram(ss, cat, [&](ProgramBuilder& b) -> Result<Program> {
+    for (const auto& [name, contents] : views) {
+      b.binder().AddCte(name, CteBinding{ViewSeedName(name),
+                                         contents->schema()});
+    }
+    DBSP_ASSIGN_OR_RETURN(Program program, build(b));
+    // Record the externally bound results so the dataflow verifier treats
+    // them as live at entry (RunProgramToResult seeds them).
+    for (const auto& [name, contents] : views) {
+      program.seeded_results.emplace_back(ViewSeedName(name),
+                                          contents->schema());
+    }
+    return program;
+  });
+}
+
+Status Database::CollectViewBindings(SessionState& ss, const Catalog& snapshot,
+                                     const Statement& stmt,
+                                     ViewBindings* out) {
+  if (views_.empty()) return Status::OK();
+  std::vector<const QueryNode*> roots;
+  if (stmt.query) roots.push_back(stmt.query.get());
+  if (stmt.ctas_query) roots.push_back(stmt.ctas_query.get());
+  if (stmt.insert_query) roots.push_back(stmt.insert_query.get());
+  for (const CteDef& def : stmt.ctes) {
+    if (def.query) roots.push_back(def.query.get());
+    if (def.init_query) roots.push_back(def.init_query.get());
+    if (def.iter_query) roots.push_back(def.iter_query.get());
+  }
+  if (roots.empty()) return Status::OK();
+  ivm::IvmCounters local;
+  ivm::QueryRunner runner = MakeViewRunner(ss);
+  Status status = Status::OK();
+  for (const std::string& name : views_.Names()) {
+    // A statement CTE of the same name shadows the view, per SQL scoping.
+    bool shadowed = false;
+    for (const CteDef& def : stmt.ctes) {
+      if (EqualsIgnoreCase(def.name, name)) {
+        shadowed = true;
+        break;
+      }
+    }
+    if (shadowed) continue;
+    bool referenced = false;
+    for (const QueryNode* q : roots) {
+      if (QueryReferences(*q, name)) {
+        referenced = true;
+        break;
+      }
+    }
+    if (!referenced) continue;
+    auto contents = views_.ContentsAt(name, snapshot.version(), snapshot,
+                                      runner, &local);
+    if (!contents.ok()) {
+      status = contents.status();
+      break;
+    }
+    out->emplace_back(name, std::move(contents).value());
+  }
+  // Stash the sync work either way; MakeContext folds it into the
+  // statement's ExecStats.
+  ss.pending_ivm.deltas_applied += local.deltas_applied;
+  ss.pending_ivm.rows_maintained += local.rows_maintained;
+  ss.pending_ivm.full_refreshes += local.full_refreshes;
+  ss.pending_ivm.fallbacks += local.fallbacks;
+  return status;
+}
+
+void Database::MaintainViews(SessionState& ss, ExecStats* stats) {
+  if (!views_.HasPending()) return;
+  ivm::IvmCounters local;
+  ivm::QueryRunner runner = MakeViewRunner(ss);
+  auto drain = [&]() -> Status {
+    views_.DrainPending(runner, &local);
+    return Status::OK();
+  };
+  MaintenanceGate gate;
+  {
+    MutexLock lock(gate_mu_);
+    gate = maintenance_gate_;
+  }
+  // A gate failure (admission queue full, cancellation) leaves the queues
+  // intact; the lazy sync in CollectViewBindings keeps answers right.
+  Status st = gate ? gate(ss.cancel, drain) : drain();
+  (void)st;
+  if (stats != nullptr) MergeIvmCounters(local, stats);
+}
+
+void Database::CaptureDelta(SessionState& ss, const std::string& table,
+                            TablePtr inserts, TablePtr deletes) {
+  const size_t delta_rows = (inserts ? inserts->num_rows() : 0) +
+                            (deletes ? deletes->num_rows() : 0);
+  if (delta_rows == 0) return;
+  const bool force_full =
+      !ss.options.ivm_enabled ||
+      delta_rows > static_cast<size_t>(ss.options.ivm_max_delta_rows);
+  views_.OnBaseDelta(table, inserts, deletes, catalog_.version(),
+                     catalog_.PinSnapshot(), force_full);
+}
+
+Status Database::PersistViewCatalog() {
+  if (storage_ == nullptr) return Status::OK();
+  Schema schema;
+  schema.AddColumn("name", TypeId::kString);
+  schema.AddColumn("defsql", TypeId::kString);
+  auto table = Table::Make(schema);
+  for (const auto& info : views_.List()) {
+    table->AppendRow(
+        {Value::String(info.name), Value::String(info.definition)});
+  }
+  // Always upsert (even when empty): DROP of the last view must overwrite
+  // the previous image, or recovery would resurrect it.
+  return PersistUpsert(ivm::ViewRegistry::kViewsTable, std::nullopt, table);
 }
 
 }  // namespace dbspinner

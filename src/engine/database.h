@@ -25,6 +25,7 @@
 #include "common/thread_annotations.h"
 #include "engine/options.h"
 #include "exec/physical_plan.h"
+#include "ivm/view_registry.h"
 #include "mpp/thread_pool.h"
 #include "parser/ast.h"
 #include "plan/program.h"
@@ -142,6 +143,11 @@ struct SessionState {
   /// session's current statement; transferred into ExecStats.
   int64_t pending_verify_violations = 0;
 
+  /// View-maintenance work done while preparing the session's current
+  /// statement (syncing referenced views to the read snapshot);
+  /// transferred into ExecStats like the verifier count above.
+  ivm::IvmCounters pending_ivm;
+
   /// Session-materialized fault injector (from options.fault_injection).
   std::unique_ptr<FaultInjector> fault_injector;
 };
@@ -211,7 +217,29 @@ class Database {
   /// tests and benchmarks that assert on storage counters.
   StorageManager* storage_manager() { return storage_.get(); }
 
+  /// Registered materialized views (name, definition, plan kind, version,
+  /// queued deltas), name-ordered. Used by the shell's \views command and
+  /// tests.
+  std::vector<ivm::ViewRegistry::ViewInfo> ListViews() { return views_.List(); }
+
+  /// Admission hook for post-commit view maintenance: called with the
+  /// committing session's cancellation token and the drain closure. The
+  /// server layer installs a scheduler-backed gate so maintenance competes
+  /// for execution slots like client queries (and is cancellable); without
+  /// a gate the drain runs inline. Install nullptr to reset.
+  using MaintenanceGate = std::function<Status(
+      const CancellationToken& cancel, const std::function<Status()>& drain)>;
+  void set_maintenance_gate(MaintenanceGate gate) {
+    MutexLock lock(gate_mu_);
+    maintenance_gate_ = std::move(gate);
+  }
+
  private:
+  /// Snapshot-consistent contents of every registered view a statement's
+  /// queries reference, keyed by view name. Bound as CTE overlays so view
+  /// scans compose with the ordinary morsel pipeline.
+  using ViewBindings = std::vector<std::pair<std::string, TablePtr>>;
+
   Result<QueryResult> ExecuteStatement(SessionState& ss,
                                        const Statement& stmt);
   Result<QueryResult> ExecuteSelect(SessionState& ss, Catalog* cat,
@@ -225,10 +253,57 @@ class Database {
   Result<QueryResult> ExecuteDelete(SessionState& ss, const Statement& stmt);
   Result<QueryResult> ExecuteDrop(SessionState& ss, const Statement& stmt);
 
+  // --- incremental view maintenance (src/ivm/, DESIGN.md §14) -------------
+
+  Result<QueryResult> ExecuteCreateView(SessionState& ss,
+                                        const Statement& stmt);
+  Result<QueryResult> ExecuteDropView(SessionState& ss, const Statement& stmt);
+  Result<QueryResult> ExecuteRefreshView(SessionState& ss,
+                                         const Statement& stmt);
+
+  /// The registry's QueryRunner: executes a maintenance query for `ss`
+  /// against a pinned snapshot through the ordinary
+  /// optimizer/verifier/morsel pipeline, with the given seed tables bound
+  /// as CTE overlays. Durable checkpointing is suppressed (maintenance is
+  /// re-derivable from the queue).
+  ivm::QueryRunner MakeViewRunner(SessionState& ss);
+
+  /// Collects the snapshot-consistent contents of every registered view the
+  /// statement's queries reference (syncing pending deltas up to the
+  /// snapshot's version first). View names shadowed by the statement's own
+  /// CTEs are skipped, per SQL scoping.
+  Status CollectViewBindings(SessionState& ss, const Catalog& snapshot,
+                             const Statement& stmt, ViewBindings* out);
+
+  /// Post-commit maintenance: folds every queued delta, through the
+  /// installed maintenance gate when one is set. Called after the commit
+  /// lock is released; failures/cancellation leave queues intact (the lazy
+  /// sync in CollectViewBindings is the correctness backstop).
+  void MaintainViews(SessionState& ss, ExecStats* stats);
+
+  /// Captures one committed statement's (inserts, deletes) against `table`
+  /// for dependent views. Commit lock held; called after the catalog
+  /// publish so the pinned snapshot includes the mutation.
+  void CaptureDelta(SessionState& ss, const std::string& table,
+                    TablePtr inserts, TablePtr deletes);
+
+  /// Rewrites the reserved __ivm_views storage table to match the registry
+  /// (views survive restarts through the ordinary WAL/manifest path).
+  Status PersistViewCatalog();
+
+  /// PrepareProgram with each view binding installed as a CTE overlay and
+  /// recorded in Program::seeded_results for the dataflow verifier.
+  Result<Program> PrepareProgramWithViews(
+      SessionState& ss, Catalog* cat, const ViewBindings& views,
+      const std::function<Result<Program>(class ProgramBuilder&)>& build);
+
   /// Runs a bound-and-optimized program and returns its final table.
-  /// `cat` is the catalog view the program was planned against.
+  /// `cat` is the catalog view the program was planned against. Each
+  /// (name, table) in `seeds` is pre-bound into the program's result
+  /// registry under the view-seed name the binder overlays resolve to.
   Result<QueryResult> RunProgramToResult(SessionState& ss, Catalog* cat,
-                                         Program program);
+                                         Program program,
+                                         const ViewBindings& seeds = {});
 
   /// Builds + optimizes a Program via `build` against the catalog view
   /// `cat`, running the static verifier (src/verify/) after binding, after
@@ -303,6 +378,17 @@ class Database {
   Status storage_status_ DBSP_GUARDED_BY(storage_mu_) = Status::OK();
   std::unique_ptr<FaultInjector> storage_faults_;
   std::unique_ptr<StorageManager> storage_;
+
+  /// Registered materialized views and their maintenance state. The
+  /// registry synchronizes itself (DESIGN.md §14): its map lock is a leaf
+  /// and its per-view locks nest inside the commit lock on the capture
+  /// path only.
+  ivm::ViewRegistry views_;
+
+  /// Leaf lock for the maintenance-gate hook (swap/copy only; never held
+  /// while the gate runs).
+  Mutex gate_mu_;
+  MaintenanceGate maintenance_gate_ DBSP_GUARDED_BY(gate_mu_);
 };
 
 }  // namespace dbspinner

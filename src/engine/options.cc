@@ -53,6 +53,9 @@ Status EngineOptions::Validate() const {
   if (max_iterations_guard < 1) {
     return Status::InvalidArgument("max_iterations_guard must be >= 1");
   }
+  if (ivm_max_delta_rows < 1) {
+    return Status::InvalidArgument("ivm_max_delta_rows must be >= 1");
+  }
   // The broadcast-fusion predicate (BroadcastFusionLegal, shared by the
   // pipeline executor and the V205 verifier check) compares the planner's
   // double build estimate against this budget; past 2^53 the size_t→double
@@ -92,7 +95,8 @@ std::string EngineOptions::ToString() const {
       "build_cache=%d, vectorized=%d(morsel=%zu, broadcast=%zu), "
       "faults=%d(seed=%llu, "
       "rate=%.3f), recovery=%d(k=%lld, "
-      "retries=%d), verify=%d(enforce=%d), persist=%d}",
+      "retries=%d), verify=%d(enforce=%d), persist=%d, "
+      "ivm=%d(max_delta=%lld)}",
       num_workers, optimizer.enable_constant_folding ? 1 : 0,
       optimizer.enable_join_simplification ? 1 : 0,
       optimizer.enable_predicate_pushdown ? 1 : 0,
@@ -107,7 +111,8 @@ std::string EngineOptions::ToString() const {
       fault_injection.rate, fault_tolerance.enable_recovery ? 1 : 0,
       static_cast<long long>(fault_tolerance.checkpoint_interval),
       fault_tolerance.max_step_retries, verify.verify_plans ? 1 : 0,
-      verify.enforce ? 1 : 0, persistence.enabled ? 1 : 0);
+      verify.enforce ? 1 : 0, persistence.enabled ? 1 : 0,
+      ivm_enabled ? 1 : 0, static_cast<long long>(ivm_max_delta_rows));
 }
 
 }  // namespace dbspinner

@@ -162,6 +162,17 @@ struct EngineOptions {
   /// benches use this to measure fused vs. breaker probes).
   size_t broadcast_build_rows = 1u << 20;
 
+  /// Incremental view maintenance: when off, registered materialized views
+  /// stay correct but every captured delta downgrades to a full-refresh
+  /// marker (the knobs never affect answers, only how they are produced).
+  bool ivm_enabled = true;
+
+  /// A single statement's captured delta larger than this many rows (the
+  /// insert and delete sets combined) triggers a full refresh instead of
+  /// incremental folding — past that point re-running the view body is
+  /// cheaper than per-row maintenance.
+  int64_t ivm_max_delta_rows = 1 << 20;
+
   /// Fault injection for the fuzzing harness only: makes the rename step
   /// silently drop the last row of the renamed result, so a differential
   /// run must flag the rename-enabled plan against the merge baseline.

@@ -39,7 +39,9 @@ std::string ExecStats::ToString() const {
       "morsels=%lld, pipe_rows_in=%lld, pipe_rows_out=%lld, "
       "kernel_filter=%lld, kernel_project=%lld, kernel_probe=%lld, "
       "morsels_stolen=%lld, agg_partials_merged=%lld, "
-      "agg_rows_preaggregated=%lld, pipeline_ms=%.3f}",
+      "agg_rows_preaggregated=%lld, ivm_deltas_applied=%lld, "
+      "ivm_rows_maintained=%lld, ivm_full_refreshes=%lld, "
+      "ivm_fallbacks=%lld, pipeline_ms=%.3f}",
       static_cast<long long>(steps_executed),
       static_cast<long long>(loop_iterations),
       static_cast<long long>(rows_materialized),
@@ -67,6 +69,10 @@ std::string ExecStats::ToString() const {
       static_cast<long long>(morsels_stolen),
       static_cast<long long>(agg_partials_merged),
       static_cast<long long>(agg_rows_preaggregated),
+      static_cast<long long>(ivm_deltas_applied),
+      static_cast<long long>(ivm_rows_maintained),
+      static_cast<long long>(ivm_full_refreshes),
+      static_cast<long long>(ivm_fallbacks),
       static_cast<double>(pipeline_ns) / 1e6);
 }
 

@@ -88,6 +88,13 @@ struct ExecStats {
                                        ///< pre-aggregation sinks (rows the
                                        ///< breaker never materialized)
 
+  // Incremental view maintenance counters (src/ivm/, DESIGN.md §14).
+  // Bookkeeping, not work-proportional: preserved by RewindWorkCountersTo.
+  int64_t ivm_deltas_applied = 0;   ///< base-table deltas folded into views
+  int64_t ivm_rows_maintained = 0;  ///< delta rows processed while folding
+  int64_t ivm_full_refreshes = 0;   ///< incremental views recomputed in full
+  int64_t ivm_fallbacks = 0;        ///< fallback-plan recomputes-on-read
+
   /// Rolls the work-proportional counters back to their values in `base`,
   /// preserving the monotonic bookkeeping counters (faults_seen,
   /// step_retries, checkpoints_taken, restores, verify_violations,

@@ -153,6 +153,54 @@ Value AggState::Finalize(TypeId result_type) const {
   return Value::Null();
 }
 
+bool AggState::Retract(const Value& v) {
+  switch (kind_) {
+    case AggKind::kCountStar:
+      if (count_ == 0) return false;
+      --count_;
+      return true;
+    case AggKind::kCount:
+      if (v.is_null()) return true;
+      if (count_ == 0) return false;
+      --count_;
+      return true;
+    case AggKind::kSum:
+    case AggKind::kAvg:
+    case AggKind::kStdDev:
+    case AggKind::kVariance:
+      if (v.is_null()) return true;
+      if (count_ == 0) return false;
+      --count_;
+      if (v.type() == TypeId::kInt64) {
+        isum_ -= v.int64_value();
+        sum_ -= static_cast<double>(v.int64_value());
+      } else {
+        sum_ -= v.AsDouble();
+      }
+      sum_squares_ -= v.AsDouble() * v.AsDouble();
+      if (count_ == 0) {
+        // Reset exactly so integer SUMs stay drift-free across full
+        // retraction cycles (and NULL is reported again).
+        has_value_ = false;
+        sum_ = 0;
+        sum_squares_ = 0;
+        isum_ = 0;
+        all_int_ = true;
+      }
+      return true;
+    case AggKind::kMin:
+    case AggKind::kMax:
+      if (v.is_null()) return true;
+      if (!has_value_) return false;
+      // Retracting a value that ties or beats the running extreme may expose
+      // a different survivor we never kept; only strictly-dominated values
+      // can leave without a recompute.
+      if (kind_ == AggKind::kMin) return v.Compare(extreme_) > 0;
+      return v.Compare(extreme_) < 0;
+  }
+  return false;
+}
+
 void AggState::MergeFrom(const AggState& other) {
   switch (kind_) {
     case AggKind::kCountStar:

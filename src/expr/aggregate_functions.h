@@ -64,6 +64,14 @@ class AggState {
   /// is NULL; COUNT is 0.
   Value Finalize(TypeId result_type) const;
 
+  /// Unfolds one previously-Update()ed value (incremental view maintenance
+  /// retraction). Counts and sums subtract exactly; MIN/MAX can only drop a
+  /// value strictly inside the current extreme. Returns false when the state
+  /// cannot retract exactly (the value ties or beats the running extreme, or
+  /// nothing was accumulated) — the caller must fall back to a full
+  /// recompute of the group.
+  bool Retract(const Value& v);
+
  private:
   AggKind kind_;
   int64_t count_ = 0;

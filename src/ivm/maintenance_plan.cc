@@ -1,0 +1,261 @@
+#include "ivm/maintenance_plan.h"
+
+#include <algorithm>
+
+#include "binder/binder.h"
+#include "rewrite/iterative_rewrite.h"
+
+namespace dbspinner {
+namespace ivm {
+namespace {
+
+void CollectFromTables(const TableRef* ref, std::vector<std::string>* out);
+
+void CollectNodeTables(const QueryNode& q, std::vector<std::string>* out) {
+  if (q.kind == QueryNodeKind::kSetOp) {
+    CollectNodeTables(*q.left, out);
+    CollectNodeTables(*q.right, out);
+    return;
+  }
+  CollectFromTables(q.from.get(), out);
+}
+
+void CollectFromTables(const TableRef* ref, std::vector<std::string>* out) {
+  if (ref == nullptr) return;
+  switch (ref->kind) {
+    case TableRefKind::kBase:
+      out->push_back(ref->table_name);
+      return;
+    case TableRefKind::kSubquery:
+      CollectNodeTables(*ref->subquery, out);
+      return;
+    case TableRefKind::kJoin:
+      CollectFromTables(ref->left.get(), out);
+      CollectFromTables(ref->right.get(), out);
+      return;
+  }
+}
+
+/// True when the FROM tree is a delta-substitutable shape: base tables
+/// combined by inner/cross joins only.
+bool LinearFromTree(const TableRef* ref, std::string* why) {
+  if (ref == nullptr) {
+    *why = "constant SELECT (no FROM)";
+    return false;
+  }
+  switch (ref->kind) {
+    case TableRefKind::kBase:
+      return true;
+    case TableRefKind::kSubquery:
+      *why = "derived table in FROM";
+      return false;
+    case TableRefKind::kJoin:
+      if (ref->join_type != JoinType::kInner) {
+        *why = "outer join";
+        return false;
+      }
+      return LinearFromTree(ref->left.get(), why) &&
+             LinearFromTree(ref->right.get(), why);
+  }
+  return false;
+}
+
+void RewriteFromRefs(TableRef* ref, const std::string& from,
+                     const std::string& to) {
+  if (ref == nullptr) return;
+  switch (ref->kind) {
+    case TableRefKind::kBase:
+      if (ref->table_name == from) {
+        // Unaliased references resolve column qualifiers through the table
+        // name; pin the original name as the alias before renaming.
+        if (ref->alias.empty()) ref->alias = from;
+        ref->table_name = to;
+      }
+      return;
+    case TableRefKind::kSubquery:
+      RewriteTableRefs(ref->subquery.get(), from, to);
+      return;
+    case TableRefKind::kJoin:
+      RewriteFromRefs(ref->left.get(), from, to);
+      RewriteFromRefs(ref->right.get(), from, to);
+      return;
+  }
+}
+
+/// An aggregate select item the incremental plan supports: a non-DISTINCT
+/// call of a known aggregate whose argument holds no nested aggregate.
+bool SupportedAggItem(const ParseExpr& e, AggKind* kind, bool* is_star) {
+  if (e.kind != ParseExprKind::kFunctionCall) return false;
+  *is_star = e.children.size() == 1 &&
+             e.children[0]->kind == ParseExprKind::kStar;
+  Result<AggKind> k = ResolveAggKind(e.function_name, *is_star);
+  if (!k.ok()) return false;
+  if (e.distinct) return false;
+  if (e.children.size() != 1) return false;
+  if (!*is_star && ContainsAggregate(*e.children[0])) return false;
+  *kind = *k;
+  return true;
+}
+
+MaintenancePlan Fallback(MaintenancePlan plan, std::string why) {
+  plan.kind = PlanKind::kFallback;
+  plan.fallback_reason = std::move(why);
+  return plan;
+}
+
+}  // namespace
+
+const char* PlanKindName(PlanKind k) {
+  switch (k) {
+    case PlanKind::kLinear: return "linear";
+    case PlanKind::kAggregate: return "aggregate";
+    case PlanKind::kFallback: return "fallback";
+  }
+  return "?";
+}
+
+MaintenancePlan MaintenancePlan::Clone() const {
+  MaintenancePlan p;
+  p.kind = kind;
+  p.base_tables = base_tables;
+  p.fallback_reason = fallback_reason;
+  if (input_query) p.input_query = input_query->Clone();
+  p.num_group_cols = num_group_cols;
+  p.aggs = aggs;
+  p.outputs = outputs;
+  return p;
+}
+
+void CollectBaseTables(const QueryNode& q, std::vector<std::string>* out) {
+  std::vector<std::string> all;
+  CollectNodeTables(q, &all);
+  std::sort(all.begin(), all.end());
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+  out->insert(out->end(), all.begin(), all.end());
+}
+
+void RewriteTableRefs(QueryNode* q, const std::string& from,
+                      const std::string& to) {
+  if (q == nullptr) return;
+  if (q->kind == QueryNodeKind::kSetOp) {
+    RewriteTableRefs(q->left.get(), from, to);
+    RewriteTableRefs(q->right.get(), from, to);
+    return;
+  }
+  RewriteFromRefs(q->from.get(), from, to);
+}
+
+MaintenancePlan DerivePlan(const QueryNode& body) {
+  MaintenancePlan plan;
+  CollectBaseTables(body, &plan.base_tables);
+
+  if (body.kind == QueryNodeKind::kSetOp) {
+    return Fallback(std::move(plan), "set operation");
+  }
+  if (body.distinct) return Fallback(std::move(plan), "DISTINCT");
+  if (!body.order_by.empty() || body.limit.has_value()) {
+    return Fallback(std::move(plan), "ORDER BY / LIMIT");
+  }
+  std::string why;
+  if (!LinearFromTree(body.from.get(), &why)) {
+    return Fallback(std::move(plan), why);
+  }
+  // Linearity needs each base table to appear exactly once: a self-join is
+  // quadratic in its table (ΔQ would need cross terms).
+  for (const std::string& t : plan.base_tables) {
+    if (CountTableRefs(body, t) != 1) {
+      return Fallback(std::move(plan), "self-join on " + t);
+    }
+  }
+
+  bool any_agg = false;
+  for (const SelectItem& item : body.select_list) {
+    if (item.expr->kind == ParseExprKind::kStar) continue;
+    if (ContainsAggregate(*item.expr)) any_agg = true;
+  }
+
+  if (body.group_by.empty()) {
+    if (any_agg) return Fallback(std::move(plan), "global aggregate");
+    if (body.having != nullptr) return Fallback(std::move(plan), "HAVING");
+    plan.kind = PlanKind::kLinear;
+    return plan;
+  }
+
+  // GROUP BY: every select item must be a supported aggregate call or
+  // structurally equal to one of the group expressions, and the grouping
+  // input itself must be free of aggregates.
+  if (body.having != nullptr) return Fallback(std::move(plan), "HAVING");
+  for (const ParseExprPtr& g : body.group_by) {
+    if (ContainsAggregate(*g)) {
+      return Fallback(std::move(plan), "aggregate in GROUP BY");
+    }
+  }
+  plan.num_group_cols = static_cast<int>(body.group_by.size());
+  for (const SelectItem& item : body.select_list) {
+    AggKind kind;
+    bool is_star = false;
+    if (SupportedAggItem(*item.expr, &kind, &is_star)) {
+      PlanAgg agg;
+      agg.kind = kind;
+      agg.input_col = -1;  // assigned below while building the input query
+      plan.outputs.push_back({true, static_cast<int>(plan.aggs.size())});
+      plan.aggs.push_back(agg);
+      continue;
+    }
+    if (ContainsAggregate(*item.expr)) {
+      return Fallback(std::move(plan), "unsupported aggregate expression");
+    }
+    int group_idx = -1;
+    for (size_t j = 0; j < body.group_by.size(); ++j) {
+      if (ParseExprEquals(*item.expr, *body.group_by[j])) {
+        group_idx = static_cast<int>(j);
+        break;
+      }
+    }
+    if (group_idx < 0) {
+      return Fallback(std::move(plan), "select item not in GROUP BY");
+    }
+    plan.outputs.push_back({false, group_idx});
+  }
+  if (plan.aggs.empty()) {
+    // GROUP BY with no aggregates is DISTINCT in disguise.
+    return Fallback(std::move(plan), "GROUP BY without aggregates");
+  }
+
+  // Maintenance input: the body with grouping stripped, projecting the group
+  // expressions followed by each aggregate's argument (arguments re-indexed
+  // densely — COUNT(*) contributes no column).
+  QueryNodePtr input = std::make_unique<QueryNode>();
+  input->kind = QueryNodeKind::kSelect;
+  input->from = body.from->Clone();
+  if (body.where) input->where = body.where->Clone();
+  int col = 0;
+  for (const ParseExprPtr& g : body.group_by) {
+    SelectItem item;
+    item.expr = g->Clone();
+    item.alias = "ivm_g" + std::to_string(col++);
+    input->select_list.push_back(std::move(item));
+  }
+  size_t agg_ordinal = 0;
+  for (const SelectItem& item : body.select_list) {
+    AggKind kind;
+    bool is_star = false;
+    if (!SupportedAggItem(*item.expr, &kind, &is_star)) continue;
+    PlanAgg& agg = plan.aggs[agg_ordinal++];
+    if (is_star) {
+      agg.input_col = -1;
+      continue;
+    }
+    agg.input_col = col;
+    SelectItem arg;
+    arg.expr = item.expr->children[0]->Clone();
+    arg.alias = "ivm_a" + std::to_string(col++);
+    input->select_list.push_back(std::move(arg));
+  }
+  plan.input_query = std::move(input);
+  plan.kind = PlanKind::kAggregate;
+  return plan;
+}
+
+}  // namespace ivm
+}  // namespace dbspinner

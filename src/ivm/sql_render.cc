@@ -1,0 +1,100 @@
+#include "ivm/sql_render.h"
+
+namespace dbspinner {
+namespace ivm {
+namespace {
+
+// ParseExpr::ToString() is already re-parseable (parenthesized binary ops,
+// quoted string literals) except for the qualified star, which it collapses
+// to "*".
+std::string RenderExpr(const ParseExpr& e) {
+  if (e.kind == ParseExprKind::kStar && !e.qualifier.empty()) {
+    return e.qualifier + ".*";
+  }
+  return e.ToString();
+}
+
+}  // namespace
+
+std::string RenderTableRef(const TableRef& ref) {
+  switch (ref.kind) {
+    case TableRefKind::kBase:
+      return ref.alias.empty() ? ref.table_name
+                               : ref.table_name + " " + ref.alias;
+    case TableRefKind::kSubquery: {
+      std::string out = "(" + RenderQueryNode(*ref.subquery) + ")";
+      if (!ref.alias.empty()) out += " " + ref.alias;
+      return out;
+    }
+    case TableRefKind::kJoin: {
+      std::string out = RenderTableRef(*ref.left);
+      if (ref.join_condition == nullptr) {
+        out += " CROSS JOIN ";
+      } else if (ref.join_type == JoinType::kLeft) {
+        out += " LEFT JOIN ";
+      } else {
+        out += " JOIN ";
+      }
+      // The right side of a join is a table primary in the grammar; any
+      // nested join the AST could hold would need parentheses the parser
+      // does not accept, but joins parse left-deep so `right` is always a
+      // base table or subquery here.
+      out += RenderTableRef(*ref.right);
+      if (ref.join_condition != nullptr) {
+        out += " ON " + RenderExpr(*ref.join_condition);
+      }
+      return out;
+    }
+  }
+  return "?";
+}
+
+std::string RenderQueryNode(const QueryNode& q) {
+  std::string out;
+  if (q.kind == QueryNodeKind::kSetOp) {
+    out = "(" + RenderQueryNode(*q.left) + ") ";
+    switch (q.set_op) {
+      case SetOpKind::kUnion: out += "UNION"; break;
+      case SetOpKind::kUnionAll: out += "UNION ALL"; break;
+      case SetOpKind::kExcept: out += "EXCEPT"; break;
+      case SetOpKind::kIntersect: out += "INTERSECT"; break;
+    }
+    out += " (" + RenderQueryNode(*q.right) + ")";
+  } else {
+    out = "SELECT ";
+    if (q.distinct) out += "DISTINCT ";
+    for (size_t i = 0; i < q.select_list.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += RenderExpr(*q.select_list[i].expr);
+      if (!q.select_list[i].alias.empty()) {
+        out += " AS " + q.select_list[i].alias;
+      }
+    }
+    if (q.from != nullptr) out += " FROM " + RenderTableRef(*q.from);
+    if (q.where != nullptr) out += " WHERE " + RenderExpr(*q.where);
+    if (!q.group_by.empty()) {
+      out += " GROUP BY ";
+      for (size_t i = 0; i < q.group_by.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += RenderExpr(*q.group_by[i]);
+      }
+    }
+    if (q.having != nullptr) out += " HAVING " + RenderExpr(*q.having);
+  }
+  if (!q.order_by.empty()) {
+    out += " ORDER BY ";
+    for (size_t i = 0; i < q.order_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += RenderExpr(*q.order_by[i].expr);
+      if (q.order_by[i].descending) out += " DESC";
+    }
+  }
+  if (q.limit.has_value()) {
+    out += " LIMIT " + std::to_string(*q.limit);
+    if (q.offset > 0) out += " OFFSET " + std::to_string(q.offset);
+  }
+  return out;
+}
+
+}  // namespace ivm
+}  // namespace dbspinner

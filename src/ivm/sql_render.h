@@ -1,0 +1,25 @@
+// Re-parseable SQL rendering for materialized-view definitions.
+//
+// View bodies are persisted in the reserved `__ivm_views` storage table as
+// SQL text (no new WAL record types), so recovery re-parses the definition
+// with the ordinary parser. The renderer therefore emits exactly the
+// dialect parser.cc accepts: every shape CREATE MATERIALIZED VIEW can parse
+// round-trips through RenderQueryNode + ParseStatement unchanged.
+
+#pragma once
+
+#include <string>
+
+#include "parser/ast.h"
+
+namespace dbspinner {
+namespace ivm {
+
+/// Renders a query node back to SQL text accepted by the parser.
+std::string RenderQueryNode(const QueryNode& q);
+
+/// Renders a FROM-clause tree (exposed for tests).
+std::string RenderTableRef(const TableRef& ref);
+
+}  // namespace ivm
+}  // namespace dbspinner

@@ -1,0 +1,532 @@
+#include "ivm/view_registry.h"
+
+#include <algorithm>
+
+namespace dbspinner {
+namespace ivm {
+namespace {
+
+size_t HashCombine(size_t seed, size_t h) {
+  return seed ^ (h + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+size_t RowHash(const Table& t, size_t row) {
+  size_t h = 0;
+  for (size_t c = 0; c < t.num_columns(); ++c) {
+    h = HashCombine(h, t.GetValue(row, c).Hash());
+  }
+  return h;
+}
+
+bool RowsEqual(const Table& a, size_t ra, const Table& b, size_t rb) {
+  for (size_t c = 0; c < a.num_columns(); ++c) {
+    if (!a.GetValue(ra, c).Equals(b.GetValue(rb, c))) return false;
+  }
+  return true;
+}
+
+size_t Rows(const TablePtr& t) { return t == nullptr ? 0 : t->num_rows(); }
+
+/// Multiset apply for linear plans: contents + ins − del. Each delete row
+/// consumes exactly one matching contents row; returns null when a delete
+/// finds no match (the caller escalates to a full recompute).
+TablePtr ApplyLinear(const Table& old, const TablePtr& ins,
+                     const TablePtr& del) {
+  TablePtr out = Table::Make(old.schema());
+  out->Reserve(old.num_rows() + Rows(ins));
+  size_t unmatched = Rows(del);
+  if (unmatched == 0) {
+    out->AppendAll(old);
+  } else {
+    std::unordered_map<size_t, std::vector<size_t>> del_by_hash;
+    std::vector<bool> consumed(del->num_rows(), false);
+    for (size_t i = 0; i < del->num_rows(); ++i) {
+      del_by_hash[RowHash(*del, i)].push_back(i);
+    }
+    for (size_t i = 0; i < old.num_rows(); ++i) {
+      bool dropped = false;
+      auto it = del_by_hash.find(RowHash(old, i));
+      if (it != del_by_hash.end()) {
+        for (size_t cand : it->second) {
+          if (consumed[cand]) continue;
+          if (!RowsEqual(old, i, *del, cand)) continue;
+          consumed[cand] = true;
+          --unmatched;
+          dropped = true;
+          break;
+        }
+      }
+      if (!dropped) out->AppendRowFrom(old, i);
+    }
+    if (unmatched > 0) return nullptr;
+  }
+  if (ins != nullptr) out->AppendAll(*ins);
+  return out;
+}
+
+/// Folds one maintenance-input table into the group map as insertions.
+void FoldInserts(const MaintenancePlan& plan, const Table& in,
+                 GroupMap* groups) {
+  const size_t g = static_cast<size_t>(plan.num_group_cols);
+  for (size_t r = 0; r < in.num_rows(); ++r) {
+    std::vector<Value> key;
+    key.reserve(g);
+    for (size_t c = 0; c < g; ++c) key.push_back(in.GetValue(r, c));
+    auto [it, fresh] = groups->try_emplace(std::move(key));
+    if (fresh) {
+      it->second.aggs.reserve(plan.aggs.size());
+      for (const PlanAgg& a : plan.aggs) it->second.aggs.emplace_back(a.kind);
+    }
+    ++it->second.rows;
+    for (size_t j = 0; j < plan.aggs.size(); ++j) {
+      const PlanAgg& a = plan.aggs[j];
+      it->second.aggs[j].Update(
+          a.input_col < 0 ? Value()
+                          : in.GetValue(r, static_cast<size_t>(a.input_col)));
+    }
+  }
+}
+
+/// Folds one maintenance-input table as retractions. Returns false when any
+/// retraction is inexact (missing group, MIN/MAX extreme leaving) — the
+/// caller escalates to a full recompute.
+bool FoldDeletes(const MaintenancePlan& plan, const Table& in,
+                 GroupMap* groups) {
+  const size_t g = static_cast<size_t>(plan.num_group_cols);
+  for (size_t r = 0; r < in.num_rows(); ++r) {
+    std::vector<Value> key;
+    key.reserve(g);
+    for (size_t c = 0; c < g; ++c) key.push_back(in.GetValue(r, c));
+    auto it = groups->find(key);
+    if (it == groups->end() || it->second.rows == 0) return false;
+    for (size_t j = 0; j < plan.aggs.size(); ++j) {
+      const PlanAgg& a = plan.aggs[j];
+      if (!it->second.aggs[j].Retract(
+              a.input_col < 0
+                  ? Value()
+                  : in.GetValue(r, static_cast<size_t>(a.input_col)))) {
+        return false;
+      }
+    }
+    if (--it->second.rows == 0) groups->erase(it);
+  }
+  return true;
+}
+
+/// Materializes aggregate-view contents from the group map.
+TablePtr BuildFromGroups(const MaintenancePlan& plan, const Schema& schema,
+                         const GroupMap& groups) {
+  TablePtr out = Table::Make(schema);
+  out->Reserve(groups.size());
+  std::vector<Value> row(plan.outputs.size());
+  for (const auto& [key, gs] : groups) {
+    for (size_t i = 0; i < plan.outputs.size(); ++i) {
+      const PlanOutput& o = plan.outputs[i];
+      row[i] = o.is_agg ? gs.aggs[static_cast<size_t>(o.index)].Finalize(
+                              schema.column(i).type)
+                        : key[static_cast<size_t>(o.index)];
+    }
+    out->AppendRow(row);
+  }
+  return out;
+}
+
+}  // namespace
+
+size_t RowKeyHash::operator()(const std::vector<Value>& key) const {
+  size_t h = key.size();
+  for (const Value& v : key) h = HashCombine(h, v.Hash());
+  return h;
+}
+
+bool RowKeyEq::operator()(const std::vector<Value>& a,
+                          const std::vector<Value>& b) const {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!a[i].Equals(b[i])) return false;
+  }
+  return true;
+}
+
+Result<TablePtr> ViewRegistry::Create(const std::string& name,
+                                      const QueryNode& body,
+                                      std::string definition,
+                                      const Catalog& snapshot,
+                                      const QueryRunner& runner,
+                                      IvmCounters* counters) {
+  if (Has(name)) {
+    return Status::AlreadyExists("materialized view '" + name +
+                                 "' already exists");
+  }
+  std::vector<std::string> bases;
+  CollectBaseTables(body, &bases);
+  for (const std::string& t : bases) {
+    if (Has(t)) {
+      return Status::InvalidArgument(
+          "materialized view '" + name + "' cannot reference view '" + t +
+          "'; views on views are not supported");
+    }
+  }
+
+  auto state = std::make_shared<ViewState>();
+  state->name = name;
+  state->definition = std::move(definition);
+  state->body = body.Clone();
+  state->plan = DerivePlan(body);
+  state->created_version = snapshot.version();
+
+  TablePtr contents;
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    DBSP_ASSIGN_OR_RETURN(contents,
+                          RecomputeLocked(*state, snapshot.version(), snapshot,
+                                          runner, counters));
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (views_.count(name) > 0) {
+    return Status::AlreadyExists("materialized view '" + name +
+                                 "' already exists");
+  }
+  views_.emplace(name, std::move(state));
+  return contents;
+}
+
+Status ViewRegistry::CreateRecovered(const std::string& name,
+                                     QueryNodePtr body,
+                                     std::string definition) {
+  auto state = std::make_shared<ViewState>();
+  state->name = name;
+  state->definition = std::move(definition);
+  state->plan = DerivePlan(*body);
+  state->body = std::move(body);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (views_.count(name) > 0) {
+    return Status::AlreadyExists("materialized view '" + name +
+                                 "' already exists");
+  }
+  views_.emplace(name, std::move(state));
+  return Status::OK();
+}
+
+Status ViewRegistry::Drop(const std::string& name, bool if_exists) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = views_.find(name);
+  if (it == views_.end()) {
+    if (if_exists) return Status::OK();
+    return Status::NotFound("materialized view '" + name + "' does not exist");
+  }
+  views_.erase(it);
+  return Status::OK();
+}
+
+Status ViewRegistry::Refresh(const std::string& name, const Catalog& snapshot,
+                             const QueryRunner& runner,
+                             IvmCounters* counters) {
+  std::shared_ptr<ViewState> state = Find(name);
+  if (state == nullptr) {
+    return Status::NotFound("materialized view '" + name + "' does not exist");
+  }
+  std::lock_guard<std::mutex> lock(state->mu);
+  state->pending.clear();
+  return RecomputeLocked(*state, snapshot.version(), snapshot, runner,
+                         counters)
+      .status();
+}
+
+bool ViewRegistry::Has(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return views_.count(name) > 0;
+}
+
+bool ViewRegistry::empty() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return views_.empty();
+}
+
+bool ViewRegistry::DependsOn(const std::string& table) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, state] : views_) {
+    const std::vector<std::string>& bases = state->plan.base_tables;
+    if (std::find(bases.begin(), bases.end(), table) != bases.end()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<ViewRegistry::ViewInfo> ViewRegistry::List() const {
+  std::vector<std::shared_ptr<ViewState>> states;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    states.reserve(views_.size());
+    for (const auto& [name, state] : views_) states.push_back(state);
+  }
+  std::vector<ViewInfo> out;
+  out.reserve(states.size());
+  for (const auto& state : states) {
+    ViewInfo info;
+    info.name = state->name;
+    info.definition = state->definition;
+    info.plan = PlanKindName(state->plan.kind);
+    std::lock_guard<std::mutex> lock(state->mu);
+    info.version = state->history.empty() ? 0 : state->history.back().version;
+    info.pending = state->pending.size();
+    out.push_back(std::move(info));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ViewInfo& a, const ViewInfo& b) { return a.name < b.name; });
+  return out;
+}
+
+std::vector<std::string> ViewRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(views_.size());
+  for (const auto& [name, state] : views_) out.push_back(name);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void ViewRegistry::OnBaseDelta(const std::string& table,
+                               const TablePtr& inserts, const TablePtr& deletes,
+                               uint64_t version, const Catalog& snapshot,
+                               bool force_full) {
+  if (Rows(inserts) == 0 && Rows(deletes) == 0) return;
+  std::vector<std::shared_ptr<ViewState>> states;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, state] : views_) {
+      const std::vector<std::string>& bases = state->plan.base_tables;
+      if (std::find(bases.begin(), bases.end(), table) != bases.end()) {
+        states.push_back(state);
+      }
+    }
+  }
+  for (const auto& state : states) {
+    std::lock_guard<std::mutex> lock(state->mu);
+    if (state->plan.kind == PlanKind::kFallback) {
+      // Fallback views queue nothing; they recompute on read.
+      state->last_base_change = std::max(state->last_base_change, version);
+      continue;
+    }
+    PendingDelta d;
+    d.version = version;
+    d.snapshot = snapshot;
+    if (force_full) {
+      d.full = true;
+      state->pending.clear();
+    } else {
+      d.table = table;
+      d.inserts = inserts;
+      d.deletes = deletes;
+    }
+    state->pending.push_back(std::move(d));
+    if (state->pending.size() > kMaxPending) {
+      // Runaway queue (e.g. maintenance persistently failing): collapse to
+      // one full-refresh marker so pinned snapshots are released.
+      PendingDelta full;
+      full.version = state->pending.back().version;
+      full.snapshot = state->pending.back().snapshot;
+      full.full = true;
+      state->pending.clear();
+      state->pending.push_back(std::move(full));
+    }
+  }
+}
+
+void ViewRegistry::MarkAllStale(uint64_t version, const Catalog& snapshot) {
+  std::vector<std::shared_ptr<ViewState>> states;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, state] : views_) states.push_back(state);
+  }
+  for (const auto& state : states) {
+    std::lock_guard<std::mutex> lock(state->mu);
+    if (state->plan.kind == PlanKind::kFallback) {
+      state->last_base_change = std::max(state->last_base_change, version);
+      continue;
+    }
+    state->pending.clear();
+    PendingDelta d;
+    d.version = version;
+    d.snapshot = snapshot;
+    d.full = true;
+    state->pending.push_back(std::move(d));
+  }
+}
+
+Result<TablePtr> ViewRegistry::ContentsAt(const std::string& name,
+                                          uint64_t version,
+                                          const Catalog& reader_snapshot,
+                                          const QueryRunner& runner,
+                                          IvmCounters* counters) {
+  std::shared_ptr<ViewState> state = Find(name);
+  if (state == nullptr) {
+    return Status::NotFound("materialized view '" + name + "' does not exist");
+  }
+  std::lock_guard<std::mutex> lock(state->mu);
+  while (!state->pending.empty() && state->pending.front().version <= version) {
+    DBSP_RETURN_NOT_OK(ApplyFrontLocked(*state, runner, counters));
+  }
+  // Newest published version at or below the reader's catalog version.
+  const PublishedVersion* best = nullptr;
+  for (const PublishedVersion& p : state->history) {
+    if (p.version <= version) best = &p;
+  }
+  if (best != nullptr && (state->plan.kind != PlanKind::kFallback ||
+                          state->last_base_change <= best->version)) {
+    return best->contents;
+  }
+  // Recompute at the reader's snapshot: fallback plan behind a base-table
+  // change, a reader older than the retained history, or a recovered view
+  // serving its first read.
+  return RecomputeLocked(*state, version, reader_snapshot, runner, counters);
+}
+
+void ViewRegistry::DrainPending(const QueryRunner& runner,
+                                IvmCounters* counters) {
+  std::vector<std::shared_ptr<ViewState>> states;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, state] : views_) states.push_back(state);
+  }
+  for (const auto& state : states) {
+    std::lock_guard<std::mutex> lock(state->mu);
+    while (!state->pending.empty()) {
+      if (!ApplyFrontLocked(*state, runner, counters).ok()) {
+        // Leave the queue intact: ContentsAt syncs lazily on the next read.
+        break;
+      }
+    }
+  }
+}
+
+bool ViewRegistry::HasPending() const {
+  std::vector<std::shared_ptr<ViewState>> states;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, state] : views_) states.push_back(state);
+  }
+  for (const auto& state : states) {
+    std::lock_guard<std::mutex> lock(state->mu);
+    if (!state->pending.empty()) return true;
+  }
+  return false;
+}
+
+std::shared_ptr<ViewState> ViewRegistry::Find(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = views_.find(name);
+  return it == views_.end() ? nullptr : it->second;
+}
+
+Status ViewRegistry::ApplyFrontLocked(ViewState& s, const QueryRunner& runner,
+                                      IvmCounters* counters) {
+  const PendingDelta& d = s.pending.front();
+  if (d.full) {
+    DBSP_RETURN_NOT_OK(
+        RecomputeLocked(s, d.version, d.snapshot, runner, counters).status());
+    s.pending.pop_front();
+    return Status::OK();
+  }
+  if (s.history.empty() ||
+      (s.plan.kind == PlanKind::kAggregate && !s.groups_valid)) {
+    // Nothing consistent to fold into (recovered view): recompute instead.
+    DBSP_RETURN_NOT_OK(
+        RecomputeLocked(s, d.version, d.snapshot, runner, counters).status());
+    s.pending.pop_front();
+    return Status::OK();
+  }
+
+  // Derive ΔQ = Q[T→ins] − Q[T→del] by substituting the delta rows for the
+  // mutated table. Both runs complete before any state mutates, so a
+  // cancelled or failed maintenance query leaves the previously published
+  // version (and the queue) untouched.
+  const QueryNode& q = s.plan.kind == PlanKind::kAggregate
+                           ? *s.plan.input_query
+                           : *s.body;
+  TablePtr ins_rows;
+  TablePtr del_rows;
+  for (int pass = 0; pass < 2; ++pass) {
+    const TablePtr& delta = pass == 0 ? d.inserts : d.deletes;
+    if (Rows(delta) == 0) continue;
+    QueryNodePtr substituted = q.Clone();
+    RewriteTableRefs(substituted.get(), d.table, kDeltaName);
+    DBSP_ASSIGN_OR_RETURN(
+        TablePtr rows,
+        runner(*substituted, d.snapshot, {{kDeltaName, delta}}));
+    (pass == 0 ? ins_rows : del_rows) = std::move(rows);
+  }
+
+  bool exact = true;
+  TablePtr contents;
+  if (s.plan.kind == PlanKind::kLinear) {
+    contents = ApplyLinear(*s.history.back().contents, ins_rows, del_rows);
+    exact = contents != nullptr;
+  } else {
+    // Retraction can be inexact (MIN/MAX extreme leaving a group); fold
+    // deletions first so the group map is untouched on escalation.
+    exact = del_rows == nullptr || FoldDeletes(s.plan, *del_rows, &s.groups);
+    if (exact) {
+      if (ins_rows != nullptr) FoldInserts(s.plan, *ins_rows, &s.groups);
+      contents = BuildFromGroups(s.plan, s.schema, s.groups);
+    } else {
+      s.groups_valid = false;  // partially folded; rebuilt by the recompute
+    }
+  }
+  if (!exact) {
+    DBSP_RETURN_NOT_OK(
+        RecomputeLocked(s, d.version, d.snapshot, runner, counters).status());
+    s.pending.pop_front();
+    return Status::OK();
+  }
+  PublishLocked(s, d.version, std::move(contents));
+  counters->deltas_applied += 1;
+  counters->rows_maintained +=
+      static_cast<int64_t>(Rows(ins_rows) + Rows(del_rows));
+  s.pending.pop_front();
+  return Status::OK();
+}
+
+Result<TablePtr> ViewRegistry::RecomputeLocked(ViewState& s, uint64_t version,
+                                               const Catalog& snapshot,
+                                               const QueryRunner& runner,
+                                               IvmCounters* counters) {
+  DBSP_ASSIGN_OR_RETURN(TablePtr contents, runner(*s.body, snapshot, {}));
+  if (s.plan.kind == PlanKind::kAggregate) {
+    DBSP_ASSIGN_OR_RETURN(TablePtr input,
+                          runner(*s.plan.input_query, snapshot, {}));
+    s.groups.clear();
+    FoldInserts(s.plan, *input, &s.groups);
+    s.groups_valid = true;
+  }
+  if (!s.have_schema) {
+    s.schema = contents->schema();
+    s.have_schema = true;
+  }
+  if (s.plan.kind == PlanKind::kFallback) {
+    counters->fallbacks += 1;
+  } else {
+    counters->full_refreshes += 1;
+  }
+  PublishLocked(s, version, contents);
+  return contents;
+}
+
+void ViewRegistry::PublishLocked(ViewState& s, uint64_t version,
+                                 TablePtr contents) {
+  if (!s.history.empty() && version < s.history.back().version) {
+    // An older reader recomputed for itself; keep the newer published line.
+    return;
+  }
+  if (!s.history.empty() && version == s.history.back().version) {
+    s.history.back().contents = std::move(contents);
+    return;
+  }
+  s.history.push_back({version, std::move(contents)});
+  while (s.history.size() > kHistoryDepth) s.history.pop_front();
+}
+
+}  // namespace ivm
+}  // namespace dbspinner

@@ -237,6 +237,9 @@ enum class StatementKind {
   kUpdate,
   kDelete,
   kDropTable,
+  kCreateView,   ///< CREATE MATERIALIZED VIEW v AS <query>
+  kDropView,     ///< DROP MATERIALIZED VIEW [IF EXISTS] v
+  kRefreshView,  ///< REFRESH MATERIALIZED VIEW v (forced full recompute)
   kExplain,
   kBegin,     ///< BEGIN [TRANSACTION]
   kCommit,    ///< COMMIT
@@ -262,7 +265,9 @@ struct Statement {
   QueryNodePtr query;
 
   // kCreateTable: column definitions, or (CREATE TABLE ... AS) a source
-  // query whose result seeds the table.
+  // query whose result seeds the table. kCreateView reuses `table_name`
+  // (view name), `if_not_exists`, and `ctas_query` (the view body);
+  // kDropView/kRefreshView reuse `table_name` (and `if_exists`).
   std::string table_name;
   std::vector<ColumnDef> columns;
   bool if_not_exists = false;

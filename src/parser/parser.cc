@@ -147,6 +147,7 @@ class Parser {
       return stmt;
     }
     if (PeekKeyword("COPY")) return ParseCopy();
+    if (PeekKeyword("REFRESH")) return ParseRefreshView();
     return Err("expected a statement, found " + Peek().Describe());
   }
 
@@ -347,6 +348,7 @@ class Parser {
 
   Result<StatementPtr> ParseCreateTable() {
     Advance();  // CREATE
+    if (PeekKeyword("MATERIALIZED")) return ParseCreateView();
     DBSP_RETURN_NOT_OK(ExpectKeyword("TABLE"));
     auto stmt = std::make_unique<Statement>();
     stmt->kind = StatementKind::kCreateTable;
@@ -460,6 +462,7 @@ class Parser {
 
   Result<StatementPtr> ParseDropTable() {
     Advance();  // DROP
+    if (PeekKeyword("MATERIALIZED")) return ParseDropView();
     DBSP_RETURN_NOT_OK(ExpectKeyword("TABLE"));
     auto stmt = std::make_unique<Statement>();
     stmt->kind = StatementKind::kDropTable;
@@ -468,6 +471,54 @@ class Parser {
       stmt->if_exists = true;
     }
     DBSP_ASSIGN_OR_RETURN(std::string name, ExpectIdentifier("table name"));
+    stmt->table_name = ToLower(name);
+    return stmt;
+  }
+
+  // CREATE MATERIALIZED VIEW [IF NOT EXISTS] v AS <query-expr>. The body is
+  // a bare query expression: WITH-clause bodies are rejected so a view's
+  // definition stays renderable/re-parseable for the manifest (and iterative
+  // CTE bodies, which cannot be incrementally maintained, never sneak in).
+  Result<StatementPtr> ParseCreateView() {
+    DBSP_RETURN_NOT_OK(ExpectKeyword("MATERIALIZED"));
+    DBSP_RETURN_NOT_OK(ExpectKeyword("VIEW"));
+    auto stmt = std::make_unique<Statement>();
+    stmt->kind = StatementKind::kCreateView;
+    if (PeekKeyword("IF") && PeekKeyword("NOT", 1) && PeekKeyword("EXISTS", 2)) {
+      pos_ += 3;
+      stmt->if_not_exists = true;
+    }
+    DBSP_ASSIGN_OR_RETURN(std::string name, ExpectIdentifier("view name"));
+    stmt->table_name = ToLower(name);
+    DBSP_RETURN_NOT_OK(ExpectKeyword("AS"));
+    if (PeekKeyword("WITH")) {
+      return Err("materialized view bodies cannot use WITH; inline the CTE");
+    }
+    DBSP_ASSIGN_OR_RETURN(stmt->ctas_query, ParseQueryExpr());
+    return stmt;
+  }
+
+  Result<StatementPtr> ParseDropView() {
+    DBSP_RETURN_NOT_OK(ExpectKeyword("MATERIALIZED"));
+    DBSP_RETURN_NOT_OK(ExpectKeyword("VIEW"));
+    auto stmt = std::make_unique<Statement>();
+    stmt->kind = StatementKind::kDropView;
+    if (PeekKeyword("IF") && PeekKeyword("EXISTS", 1)) {
+      pos_ += 2;
+      stmt->if_exists = true;
+    }
+    DBSP_ASSIGN_OR_RETURN(std::string name, ExpectIdentifier("view name"));
+    stmt->table_name = ToLower(name);
+    return stmt;
+  }
+
+  Result<StatementPtr> ParseRefreshView() {
+    Advance();  // REFRESH
+    DBSP_RETURN_NOT_OK(ExpectKeyword("MATERIALIZED"));
+    DBSP_RETURN_NOT_OK(ExpectKeyword("VIEW"));
+    auto stmt = std::make_unique<Statement>();
+    stmt->kind = StatementKind::kRefreshView;
+    DBSP_ASSIGN_OR_RETURN(std::string name, ExpectIdentifier("view name"));
     stmt->table_name = ToLower(name);
     return stmt;
   }

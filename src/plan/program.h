@@ -124,6 +124,12 @@ struct Program {
   std::vector<IterativeCteInfo> iterative_ctes;
   int next_id = 1;
 
+  /// Result names (and their schemas) the caller binds into the registry
+  /// before RunProgram — materialized-view contents overlaid as CTEs, whose
+  /// scans have no producing step. The dataflow verifier treats them as
+  /// bound at entry instead of diagnosing V101.
+  std::vector<std::pair<std::string, Schema>> seeded_results;
+
   int NewId() { return next_id++; }
 
   /// Index of the step with `id`; -1 if absent.

@@ -93,6 +93,20 @@ Result<QueryScheduler::Slot> QueryScheduler::Admit(
   return make_slot(/*queued=*/true, waited);
 }
 
+Result<QueryScheduler::Slot> QueryScheduler::TryAdmit(uint64_t session_id) {
+  MutexLock lock(mu_);
+  if (running_ >= opts_.max_concurrent_queries || !waiters_.empty()) {
+    return Status::Unavailable("no free admission slot");
+  }
+  ++running_;
+  ++running_per_session_[session_id];
+  ++stats_.admitted;
+  Slot slot;
+  slot.scheduler_ = this;
+  slot.session_id_ = session_id;
+  return slot;
+}
+
 void QueryScheduler::PromoteLocked() {
   // Read-only load lookup: operator[] would default-insert an entry for
   // every queued-but-idle session and leak one per session id for the

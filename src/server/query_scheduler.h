@@ -88,6 +88,13 @@ class QueryScheduler {
   /// capacity, or kCancelled when `cancel` fires while queued.
   Result<Slot> Admit(uint64_t session_id, const CancellationToken& cancel);
 
+  /// Non-blocking admission: grants a slot only when one is free and no
+  /// fair waiter is ahead, else kUnavailable immediately. Used by
+  /// post-commit view maintenance, which must never wait here — the
+  /// committing statement may itself hold a slot, so queueing behind a
+  /// saturated scheduler could deadlock on itself.
+  Result<Slot> TryAdmit(uint64_t session_id);
+
   SchedulerStats stats() const;
   int running() const;
 

@@ -88,7 +88,27 @@ SchedulerStats Session::scheduler_stats() const {
 }
 
 SessionManager::SessionManager(Database* db, SchedulerOptions sched)
-    : db_(db), scheduler_(sched) {}
+    : db_(db), scheduler_(sched) {
+  // Post-commit view maintenance competes for an execution slot like a
+  // client query, under the reserved maintenance pseudo-session, and its
+  // queries observe the committing statement's cancellation token.
+  // Non-blocking: the committing statement still holds its own slot, so
+  // waiting here could deadlock a saturated scheduler — on rejection the
+  // drain runs inline under the committer's slot instead.
+  db_->set_maintenance_gate([this](const CancellationToken& cancel,
+                                   const std::function<Status()>& drain) {
+    (void)cancel;  // the drain's queries poll it; admission never waits
+    auto slot = scheduler_.TryAdmit(kMaintenanceSessionId);
+    (void)slot;
+    return drain();  // slot (when granted) releases after the drain
+  });
+}
+
+SessionManager::~SessionManager() {
+  // The gate captures `this`; a Database outliving its manager must not
+  // call into a destroyed scheduler.
+  db_->set_maintenance_gate(nullptr);
+}
 
 std::shared_ptr<Session> SessionManager::CreateSession() {
   return CreateSession(db_->options());

@@ -101,7 +101,12 @@ class Session {
 /// all share. Thread-safe.
 class SessionManager {
  public:
+  /// Reserved pseudo-session id for post-commit view maintenance in the
+  /// scheduler's accounting (real session ids start at 1).
+  static constexpr uint64_t kMaintenanceSessionId = 0;
+
   explicit SessionManager(Database* db, SchedulerOptions sched = {});
+  ~SessionManager();
 
   /// New session whose options start as a copy of the database's defaults.
   std::shared_ptr<Session> CreateSession();

@@ -9,6 +9,7 @@
 #include "common/string_util.h"
 #include "graph/reference_algorithms.h"
 #include "server/session.h"
+#include "testing/fuzz_rng.h"
 
 namespace dbspinner {
 namespace fuzz {
@@ -495,6 +496,205 @@ DiffReport RunConcurrentSessions(const FuzzCase& c, int sessions,
       return report;
     }
   }
+  return report;
+}
+
+DiffReport RunIvmDifferential(const FuzzCase& c,
+                              const DifferentialOptions& opts) {
+  DiffReport report;
+
+  // The view panel pins one view per maintenance-plan shape, so every
+  // mutation exercises the linear delta path, the join delta path (deltas
+  // arriving from either input), the per-group aggregate fold (whose MIN
+  // escalates to a full refresh when a delete retracts the current
+  // minimum), and the recompute-on-read fallback.
+  struct ViewDef {
+    const char* name;
+    const char* body;
+  };
+  static const ViewDef kViews[] = {
+      {"ivm_filter",
+       "SELECT src, dst, weight FROM edges WHERE MOD(src, 2) = 0"},
+      {"ivm_join",
+       "SELECT e.src, e.dst, vs.status FROM edges AS e "
+       "JOIN vertexstatus AS vs ON vs.node = e.dst"},
+      {"ivm_agg",
+       "SELECT src, COUNT(*) AS c, SUM(weight) AS s, MIN(weight) AS mn "
+       "FROM edges GROUP BY src"},
+      {"ivm_distinct", "SELECT DISTINCT dst FROM edges"},
+  };
+
+  EngineOptions eo = BaseOptions(opts);
+  if (opts.fault_rate > 0.0) {
+    // Same serial fault schedule as the faults oracle: maintenance queries
+    // run under injected faults with recovery on, and must neither leak a
+    // failure into the mutating statement nor publish a wrong view version.
+    eo.fault_injection.enabled = true;
+    eo.fault_injection.seed = opts.fault_seed;
+    eo.fault_injection.rate = opts.fault_rate;
+    eo.fault_injection.worker_lost_fraction = opts.worker_lost_fraction;
+    eo.fault_tolerance.enable_recovery = true;
+    eo.fault_tolerance.max_restores = 100000;
+  }
+  Database db(eo);
+
+  // report.sql accumulates the statement history, so a failing case prints
+  // the exact replayable script next to the seed.
+  auto fail = [&](const std::string& what) {
+    report.ok = false;
+    report.failure = what;
+    return report;
+  };
+  // Summed ivm_* counters across every statement, reported as a final
+  // "ivm-totals" outcome: a sweep where deltas_applied stays 0 would mean
+  // the incremental paths never ran and the oracle is vacuous.
+  ExecStats totals;
+  auto run = [&](SessionState* session,
+                 const std::string& sql) -> Result<QueryResult> {
+    Result<QueryResult> r = session == nullptr
+                                ? db.Execute(sql)
+                                : db.ExecuteForSession(session, sql);
+    if (r.ok()) {
+      totals.ivm_deltas_applied += r->stats.ivm_deltas_applied;
+      totals.ivm_rows_maintained += r->stats.ivm_rows_maintained;
+      totals.ivm_full_refreshes += r->stats.ivm_full_refreshes;
+      totals.ivm_fallbacks += r->stats.ivm_fallbacks;
+    }
+    if (!r.ok()) {
+      // Every statement in this mode is canonical and must be accepted; a
+      // failure (kInternal or otherwise) fails the case, so record it as
+      // an outcome for Describe().
+      OracleOutcome o;
+      o.name = sql.size() > 60 ? sql.substr(0, 57) + "..." : sql;
+      o.status = r.status();
+      report.outcomes.push_back(std::move(o));
+    }
+    return r;
+  };
+
+  {
+    Status load = LoadCaseData(&db, c);
+    if (!load.ok()) return fail("load failed: " + load.ToString());
+  }
+  for (const ViewDef& v : kViews) {
+    std::string sql =
+        std::string("CREATE MATERIALIZED VIEW ") + v.name + " AS " + v.body;
+    report.sql += sql + ";\n";
+    Result<QueryResult> r = run(nullptr, sql);
+    if (!r.ok()) {
+      return fail("view creation failed: " + r.status().ToString());
+    }
+  }
+
+  // One reader session per MPP width; reads are serial, so they share the
+  // engine but never race (width >1 forces real task partitioning).
+  const int kWidths[] = {1, 2, 8};
+  std::vector<SessionState> readers;
+  readers.reserve(3);
+  for (int w : kWidths) {
+    EngineOptions ro = eo;
+    ro.num_workers = w;
+    if (w > 1) ro.mpp_min_rows_per_task = 1;
+    readers.emplace_back(ro);
+    readers.back().temp_scope = StringPrintf("ivmw%d:", w);
+  }
+
+  FuzzRng rng(c.case_seed * 0x9e3779b97f4a7c15ULL + 0x1d3a5f7b);
+  const int64_t n = std::max<int64_t>(2, c.graph.num_nodes);
+  const int kSteps = 8;
+  for (int step = 0; step < kSteps; ++step) {
+    // Occasionally pin the delta budget to 1 so the capped path (forced
+    // full refresh instead of incremental fold) runs under the oracle too.
+    const bool clamp = rng.Chance(20);
+    const int64_t saved_cap = db.options().ivm_max_delta_rows;
+    if (clamp) db.options().ivm_max_delta_rows = 1;
+
+    std::vector<std::string> stmts;
+    const int roll = static_cast<int>(rng.Range(0, 99));
+    if (roll < 30) {
+      std::string sql = "INSERT INTO edges VALUES ";
+      const int64_t rows = rng.Range(1, 3);
+      for (int64_t r = 0; r < rows; ++r) {
+        if (r > 0) sql += ", ";
+        sql += StringPrintf("(%lld, %lld, %lld.5)",
+                            static_cast<long long>(rng.Range(1, n)),
+                            static_cast<long long>(rng.Range(1, n)),
+                            static_cast<long long>(rng.Range(1, 9)));
+      }
+      stmts.push_back(sql);
+    } else if (roll < 50) {
+      stmts.push_back(StringPrintf(
+          "UPDATE edges SET weight = weight + 1.5 WHERE src = %lld",
+          static_cast<long long>(rng.Range(1, n))));
+    } else if (roll < 65) {
+      // Deleting a whole source's edges retracts entire groups and often
+      // the group MIN, driving the aggregate view's escalation path.
+      stmts.push_back(
+          StringPrintf("DELETE FROM edges WHERE src = %lld",
+                       static_cast<long long>(rng.Range(1, n))));
+    } else if (roll < 75) {
+      stmts.push_back(StringPrintf(
+          "UPDATE vertexstatus SET status = 1 - status WHERE MOD(node, 5) "
+          "= %lld",
+          static_cast<long long>(rng.Range(0, 4))));
+    } else if (roll < 85) {
+      stmts.push_back(std::string("REFRESH MATERIALIZED VIEW ") +
+                      kViews[rng.Range(0, 3)].name);
+    } else {
+      // Rolled-back work must leave every view exactly where it was (the
+      // registry marks views stale and recomputes on the next read).
+      stmts.push_back("BEGIN");
+      stmts.push_back(StringPrintf(
+          "INSERT INTO edges VALUES (%lld, %lld, 2.5)",
+          static_cast<long long>(rng.Range(1, n)),
+          static_cast<long long>(rng.Range(1, n))));
+      stmts.push_back("ROLLBACK");
+    }
+    for (const std::string& sql : stmts) {
+      report.sql += sql + ";\n";
+      Result<QueryResult> r = run(nullptr, sql);
+      if (!r.ok()) {
+        db.options().ivm_max_delta_rows = saved_cap;
+        return fail(StringPrintf("step %d: mutation failed: %s", step,
+                                 r.status().ToString().c_str()));
+      }
+    }
+    db.options().ivm_max_delta_rows = saved_cap;
+
+    // Oracle: every view, at every width, equals its defining query
+    // re-executed from scratch on the current data.
+    for (const ViewDef& v : kViews) {
+      Result<QueryResult> expect = run(nullptr, v.body);
+      if (!expect.ok()) {
+        return fail(StringPrintf("step %d: recompute of %s failed: %s",
+                                 step, v.name,
+                                 expect.status().ToString().c_str()));
+      }
+      std::vector<std::vector<Value>> expected = TableRows(*expect->table);
+      for (size_t wi = 0; wi < readers.size(); ++wi) {
+        std::string read_sql = std::string("SELECT * FROM ") + v.name;
+        Result<QueryResult> got = run(&readers[wi], read_sql);
+        if (!got.ok()) {
+          return fail(StringPrintf(
+              "step %d: read of %s at width %d failed: %s", step, v.name,
+              kWidths[wi], got.status().ToString().c_str()));
+        }
+        std::string diff =
+            DiffRowSets(expected, TableRows(*got->table), opts.eps);
+        if (!diff.empty()) {
+          return fail(StringPrintf(
+              "step %d: view %s at width %d diverged from its defining "
+              "query: %s",
+              step, v.name, kWidths[wi], diff.c_str()));
+        }
+      }
+    }
+  }
+  OracleOutcome summary;
+  summary.name = "ivm-totals";
+  summary.status = Status::OK();
+  summary.stats = totals;
+  report.outcomes.push_back(std::move(summary));
   return report;
 }
 

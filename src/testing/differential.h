@@ -118,6 +118,22 @@ DiffReport RunDifferential(const FuzzCase& c,
 DiffReport RunConcurrentSessions(const FuzzCase& c, int sessions,
                                  const DifferentialOptions& opts = {});
 
+/// Incremental-view differential mode (fuzz_sql --ivm): loads the case data
+/// into one Database, registers a fixed panel of materialized views covering
+/// every maintenance-plan shape (linear filter, linear join, GROUP BY
+/// aggregate with a MIN that forces full-refresh escalation on retraction,
+/// and a DISTINCT fallback), then replays a deterministic mutation sequence
+/// derived from the case seed (INSERT / UPDATE / DELETE / REFRESH /
+/// BEGIN-ROLLBACK, occasionally with ivm_max_delta_rows pinned to 1 so the
+/// forced-full-refresh path runs too). After every mutation, each view's
+/// maintained contents — read at MPP widths 1, 2 and 8 — must equal its
+/// defining query re-executed from scratch, and no statement may return
+/// kInternal. When opts.fault_rate > 0 the whole schedule runs under
+/// injected faults with executor recovery enabled, so maintenance queries
+/// must recover without leaking a failure or serving a stale view.
+DiffReport RunIvmDifferential(const FuzzCase& c,
+                              const DifferentialOptions& opts = {});
+
 /// Compares two row multisets with numeric tolerance. Returns "" when
 /// equivalent, else a description of the first difference.
 std::string DiffRowSets(const std::vector<std::vector<Value>>& a,

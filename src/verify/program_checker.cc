@@ -898,6 +898,15 @@ class ProgramChecker {
     size_t n = program_.steps.size();
     if (n == 0) return;
     std::vector<AbstractState> in(n);
+    // Results the caller binds before execution (materialized-view CTE
+    // overlays) are live at entry: bound, with their known schema.
+    for (const auto& [name, schema] : program_.seeded_results) {
+      NameInfo info;
+      info.state = NameInfo::S::kBound;
+      info.has_schema = true;
+      info.schema = schema;
+      in[0][ToLower(name)] = info;
+    }
     std::vector<bool> reached(n, false);
     reached[0] = true;
     std::deque<size_t> work{0};

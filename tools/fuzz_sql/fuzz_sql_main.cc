@@ -54,6 +54,11 @@ struct CliOptions {
   /// a scratch directory, reopen it (recovery path) and diff the query run
   /// on recovered tables against the in-memory baseline, at widths 1/2/8.
   bool persistence = false;
+  /// Incremental-view differential mode: per case, register the canonical
+  /// materialized-view panel, replay a seed-derived mutation schedule, and
+  /// after every mutation check each view (read at widths 1/2/8) against
+  /// its defining query re-executed from scratch. Composes with --faults.
+  bool ivm = false;
 };
 
 void Usage(const char* argv0) {
@@ -61,7 +66,7 @@ void Usage(const char* argv0) {
                "usage: %s [--seed N] [--iterations N] [--time-budget SECONDS]"
                " [--break-rename] [--faults] [--fault-rate R]"
                " [--morsel-sizes N,N,...] [--morsel-workers N,N,...]"
-               " [--sessions N] [--persistence]"
+               " [--sessions N] [--persistence] [--ivm]"
                " [--verify|--no-verify] [--verbose]\n",
                argv0);
 }
@@ -132,6 +137,8 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts) {
       opts->sessions = v;
     } else if (arg == "--persistence") {
       opts->persistence = true;
+    } else if (arg == "--ivm") {
+      opts->ivm = true;
     } else if (arg == "--verify") {
       opts->verify = true;
     } else if (arg == "--no-verify") {
@@ -172,6 +179,11 @@ int main(int argc, char** argv) {
   int64_t executed = 0;
   int64_t rejected = 0;  // user-level rejections (consistent across oracles)
   int64_t morsels_stolen = 0;  // across all oracles, sanity-checks stealing
+  // IVM-mode totals: a --ivm sweep with ivm_deltas == 0 never exercised the
+  // incremental maintenance paths it exists to check.
+  int64_t ivm_deltas = 0;
+  int64_t ivm_fulls = 0;
+  int64_t ivm_fallbacks = 0;
 
   const auto start = std::chrono::steady_clock::now();
   auto out_of_time = [&] {
@@ -195,6 +207,10 @@ int main(int argc, char** argv) {
     std::printf("concurrent mode: %lld sessions per case vs serial replay\n",
                 static_cast<long long>(cli.sessions));
   }
+  if (cli.ivm) {
+    std::printf("ivm mode: per-case mutation schedule, every view checked "
+                "against its defining query at widths 1/2/8\n");
+  }
 
   for (int64_t i = 0; i < cli.iterations && !out_of_time(); ++i) {
     FuzzCase c = generator.NextCase();
@@ -213,13 +229,17 @@ int main(int argc, char** argv) {
                   c.Label().c_str());
     }
     DiffReport report =
-        cli.sessions > 0
+        cli.ivm ? dbspinner::fuzz::RunIvmDifferential(c, diff_opts)
+        : cli.sessions > 0
             ? dbspinner::fuzz::RunConcurrentSessions(
                   c, static_cast<int>(cli.sessions), diff_opts)
             : dbspinner::fuzz::RunDifferential(c, diff_opts);
     ++executed;
     for (const auto& o : report.outcomes) {
       morsels_stolen += o.stats.morsels_stolen;
+      ivm_deltas += o.stats.ivm_deltas_applied;
+      ivm_fulls += o.stats.ivm_full_refreshes;
+      ivm_fallbacks += o.stats.ivm_fallbacks;
     }
     if (report.ok) {
       if (!report.outcomes.empty() && !report.outcomes[0].status.ok()) {
@@ -230,10 +250,11 @@ int main(int argc, char** argv) {
 
     std::printf("\n=== ORACLE MISMATCH (case %lld) ===\n%s\n",
                 static_cast<long long>(i), report.Describe(c).c_str());
-    if (cli.sessions > 0) {
-      // Concurrent mismatches are schedule-dependent; the minimizer's
-      // shrink loop (built on the deterministic single-session matrix)
-      // does not apply. The case label + seed is the repro line.
+    if (cli.sessions > 0 || cli.ivm) {
+      // Concurrent and IVM mismatches are not QuerySpec shrinks (thread
+      // schedules / mutation scripts), so the minimizer's shrink loop does
+      // not apply. The case label + seed is the repro line; IVM reports
+      // embed the full replayable statement script.
       return 1;
     }
     std::printf("minimizing...\n");
@@ -256,6 +277,13 @@ int main(int argc, char** argv) {
               static_cast<long long>(executed), elapsed,
               static_cast<long long>(rejected),
               static_cast<long long>(morsels_stolen));
+  if (cli.ivm) {
+    std::printf("ivm maintenance: %lld incremental deltas, %lld full "
+                "refreshes, %lld fallback recomputes\n",
+                static_cast<long long>(ivm_deltas),
+                static_cast<long long>(ivm_fulls),
+                static_cast<long long>(ivm_fallbacks));
+  }
   for (const auto& [family, count] : family_counts) {
     std::printf("  %-16s %lld\n", family.c_str(),
                 static_cast<long long>(count));
